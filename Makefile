@@ -1,0 +1,22 @@
+# Convenience targets for the MAX-PolyMem reproduction.
+
+.PHONY: install test bench scorecard examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+scorecard:
+	python -m repro experiments
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info benchmarks/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates its paper table/figure as text, saves it under
+``benchmarks/out/`` (so the artifacts survive pytest's output capture) and
+prints it (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a regenerated table/figure and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n[{name}] written to {path}\n{text}")
+    return path

@@ -1,0 +1,67 @@
+"""Ablation — full crossbar vs Benes network shuffles.
+
+The paper attributes the supra-linear logic growth at 16 lanes to the
+quadratic full crossbars (§IV-C) and leaves optimization as future work.
+This bench quantifies the alternative: Benes networks are functionally
+identical (property-tested) with O(n log n) area but ``2 log2(n) - 1``
+stages of latency.  It regenerates the area/latency trade table across
+lane counts and times both realizations' routing.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from _util import save_report
+
+from repro.core.shuffle import BenesNetwork, FullCrossbar, Shuffle
+
+
+def test_ablation_crossbar_area(benchmark):
+    out = io.StringIO()
+    out.write("ABLATION — shuffle realization: full crossbar vs Benes\n")
+    out.write(
+        f"{'lanes':>5s} {'xbar LUTs':>10s} {'benes LUTs':>11s} "
+        f"{'area ratio':>10s} {'xbar stages':>12s} {'benes stages':>13s}\n"
+    )
+    ratios = {}
+    for lanes in (4, 8, 16, 32, 64):
+        xb = FullCrossbar(lanes).cost()
+        bn = BenesNetwork(lanes).cost()
+        ratios[lanes] = xb.lut_estimate / bn.lut_estimate
+        out.write(
+            f"{lanes:5d} {xb.lut_estimate:10d} {bn.lut_estimate:11d} "
+            f"{ratios[lanes]:10.2f} {xb.stages:12d} {bn.stages:13d}\n"
+        )
+    out.write(
+        "\nBenes saves area beyond 8 lanes and the advantage grows with "
+        "n (O(n^2) vs O(n log n)); the price is pipeline depth.\n"
+    )
+    save_report("ablation_crossbar", out.getvalue())
+
+    # crossbar grows quadratically: ratio increases with lanes
+    assert ratios[64] > ratios[16] > ratios[8]
+    # at the paper's 16-lane design the Benes already wins on area
+    assert ratios[16] > 1.5
+    # latency trade: Benes depth grows with log2(lanes)
+    assert BenesNetwork(64).num_stages == 11
+
+    # functional equivalence on random permutations
+    rng = np.random.default_rng(0)
+    bn, sh = BenesNetwork(32), Shuffle(32)
+    for _ in range(10):
+        perm = rng.permutation(32)
+        v = rng.integers(0, 1 << 30, 32)
+        assert (bn(v, perm) == sh(v, perm)).all()
+
+    perm = rng.permutation(32)
+    benchmark(lambda: BenesNetwork(32).route(perm))
+
+
+def test_ablation_crossbar_apply_speed(benchmark):
+    """Direct permutation (the crossbar model) is the fast path."""
+    rng = np.random.default_rng(1)
+    sh = Shuffle(32)
+    perm = rng.permutation(32)
+    v = rng.integers(0, 1 << 30, 32)
+    benchmark(lambda: sh(v, perm))

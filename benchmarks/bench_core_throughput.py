@@ -1,0 +1,75 @@
+"""Library performance — simulation throughput of the PolyMem core.
+
+Not a paper figure: these benches track the reproduction's own hot paths
+(the vectorized batch access path vs the per-access architectural path,
+bulk load/dump, and the validation cycle), guarding against performance
+regressions in the simulator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.patterns import PatternKind
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+
+
+@pytest.fixture()
+def pm():
+    mem = PolyMem(PolyMemConfig(64 * KB, p=2, q=4, scheme=Scheme.ReRo))
+    mem.load(
+        np.arange(mem.rows * mem.cols, dtype=np.uint64).reshape(mem.rows, mem.cols)
+    )
+    return mem
+
+
+def test_batch_read_throughput(benchmark, pm):
+    """The vectorized fast path: 1024 parallel row reads per call."""
+    anchors_i = np.arange(1024) % pm.rows
+    anchors_j = np.zeros(1024, dtype=np.int64)
+    result = benchmark(
+        lambda: pm.read_batch(PatternKind.ROW, anchors_i, anchors_j)
+    )
+    assert result.shape == (1024, 8)
+
+
+def test_single_read_throughput(benchmark, pm):
+    """The architectural path (explicit shuffles), one access per call."""
+    benchmark(lambda: pm.read(PatternKind.ROW, 3, 0))
+
+
+def test_batch_write_throughput(benchmark, pm):
+    anchors_i = (np.arange(256) * 2) % pm.rows
+    anchors_j = np.zeros(256, dtype=np.int64)
+    vals = np.arange(256 * 8, dtype=np.uint64).reshape(256, 8)
+    benchmark(
+        lambda: pm.write_batch(PatternKind.RECTANGLE, anchors_i, anchors_j, vals)
+    )
+
+
+def test_load_dump_throughput(benchmark, pm):
+    matrix = np.arange(pm.rows * pm.cols, dtype=np.uint64).reshape(
+        pm.rows, pm.cols
+    )
+
+    def roundtrip():
+        pm.load(matrix)
+        return pm.dump()
+
+    out = benchmark(roundtrip)
+    assert (out == matrix).all()
+
+
+def test_validation_cycle_time(benchmark):
+    """End-to-end §IV-A validation of a small design (streams + kernels)."""
+    from repro.maxpolymem import build_design, validate_design
+
+    cfg = PolyMemConfig(4 * KB, p=2, q=4, scheme=Scheme.ReRo)
+
+    def validate():
+        report = validate_design(build_design(cfg, clock_source="model"))
+        assert report.passed
+        return report
+
+    benchmark(validate)

@@ -1,0 +1,40 @@
+"""Figure 4 — write bandwidth (single port) across the DSE grid.
+
+Regenerates the per-scheme series over the 18 feasible columns using the
+paper's Table IV frequencies (the figure is derived data: lanes x 8 B x f)
+and checks the §IV-B claims: >22 GB/s peak at 512KB/16L ReO, 20 GB/s
+multiview peak at ReRo, per-cycle linear scaling from 8 to 16 lanes.
+"""
+
+import pytest
+from _util import save_report
+
+from repro.core.schemes import Scheme
+from repro.dse import explore, figure_series, render_series_table, to_csv
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore()
+
+
+def test_fig4_write_bandwidth(benchmark, result):
+    series = figure_series(result, lambda p: p.bandwidth.write_gbps)
+    text = render_series_table(series, "Fig. 4 — Write bandwidth per port", "GB/s")
+    save_report("fig4_write_bandwidth", text + "\n" + to_csv(series))
+
+    flat = {
+        (s, label): v for s, row in series.items() for label, v in row
+    }
+    # peak write bandwidth >22 GB/s at the 512KB/16-lane ReO configuration
+    peak_cell = max(flat, key=flat.get)
+    assert flat[peak_cell] > 22.0
+    assert peak_cell == (Scheme.ReO, "512,16,1")
+    # multiview peak ~20 GB/s at ReRo (512KB, 16 lanes)
+    assert flat[(Scheme.ReRo, "512,16,1")] == pytest.approx(21.5, abs=0.2)
+    # single-port bandwidth roughly doubles from 8 to 16 lanes per cycle;
+    # realized gain is below 2x because of the clock drop
+    for scheme in Scheme:
+        r = flat[(scheme, "512,16,1")] / flat[(scheme, "512,8,1")]
+        assert 1.2 < r < 2.0, scheme
+    benchmark(lambda: figure_series(result, lambda p: p.bandwidth.write_gbps))

@@ -1,0 +1,42 @@
+"""Figure 6 — logic (slice) utilization across the DSE grid.
+
+Regenerates the per-scheme series from the calibrated area model and
+checks §IV-C: utilization nearly flat in capacity, ~2x from 1 to 4 read
+ports, supra-linear growth from 8 to 16 lanes, everything under 38%.
+"""
+
+import pytest
+from _util import save_report
+
+from repro.core.schemes import Scheme
+from repro.dse import explore, figure_series, render_series_table, to_csv
+from repro.hw.calibration import LOGIC_POINTS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore()
+
+
+def test_fig6_logic_utilization(benchmark, result):
+    series = figure_series(result, lambda p: p.logic_pct)
+    text = render_series_table(series, "Fig. 6 — Logic utilization", "%")
+    save_report("fig6_logic_utilization", text + "\n" + to_csv(series))
+
+    flat = {(s, label): v for s, row in series.items() for label, v in row}
+    # paper prose data points reproduced
+    for pt in LOGIC_POINTS:
+        got = flat[(pt.scheme, f"{pt.capacity_kb},{pt.lanes},{pt.read_ports}")]
+        assert got == pytest.approx(pt.percent, abs=0.5), pt
+    # capacity sweep barely moves logic (10.58% -> 13.05% in the paper)
+    spread = flat[(Scheme.RoCo, "4096,8,1")] - flat[(Scheme.ReO, "512,8,1")]
+    assert 0 < spread < 4.0
+    # 1 -> 4 ports roughly doubles logic
+    ratio = flat[(Scheme.ReRo, "512,8,4")] / flat[(Scheme.ReRo, "512,8,1")]
+    assert 1.8 < ratio < 2.4
+    # supra-linear 8 -> 16 lanes (quadratic crossbars)
+    ratio = flat[(Scheme.ReRo, "512,16,1")] / flat[(Scheme.ReRo, "512,8,1")]
+    assert ratio > 2.0
+    # global cap: under 38% everywhere
+    assert max(flat.values()) < 38.0
+    benchmark(lambda: figure_series(result, lambda p: p.logic_pct))

@@ -1,0 +1,44 @@
+"""Figure 7 — LUT utilization across the DSE grid.
+
+Regenerates the per-scheme series and checks §IV-C: LUT usage follows the
+same trends as logic utilization and stays within the paper's 7%-28% band.
+"""
+
+import pytest
+from _util import save_report
+
+from repro.core.schemes import Scheme
+from repro.dse import explore, figure_series, render_series_table, to_csv
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore()
+
+
+def test_fig7_lut_utilization(benchmark, result):
+    series = figure_series(result, lambda p: p.lut_pct)
+    text = render_series_table(series, "Fig. 7 — LUT utilization", "%")
+    save_report("fig7_lut_utilization", text + "\n" + to_csv(series))
+
+    flat = {(s, label): v for s, row in series.items() for label, v in row}
+    # the paper's range: between ~7% and 28%
+    assert min(flat.values()) > 6.0
+    assert max(flat.values()) < 28.0
+    # same trends as logic (§IV-C: "similar trends"): correlation check
+    logic = {
+        (s, label): v
+        for s, row in figure_series(result, lambda p: p.logic_pct).items()
+        for label, v in row
+    }
+    keys = sorted(flat)
+    import numpy as np
+
+    r = np.corrcoef(
+        [flat[k] for k in keys], [logic[k] for k in keys]
+    )[0, 1]
+    assert r > 0.99
+    # supra-linear lane growth carries over
+    ratio = flat[(Scheme.ReRo, "512,16,1")] / flat[(Scheme.ReRo, "512,8,1")]
+    assert ratio > 2.0
+    benchmark(lambda: figure_series(result, lambda p: p.lut_pct))

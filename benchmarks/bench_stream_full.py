@@ -1,0 +1,78 @@
+"""STREAM Scale/Sum/Triad — the paper's §VII future-work extension.
+
+Runs all four STREAM kernels on the Fig. 9 design: cycle-accurate at a
+small size (with functional verification against NumPy references) and
+analytically at the full 700 KB size, regenerating the complete STREAM
+report the paper planned to produce.
+"""
+
+import io
+
+import pytest
+from _util import save_report
+
+from repro.core.config import PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.stream_bench import StreamHarness, all_apps, build_stream_design
+
+
+def small_harness():
+    cfg = PolyMemConfig(
+        36 * 32 * 8, p=2, q=4, scheme=Scheme.RoCo, read_ports=2, rows=36, cols=32
+    )
+    return StreamHarness(build_stream_design(cfg, clock_mhz=120))
+
+
+@pytest.fixture(scope="module")
+def full_harness():
+    return StreamHarness()
+
+
+def test_stream_full_report(benchmark, full_harness):
+    out = io.StringIO()
+    out.write("STREAM on MAX-PolyMem (RoCo 2x4, 2 read ports, 120 MHz)\n")
+    out.write("full-size arrays (170 x 512 x 8 B), 1000 runs each\n\n")
+    out.write(
+        f"{'kernel':8s} {'formula':22s} {'MB/s':>9s} {'peak':>9s} "
+        f"{'efficiency':>11s}\n"
+    )
+    results = {}
+    for app in all_apps():
+        m = full_harness.measure_analytic(app, full_harness.max_vectors, runs=1000)
+        results[app.name] = m
+        out.write(
+            f"{app.name:8s} {app.formula:22s} {m.mbps:9.0f} "
+            f"{m.peak_mbps:9.0f} {m.efficiency * 100:10.2f}%\n"
+        )
+    save_report("stream_full", out.getvalue())
+
+    # Copy/Scale move 16 B/element at 2 ports -> 15,360 MB/s peak;
+    # Sum/Triad use 3 ports (2 reads + 1 write) -> 23,040 MB/s peak
+    assert results["Copy"].peak_mbps == pytest.approx(15_360)
+    assert results["Sum"].peak_mbps == pytest.approx(23_040)
+    for m in results.values():
+        assert m.efficiency > 0.99
+
+    # benchmark: a full four-kernel analytic sweep
+    benchmark(
+        lambda: [
+            full_harness.measure_analytic(a, full_harness.max_vectors)
+            for a in all_apps()
+        ]
+    )
+
+
+def test_stream_cycle_accurate_all_kernels(benchmark):
+    """Every kernel runs on the real dataflow design and verifies against
+    its NumPy reference (run() raises on mismatch)."""
+    h = small_harness()
+    for app in all_apps():
+        h = small_harness()
+        m = h.run(app, vectors=24, scalar=1.5)
+        assert m.cycles_per_run == 24 + 14 + 2
+
+    def one_pass():
+        h = small_harness()
+        return h.run(all_apps()[3], vectors=24).cycles_per_run
+
+    benchmark(one_pass)

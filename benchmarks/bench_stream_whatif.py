@@ -1,0 +1,70 @@
+"""STREAM what-if — projecting §V to other PolyMem configurations.
+
+The paper synthesized STREAM for one design (RoCo 2x4, 2 read ports,
+120 MHz) and planned "more in-depth analysis" (§VII).  This bench projects
+the four STREAM kernels onto other lane counts and port counts, taking the
+clock from the calibrated synthesis model, and regenerates the projected
+bandwidth table.
+"""
+
+import io
+
+import pytest
+from _util import save_report
+
+from repro.core.config import PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.hw.synthesis import default_model
+from repro.stream_bench import StreamHarness, all_apps, build_stream_design
+
+
+def harness_for(lanes: int, read_ports: int) -> tuple[StreamHarness, float]:
+    p, q = {8: (2, 4), 16: (2, 8)}[lanes]
+    rows, cols = 510, 512  # three equal 170-row bands; p | rows, q | cols
+    cfg = PolyMemConfig(
+        rows * cols * 8, p=p, q=q, scheme=Scheme.RoCo,
+        read_ports=read_ports, rows=rows, cols=cols,
+    )
+    # model-estimated clock for the scaled design (the paper's 2 MB class)
+    clock = default_model().frequency_mhz(
+        PolyMemConfig(2048 * 1024, p=p, q=q, scheme=Scheme.RoCo,
+                      read_ports=read_ports)
+    )
+    return StreamHarness(build_stream_design(cfg, clock_mhz=clock)), clock
+
+
+def test_stream_whatif(benchmark):
+    out = io.StringIO()
+    out.write("STREAM WHAT-IF — projected kernels on scaled PolyMems\n")
+    out.write("(clock from the calibrated model; paper design = 8L/2R @ 120 MHz)\n\n")
+    out.write(
+        f"{'config':12s} {'clock':>7s} | "
+        + " | ".join(f"{a.name:>10s}" for a in all_apps())
+        + "  [MB/s]\n"
+    )
+    results = {}
+    for lanes, ports in ((8, 2), (16, 2)):
+        harness, clock = harness_for(lanes, ports)
+        row = []
+        for app in all_apps():
+            m = harness.measure_analytic(app, harness.max_vectors, runs=1000)
+            row.append(m)
+        results[(lanes, ports)] = row
+        out.write(
+            f"{lanes:2d}L/{ports}R       {clock:6.1f}M | "
+            + " | ".join(f"{m.mbps:10.0f}" for m in row)
+            + "\n"
+        )
+    save_report("stream_whatif", out.getvalue())
+
+    copy8 = results[(8, 2)][0]
+    copy16 = results[(16, 2)][0]
+    # doubling lanes raises Copy bandwidth, but sub-2x (clock drops)
+    assert 1.2 < copy16.mbps / copy8.mbps < 2.0
+    # every projected kernel still sustains >99% of its own peak
+    for row in results.values():
+        for m in row:
+            assert m.efficiency > 0.99
+    benchmark(
+        lambda: harness_for(16, 2)[0].measure_analytic(all_apps()[0], 1000)
+    )

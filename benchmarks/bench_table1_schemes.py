@@ -1,0 +1,78 @@
+"""Table I — the PRF access schemes and their conflict-free patterns.
+
+Regenerates the scheme/pattern support table by exhaustive conflict
+analysis on the paper's 2x4 lane grid and checks it cell-by-cell against
+Table I, then benchmarks the analyzer.
+"""
+
+import io
+
+from _util import save_report
+
+from repro.core.conflict import ConflictAnalyzer
+from repro.core.patterns import PatternKind, kinds_in_table_order
+from repro.core.schemes import Scheme
+
+#: Table I of the paper, transcribed: scheme -> supported patterns
+PAPER_TABLE_I = {
+    Scheme.ReO: {PatternKind.RECTANGLE},
+    Scheme.ReRo: {
+        PatternKind.RECTANGLE,
+        PatternKind.ROW,
+        PatternKind.MAIN_DIAGONAL,
+        PatternKind.ANTI_DIAGONAL,
+    },
+    Scheme.ReCo: {
+        PatternKind.RECTANGLE,
+        PatternKind.COLUMN,
+        PatternKind.MAIN_DIAGONAL,
+        PatternKind.ANTI_DIAGONAL,
+    },
+    Scheme.RoCo: {PatternKind.ROW, PatternKind.COLUMN, PatternKind.RECTANGLE},
+    Scheme.ReTr: {PatternKind.RECTANGLE, PatternKind.TRANSPOSED_RECTANGLE},
+}
+
+
+def regenerate(p=2, q=4):
+    analyzer = ConflictAnalyzer(p, q)
+    table = analyzer.table()
+    out = io.StringIO()
+    out.write(f"TABLE I — PRF ACCESS SCHEMES (empirical, {p}x{q} lanes)\n")
+    out.write(f"{'Scheme':6s} | conflict-free patterns (anchor domain)\n")
+    supported = {}
+    for scheme, row in table.items():
+        entries = [
+            f"{kind.value}[{dom.label}]"
+            for kind, dom in row.items()
+            if dom.label != "none"
+        ]
+        supported[scheme] = {
+            kind for kind, dom in row.items() if dom.label != "none"
+        }
+        out.write(f"{scheme.value:6s} | {', '.join(entries)}\n")
+    return table, supported, out.getvalue()
+
+
+def test_table1_matches_paper(benchmark):
+    table, supported, text = regenerate()
+    save_report("table1_schemes", text)
+    for scheme, patterns in PAPER_TABLE_I.items():
+        # every paper-claimed pattern is empirically supported...
+        missing = patterns - supported[scheme]
+        assert not missing, f"{scheme}: paper patterns missing: {missing}"
+    # ...and the "only" claims hold: ReO supports nothing but rectangles
+    assert supported[Scheme.ReO] == {PatternKind.RECTANGLE}
+    # benchmark the exhaustive analyzer itself
+    benchmark(lambda: ConflictAnalyzer(2, 4).table())
+
+
+def test_table1_16_lane_grid(benchmark):
+    """The 2x8 grid used by the paper's 16-lane designs supports the same
+    pattern families."""
+    table, supported, text = regenerate(p=2, q=8)
+    save_report("table1_schemes_16lane", text)
+    for scheme, patterns in PAPER_TABLE_I.items():
+        assert patterns <= supported[scheme], scheme
+    benchmark(
+        lambda: ConflictAnalyzer(2, 8).domain(Scheme.ReRo, PatternKind.ROW)
+    )

@@ -1,0 +1,36 @@
+"""Table III — the DSE parameter grid.
+
+Regenerates the parameter table and the feasible exploration columns
+(which must match Table IV's 18 columns exactly), and benchmarks the grid
+enumeration with BRAM-feasibility filtering.
+"""
+
+import io
+
+from _util import save_report
+
+from repro.dse.space import PAPER_SPACE
+from repro.hw.calibration import TABLE_IV_COLUMNS
+
+
+def regenerate():
+    out = io.StringIO()
+    out.write("TABLE III — POLYMEM DSE PARAMETERS\n")
+    out.write(f"Total Size [KB]    : {list(PAPER_SPACE.capacities_kb)}\n")
+    out.write("Number of lanes    : 8 (2 x 4), 16 (2 x 8)\n")
+    out.write(f"Number of Read Ports: {list(PAPER_SPACE.read_ports)}\n")
+    out.write(f"Schemes            : {[s.value for s in PAPER_SPACE.schemes]}\n")
+    out.write(f"Data width         : {PAPER_SPACE.width_bits} bits\n\n")
+    cols = PAPER_SPACE.columns()
+    out.write(f"Feasible columns ({len(cols)}, = Table IV):\n")
+    for cap, lanes, ports in cols:
+        out.write(f"  {cap:5d} KB, {lanes:2d} lanes, {ports} read port(s)\n")
+    return cols, out.getvalue()
+
+
+def test_table3_space(benchmark):
+    cols, text = regenerate()
+    save_report("table3_dse_space", text)
+    assert tuple(cols) == TABLE_IV_COLUMNS
+    assert PAPER_SPACE.size() == 90
+    benchmark(lambda: list(PAPER_SPACE.points()))

@@ -1,0 +1,66 @@
+"""Table IV — maximum clock frequencies, paper vs calibrated model.
+
+Regenerates the full 5 x 18 frequency table from the synthesis model,
+prints it side by side with the paper's published values, reports the
+residual statistics, and checks the structural claims (202 MHz peak cell,
+monotone degradation with capacity/ports, 77-202 MHz range).
+"""
+
+import io
+
+from _util import save_report
+
+from repro.core.schemes import Scheme
+from repro.dse import explore, render_table_iv
+from repro.hw.synthesis import SynthesisModel, default_model
+
+
+def test_table4_frequencies(benchmark):
+    result = explore()
+    model = default_model()
+    out = io.StringIO()
+    out.write(render_table_iv(result, source="both"))
+    stats = model.freq_fit_stats
+    out.write(
+        f"\nfit quality over {stats['n_points']} Table IV cells: "
+        f"R^2={stats['r2']:.3f}, mean |err|={stats['mean_abs_pct_err']:.1f}%, "
+        f"max |err|={stats['max_abs_pct_err']:.1f}%\n"
+    )
+    save_report("table4_frequency", out.getvalue())
+    # per-cell residuals as CSV (auditability of the calibration)
+    csv = io.StringIO()
+    csv.write("scheme,capacity_kb,lanes,ports,paper_mhz,model_mhz,err_pct\n")
+    for p in result.points:
+        err = 100 * (p.model_mhz - p.paper_mhz) / p.paper_mhz
+        csv.write(
+            f"{p.config.scheme.value},{p.capacity_kb},{p.config.lanes},"
+            f"{p.config.read_ports},{p.paper_mhz:.0f},{p.model_mhz:.1f},"
+            f"{err:+.1f}\n"
+        )
+    save_report("table4_residuals_csv", csv.getvalue())
+
+    # headline claims
+    assert stats["r2"] > 0.8
+    peak = result.lookup(Scheme.ReO, 512, 8, 1)
+    assert peak.paper_mhz == 202
+    assert abs(peak.model_mhz - 202) / 202 < 0.10
+    # monotone shape: frequency never rises with capacity (model)
+    for scheme in Scheme:
+        freqs = [
+            result.lookup(scheme, kb, 8, 1).model_mhz
+            for kb in (512, 1024, 2048, 4096)
+        ]
+        assert freqs == sorted(freqs, reverse=True)
+    # model output spans the paper's 77-202 MHz range (within tolerance)
+    model_vals = [p.model_mhz for p in result.points]
+    assert 70 < min(model_vals) < 95
+    assert 180 < max(model_vals) < 225
+
+    # benchmark one full-table estimation pass (fit excluded: cached)
+    cfgs = [p.config for p in result.points]
+    benchmark(lambda: [model.frequency_mhz(c) for c in cfgs])
+
+
+def test_table4_model_fit_time(benchmark):
+    """Calibration cost: fitting the frequency + area models from scratch."""
+    benchmark(SynthesisModel)

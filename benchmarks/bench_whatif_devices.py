@@ -1,0 +1,40 @@
+"""What-if ablation — PolyMem feasibility across FPGA devices.
+
+Not a paper figure: extends the §IV study to a second device, regenerating
+the feasibility frontier and the headline "largest instantiable PolyMem"
+(which must reproduce the paper's 4 MB on the Vectis part).
+"""
+
+import io
+
+import pytest
+from _util import save_report
+
+from repro.dse.whatif import feasibility_frontier, max_capacity_kb
+from repro.hw.fpga import VIRTEX6_LX240T, VIRTEX6_SX475T
+
+
+def test_whatif_devices(benchmark):
+    out = io.StringIO()
+    out.write("WHAT-IF — PolyMem feasibility per device\n\n")
+    for device in (VIRTEX6_SX475T, VIRTEX6_LX240T):
+        cap = max_capacity_kb(device)
+        pts = feasibility_frontier(device)
+        feasible = sum(p.feasible for p in pts)
+        out.write(
+            f"{device.name}: {device.bram36} RAMB36, max PolyMem "
+            f"{cap} KB, {feasible}/{len(pts)} grid points feasible\n"
+        )
+        for p in pts:
+            if p.capacity_kb == 512 and p.lanes == 8:
+                out.write(
+                    f"  512KB/8L/{p.read_ports}R: BRAM {p.bram_pct:5.1f}%, "
+                    f"logic {p.logic_pct:5.1f}% "
+                    f"{'ok' if p.feasible else 'INFEASIBLE'}\n"
+                )
+    save_report("whatif_devices", out.getvalue())
+
+    # the paper's 4 MB headline, from first principles
+    assert max_capacity_kb(VIRTEX6_SX475T) == 4096
+    assert max_capacity_kb(VIRTEX6_LX240T) == 1024
+    benchmark(lambda: feasibility_frontier(VIRTEX6_LX240T))

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+The benches double as the reproduction harness: each regenerates one of
+the paper's tables/figures (saved under ``benchmarks/out/``) and times a
+representative operation with pytest-benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# make `_util` importable regardless of how pytest was invoked
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Conjugate Gradient on the Polymorphic Register File.
+
+The PRF lineage's canonical case study (the paper cites "Scalability
+Evaluation of a Polymorphic Register File: a CG Case Study"): solve
+``A x = b`` for a symmetric positive-definite matrix with every vector and
+matrix held in polymorphic registers and every operation a PRF vector
+instruction — matvec, AXPY, dot products — with parallel-access cycle
+accounting throughout.
+
+Run:  python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro.prf import PrfMachine, RegisterFile
+
+
+def make_spd(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(-1, 1, (n, n))
+    a = m @ m.T + n * np.eye(n)  # SPD, well conditioned
+    b = rng.uniform(-1, 1, n)
+    return a, b
+
+
+def cg_solve(machine: PrfMachine, n: int, a: np.ndarray, b: np.ndarray,
+             tol: float = 1e-10, max_iter: int = 50) -> tuple[np.ndarray, int]:
+    """Textbook CG, expressed entirely in PRF instructions."""
+    rf = machine.rf
+    cols = n  # vector registers as 1 x n rows
+    rf.define("A", n, n)
+    for name in ("x", "r", "p", "q"):
+        rf.define(name, 1, cols)
+    rf["A"].store(a)
+    rf["x"].store(np.zeros((1, cols)))
+    rf["r"].store(b.reshape(1, cols))
+    rf["p"].store(b.reshape(1, cols))
+
+    rs_old = machine.vdot("r", "r")
+    iterations = 0
+    for _ in range(max_iter):
+        iterations += 1
+        machine.vmv("q", "A", "p")            # q = A p
+        alpha = rs_old / machine.vdot("p", "q")
+        machine.vaxpy("x", alpha, "p", "x")   # x += alpha p
+        machine.vaxpy("r", -alpha, "q", "r")  # r -= alpha q
+        rs_new = machine.vdot("r", "r")
+        if rs_new < tol:
+            break
+        machine.vaxpy("p", rs_new / rs_old, "p", "r")  # p = r + beta p
+        rs_old = rs_new
+    return rf["x"].load().ravel(), iterations
+
+
+def main() -> None:
+    n = 16
+    a, b = make_spd(n)
+    machine = PrfMachine(RegisterFile(capacity_kb=16))
+    x, iters = cg_solve(machine, n, a, b)
+
+    residual = np.linalg.norm(a @ x - b)
+    reference = np.linalg.solve(a, b)
+    print(f"CG on a {n}x{n} SPD system: converged in {iters} iterations")
+    print(f"  |Ax - b|          = {residual:.3e}")
+    print(f"  |x - x_ref|       = {np.linalg.norm(x - reference):.3e}")
+    s = machine.stats
+    print(f"  PRF instructions  = {s.instructions}")
+    print(f"  parallel cycles   = {s.cycles}")
+    print(f"  elements streamed = {s.elements}")
+    print(f"  speedup vs scalar = {s.elements / s.cycles:.2f}x "
+          f"(lanes = {machine.rf.lanes})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Design-space exploration: regenerate the paper's §IV study.
+
+Sweeps the full Table III grid (capacity x lanes x read ports x scheme),
+prints Table IV (model vs paper frequencies) and the headline bandwidth /
+utilization findings, and functionally validates a sample of the designs
+with the §IV-A unique-value read/write cycle.
+
+Run:  python examples/dse_explore.py
+"""
+
+from repro.core.schemes import Scheme
+from repro.dse import (
+    DesignSpace,
+    explore,
+    figure_series,
+    render_series_table,
+    render_table_iv,
+)
+
+
+def main() -> None:
+    result = explore()
+    print(render_table_iv(result, source="both"))
+
+    print(f"peak write bandwidth : {result.peak_write_gbps:5.1f} GB/s "
+          f"(paper: >22 GB/s, 512KB/16L ReO)")
+    print(f"peak read bandwidth  : {result.peak_read_gbps:5.1f} GB/s "
+          f"(paper: ~32 GB/s, 512KB/8L/4P ReTr)")
+    best = result.best(lambda p: p.bandwidth.read_gbps)
+    print(f"best read config     : {best.config.label()} @ {best.clock_mhz:.0f} MHz")
+
+    print()
+    series = figure_series(result, lambda p: p.bram_pct)
+    print(render_series_table(series, "Fig. 8 — BRAM utilization", "%"))
+
+    # validate a corner of the space functionally (full validation of every
+    # config is done by the integration tests)
+    small = DesignSpace(
+        capacities_kb=(512,), lane_counts=(8, 16), read_ports=(1, 2)
+    )
+    validated = explore(small, validate=True, validate_rows=8)
+    ok = sum(1 for p in validated.points if p.validated)
+    print(f"functional validation: {ok}/{len(validated.points)} designs "
+          f"passed the unique-value read/write cycle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Blocked matrix transpose with the ReTr scheme.
+
+The transpose kernel reads p x q tiles and writes them back as q x p tiles.
+With a conventional banked memory (ReO: rectangles only), the q x p write
+pattern conflicts and must be serialized element by element; ReTr makes
+both orientations single-cycle at any anchor — the paper's motivating use
+case for the Rectangle + Transposed Rectangle scheme.
+
+Run:  python examples/matrix_transpose.py
+"""
+
+import numpy as np
+
+from repro import KB, PatternKind, PolyMem, PolyMemConfig, Scheme
+from repro.core.conflict import serialization_factor
+
+
+def transpose_with_retr(matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Transpose via PolyMem: read p x q tiles, write q x p tiles.
+
+    Returns the transposed matrix and the parallel-access cycle count.
+    """
+    n = matrix.shape[0]
+    src = PolyMem(PolyMemConfig(n * n * 8, p=2, q=4, scheme=Scheme.ReTr,
+                                rows=n, cols=n))
+    dst = PolyMem(PolyMemConfig(n * n * 8, p=2, q=4, scheme=Scheme.ReTr,
+                                rows=n, cols=n))
+    src.load(matrix.astype(np.uint64))
+    for i in range(0, n, 2):
+        for j in range(0, n, 4):
+            tile = src.read(PatternKind.RECTANGLE, i, j)  # 2x4, row-major
+            # transposed tile is 4x2 at (j, i): element (a, b) -> (b, a)
+            tile_t = tile.reshape(2, 4).T.ravel()
+            dst.write(PatternKind.TRANSPOSED_RECTANGLE, j, i, tile_t)
+    return dst.dump(), src.cycles + dst.cycles
+
+
+def conflict_cost(scheme: Scheme, n: int) -> int:
+    """Cycles a transpose costs under *scheme*: conflicting accesses
+    serialize by the worst per-bank load (the arbiter's cost)."""
+    cycles = 0
+    for i in range(0, n, 2):
+        for j in range(0, n, 4):
+            cycles += serialization_factor(
+                scheme, PatternKind.RECTANGLE, i, j, 2, 4
+            )
+            cycles += serialization_factor(
+                scheme, PatternKind.TRANSPOSED_RECTANGLE, j, i, 2, 4
+            )
+    return cycles
+
+
+def main() -> None:
+    n = 16
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(0, 1000, (n, n))
+
+    transposed, cycles = transpose_with_retr(matrix)
+    assert (transposed == matrix.T).all()
+    print(f"transposed a {n}x{n} matrix in {cycles} parallel-access cycles")
+
+    reo = conflict_cost(Scheme.ReO, n)
+    retr = conflict_cost(Scheme.ReTr, n)
+    print(f"cycle cost under ReO  (writes serialize): {reo}")
+    print(f"cycle cost under ReTr (both single-cycle): {retr}")
+    print(f"ReTr speedup over rectangle-only banking: {reo / retr:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: a polymorphic parallel memory in ten lines.
+
+Creates a small PolyMem with the ReRo scheme (rectangles + rows + both
+diagonals), loads a matrix, and shows the multiview property: data written
+through one pattern is readable through every other supported pattern, each
+as a single conflict-free parallel access.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    KB,
+    ConflictError,
+    PatternKind,
+    PolyMem,
+    PolyMemConfig,
+    Scheme,
+)
+
+
+def main() -> None:
+    # 4 KB of 64-bit words over a 2x4 lane grid: 8 elements per cycle.
+    config = PolyMemConfig(4 * KB, p=2, q=4, scheme=Scheme.ReRo)
+    pm = PolyMem(config)
+    print(f"PolyMem: {config.label()}, logical space {pm.rows}x{pm.cols}")
+
+    # Load a matrix (host-side bulk transfer).
+    matrix = np.arange(pm.rows * pm.cols, dtype=np.uint64).reshape(pm.rows, pm.cols)
+    pm.load(matrix)
+
+    # One cycle each, 8 elements each, any anchor:
+    row = pm.read(PatternKind.ROW, 3, 5)
+    rect = pm.read(PatternKind.RECTANGLE, 2, 6)
+    diag = pm.read(PatternKind.MAIN_DIAGONAL, 1, 1)
+    anti = pm.read(PatternKind.ANTI_DIAGONAL, 0, 9)
+    print("row@(3,5)        :", row)
+    print("rectangle@(2,6)  :", rect)
+    print("main diag@(1,1)  :", diag)
+    print("anti diag@(0,9)  :", anti)
+
+    # Parallel writes work the same way; reads on other patterns see them.
+    pm.write(PatternKind.RECTANGLE, 0, 0, np.full(8, 777, dtype=np.uint64))
+    print("row@(0,0) after a rectangle write:", pm.read(PatternKind.ROW, 0, 0))
+
+    # Unsupported patterns are rejected loudly, never silently serialized.
+    try:
+        pm.read(PatternKind.COLUMN, 0, 0)
+    except ConflictError as exc:
+        print(f"column read rejected as expected: {exc}")
+
+    # Accounting: every parallel access costs exactly one cycle.
+    print(f"cycles consumed: {pm.cycles}, elements read: "
+          f"{pm.read_stats[0].elements}")
+
+
+if __name__ == "__main__":
+    main()

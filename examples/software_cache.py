@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""PolyMem as a software cache between board DRAM and the kernel (Fig. 1).
+
+A matrix far larger than the on-chip memory lives in LMem (the DFE's
+DRAM).  The kernel processes it tile by tile: stage a tile into PolyMem,
+hammer it with parallel accesses (a k-pass row sweep models data reuse),
+stage it back.  The time ledger shows how reuse amortizes the staging cost
+— the design rationale for putting a parallel memory on chip.
+
+Run:  python examples/software_cache.py
+"""
+
+import numpy as np
+
+from repro.core.config import PolyMemConfig
+from repro.core.patterns import PatternKind
+from repro.core.schemes import Scheme
+from repro.maxeler.lmem import LMem
+from repro.maxpolymem.cache import SoftwareCache
+
+
+def sweep(reuse: int) -> tuple[float, float]:
+    """Process a 256x512 LMem matrix with *reuse* row-sweeps per tile.
+
+    Returns (total ms, staging fraction).
+    """
+    lmem = LMem()  # 24 GB board DRAM, 38.4 GB/s, 200 ns bursts
+    rows, cols = 256, 512
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(0, 1 << 40, (rows, cols)).astype(np.uint64)
+    lmem.write(0, matrix.ravel())
+
+    tile_rows, tile_cols = 64, 128
+    cfg = PolyMemConfig(
+        tile_rows * tile_cols * 8, p=2, q=4, scheme=Scheme.ReRo,
+        rows=tile_rows, cols=tile_cols,
+    )
+    cache = SoftwareCache(cfg, lmem, (rows, cols), clock_mhz=120)
+
+    vec_per_row = tile_cols // cache.memory.lanes
+    anchor_rows = np.repeat(np.arange(tile_rows), vec_per_row)
+    anchor_cols = np.tile(np.arange(vec_per_row) * cache.memory.lanes, tile_rows)
+    for tile in cache.tiles():
+        cache.stage_in(tile)
+        for _ in range(reuse):
+            cache.read_batch(PatternKind.ROW, anchor_rows, anchor_cols)
+        cache.stage_out()
+    t = cache.timings
+    return t.total_ns(120) / 1e6, t.staging_fraction(120)
+
+
+def main() -> None:
+    cfg_probe = PolyMemConfig(64 * 128 * 8, p=2, q=4, rows=64, cols=128)
+    lmem = LMem()
+    probe = SoftwareCache(cfg_probe, lmem, (256, 512), clock_mhz=120)
+    print(f"tile: 64x128 (64 KB), LMem: {lmem.bandwidth_gbps} GB/s, "
+          f"PolyMem: 8 lanes @ 120 MHz")
+    print(f"predicted break-even reuse factor: {probe.breakeven_reuse():.1f} "
+          f"accesses/element\n")
+
+    print(f"{'reuse':>6s} {'total ms':>9s} {'staging %':>10s}")
+    for reuse in (1, 2, 4, 8, 16, 32):
+        ms, frac = sweep(reuse)
+        print(f"{reuse:6d} {ms:9.3f} {frac * 100:9.1f}%")
+    print("\nhigh reuse -> staging vanishes: the on-chip parallel memory "
+          "turns a DRAM-bound kernel into a compute-bound one.")
+
+
+if __name__ == "__main__":
+    main()

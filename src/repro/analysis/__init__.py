@@ -1,0 +1,17 @@
+"""Productivity analysis (paper §III-C, Table II)."""
+
+from .productivity import (
+    PAPER_TABLE_II,
+    ModuleRow,
+    count_loc,
+    productivity_table,
+    render_table,
+)
+
+__all__ = [
+    "ModuleRow",
+    "PAPER_TABLE_II",
+    "count_loc",
+    "productivity_table",
+    "render_table",
+]

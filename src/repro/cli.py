@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro`` (or the ``polymem`` script).
+
+Subcommands map one-to-one onto the paper's artifacts:
+
+* ``info``         — package overview and the Table I scheme matrix;
+* ``validate``     — build a configuration and run the §IV-A validation;
+* ``dse``          — the §IV design-space exploration (Table IV, Figs 4-8);
+* ``stream``       — the §V STREAM experiment (Fig. 10);
+* ``schedule``     — the §III-A access-schedule optimizer;
+* ``productivity`` — the §III-C Table II analysis;
+* ``experiments``  — the full paper-vs-reproduction scorecard;
+* ``report``       — a vendor-style synthesis estimate for one config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.config import KB, PolyMemConfig
+from .core.schemes import Scheme
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args) -> PolyMemConfig:
+    if args.config:
+        return PolyMemConfig.from_text(Path(args.config).read_text())
+    return PolyMemConfig(
+        args.capacity_kb * KB,
+        p=args.p,
+        q=args.q,
+        scheme=Scheme(args.scheme),
+        read_ports=args.ports,
+    )
+
+
+def _add_config_args(sub) -> None:
+    sub.add_argument("--config", help="PolyMem key=value configuration file")
+    sub.add_argument("--capacity-kb", type=int, default=512)
+    sub.add_argument("-p", type=int, default=2, help="lane-grid rows")
+    sub.add_argument("-q", type=int, default=4, help="lane-grid columns")
+    sub.add_argument(
+        "--scheme", default="ReRo", choices=[s.value for s in Scheme]
+    )
+    sub.add_argument("--ports", type=int, default=1, help="read ports")
+
+
+def cmd_info(args) -> int:
+    from . import __version__
+    from .core.conflict import ConflictAnalyzer
+
+    print(f"repro {__version__} — MAX-PolyMem reproduction")
+    print("schemes and conflict-free patterns "
+          f"(empirical, {args.p}x{args.q} lanes):")
+    table = ConflictAnalyzer(args.p, args.q).table()
+    for scheme, row in table.items():
+        pats = [
+            f"{k.value}[{d.label}]" for k, d in row.items() if d.label != "none"
+        ]
+        print(f"  {scheme.value:5s}: {', '.join(pats)}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .maxpolymem import build_design, validate_design
+
+    cfg = _config_from_args(args)
+    design = build_design(cfg, style=args.style, clock_source="auto")
+    print(f"validating {cfg.label()} ({args.style}, "
+          f"{design.dfe.clock_mhz:.0f} MHz) ...")
+    report = validate_design(design, max_rows=args.max_rows)
+    print(f"  writes: {report.writes}, reads: {report.reads}")
+    if report.passed:
+        print("  PASSED — every pattern read back the expected data")
+        return 0
+    for m in report.mismatches[:10]:
+        print(f"  MISMATCH: {m}")
+    return 1
+
+
+def cmd_dse(args) -> int:
+    from .dse import explore, figure_series, render_series_table, render_table_iv
+
+    if args.load:
+        from .util import load_dse_result
+
+        result = load_dse_result(args.load)
+    else:
+        result = explore()
+    if args.save:
+        from .util import save_dse_result
+
+        save_dse_result(result, args.save)
+        print(f"sweep saved to {args.save}")
+    print(render_table_iv(result, source=args.source))
+    print(f"peak write bandwidth: {result.peak_write_gbps:.1f} GB/s")
+    print(f"peak read  bandwidth: {result.peak_read_gbps:.1f} GB/s")
+    if args.figures:
+        metrics = {
+            "fig4 write bandwidth [GB/s]": lambda p: p.bandwidth.write_gbps,
+            "fig5 read bandwidth [GB/s]": lambda p: p.bandwidth.read_gbps,
+            "fig6 logic [%]": lambda p: p.logic_pct,
+            "fig7 LUT [%]": lambda p: p.lut_pct,
+            "fig8 BRAM [%]": lambda p: p.bram_pct,
+        }
+        for title, fn in metrics.items():
+            print(render_series_table(figure_series(result, fn), title, ""))
+    return 0
+
+
+def cmd_stream(args) -> int:
+    from .stream_bench import StreamHarness, all_apps, stream_report, sweep_fig10
+
+    harness = StreamHarness()
+    measurements = [
+        harness.measure_analytic(app, harness.max_vectors, runs=args.runs)
+        for app in all_apps()
+    ]
+    print(stream_report(measurements))
+    if args.fig10:
+        print(f"\n{'copied KB':>10s} {'MB/s':>9s} {'of peak':>8s}")
+        for pt in sweep_fig10(harness=harness, runs=args.runs):
+            print(f"{pt.copied_kb:10.1f} {pt.mbps:9.0f} "
+                  f"{pt.efficiency * 100:7.2f}%")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from .schedule import (
+        column_trace,
+        customize,
+        diagonal_trace,
+        random_trace,
+        row_trace,
+        transpose_trace,
+    )
+
+    factories = {
+        "rows": lambda: row_trace(args.rows, args.cols),
+        "columns": lambda: column_trace(args.rows, args.cols),
+        "diagonal": lambda: diagonal_trace(min(args.rows, args.cols)),
+        "transpose": lambda: transpose_trace(args.rows, args.cols),
+        "random": lambda: random_trace(args.rows, args.cols, seed=args.seed),
+    }
+    trace = factories[args.workload]()
+    result = customize(trace, lane_grids=[(args.p, args.q)], solver=args.solver)
+    print(f"workload {trace.name!r} ({len(trace)} cells):")
+    for s in sorted(result.schedules, key=lambda s: (-s.speedup, -s.efficiency)):
+        print(f"  {s.scheme.value:5s}: {s.n_accesses:4d} accesses, "
+              f"speedup {s.speedup:6.2f}, efficiency {s.efficiency:5.2f}"
+              f"{'' if s.proven_optimal else '  (not proven optimal)'}")
+    best = result.best
+    print(f"recommended: {best.scheme.value} on a {best.p}x{best.q} grid")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .hw.report import synthesis_report_text
+
+    print(synthesis_report_text(_config_from_args(args)))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments import render_report, run_all
+
+    rows = run_all()
+    print(render_report(rows))
+    return 0 if all(r.ok for r in rows) else 1
+
+
+def cmd_productivity(args) -> int:
+    from .analysis import productivity_table
+    from .analysis.productivity import render_table
+
+    print(render_table(productivity_table()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="polymem",
+        description="PolyMem: polymorphic parallel memories "
+        "(MAX-PolyMem reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="package and scheme overview")
+    p_info.add_argument("-p", type=int, default=2)
+    p_info.add_argument("-q", type=int, default=4)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_val = sub.add_parser("validate", help="run the §IV-A validation cycle")
+    _add_config_args(p_val)
+    p_val.add_argument("--style", default="fused", choices=["fused", "modular"])
+    p_val.add_argument("--max-rows", type=int, default=32)
+    p_val.set_defaults(fn=cmd_validate)
+
+    p_dse = sub.add_parser("dse", help="design-space exploration (§IV)")
+    p_dse.add_argument(
+        "--source", default="both", choices=["model", "paper", "both"]
+    )
+    p_dse.add_argument("--figures", action="store_true",
+                       help="also print the Fig. 4-8 series")
+    p_dse.add_argument("--save", help="persist the sweep to a JSON file")
+    p_dse.add_argument("--load", help="render from a saved sweep instead")
+    p_dse.set_defaults(fn=cmd_dse)
+
+    p_stream = sub.add_parser("stream", help="STREAM benchmark (§V)")
+    p_stream.add_argument("--runs", type=int, default=1000)
+    p_stream.add_argument("--fig10", action="store_true")
+    p_stream.set_defaults(fn=cmd_stream)
+
+    p_sched = sub.add_parser("schedule", help="access-schedule optimizer (§III-A)")
+    p_sched.add_argument(
+        "workload",
+        choices=["rows", "columns", "diagonal", "transpose", "random"],
+    )
+    p_sched.add_argument("--rows", type=int, default=4)
+    p_sched.add_argument("--cols", type=int, default=32)
+    p_sched.add_argument("-p", type=int, default=2)
+    p_sched.add_argument("-q", type=int, default=4)
+    p_sched.add_argument("--seed", type=int, default=0)
+    p_sched.add_argument("--solver", default="ilp", choices=["ilp", "greedy"])
+    p_sched.set_defaults(fn=cmd_schedule)
+
+    p_prod = sub.add_parser("productivity", help="Table II analysis (§III-C)")
+    p_prod.set_defaults(fn=cmd_productivity)
+
+    p_exp = sub.add_parser(
+        "experiments", help="full paper-vs-reproduction scorecard"
+    )
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_rep = sub.add_parser(
+        "report", help="vendor-style synthesis estimate for one config"
+    )
+    _add_config_args(p_rep)
+    p_rep.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

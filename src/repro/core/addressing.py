@@ -1,0 +1,115 @@
+"""The intra-bank addressing function ``A`` (block ``A`` in paper Fig. 3).
+
+After the MAF decides *which* bank stores element ``(i, j)``, the addressing
+function decides *where inside that bank* it lives:
+
+.. math::
+
+    A(i, j) = (i \\,\\mathrm{div}\\, p) \\cdot (M / q) + (j \\,\\mathrm{div}\\, q)
+
+for a logical address space of ``N x M`` elements over a ``p x q`` lane
+grid, with ``p | N`` and ``q | M``.  This is the standard PRF addressing
+function; it is injective per bank for *all five* schemes (proved in
+``tests/core/test_addressing.py`` by exhaustive enumeration and by a
+hypothesis property test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import AddressError, ConfigurationError
+
+__all__ = ["AddressingFunction"]
+
+
+@dataclass(frozen=True)
+class AddressingFunction:
+    """Intra-bank address computation for an ``N x M`` space on ``p x q`` banks.
+
+    Parameters
+    ----------
+    rows, cols:
+        Logical address-space extent (``N`` rows by ``M`` columns).
+    p, q:
+        Lane-grid geometry.
+    """
+
+    rows: int
+    cols: int
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError(
+                f"address space must be positive, got {self.rows}x{self.cols}"
+            )
+        if self.p <= 0 or self.q <= 0:
+            raise ConfigurationError(
+                f"lane grid must be positive, got {self.p}x{self.q}"
+            )
+        if self.rows % self.p:
+            raise ConfigurationError(
+                f"rows ({self.rows}) must be a multiple of p ({self.p})"
+            )
+        if self.cols % self.q:
+            raise ConfigurationError(
+                f"cols ({self.cols}) must be a multiple of q ({self.q})"
+            )
+
+    @property
+    def bank_depth(self) -> int:
+        """Words stored in each bank: ``(N / p) * (M / q)``."""
+        return (self.rows // self.p) * (self.cols // self.q)
+
+    @property
+    def blocks_per_row(self) -> int:
+        """Number of ``q``-wide column blocks per logical row (``M / q``)."""
+        return self.cols // self.q
+
+    def __call__(self, i, j):
+        """Intra-bank address of element(s) ``(i, j)``.
+
+        Accepts scalars or equal-shape integer arrays.  Raises
+        :class:`AddressError` when any coordinate is out of range.
+        """
+        i = np.asarray(i)
+        j = np.asarray(j)
+        if np.any(i < 0) or np.any(i >= self.rows) or np.any(j < 0) or np.any(j >= self.cols):
+            raise AddressError(
+                f"coordinates out of the {self.rows}x{self.cols} address space"
+            )
+        addr = (i // self.p) * self.blocks_per_row + (j // self.q)
+        if addr.ndim == 0:
+            return int(addr)
+        return addr
+
+    def inverse(self, bank_row: int, bank_col: int, addr: int, scheme) -> tuple[int, int]:
+        """Recover the logical ``(i, j)`` stored at *(bank, addr)*.
+
+        Needed by debugging and the offload path.  *scheme* is a
+        :class:`~repro.core.schemes.Scheme`; the inverse depends on the MAF
+        because the addressing function alone is not injective globally.
+        """
+        from .schemes import Scheme, module_assignment
+
+        scheme = Scheme(scheme)
+        block_i, block_j = divmod(int(addr), self.blocks_per_row)
+        base_i, base_j = block_i * self.p, block_j * self.q
+        # Within the p x q block starting at (base_i, base_j), exactly one
+        # element maps to (bank_row, bank_col) for every scheme (blocks are
+        # rectangles, always conflict-free).  Search it directly.
+        for di in range(self.p):
+            for dj in range(self.q):
+                mv, mh = module_assignment(
+                    scheme, base_i + di, base_j + dj, self.p, self.q
+                )
+                if (mv, mh) == (bank_row, bank_col):
+                    return base_i + di, base_j + dj
+        raise AddressError(
+            f"no element of block ({block_i},{block_j}) maps to bank "
+            f"({bank_row},{bank_col}) under {scheme}"
+        )  # pragma: no cover - unreachable for valid schemes

@@ -1,0 +1,111 @@
+"""Address Generation Unit (block ``AGU`` in paper Fig. 3).
+
+The AGU expands a parallel access request — anchor ``(i, j)`` plus an access
+type — into the ``p * q`` individual element coordinates, one per lane, in
+PolyMem's canonical lane order.  One AGU expansion happens per port per
+cycle; the write port and every read port own an independent AGU so that one
+write and ``R`` reads can be expanded simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import AddressError, PatternError
+from .patterns import AccessPattern, PatternKind
+
+__all__ = ["AccessRequest", "AGU"]
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """A single parallel access: shape + anchor (the ``(i, j, AccType)``
+    triple of the paper), optionally dilated by a *stride* (sparse access,
+    paper §VII)."""
+
+    kind: PatternKind
+    i: int
+    j: int
+    stride: int = 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f"/s{self.stride}" if self.stride > 1 else ""
+        return f"{self.kind.value}@({self.i},{self.j}){tail}"
+
+
+@dataclass(frozen=True)
+class AGU:
+    """Address Generation Unit for a ``rows x cols`` space on ``p x q`` lanes.
+
+    >>> agu = AGU(rows=8, cols=8, p=2, q=4)
+    >>> ii, jj = agu.expand(AccessRequest(PatternKind.RECTANGLE, 0, 0))
+    >>> len(ii)
+    8
+    """
+
+    rows: int
+    cols: int
+    p: int
+    q: int
+
+    def pattern(self, kind: PatternKind, stride: int = 1) -> AccessPattern:
+        """The :class:`AccessPattern` for *kind* on this AGU's lane grid."""
+        return AccessPattern(PatternKind(kind), self.p, self.q, stride)
+
+    def expand(self, request: AccessRequest) -> tuple[np.ndarray, np.ndarray]:
+        """Expand *request* into per-lane coordinates ``(ii, jj)``.
+
+        Raises :class:`AddressError` when the access leaves the logical
+        address space (PolyMem performs no wrap-around).
+        """
+        pat = self.pattern(request.kind, request.stride)
+        ii, jj = pat.coordinates(request.i, request.j)
+        if (
+            ii[0] < 0
+            or jj.min() < 0
+            or ii.max() >= self.rows
+            or jj.max() >= self.cols
+        ):
+            raise AddressError(
+                f"access {request} exceeds the {self.rows}x{self.cols} space"
+            )
+        return ii, jj
+
+    def expand_many(
+        self, kind: PatternKind, anchors_i, anchors_j, stride: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized expansion of a batch of same-shape accesses.
+
+        Parameters
+        ----------
+        kind:
+            Common shape of every access in the batch.
+        anchors_i, anchors_j:
+            1-D integer arrays of anchor coordinates, length ``B``.
+
+        Returns
+        -------
+        (ii, jj):
+            ``(B, p*q)`` arrays of element coordinates, lane order along
+            axis 1.
+        """
+        anchors_i = np.asarray(anchors_i, dtype=np.int64)
+        anchors_j = np.asarray(anchors_j, dtype=np.int64)
+        if anchors_i.shape != anchors_j.shape or anchors_i.ndim != 1:
+            raise PatternError("anchor arrays must be equal-length 1-D")
+        di, dj = self.pattern(kind, stride).offsets
+        ii = anchors_i[:, None] + di[None, :]
+        jj = anchors_j[:, None] + dj[None, :]
+        if ii.size and (
+            ii.min() < 0
+            or jj.min() < 0
+            or ii.max() >= self.rows
+            or jj.max() >= self.cols
+        ):
+            raise AddressError(
+                f"batch of {kind} accesses exceeds the "
+                f"{self.rows}x{self.cols} space"
+            )
+        return ii, jj

@@ -1,0 +1,197 @@
+"""PolyMem configuration: the paper's compile-time parameter file.
+
+The paper (§IV-A): *"Our design is easily configurable: a simple
+configuration file sets, at compile time, the required DSE parameters."*
+:class:`PolyMemConfig` is that file's in-memory form; it validates the
+parameter combination, derives the bank geometry, and (de)serializes to the
+``key = value`` format used by the original MaxJ build.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field, replace
+
+from .exceptions import CapacityError, ConfigurationError
+from .schemes import Scheme, validate_lane_grid
+
+__all__ = ["PolyMemConfig", "KB", "MB"]
+
+KB = 1024
+MB = 1024 * KB
+
+#: 64-bit data width used for every experiment in the paper (§IV-A)
+DEFAULT_WIDTH_BITS = 64
+
+
+@dataclass(frozen=True)
+class PolyMemConfig:
+    """A complete PolyMem instantiation (Table III parameter vector).
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total user-visible storage (e.g. ``512 * KB``).
+    p, q:
+        Lane grid; ``p * q`` = elements transferred per port per cycle.
+    scheme:
+        One of the five PRF access schemes.
+    read_ports:
+        Independent parallel read ports (1–4 in the paper's DSE).
+    width_bits:
+        Element width; the paper fixes 64.
+    rows, cols:
+        Logical 2-D address-space shape.  When omitted, a near-square
+        default with ``p | rows`` and ``q | cols`` is derived from the
+        capacity.
+    """
+
+    capacity_bytes: int
+    p: int
+    q: int
+    scheme: Scheme = Scheme.ReRo
+    read_ports: int = 1
+    width_bits: int = DEFAULT_WIDTH_BITS
+    rows: int = field(default=0)
+    cols: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise CapacityError(f"capacity must be positive, got {self.capacity_bytes}")
+        if self.width_bits % 8 or self.width_bits <= 0:
+            raise ConfigurationError(
+                f"width must be a positive multiple of 8 bits, got {self.width_bits}"
+            )
+        if self.read_ports < 1:
+            raise ConfigurationError(f"need >= 1 read port, got {self.read_ports}")
+        scheme = Scheme(self.scheme)
+        object.__setattr__(self, "scheme", scheme)
+        validate_lane_grid(scheme, self.p, self.q)
+        if self.capacity_bytes % self.word_bytes:
+            raise CapacityError(
+                f"capacity {self.capacity_bytes} B is not a whole number of "
+                f"{self.word_bytes}-byte words"
+            )
+        rows, cols = self.rows, self.cols
+        if (rows == 0) != (cols == 0):
+            raise ConfigurationError("set both rows and cols, or neither")
+        if rows == 0:
+            rows, cols = self._default_shape()
+            object.__setattr__(self, "rows", rows)
+            object.__setattr__(self, "cols", cols)
+        if rows % self.p or cols % self.q:
+            raise ConfigurationError(
+                f"address space {rows}x{cols} must be divisible by the "
+                f"{self.p}x{self.q} lane grid"
+            )
+        if rows * cols != self.total_words:
+            raise CapacityError(
+                f"{rows}x{cols} space holds {rows * cols} words but capacity "
+                f"{self.capacity_bytes} B holds {self.total_words}"
+            )
+
+    # -- derived geometry ---------------------------------------------------
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per element."""
+        return self.width_bits // 8
+
+    @property
+    def lanes(self) -> int:
+        """Elements per port per cycle (= number of banks per replica)."""
+        return self.p * self.q
+
+    @property
+    def total_words(self) -> int:
+        """User-visible words stored."""
+        return self.capacity_bytes // self.word_bytes
+
+    @property
+    def bank_depth(self) -> int:
+        """Words per bank per replica."""
+        return self.total_words // self.lanes
+
+    @property
+    def bank_bytes(self) -> int:
+        """Bytes per bank per replica."""
+        return self.bank_depth * self.word_bytes
+
+    def _default_shape(self) -> tuple[int, int]:
+        """Near-square rows x cols with p | rows, q | cols.
+
+        Works in units of p x q blocks: ``total_words = (rows/p * cols/q) *
+        lanes``; choose the block grid as square as possible.
+        """
+        blocks = self.total_words // self.lanes
+        if blocks * self.lanes != self.total_words:
+            raise CapacityError(
+                f"capacity {self.capacity_bytes} B is not a whole number of "
+                f"{self.p}x{self.q} element blocks"
+            )
+        br = int(blocks**0.5)
+        while br > 1 and blocks % br:
+            br -= 1
+        return br * self.p, (blocks // br) * self.q
+
+    # -- convenience ----------------------------------------------------------
+    def with_(self, **kwargs) -> "PolyMemConfig":
+        """A modified copy (clears the derived shape when geometry changes)."""
+        if ("rows" not in kwargs and "cols" not in kwargs) and (
+            {"capacity_bytes", "p", "q", "width_bits"} & set(kwargs)
+        ):
+            kwargs.setdefault("rows", 0)
+            kwargs.setdefault("cols", 0)
+        return replace(self, **kwargs)
+
+    def label(self) -> str:
+        """Short label used by the DSE tables, e.g. ``512KB-8L-2R-ReRo``."""
+        cap = self.capacity_bytes
+        cap_s = f"{cap // MB}MB" if cap % MB == 0 else f"{cap // KB}KB"
+        return f"{cap_s}-{self.lanes}L-{self.read_ports}R-{self.scheme.value}"
+
+    # -- serialization ----------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialize to the MaxJ-style ``key = value`` configuration file."""
+        out = io.StringIO()
+        out.write("# PolyMem compile-time configuration\n")
+        out.write(f"capacity_bytes = {self.capacity_bytes}\n")
+        out.write(f"p = {self.p}\n")
+        out.write(f"q = {self.q}\n")
+        out.write(f"scheme = {self.scheme.value}\n")
+        out.write(f"read_ports = {self.read_ports}\n")
+        out.write(f"width_bits = {self.width_bits}\n")
+        out.write(f"rows = {self.rows}\n")
+        out.write(f"cols = {self.cols}\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_text(cls, text: str) -> "PolyMemConfig":
+        """Parse the ``key = value`` configuration format."""
+        values: dict[str, str] = {}
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ConfigurationError(
+                    f"config line {lineno}: expected 'key = value', got {raw!r}"
+                )
+            key, _, value = line.partition("=")
+            values[key.strip()] = value.strip()
+        required = {"capacity_bytes", "p", "q"}
+        missing = required - values.keys()
+        if missing:
+            raise ConfigurationError(f"config missing keys: {sorted(missing)}")
+        try:
+            return cls(
+                capacity_bytes=int(values["capacity_bytes"]),
+                p=int(values["p"]),
+                q=int(values["q"]),
+                scheme=Scheme(values.get("scheme", "ReRo")),
+                read_ports=int(values.get("read_ports", "1")),
+                width_bits=int(values.get("width_bits", str(DEFAULT_WIDTH_BITS))),
+                rows=int(values.get("rows", "0")),
+                cols=int(values.get("cols", "0")),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"bad config value: {exc}") from exc

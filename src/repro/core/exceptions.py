@@ -1,0 +1,71 @@
+"""Typed exceptions raised by the PolyMem core.
+
+Every error raised by :mod:`repro` derives from :class:`PolyMemError`, so
+callers can catch the whole family with a single ``except`` clause while
+tests can assert on precise subtypes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PolyMemError",
+    "ConfigurationError",
+    "SchemeError",
+    "PatternError",
+    "ConflictError",
+    "AddressError",
+    "CapacityError",
+    "PortError",
+    "SimulationError",
+    "ScheduleError",
+]
+
+
+class PolyMemError(Exception):
+    """Base class for all PolyMem errors."""
+
+
+class ConfigurationError(PolyMemError):
+    """An invalid :class:`~repro.core.config.PolyMemConfig` was supplied."""
+
+
+class SchemeError(ConfigurationError):
+    """A scheme was used with lane geometry it does not support."""
+
+
+class PatternError(PolyMemError):
+    """An access pattern is malformed or unsupported by the active scheme."""
+
+
+class ConflictError(PolyMemError):
+    """A parallel access would hit the same memory bank more than once.
+
+    PolyMem guarantees conflict-free access only for the pattern/anchor
+    combinations listed in Table I of the paper; any other access raises
+    this error rather than silently serializing.
+    """
+
+    def __init__(self, message: str, banks=None):
+        super().__init__(message)
+        #: bank indices involved in the conflict (may be ``None``)
+        self.banks = banks
+
+
+class AddressError(PolyMemError):
+    """An access falls outside the configured 2-D logical address space."""
+
+
+class CapacityError(ConfigurationError):
+    """Requested capacity does not fit the memory or the device."""
+
+
+class PortError(PolyMemError):
+    """A read/write used a port index outside the configured port count."""
+
+
+class SimulationError(PolyMemError):
+    """The dataflow simulation reached an inconsistent state."""
+
+
+class ScheduleError(PolyMemError):
+    """The access-schedule optimizer could not produce a valid schedule."""

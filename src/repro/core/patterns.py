@@ -1,0 +1,169 @@
+"""Parallel access patterns: the dense 2-D shapes PolyMem reads/writes.
+
+A *parallel access* touches exactly ``p * q`` elements in one cycle.  Its
+shape is one of the :class:`PatternKind` members (Fig. 2 of the paper), and
+an :class:`AccessPattern` instance binds a shape to a lane grid and produces
+the coordinate offsets of every accessed element, in PolyMem's canonical
+lane order (left-to-right, top-to-bottom).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .exceptions import PatternError
+
+__all__ = ["PatternKind", "AccessPattern", "pattern_offsets"]
+
+
+class PatternKind(str, enum.Enum):
+    """Shapes of a single parallel access (paper Fig. 2)."""
+
+    #: dense ``p x q`` block
+    RECTANGLE = "rectangle"
+    #: dense ``q x p`` block (the transposed rectangle of the ReTr scheme)
+    TRANSPOSED_RECTANGLE = "transposed_rectangle"
+    #: ``1 x (p*q)`` horizontal strip
+    ROW = "row"
+    #: ``(p*q) x 1`` vertical strip
+    COLUMN = "column"
+    #: ``p*q`` elements along ``(i+k, j+k)``
+    MAIN_DIAGONAL = "main_diagonal"
+    #: ``p*q`` elements along ``(i+k, j-k)`` (secondary diagonal)
+    ANTI_DIAGONAL = "anti_diagonal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@lru_cache(maxsize=512)
+def _offsets_cached(
+    kind: PatternKind, p: int, q: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    n = p * q
+    if kind is PatternKind.RECTANGLE:
+        a, b = np.divmod(np.arange(n), q)
+    elif kind is PatternKind.TRANSPOSED_RECTANGLE:
+        a, b = np.divmod(np.arange(n), p)
+    elif kind is PatternKind.ROW:
+        a = np.zeros(n, dtype=np.int64)
+        b = np.arange(n)
+    elif kind is PatternKind.COLUMN:
+        a = np.arange(n)
+        b = np.zeros(n, dtype=np.int64)
+    elif kind is PatternKind.MAIN_DIAGONAL:
+        a = np.arange(n)
+        b = np.arange(n)
+    elif kind is PatternKind.ANTI_DIAGONAL:
+        a = np.arange(n)
+        b = -np.arange(n)
+    else:  # pragma: no cover - exhaustive enum
+        raise PatternError(f"unknown pattern kind {kind!r}")
+    a = np.ascontiguousarray(a, dtype=np.int64) * stride
+    b = np.ascontiguousarray(b, dtype=np.int64) * stride
+    a.setflags(write=False)
+    b.setflags(write=False)
+    return a, b
+
+
+def pattern_offsets(
+    kind: PatternKind, p: int, q: int, stride: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coordinate offsets ``(di, dj)`` of a parallel access of shape *kind*.
+
+    Both arrays have length ``p * q`` and are ordered in PolyMem's canonical
+    lane order: the element served by lane ``k`` is at offset
+    ``(di[k], dj[k])`` from the access anchor.  With ``stride > 1`` the
+    shape is dilated — a strided row touches every stride-th element, a
+    strided rectangle becomes a dilated block — PolyMem's *sparse* access
+    patterns (paper §VII).  The returned arrays are cached and read-only.
+    """
+    if p < 1 or q < 1:
+        raise PatternError(f"lane grid must be positive, got p={p}, q={q}")
+    if stride < 1:
+        raise PatternError(f"stride must be >= 1, got {stride}")
+    return _offsets_cached(PatternKind(kind), p, q, stride)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A pattern shape bound to a lane grid.
+
+    >>> pat = AccessPattern(PatternKind.RECTANGLE, p=2, q=4)
+    >>> pat.lanes
+    8
+    >>> pat.coordinates(3, 5)[0][:3]          # doctest: +ELLIPSIS
+    array([3, 3, 3...])
+    """
+
+    kind: PatternKind
+    p: int
+    q: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.q < 1:
+            raise PatternError(
+                f"lane grid must be positive, got p={self.p}, q={self.q}"
+            )
+        if self.stride < 1:
+            raise PatternError(f"stride must be >= 1, got {self.stride}")
+
+    @property
+    def lanes(self) -> int:
+        """Number of elements touched per access (= ``p * q``)."""
+        return self.p * self.q
+
+    @property
+    def offsets(self) -> tuple[np.ndarray, np.ndarray]:
+        """Offsets ``(di, dj)`` relative to the anchor, in lane order."""
+        return pattern_offsets(self.kind, self.p, self.q, self.stride)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Bounding-box (rows, cols) of the pattern."""
+        di, dj = self.offsets
+        return (
+            int(di.max() - di.min()) + 1,
+            int(dj.max() - dj.min()) + 1,
+        )
+
+    def coordinates(self, i: int, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Absolute coordinates of all ``p * q`` elements anchored at (i, j)."""
+        di, dj = self.offsets
+        return i + di, j + dj
+
+    def bounds(self, i: int, j: int) -> tuple[int, int, int, int]:
+        """Inclusive bounding box ``(i_min, i_max, j_min, j_max)`` at (i, j)."""
+        ii, jj = self.coordinates(i, j)
+        return int(ii.min()), int(ii.max()), int(jj.min()), int(jj.max())
+
+    def fits(self, i: int, j: int, rows: int, cols: int) -> bool:
+        """Whether the access anchored at (i, j) stays inside rows x cols."""
+        i_min, i_max, j_min, j_max = self.bounds(i, j)
+        return 0 <= i_min and i_max < rows and 0 <= j_min and j_max < cols
+
+    def cover_cells(self, i: int, j: int) -> frozenset[tuple[int, int]]:
+        """The set of (i, j) cells covered — used by the schedule optimizer."""
+        ii, jj = self.coordinates(i, j)
+        return frozenset(zip(ii.tolist(), jj.tolist()))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f"/s{self.stride}" if self.stride > 1 else ""
+        return f"{self.kind.value}[{self.p}x{self.q}{tail}]"
+
+
+def kinds_in_table_order() -> tuple[PatternKind, ...]:
+    """Pattern kinds in the order used by the paper's figures and tables."""
+    return (
+        PatternKind.RECTANGLE,
+        PatternKind.TRANSPOSED_RECTANGLE,
+        PatternKind.ROW,
+        PatternKind.COLUMN,
+        PatternKind.MAIN_DIAGONAL,
+        PatternKind.ANTI_DIAGONAL,
+    )

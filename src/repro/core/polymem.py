@@ -1,0 +1,449 @@
+"""The PolyMem facade: a polymorphic parallel memory (paper Fig. 3).
+
+:class:`PolyMem` is the functional model of the whole design: per-port AGUs,
+the module-assignment block ``M``, the addressing function ``A``, the three
+shuffles, and the replicated bank array.  One *cycle* moves one parallel
+access through every port: up to one write plus one read per read port, all
+independent (paper §III-B: "one write access and one read access for each
+read port can happen independently at the same time").
+
+Two access paths exist:
+
+* the **architectural path** (:meth:`step`, :meth:`read`, :meth:`write`) —
+  routes data through explicit :class:`~repro.core.shuffle.Shuffle` objects
+  exactly as the hardware does, one access at a time;
+* the **batch path** (:meth:`read_batch`, :meth:`write_batch`) — a
+  vectorized fast path for simulation throughput that fancy-indexes the
+  bank array directly; it is bit-identical to the architectural path
+  (property-tested) and counts cycles the same way.
+
+The naming convention for shuffles follows the implementation, not the
+paper's signal convention: our reordering signal is the lane→bank
+permutation, under which the write-side data shuffle is a *scatter*
+(``repro``'s regular :class:`Shuffle`) and the read-side is a *gather*
+(:class:`InverseShuffle`).  With the paper's bank→lane signal the labels
+swap; the two conventions are functionally identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .addressing import AddressingFunction
+from .agu import AGU, AccessRequest
+from .banks import BankArray
+from .config import PolyMemConfig
+from .conflict import conflict_banks
+from .exceptions import (
+    ConfigurationError,
+    ConflictError,
+    PatternError,
+    PortError,
+    SimulationError,
+)
+from .patterns import PatternKind
+from .schemes import SCHEME_SPECS, flat_module_assignment
+from .shuffle import InverseShuffle, Shuffle
+
+__all__ = ["PolyMem", "AccessRequest", "PortStats"]
+
+
+@dataclass
+class PortStats:
+    """Per-port access counters (feeds bandwidth accounting)."""
+
+    accesses: int = 0
+    elements: int = 0
+
+    def record(self, lanes: int) -> None:
+        self.accesses += 1
+        self.elements += lanes
+
+
+class PolyMem:
+    """A configured polymorphic parallel memory.
+
+    >>> from repro.core.config import PolyMemConfig, KB
+    >>> from repro.core.schemes import Scheme
+    >>> pm = PolyMem(PolyMemConfig(4 * KB, p=2, q=4, scheme=Scheme.ReRo))
+    >>> import numpy as np
+    >>> pm.write(PatternKind.RECTANGLE, 0, 0, np.arange(8))
+    >>> pm.read(PatternKind.ROW, 0, 0)[:4]
+    array([0, 1, 2, 3], dtype=uint64)
+    """
+
+    #: same-cycle read/write collision policies (Xilinx BRAM port semantics)
+    COLLISION_POLICIES = ("read_first", "write_first", "forbid")
+
+    def __init__(self, config: PolyMemConfig, collision_policy: str = "read_first"):
+        if collision_policy not in self.COLLISION_POLICIES:
+            raise ConfigurationError(
+                f"collision_policy must be one of {self.COLLISION_POLICIES}, "
+                f"got {collision_policy!r}"
+            )
+        #: what a read returns when the same cycle's write hits the same
+        #: (bank, address) slot: ``"read_first"`` — the old data (the
+        #: default, matching READ_FIRST BRAM ports and the paper's
+        #: independent-port description); ``"write_first"`` — the freshly
+        #: written data (WRITE_FIRST write-through); ``"forbid"`` — raise,
+        #: turning same-cycle RAW hazards into hard errors (verification
+        #: mode; real BRAMs return undefined data on cross-port collisions)
+        self.collision_policy = collision_policy
+        self.config = config
+        self.scheme = config.scheme
+        self.p, self.q = config.p, config.q
+        self.rows, self.cols = config.rows, config.cols
+        self.agu = AGU(self.rows, self.cols, self.p, self.q)
+        self.addressing = AddressingFunction(self.rows, self.cols, self.p, self.q)
+        self.banks = BankArray(
+            num_banks=config.lanes,
+            bank_depth=config.bank_depth,
+            read_ports=config.read_ports,
+            dtype=np.uint64 if config.width_bits == 64 else np.uint32,
+        )
+        self._addr_shuffle = Shuffle(config.lanes)
+        self._write_shuffle = Shuffle(config.lanes)
+        self._read_shuffle = InverseShuffle(config.lanes)
+        #: total cycles consumed by parallel accesses
+        self.cycles = 0
+        self.write_stats = PortStats()
+        self.read_stats = [PortStats() for _ in range(config.read_ports)]
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        """Elements per port per cycle."""
+        return self.config.lanes
+
+    @property
+    def read_ports(self) -> int:
+        """Number of independent read ports."""
+        return self.config.read_ports
+
+    # -- access validation --------------------------------------------------
+    def check_access(self, request: AccessRequest) -> None:
+        """Raise :class:`ConflictError` when *request* is not conflict-free.
+
+        The check combines the static scheme table (fast rejection with a
+        helpful message) with the actual bank mapping (ground truth).
+        """
+        spec = SCHEME_SPECS[self.scheme]
+        clashes = conflict_banks(
+            self.scheme, request.kind, request.i, request.j, self.p, self.q,
+            request.stride,
+        )
+        if clashes:
+            entry = spec.entry_for(request.kind)
+            if request.stride != 1:
+                hint = (
+                    f"stride-{request.stride} {request.kind.value} accesses "
+                    f"are not conflict-free under {self.scheme} here"
+                )
+            elif entry is None or not entry.condition_holds(self.p, self.q):
+                hint = (
+                    f"scheme {self.scheme} does not support "
+                    f"{request.kind.value} accesses on a {self.p}x{self.q} grid"
+                )
+            else:
+                hint = (
+                    f"anchor ({request.i},{request.j}) violates the "
+                    f"'{entry.anchor_constraint}' constraint of {self.scheme}"
+                )
+            raise ConflictError(
+                f"access {request} conflicts on banks {clashes}: {hint}",
+                banks=clashes,
+            )
+
+    # -- architectural single-access path -------------------------------------
+    def _expand(self, request: AccessRequest):
+        ii, jj = self.agu.expand(request)
+        self.check_access(request)
+        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+        addrs = self.addressing(ii, jj)
+        return banks, addrs
+
+    def step(
+        self,
+        reads: list[tuple[int, AccessRequest]] | None = None,
+        write: tuple[AccessRequest, np.ndarray] | None = None,
+    ) -> dict[int, np.ndarray]:
+        """Execute one cycle: up to one access per port, all concurrent.
+
+        Parameters
+        ----------
+        reads:
+            ``(port, request)`` pairs; at most one per read port.
+        write:
+            Optional ``(request, values)``; *values* is the lane-ordered
+            vector of ``p*q`` elements to store (the ``DataIn`` signal).
+
+        Returns
+        -------
+        dict mapping each read port to its lane-ordered result vector (the
+        ``DataOut_r`` signals).  Reads observe the state *before* this
+        cycle's write (read-before-write port semantics, matching
+        independent BRAM ports).
+        """
+        reads = reads or []
+        used_ports = [p for p, _ in reads]
+        if len(set(used_ports)) != len(used_ports):
+            raise PortError("multiple reads issued to the same port in one cycle")
+        # expand the write first so read/write collisions can be resolved
+        # per the configured BRAM port policy
+        write_slots = None
+        write_by_lane = None
+        if write is not None:
+            w_banks, w_addrs = self._expand(write[0])
+            write_slots = dict(
+                zip(
+                    (w_banks * self.banks.bank_depth + w_addrs).tolist(),
+                    range(self.lanes),
+                )
+            )
+            write_by_lane = np.asarray(write[1])
+        results: dict[int, np.ndarray] = {}
+        for port, request in reads:
+            if not 0 <= port < self.read_ports:
+                raise PortError(
+                    f"read port {port} out of range [0, {self.read_ports})"
+                )
+            banks, addrs = self._expand(request)
+            addr_by_bank = self._addr_shuffle(addrs, banks)
+            data_by_bank = self.banks.read(
+                port, np.arange(self.lanes), addr_by_bank
+            )
+            result = self._read_shuffle(data_by_bank, banks)
+            if write_slots is not None and self.collision_policy != "read_first":
+                slots = (banks * self.banks.bank_depth + addrs).tolist()
+                for lane, slot in enumerate(slots):
+                    w_lane = write_slots.get(slot)
+                    if w_lane is None:
+                        continue
+                    if self.collision_policy == "forbid":
+                        raise SimulationError(
+                            f"same-cycle read/write collision on bank slot "
+                            f"{slot} (read {request}, write {write[0]})"
+                        )
+                    result = result.copy()
+                    result[lane] = write_by_lane[w_lane]
+            results[port] = result
+            self.read_stats[port].record(self.lanes)
+        if write is not None:
+            request, values = write
+            values = np.asarray(values)
+            if values.shape != (self.lanes,):
+                raise PatternError(
+                    f"write expects {self.lanes} lane values, got shape "
+                    f"{values.shape}"
+                )
+            banks, addrs = self._expand(request)
+            addr_by_bank = self._addr_shuffle(addrs, banks)
+            data_by_bank = self._write_shuffle(values, banks)
+            self.banks.write(
+                np.arange(self.lanes), addr_by_bank, data_by_bank
+            )
+            self.write_stats.record(self.lanes)
+        self.cycles += 1
+        return results
+
+    def read(
+        self, kind: PatternKind, i: int, j: int, port: int = 0, stride: int = 1
+    ) -> np.ndarray:
+        """One parallel read; returns the ``p*q`` lane-ordered elements."""
+        req = AccessRequest(PatternKind(kind), i, j, stride)
+        return self.step(reads=[(port, req)])[port]
+
+    def write(
+        self, kind: PatternKind, i: int, j: int, values, stride: int = 1
+    ) -> None:
+        """One parallel write of ``p*q`` lane-ordered *values*."""
+        req = AccessRequest(PatternKind(kind), i, j, stride)
+        self.step(write=(req, np.asarray(values)))
+
+    # -- vectorized batch path -----------------------------------------------
+    def _expand_batch(
+        self, kind: PatternKind, anchors_i, anchors_j, check: bool, stride: int = 1
+    ):
+        ii, jj = self.agu.expand_many(kind, anchors_i, anchors_j, stride)
+        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+        if check:
+            sorted_banks = np.sort(banks, axis=1)
+            dup = (sorted_banks[:, 1:] == sorted_banks[:, :-1]).any(axis=1)
+            if dup.any():
+                bad = int(np.flatnonzero(dup)[0])
+                raise ConflictError(
+                    f"batch access {bad} (anchor "
+                    f"({anchors_i[bad]},{anchors_j[bad]})) is not conflict-free "
+                    f"under {self.scheme}"
+                )
+        addrs = self.addressing(ii, jj)
+        return banks, addrs
+
+    def read_batch(
+        self,
+        kind: PatternKind,
+        anchors_i,
+        anchors_j,
+        port: int = 0,
+        check: bool = True,
+        stride: int = 1,
+    ) -> np.ndarray:
+        """Vectorized sequence of parallel reads on one port.
+
+        Returns a ``(B, p*q)`` array; costs ``B`` cycles on *port*.
+        """
+        if not 0 <= port < self.read_ports:
+            raise PortError(f"read port {port} out of range [0, {self.read_ports})")
+        banks, addrs = self._expand_batch(kind, anchors_i, anchors_j, check, stride)
+        out = self.banks.read(port, banks, addrs)
+        n = banks.shape[0]
+        self.cycles += n
+        self.read_stats[port].accesses += n
+        self.read_stats[port].elements += n * self.lanes
+        return out
+
+    def write_batch(
+        self, kind: PatternKind, anchors_i, anchors_j, values, check: bool = True
+    ) -> None:
+        """Vectorized sequence of parallel writes; *values* is ``(B, p*q)``.
+
+        Later accesses in the batch observe earlier writes (sequential
+        semantics), which fancy-index assignment provides as long as the
+        batch is conflict-free per access — overlapping *anchors* between
+        accesses follow NumPy's last-write-wins, matching hardware issue
+        order only for non-overlapping batches; pass overlapping sequences
+        through :meth:`write` instead.
+        """
+        values = np.asarray(values)
+        banks, addrs = self._expand_batch(kind, anchors_i, anchors_j, check)
+        if values.shape != banks.shape:
+            raise PatternError(
+                f"write_batch expects values shaped {banks.shape}, got {values.shape}"
+            )
+        self.banks.write(banks, addrs, values)
+        n = banks.shape[0]
+        self.cycles += n
+        self.write_stats.accesses += n
+        self.write_stats.elements += n * self.lanes
+
+    # -- partial (masked) accesses ---------------------------------------------
+    def _expand_partial(self, kind: PatternKind, i: int, j: int, count: int):
+        if not 1 <= count <= self.lanes:
+            raise PatternError(
+                f"partial access count must be in [1, {self.lanes}], got {count}"
+            )
+        di, dj = self.agu.pattern(kind).offsets
+        ii = i + di[:count]
+        jj = j + dj[:count]
+        if (
+            ii.min() < 0
+            or jj.min() < 0
+            or ii.max() >= self.rows
+            or jj.max() >= self.cols
+        ):
+            raise AddressError(
+                f"partial {kind} access at ({i},{j}) x{count} exceeds the "
+                f"{self.rows}x{self.cols} space"
+            )
+        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+        if len(np.unique(banks)) != banks.size:
+            raise ConflictError(
+                f"partial {kind} access at ({i},{j}) x{count} conflicts "
+                f"under {self.scheme}"
+            )
+        return banks, self.addressing(ii, jj)
+
+    def read_partial(
+        self, kind: PatternKind, i: int, j: int, count: int, port: int = 0
+    ) -> np.ndarray:
+        """Read the first *count* lanes of a pattern — one cycle, with the
+        remaining lanes masked off.
+
+        The PRF supports partially-filled accesses for ragged edges (e.g.
+        the tail of a row whose length is not a lane multiple): only the
+        touched lanes are bounds- and conflict-checked, so a short access
+        may sit where a full one would not fit.
+        """
+        if not 0 <= port < self.read_ports:
+            raise PortError(f"read port {port} out of range [0, {self.read_ports})")
+        banks, addrs = self._expand_partial(PatternKind(kind), i, j, count)
+        out = self.banks.read(port, banks, addrs)
+        self.cycles += 1
+        self.read_stats[port].accesses += 1
+        self.read_stats[port].elements += count
+        return out
+
+    def write_partial(
+        self, kind: PatternKind, i: int, j: int, values
+    ) -> None:
+        """Write the first ``len(values)`` lanes of a pattern (one cycle)."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise PatternError("partial write expects a 1-D value vector")
+        banks, addrs = self._expand_partial(PatternKind(kind), i, j, values.size)
+        self.banks.write(banks, addrs, values)
+        self.cycles += 1
+        self.write_stats.accesses += 1
+        self.write_stats.elements += values.size
+
+    # -- bulk host transfers -------------------------------------------------
+    def load(self, matrix: np.ndarray) -> None:
+        """Host-side bulk load of the whole 2-D logical space (PCIe path;
+        not counted as kernel cycles)."""
+        matrix = np.asarray(matrix)
+        if matrix.shape != (self.rows, self.cols):
+            raise PatternError(
+                f"load expects a {self.rows}x{self.cols} matrix, got {matrix.shape}"
+            )
+        ii, jj = np.mgrid[0 : self.rows, 0 : self.cols]
+        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+        addrs = self.addressing(ii, jj)
+        flat = np.zeros((self.lanes, self.config.bank_depth), dtype=self.banks.dtype)
+        flat[banks, addrs] = matrix
+        self.banks.fill(flat)
+
+    def dump(self, port: int = 0) -> np.ndarray:
+        """Host-side bulk read-back of the whole logical space."""
+        ii, jj = np.mgrid[0 : self.rows, 0 : self.cols]
+        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+        addrs = self.addressing(ii, jj)
+        return self.banks.read(port, banks, addrs)
+
+    # -- runtime polymorphism -------------------------------------------------
+    def reconfigure(self, scheme) -> int:
+        """Switch the access scheme at runtime, preserving contents.
+
+        The paper (§II-A) notes the scheme can be changed *"even at runtime
+        using partial reconfiguration"*.  Functionally that means the MAF
+        changes, so every element must migrate to its new bank/address slot.
+        The migration is performed as a full redistribution and costs one
+        write per ``p*q``-element block — the returned cycle count — which
+        is also added to the cycle counter (reads of the old layout come
+        from the pre-reconfiguration state, as a double-buffered partial
+        reconfiguration would provide).
+        """
+        from .schemes import Scheme, validate_lane_grid
+
+        new_scheme = Scheme(scheme)
+        validate_lane_grid(new_scheme, self.p, self.q)
+        if new_scheme is self.scheme:
+            return 0
+        contents = self.dump()
+        self.scheme = new_scheme
+        self.config = self.config.with_(scheme=new_scheme)
+        self.load(contents)
+        blocks = (self.rows // self.p) * (self.cols // self.q)
+        self.cycles += blocks
+        return blocks
+
+    # -- introspection ------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the cycle and port counters (not the contents)."""
+        self.cycles = 0
+        self.write_stats = PortStats()
+        self.read_stats = [PortStats() for _ in range(self.read_ports)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PolyMem({self.config.label()}, {self.rows}x{self.cols})"

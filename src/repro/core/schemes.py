@@ -1,0 +1,296 @@
+"""PRF parallel access schemes and their Module Assignment Functions.
+
+A *Module Assignment Function* (MAF) maps a 2-D logical coordinate ``(i, j)``
+to one of ``p * q`` memory banks, identified by a ``(bank_row, bank_col)``
+pair with ``bank_row in [0, p)`` and ``bank_col in [0, q)``.  The choice of
+MAF determines which families of parallel accesses are *conflict-free*, i.e.
+touch every bank at most once, and can therefore complete in a single cycle.
+
+The five schemes reproduced here are the PRF schemes of Table I of the
+MAX-PolyMem paper (Ciobanu et al., 2018):
+
+========  =====================  =====================
+Scheme    ``m_v(i, j)``          ``m_h(i, j)``
+========  =====================  =====================
+``ReO``   ``i % p``              ``j % q``
+``ReRo``  ``(i + j // q) % p``   ``j % q``
+``ReCo``  ``i % p``              ``(i // p + j) % q``
+``RoCo``  ``(i + j // q) % p``   ``(i // p + j) % q``
+``ReTr``  ``i % p``              ``(i + j) % q``      (for ``p | q``)
+========  =====================  =====================
+
+For ``ReTr`` with ``q | p`` (tall lane grids) the mirrored formula
+``m_v = (i + j) % p``, ``m_h = j % q`` is used instead.
+
+All MAFs are implemented with vectorized NumPy arithmetic; scalar ``int``
+inputs produce scalar outputs, array inputs produce arrays of the same shape.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .exceptions import SchemeError
+from .patterns import PatternKind
+
+__all__ = ["Scheme", "SchemeSpec", "SCHEME_SPECS", "module_assignment", "all_schemes"]
+
+
+class Scheme(str, enum.Enum):
+    """The five PRF multiview access schemes (paper Table I)."""
+
+    ReO = "ReO"
+    ReRo = "ReRo"
+    ReCo = "ReCo"
+    RoCo = "RoCo"
+    ReTr = "ReTr"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _retr_uses_mirror(p: int, q: int) -> bool:
+    """Return True when ReTr must use the tall-grid (``q | p``) formula."""
+    if q % p == 0:
+        return False
+    if p % q == 0:
+        return True
+    raise SchemeError(
+        f"ReTr requires p | q or q | p; got p={p}, q={q} "
+        f"(neither divides the other)"
+    )
+
+
+def module_assignment(scheme: Scheme, i, j, p: int, q: int):
+    """Evaluate the MAF of *scheme* on coordinates ``(i, j)``.
+
+    Parameters
+    ----------
+    scheme:
+        One of the five :class:`Scheme` members.
+    i, j:
+        Logical row/column coordinates.  Scalars or equal-shape integer
+        arrays; negative coordinates are accepted (Python's floored
+        division/modulo semantics keep the MAF periodic).
+    p, q:
+        Lane-grid geometry: banks are arranged as ``p`` rows by ``q``
+        columns.
+
+    Returns
+    -------
+    (bank_row, bank_col):
+        Pair of scalars or arrays matching the input shape.
+    """
+    i = np.asarray(i)
+    j = np.asarray(j)
+    if scheme is Scheme.ReO:
+        mv, mh = i % p, j % q
+    elif scheme is Scheme.ReRo:
+        mv, mh = (i + j // q) % p, j % q
+    elif scheme is Scheme.ReCo:
+        mv, mh = i % p, (i // p + j) % q
+    elif scheme is Scheme.RoCo:
+        mv, mh = (i + j // q) % p, (i // p + j) % q
+    elif scheme is Scheme.ReTr:
+        if _retr_uses_mirror(p, q):
+            mv, mh = (i + j) % p, j % q
+        else:
+            mv, mh = i % p, (i + j) % q
+    else:  # pragma: no cover - exhaustive enum
+        raise SchemeError(f"unknown scheme {scheme!r}")
+    if mv.ndim == 0:
+        return int(mv), int(mh)
+    return mv, mh
+
+
+def flat_module_assignment(scheme: Scheme, i, j, p: int, q: int):
+    """Like :func:`module_assignment` but returns the flat bank id
+    ``bank_row * q + bank_col`` in ``[0, p*q)``."""
+    mv, mh = module_assignment(scheme, i, j, p, q)
+    return mv * q + mh
+
+
+@dataclass(frozen=True)
+class SupportedPattern:
+    """One conflict-free pattern entry of a scheme.
+
+    Attributes
+    ----------
+    kind:
+        The access-pattern shape.
+    anchor_constraint:
+        ``"any"`` — conflict-free at every anchor; ``"i_aligned"`` — the
+        anchor row must satisfy ``i % p == 0``; ``"j_aligned"`` — the anchor
+        column must satisfy ``j % q == 0``.
+    condition:
+        Human-readable arithmetic condition on (p, q) under which the entry
+        holds (empty when unconditional).
+    """
+
+    kind: PatternKind
+    anchor_constraint: str = "any"
+    condition: str = ""
+
+    def condition_holds(self, p: int, q: int) -> bool:
+        """Evaluate the (p, q) side condition for this entry."""
+        if not self.condition:
+            return True
+        if self.condition == "gcd(p, q+1) == 1":
+            return math.gcd(p, q + 1) == 1
+        if self.condition == "gcd(p, q-1) == 1":
+            return math.gcd(p, q - 1) == 1
+        if self.condition == "gcd(q, p+1) == 1":
+            return math.gcd(q, p + 1) == 1
+        if self.condition == "gcd(q, p-1) == 1":
+            return math.gcd(q, p - 1) == 1
+        if self.condition == "gcd(p, q) == 1":
+            return math.gcd(p, q) == 1
+        if self.condition == "p | q or q | p":
+            return q % p == 0 or p % q == 0
+        raise SchemeError(f"unknown side condition {self.condition!r}")
+
+    def anchor_ok(self, i: int, j: int, p: int, q: int) -> bool:
+        """Check whether an anchor satisfies this entry's alignment rule."""
+        if self.anchor_constraint == "any":
+            return True
+        if self.anchor_constraint == "i_aligned":
+            return i % p == 0
+        if self.anchor_constraint == "j_aligned":
+            return j % q == 0
+        raise SchemeError(
+            f"unknown anchor constraint {self.anchor_constraint!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Static description of a scheme: its conflict-free pattern family."""
+
+    scheme: Scheme
+    description: str
+    supported: tuple[SupportedPattern, ...]
+
+    def supports(
+        self, kind: PatternKind, p: int, q: int, anchor: tuple[int, int] | None = None
+    ) -> bool:
+        """True when *kind* is conflict-free for lane grid (p, q).
+
+        When *anchor* is given the alignment constraint is also checked;
+        otherwise the answer states whether the pattern is supported at
+        least at aligned anchors.
+        """
+        for entry in self.supported:
+            if entry.kind is not kind or not entry.condition_holds(p, q):
+                continue
+            if anchor is None or entry.anchor_ok(*anchor, p, q):
+                return True
+        return False
+
+    def entry_for(self, kind: PatternKind) -> SupportedPattern | None:
+        """Return the table entry for *kind*, if any."""
+        for entry in self.supported:
+            if entry.kind is kind:
+                return entry
+        return None
+
+    def pattern_kinds(self, p: int, q: int) -> tuple[PatternKind, ...]:
+        """The pattern kinds usable with lane grid (p, q)."""
+        return tuple(
+            e.kind for e in self.supported if e.condition_holds(p, q)
+        )
+
+
+SCHEME_SPECS: dict[Scheme, SchemeSpec] = {
+    Scheme.ReO: SchemeSpec(
+        Scheme.ReO,
+        "Rectangle Only: dense p x q blocks at arbitrary anchors.",
+        (
+            SupportedPattern(PatternKind.RECTANGLE),
+            SupportedPattern(PatternKind.MAIN_DIAGONAL, condition="gcd(p, q) == 1"),
+            SupportedPattern(PatternKind.ANTI_DIAGONAL, condition="gcd(p, q) == 1"),
+        ),
+    ),
+    Scheme.ReRo: SchemeSpec(
+        Scheme.ReRo,
+        "Rectangle + Row: blocks, 1 x (p*q) rows, and both diagonals.",
+        (
+            SupportedPattern(PatternKind.RECTANGLE),
+            SupportedPattern(PatternKind.ROW),
+            SupportedPattern(PatternKind.MAIN_DIAGONAL, condition="gcd(p, q+1) == 1"),
+            SupportedPattern(PatternKind.ANTI_DIAGONAL, condition="gcd(p, q-1) == 1"),
+        ),
+    ),
+    Scheme.ReCo: SchemeSpec(
+        Scheme.ReCo,
+        "Rectangle + Column: blocks, (p*q) x 1 columns, and both diagonals.",
+        (
+            SupportedPattern(PatternKind.RECTANGLE),
+            SupportedPattern(PatternKind.COLUMN),
+            SupportedPattern(PatternKind.MAIN_DIAGONAL, condition="gcd(q, p+1) == 1"),
+            SupportedPattern(PatternKind.ANTI_DIAGONAL, condition="gcd(q, p-1) == 1"),
+        ),
+    ),
+    Scheme.RoCo: SchemeSpec(
+        Scheme.RoCo,
+        "Row + Column: rows and columns anywhere, rectangles at row-aligned "
+        "anchors (i % p == 0).",
+        (
+            SupportedPattern(PatternKind.ROW),
+            SupportedPattern(PatternKind.COLUMN),
+            SupportedPattern(PatternKind.RECTANGLE, anchor_constraint="i_aligned"),
+        ),
+    ),
+    Scheme.ReTr: SchemeSpec(
+        Scheme.ReTr,
+        "Rectangle + Transposed Rectangle: p x q and q x p blocks at "
+        "arbitrary anchors (requires p | q or q | p).",
+        (
+            SupportedPattern(PatternKind.RECTANGLE, condition="p | q or q | p"),
+            SupportedPattern(
+                PatternKind.TRANSPOSED_RECTANGLE, condition="p | q or q | p"
+            ),
+        ),
+    ),
+}
+
+
+def all_schemes() -> tuple[Scheme, ...]:
+    """All five schemes, in the paper's Table I order."""
+    return (Scheme.ReO, Scheme.ReRo, Scheme.ReCo, Scheme.RoCo, Scheme.ReTr)
+
+
+def spec(scheme: Scheme | str) -> SchemeSpec:
+    """Look up the :class:`SchemeSpec` for *scheme* (accepts its name)."""
+    if isinstance(scheme, str):
+        try:
+            scheme = Scheme(scheme)
+        except ValueError as exc:
+            raise SchemeError(f"unknown scheme name {scheme!r}") from exc
+    return SCHEME_SPECS[scheme]
+
+
+def validate_lane_grid(scheme: Scheme, p: int, q: int) -> None:
+    """Raise :class:`SchemeError` when (p, q) is unusable with *scheme*."""
+    if p < 1 or q < 1:
+        raise SchemeError(f"lane grid must be positive, got p={p}, q={q}")
+    if scheme is Scheme.ReTr:
+        _retr_uses_mirror(p, q)  # raises when neither divides the other
+
+
+def schemes_supporting(kinds: Iterable[PatternKind], p: int, q: int) -> list[Scheme]:
+    """Schemes whose conflict-free family covers *all* of *kinds* at (p, q)."""
+    wanted = set(kinds)
+    result = []
+    for s in all_schemes():
+        try:
+            validate_lane_grid(s, p, q)
+        except SchemeError:
+            continue
+        if wanted <= set(SCHEME_SPECS[s].pattern_kinds(p, q)):
+            result.append(s)
+    return result

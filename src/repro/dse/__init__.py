@@ -1,0 +1,37 @@
+"""Design Space Exploration (paper §IV): Tables III–IV, Figures 4–8."""
+
+from .bandwidth import BandwidthReport, bandwidth_report, port_bandwidth_gbps
+from .explore import DsePoint, DseResult, explore
+from .report import (
+    column_label,
+    figure_series,
+    render_series_table,
+    render_table_iv,
+    to_csv,
+)
+from .space import LANE_GRIDS, PAPER_SPACE, DesignSpace
+from .pareto import ParetoPoint, best_under_budget, pareto_frontier
+from .whatif import FeasibilityPoint, feasibility_frontier, max_capacity_kb
+
+__all__ = [
+    "BandwidthReport",
+    "DesignSpace",
+    "DsePoint",
+    "DseResult",
+    "FeasibilityPoint",
+    "LANE_GRIDS",
+    "PAPER_SPACE",
+    "ParetoPoint",
+    "best_under_budget",
+    "pareto_frontier",
+    "bandwidth_report",
+    "column_label",
+    "explore",
+    "feasibility_frontier",
+    "max_capacity_kb",
+    "figure_series",
+    "port_bandwidth_gbps",
+    "render_series_table",
+    "render_table_iv",
+    "to_csv",
+]

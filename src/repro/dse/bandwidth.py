@@ -1,0 +1,54 @@
+"""Peak-bandwidth formulas (paper §IV-B, Figs 4 and 5).
+
+All accesses are assumed dense (full memory width), as in the paper:
+
+* per-port bandwidth (also the write bandwidth, Fig. 4):
+  ``lanes * word_bytes * f``;
+* aggregated read bandwidth (Fig. 5): per-port bandwidth times the number
+  of read ports;
+* total deliverable rate with concurrent reads and writes: the sum over
+  all ports (§IV-B's closing remark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import PolyMemConfig
+
+__all__ = ["BandwidthReport", "bandwidth_report", "port_bandwidth_gbps"]
+
+GB = 1e9
+
+
+def port_bandwidth_gbps(config: PolyMemConfig, clock_mhz: float) -> float:
+    """Peak bandwidth of a single port in GB/s."""
+    return config.lanes * config.word_bytes * clock_mhz * 1e6 / GB
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Peak bandwidth figures for one configuration at one clock."""
+
+    config: PolyMemConfig
+    clock_mhz: float
+
+    @property
+    def write_gbps(self) -> float:
+        """Fig. 4: single (write) port bandwidth."""
+        return port_bandwidth_gbps(self.config, self.clock_mhz)
+
+    @property
+    def read_gbps(self) -> float:
+        """Fig. 5: aggregated read bandwidth over all read ports."""
+        return self.write_gbps * self.config.read_ports
+
+    @property
+    def total_gbps(self) -> float:
+        """Concurrent read + write aggregate (1 write + R read ports)."""
+        return self.write_gbps * (1 + self.config.read_ports)
+
+
+def bandwidth_report(config: PolyMemConfig, clock_mhz: float) -> BandwidthReport:
+    """Convenience constructor mirroring the other report factories."""
+    return BandwidthReport(config=config, clock_mhz=clock_mhz)

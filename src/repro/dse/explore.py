@@ -1,0 +1,134 @@
+"""The DSE sweep runner.
+
+For every feasible grid point the explorer gathers: the paper's Table IV
+frequency (when the point is on the paper grid), the calibrated model's
+frequency, resource utilizations, and the derived bandwidth figures —
+everything Figures 4–8 plot.  Optionally each design is functionally
+validated with the paper's §IV-A unique-value read/write cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import PolyMemConfig
+from ..core.schemes import Scheme
+from ..hw.calibration import table_iv_frequency
+from ..hw.synthesis import SynthesisModel, default_model
+from .bandwidth import BandwidthReport
+from .space import DesignSpace, PAPER_SPACE
+
+__all__ = ["DsePoint", "DseResult", "explore"]
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One evaluated configuration."""
+
+    config: PolyMemConfig
+    paper_mhz: float | None
+    model_mhz: float
+    logic_pct: float
+    lut_pct: float
+    bram_pct: float
+    validated: bool | None
+
+    @property
+    def capacity_kb(self) -> int:
+        return self.config.capacity_bytes // 1024
+
+    @property
+    def clock_mhz(self) -> float:
+        """Best available frequency: paper value on-grid, model otherwise."""
+        return self.paper_mhz if self.paper_mhz is not None else self.model_mhz
+
+    @property
+    def bandwidth(self) -> BandwidthReport:
+        return BandwidthReport(self.config, self.clock_mhz)
+
+    def bandwidth_at(self, source: str) -> BandwidthReport:
+        """Bandwidth using the ``"paper"`` or ``"model"`` frequency."""
+        if source == "paper":
+            if self.paper_mhz is None:
+                raise KeyError(f"{self.config.label()} not in Table IV")
+            return BandwidthReport(self.config, self.paper_mhz)
+        if source == "model":
+            return BandwidthReport(self.config, self.model_mhz)
+        raise ValueError(f"unknown frequency source {source!r}")
+
+
+@dataclass
+class DseResult:
+    """All evaluated points plus lookup helpers."""
+
+    space: DesignSpace
+    points: list[DsePoint]
+
+    def by_scheme(self, scheme: Scheme) -> list[DsePoint]:
+        return [p for p in self.points if p.config.scheme is scheme]
+
+    def lookup(
+        self, scheme: Scheme, capacity_kb: int, lanes: int, ports: int
+    ) -> DsePoint | None:
+        for p in self.points:
+            cfg = p.config
+            if (
+                cfg.scheme is scheme
+                and p.capacity_kb == capacity_kb
+                and cfg.lanes == lanes
+                and cfg.read_ports == ports
+            ):
+                return p
+        return None
+
+    def best(self, key) -> DsePoint:
+        """The point maximizing *key* (e.g. aggregated read bandwidth)."""
+        return max(self.points, key=key)
+
+    @property
+    def peak_read_gbps(self) -> float:
+        return max(p.bandwidth.read_gbps for p in self.points)
+
+    @property
+    def peak_write_gbps(self) -> float:
+        return max(p.bandwidth.write_gbps for p in self.points)
+
+
+def explore(
+    space: DesignSpace = PAPER_SPACE,
+    model: SynthesisModel | None = None,
+    validate: bool = False,
+    validate_rows: int = 16,
+) -> DseResult:
+    """Run the full DSE sweep over *space*.
+
+    With ``validate=True`` every point's design is built and put through
+    the §IV-A validation cycle on its first *validate_rows* logical rows
+    (slow — intended for the integration test and the examples, not the
+    benches).
+    """
+    model = model or default_model()
+    points: list[DsePoint] = []
+    for cfg in space.points(feasible_only=True):
+        report = model.estimate(cfg)
+        paper = table_iv_frequency(
+            cfg.scheme, cfg.capacity_bytes // 1024, cfg.lanes, cfg.read_ports
+        )
+        validated: bool | None = None
+        if validate:
+            from ..maxpolymem import build_design, validate_design
+
+            design = build_design(cfg, clock_source="model")
+            validated = validate_design(design, max_rows=validate_rows).passed
+        points.append(
+            DsePoint(
+                config=cfg,
+                paper_mhz=paper,
+                model_mhz=report.fmax_mhz,
+                logic_pct=report.logic_pct,
+                lut_pct=report.lut_pct,
+                bram_pct=report.bram_pct,
+                validated=validated,
+            )
+        )
+    return DseResult(space=space, points=points)

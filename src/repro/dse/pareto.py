@@ -1,0 +1,95 @@
+"""Pareto analysis over the design space: bandwidth vs resources.
+
+The paper reports the raw DSE grid; a downstream user asks a sharper
+question — *which configurations are worth building?*  A configuration is
+Pareto-optimal when no other one delivers more aggregated read bandwidth
+with less of every resource (BRAM and logic).  This module extracts that
+frontier and answers budget queries ("the best design under X% BRAM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .explore import DsePoint, DseResult
+
+__all__ = ["ParetoPoint", "pareto_frontier", "best_under_budget"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier entry."""
+
+    point: DsePoint
+    read_gbps: float
+    bram_pct: float
+    logic_pct: float
+
+    @property
+    def label(self) -> str:
+        return self.point.config.label()
+
+
+def _dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """a dominates b: no worse on every axis, better on at least one."""
+    no_worse = (
+        a.read_gbps >= b.read_gbps
+        and a.bram_pct <= b.bram_pct
+        and a.logic_pct <= b.logic_pct
+    )
+    better = (
+        a.read_gbps > b.read_gbps
+        or a.bram_pct < b.bram_pct
+        or a.logic_pct < b.logic_pct
+    )
+    return no_worse and better
+
+
+def pareto_frontier(
+    result: DseResult, frequency_source: str = "auto"
+) -> list[ParetoPoint]:
+    """The non-dominated configurations, sorted by read bandwidth.
+
+    ``frequency_source``: ``"auto"`` uses the paper clock when on-grid
+    (the default the rest of the DSE uses), ``"model"``/``"paper"`` force
+    one source.
+    """
+    candidates = []
+    for p in result.points:
+        if frequency_source == "auto":
+            bw = p.bandwidth.read_gbps
+        else:
+            bw = p.bandwidth_at(frequency_source).read_gbps
+        candidates.append(
+            ParetoPoint(
+                point=p,
+                read_gbps=bw,
+                bram_pct=p.bram_pct,
+                logic_pct=p.logic_pct,
+            )
+        )
+    frontier = [
+        c
+        for c in candidates
+        if not any(_dominates(other, c) for other in candidates)
+    ]
+    return sorted(frontier, key=lambda c: c.read_gbps, reverse=True)
+
+
+def best_under_budget(
+    result: DseResult,
+    max_bram_pct: float = 100.0,
+    max_logic_pct: float = 100.0,
+    min_capacity_kb: int = 0,
+) -> DsePoint | None:
+    """Highest-read-bandwidth configuration within the resource budget."""
+    feasible = [
+        p
+        for p in result.points
+        if p.bram_pct <= max_bram_pct
+        and p.logic_pct <= max_logic_pct
+        and p.capacity_kb >= min_capacity_kb
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: p.bandwidth.read_gbps)

@@ -1,0 +1,118 @@
+"""Renderers: regenerate the paper's tables and figure series as text/CSV.
+
+The paper's Figures 4–8 are bar charts over the same x-axis — the feasible
+(capacity, lanes, read ports) columns — with one series per scheme.
+:func:`figure_series` extracts those series from a DSE sweep;
+:func:`render_series_table` and :func:`render_table_iv` pretty-print them in
+the paper's layout so benches can show paper-vs-reproduction side by side.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable
+
+from ..core.schemes import Scheme
+from .explore import DsePoint, DseResult
+
+__all__ = [
+    "column_label",
+    "figure_series",
+    "render_series_table",
+    "render_table_iv",
+    "to_csv",
+]
+
+
+def column_label(capacity_kb: int, lanes: int, ports: int) -> str:
+    """x-axis label in the paper's style: ``512,8,1``."""
+    return f"{capacity_kb},{lanes},{ports}"
+
+
+def figure_series(
+    result: DseResult, value: Callable[[DsePoint], float]
+) -> dict[Scheme, list[tuple[str, float]]]:
+    """One series per scheme: ``[(column label, value(point)), ...]`` over
+    the feasible columns, in paper order."""
+    columns = result.space.columns()
+    series: dict[Scheme, list[tuple[str, float]]] = {}
+    for scheme in result.space.schemes:
+        row = []
+        for cap, lanes, ports in columns:
+            point = result.lookup(scheme, cap, lanes, ports)
+            if point is not None:
+                row.append((column_label(cap, lanes, ports), value(point)))
+        series[scheme] = row
+    return series
+
+
+def render_series_table(
+    series: dict[Scheme, list[tuple[str, float]]],
+    title: str,
+    unit: str,
+    fmt: str = "6.2f",
+) -> str:
+    """Text table: schemes as rows, DSE columns as columns."""
+    out = io.StringIO()
+    first = next(iter(series.values()))
+    labels = [label for label, _ in first]
+    out.write(f"{title} [{unit}]\n")
+    out.write("Scheme | " + " | ".join(f"{l:>10s}" for l in labels) + "\n")
+    out.write("-" * (9 + 13 * len(labels)) + "\n")
+    for scheme, row in series.items():
+        vals = {label: v for label, v in row}
+        cells = [
+            format(vals[l], fmt) if l in vals else " " * 6 for l in labels
+        ]
+        out.write(f"{scheme.value:6s} | " + " | ".join(f"{c:>10s}" for c in cells) + "\n")
+    return out.getvalue()
+
+
+def render_table_iv(result: DseResult, source: str = "model") -> str:
+    """Table IV in the paper's layout, from the chosen frequency source.
+
+    ``source``: ``"model"`` (the reproduction), ``"paper"`` (the embedded
+    published values), or ``"both"`` (model with paper in parentheses).
+    """
+    columns = result.space.columns()
+    out = io.StringIO()
+    out.write("MAX-POLYMEM MAXIMUM CLOCK FREQUENCIES [MHz]")
+    out.write(f"  (source: {source})\n")
+    header = " | ".join(
+        f"{cap}K/{lanes}L/{ports}R" for cap, lanes, ports in columns
+    )
+    out.write("Scheme | " + header + "\n")
+    for scheme in result.space.schemes:
+        cells = []
+        for cap, lanes, ports in columns:
+            point = result.lookup(scheme, cap, lanes, ports)
+            if point is None:
+                cells.append("   -   ")
+                continue
+            if source == "model":
+                cells.append(f"{point.model_mhz:7.1f}")
+            elif source == "paper":
+                cells.append(
+                    f"{point.paper_mhz:7.1f}" if point.paper_mhz else "   ?   "
+                )
+            elif source == "both":
+                paper = f"{point.paper_mhz:.0f}" if point.paper_mhz else "?"
+                cells.append(f"{point.model_mhz:5.1f}({paper})")
+            else:
+                raise ValueError(f"unknown source {source!r}")
+        out.write(f"{scheme.value:6s} | " + " | ".join(cells) + "\n")
+    return out.getvalue()
+
+
+def to_csv(series: dict[Scheme, list[tuple[str, float]]]) -> str:
+    """CSV export of a figure's series (one row per scheme)."""
+    out = io.StringIO()
+    first = next(iter(series.values()))
+    out.write("scheme," + ",".join(label for label, _ in first) + "\n")
+    for scheme, row in series.items():
+        vals = {label: v for label, v in row}
+        cells = [
+            f"{vals[l]:.4f}" if l in vals else "" for l, _ in first
+        ]
+        out.write(f"{scheme.value}," + ",".join(cells) + "\n")
+    return out.getvalue()

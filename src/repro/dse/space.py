@@ -1,0 +1,102 @@
+"""The design space of Table III.
+
+Three DSE parameters (plus the scheme): total size {512 KB, 1 MB, 2 MB,
+4 MB}, lanes {8 = 2x4, 16 = 2x8}, read ports {1..4}.  The explored subset is
+bounded by BRAM feasibility (capacity x ports <= on-chip capacity), which
+yields exactly the 18 columns of Table IV per scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.config import KB, PolyMemConfig
+from ..core.schemes import Scheme, all_schemes
+from ..hw.bram import polymem_bram_usage
+from ..hw.fpga import VIRTEX6_SX475T, FpgaDevice
+
+__all__ = ["DesignSpace", "PAPER_SPACE"]
+
+#: the paper's lane grids by lane count
+LANE_GRIDS = {8: (2, 4), 16: (2, 8)}
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A DSE parameter grid (Table III)."""
+
+    capacities_kb: tuple[int, ...] = (512, 1024, 2048, 4096)
+    lane_counts: tuple[int, ...] = (8, 16)
+    read_ports: tuple[int, ...] = (1, 2, 3, 4)
+    schemes: tuple[Scheme, ...] = tuple(all_schemes())
+    width_bits: int = 64
+    device: FpgaDevice = VIRTEX6_SX475T
+    #: maximum read ports synthesized per lane count.  Table IV stops at
+    #: 2 ports for 16-lane designs (the replicated 16x16 crossbars exhaust
+    #: routing well before BRAM runs out), and this grid reproduces exactly
+    #: the paper's explored columns.
+    max_ports_by_lanes: tuple[tuple[int, int], ...] = ((8, 4), (16, 2))
+
+    def _port_cap(self, lanes: int) -> int:
+        return dict(self.max_ports_by_lanes).get(lanes, max(self.read_ports))
+
+    def _feasible(self, cfg: PolyMemConfig) -> bool:
+        if cfg.read_ports > self._port_cap(cfg.lanes):
+            return False
+        return polymem_bram_usage(cfg, self.device.bram36).feasible
+
+    def config(
+        self, capacity_kb: int, lanes: int, ports: int, scheme: Scheme
+    ) -> PolyMemConfig:
+        """Build the PolyMemConfig for one grid point."""
+        p, q = LANE_GRIDS[lanes]
+        return PolyMemConfig(
+            capacity_kb * KB,
+            p=p,
+            q=q,
+            scheme=scheme,
+            read_ports=ports,
+            width_bits=self.width_bits,
+        )
+
+    def points(self, feasible_only: bool = True) -> Iterator[PolyMemConfig]:
+        """All grid points in the paper's column order (size, lanes, ports
+        fastest within scheme).  With ``feasible_only`` (the default), only
+        configurations whose data fits the device BRAM are yielded —
+        exactly the Table IV columns."""
+        for scheme in self.schemes:
+            for cfg in self.scheme_points(scheme, feasible_only):
+                yield cfg
+
+    def scheme_points(
+        self, scheme: Scheme, feasible_only: bool = True
+    ) -> Iterator[PolyMemConfig]:
+        """Grid points of a single scheme, column order."""
+        for cap in self.capacities_kb:
+            for lanes in self.lane_counts:
+                for ports in self.read_ports:
+                    cfg = self.config(cap, lanes, ports, scheme)
+                    if feasible_only and not self._feasible(cfg):
+                        continue
+                    yield cfg
+
+    def columns(self) -> list[tuple[int, int, int]]:
+        """Feasible (capacity KB, lanes, ports) columns — Table IV order is
+        (size, lanes major; ports minor)."""
+        out = []
+        for cap in self.capacities_kb:
+            for lanes in self.lane_counts:
+                for ports in self.read_ports:
+                    cfg = self.config(cap, lanes, ports, self.schemes[0])
+                    if self._feasible(cfg):
+                        out.append((cap, lanes, ports))
+        return out
+
+    def size(self, feasible_only: bool = True) -> int:
+        """Number of explored grid points."""
+        return sum(1 for _ in self.points(feasible_only))
+
+
+#: the exact grid evaluated by the paper
+PAPER_SPACE = DesignSpace()

@@ -1,0 +1,91 @@
+"""What-if exploration: PolyMem feasibility on other devices.
+
+The paper targets one board (Vectis / Virtex-6 SX475T).  A natural
+downstream question — would my configuration fit a smaller part, and what
+is the largest PolyMem a device can host? — is answered here by re-running
+the BRAM arithmetic and area model against any
+:class:`~repro.hw.fpga.FpgaDevice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import KB, PolyMemConfig
+from ..core.schemes import Scheme
+from ..hw.bram import polymem_bram_usage
+from ..hw.fpga import FpgaDevice, VIRTEX6_SX475T
+from ..hw.synthesis import SynthesisModel
+
+__all__ = ["FeasibilityPoint", "feasibility_frontier", "max_capacity_kb"]
+
+
+@dataclass(frozen=True)
+class FeasibilityPoint:
+    """One (capacity, lanes, ports) point on a device."""
+
+    capacity_kb: int
+    lanes: int
+    read_ports: int
+    bram_pct: float
+    logic_pct: float
+    feasible: bool
+
+
+def _config(capacity_kb: int, lanes: int, ports: int, scheme: Scheme) -> PolyMemConfig:
+    p, q = {8: (2, 4), 16: (2, 8), 32: (4, 8)}[lanes]
+    return PolyMemConfig(capacity_kb * KB, p=p, q=q, scheme=scheme, read_ports=ports)
+
+
+def max_capacity_kb(
+    device: FpgaDevice,
+    lanes: int = 8,
+    read_ports: int = 1,
+    scheme: Scheme = Scheme.ReRo,
+) -> int:
+    """Largest power-of-two capacity (KB) whose data fits *device*.
+
+    The answer for the paper's device at 1 port is 4096 KB — the "4MB
+    parallel memory" headline.
+    """
+    best = 0
+    cap = 64
+    while cap <= device.bram_bytes_64bit // 1024 * 2:
+        cfg = _config(cap, lanes, read_ports, scheme)
+        if polymem_bram_usage(cfg, device.bram36).feasible:
+            best = cap
+        cap *= 2
+    return best
+
+
+def feasibility_frontier(
+    device: FpgaDevice = VIRTEX6_SX475T,
+    scheme: Scheme = Scheme.ReRo,
+    capacities_kb: tuple[int, ...] = (256, 512, 1024, 2048, 4096),
+    lane_counts: tuple[int, ...] = (8, 16),
+    port_counts: tuple[int, ...] = (1, 2, 3, 4),
+) -> list[FeasibilityPoint]:
+    """Evaluate the full grid on *device* (feasible and infeasible points).
+
+    The synthesis model is refit per device (cheap; cached per process by
+    the caller if needed).
+    """
+    model = SynthesisModel(device)
+    points = []
+    for cap in capacities_kb:
+        for lanes in lane_counts:
+            for ports in port_counts:
+                cfg = _config(cap, lanes, ports, scheme)
+                budget = polymem_bram_usage(cfg, device.bram36)
+                logic = model.logic_pct(cfg)
+                points.append(
+                    FeasibilityPoint(
+                        capacity_kb=cap,
+                        lanes=lanes,
+                        read_ports=ports,
+                        bram_pct=100 * budget.utilization,
+                        logic_pct=logic,
+                        feasible=budget.feasible and logic < 100,
+                    )
+                )
+    return points

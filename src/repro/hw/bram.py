@@ -1,0 +1,123 @@
+"""BRAM primitive model: Xilinx Virtex-6 RAMB36 blocks.
+
+The Virtex-6 SX475T on the Maxeler Vectis board provides 1,064 RAMB36E1
+primitives (36 Kb each, true dual port).  A PolyMem bank of 64-bit words is
+built from RAMB36 blocks in the 512 x 72 aspect ratio: each block stores 512
+data words (the 8 parity bits per word are left unused by the model, which
+matches how vendor tools map 64-bit words).
+
+This module provides the exact BRAM-count arithmetic behind the paper's
+Fig. 8: a PolyMem with ``R`` read ports replicates its data ``R`` times
+(§IV-C), so::
+
+    data_brams = R * lanes * ceil(bank_depth / 512)
+
+plus a fixed Maxeler-infrastructure allowance (PCIe stream FIFOs, manager
+logic) that migrates to distributed RAM when block RAM runs out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import PolyMemConfig
+from ..core.exceptions import CapacityError
+
+__all__ = ["RAMB36", "BramBudget", "polymem_bram_usage"]
+
+
+@dataclass(frozen=True)
+class RAMB36:
+    """One 36 Kb block RAM primitive and its legal aspect ratios."""
+
+    #: total data bits, excluding per-byte parity
+    data_bits: int = 32 * 1024
+    #: parity bits usable as extra data in wide aspect ratios
+    parity_bits: int = 4 * 1024
+
+    #: (depth, width) configurations, widest first
+    ASPECT_RATIOS = (
+        (512, 72),
+        (1024, 36),
+        (2048, 18),
+        (4096, 9),
+        (8192, 4),
+        (16384, 2),
+        (32768, 1),
+    )
+
+    def words_at_width(self, width_bits: int) -> int:
+        """Data words of *width_bits* one block holds (widest fitting ratio)."""
+        depths = [d for d, w in self.ASPECT_RATIOS if w >= width_bits]
+        if not depths:
+            # wider than 72 bits: banks must gang blocks side by side instead
+            raise CapacityError(
+                f"a single RAMB36 cannot store {width_bits}-bit words"
+            )
+        return max(depths)
+
+    def blocks_for_bank(self, depth_words: int, width_bits: int) -> int:
+        """Blocks needed for one bank of ``depth_words`` x ``width_bits``.
+
+        Words wider than 72 bits are split across side-by-side blocks;
+        narrower words use the deepest aspect ratio that still covers the
+        width, cascading blocks for depth.
+        """
+        if depth_words <= 0:
+            raise CapacityError(f"bank depth must be positive, got {depth_words}")
+        if width_bits <= 72:
+            return math.ceil(depth_words / self.words_at_width(width_bits))
+        lanes_wide = math.ceil(width_bits / 72)
+        return lanes_wide * math.ceil(depth_words / 512)
+
+
+@dataclass(frozen=True)
+class BramBudget:
+    """BRAM accounting for a full PolyMem instantiation."""
+
+    data_blocks: int
+    infra_blocks: int
+    device_blocks: int
+
+    @property
+    def total_blocks(self) -> int:
+        return self.data_blocks + self.infra_blocks
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the device's block RAM consumed (0..1)."""
+        return self.total_blocks / self.device_blocks
+
+    @property
+    def feasible(self) -> bool:
+        """The design fits: the data alone must fit in block RAM (the
+        infrastructure can fall back to LUT RAM under pressure)."""
+        return self.data_blocks <= self.device_blocks
+
+
+#: Maxeler static infrastructure (PCIe streams, manager) block allowance,
+#: calibrated against the paper's quoted 16.07% for a 512KB/8-lane/1-port
+#: PolyMem (= 171 blocks total, 128 of which are data).
+INFRA_BLOCKS_NOMINAL = 43
+
+
+def polymem_bram_usage(
+    config: PolyMemConfig,
+    device_blocks: int = 1064,
+    infra_nominal: int = INFRA_BLOCKS_NOMINAL,
+) -> BramBudget:
+    """BRAM budget of *config* on a device with *device_blocks* RAMB36s.
+
+    Reproduces the paper's Fig. 8 arithmetic: replication across read ports,
+    per-bank ``ceil`` packing, plus a fixed infrastructure allowance that
+    shrinks when the data leaves no room (Maxeler's tools migrate those
+    buffers to distributed RAM).
+    """
+    prim = RAMB36()
+    per_bank = prim.blocks_for_bank(config.bank_depth, config.width_bits)
+    data = config.read_ports * config.lanes * per_bank
+    infra = min(infra_nominal, max(0, device_blocks - data))
+    return BramBudget(
+        data_blocks=data, infra_blocks=infra, device_blocks=device_blocks
+    )

@@ -1,0 +1,143 @@
+"""Published measurements from the MAX-PolyMem paper, used as fit targets.
+
+The reproduction has no Xilinx toolchain, so absolute synthesis outcomes
+(clock frequency, slice/LUT utilization) cannot be measured.  Instead, the
+paper's own published numbers are embedded here and the analytical models in
+:mod:`repro.hw.synthesis` are least-squares calibrated against them.  The
+benchmark harness then reports *paper vs model* per cell, making the
+calibration quality auditable (see EXPERIMENTS.md).
+
+Data sources:
+
+* ``TABLE_IV_MHZ`` — the complete Table IV (maximum clock frequencies);
+* ``LOGIC_POINTS`` / ``LUT_RANGE`` / ``BRAM_POINTS`` — the utilization
+  numbers quoted in §IV-C's prose (the figures themselves are published as
+  charts without a data table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import KB, PolyMemConfig
+from ..core.schemes import Scheme
+
+__all__ = [
+    "TABLE_IV_MHZ",
+    "table_iv_grid",
+    "table_iv_frequency",
+    "LOGIC_POINTS",
+    "BRAM_POINTS",
+    "LUT_RANGE",
+    "STREAM_COPY",
+]
+
+#: (capacity KB, lanes, read ports) columns of Table IV, in paper order.
+#: The grid is bounded by BRAM feasibility: capacity x ports <= 4 MB.
+TABLE_IV_COLUMNS: tuple[tuple[int, int, int], ...] = (
+    (512, 8, 1), (512, 8, 2), (512, 8, 3), (512, 8, 4),
+    (512, 16, 1), (512, 16, 2),
+    (1024, 8, 1), (1024, 8, 2), (1024, 8, 3), (1024, 8, 4),
+    (1024, 16, 1), (1024, 16, 2),
+    (2048, 8, 1), (2048, 8, 2),
+    (2048, 16, 1), (2048, 16, 2),
+    (4096, 8, 1),
+    (4096, 16, 1),
+)
+
+#: Table IV rows: maximum clock frequency in MHz per scheme, matching
+#: ``TABLE_IV_COLUMNS`` positionally.
+TABLE_IV_MHZ: dict[Scheme, tuple[int, ...]] = {
+    Scheme.ReO:  (202, 160, 139, 123, 185, 100, 160, 123, 102, 79, 144, 109, 127, 86, 127, 87, 95, 95),
+    Scheme.ReRo: (195, 166, 131, 123, 168, 100, 163, 125, 102, 77, 140, 109, 120, 87, 120, 80, 98, 91),
+    Scheme.ReCo: (196, 155, 131, 122, 157, 100, 163, 121, 107, 81, 156, 122, 124, 78, 124, 79, 93, 93),
+    Scheme.RoCo: (194, 150, 146, 122, 161, 100, 173, 135, 114, 86, 145, 109, 122, 90, 122, 84, 88, 91),
+    Scheme.ReTr: (193, 158, 134, 137, 159, 112, 155, 121, 102, 77, 146, 122, 116, 81, 114, 77, 102, 102),
+}
+
+
+def _lanes_to_grid(lanes: int) -> tuple[int, int]:
+    """The paper's lane grids: 8 = 2x4, 16 = 2x8."""
+    return {8: (2, 4), 16: (2, 8)}[lanes]
+
+
+def table_iv_grid() -> list[tuple[PolyMemConfig, float]]:
+    """Every (config, paper MHz) cell of Table IV as PolyMemConfig objects."""
+    cells = []
+    for scheme, freqs in TABLE_IV_MHZ.items():
+        for (cap_kb, lanes, ports), mhz in zip(TABLE_IV_COLUMNS, freqs):
+            p, q = _lanes_to_grid(lanes)
+            cfg = PolyMemConfig(
+                cap_kb * KB, p=p, q=q, scheme=scheme, read_ports=ports
+            )
+            cells.append((cfg, float(mhz)))
+    return cells
+
+
+def table_iv_frequency(
+    scheme: Scheme, capacity_kb: int, lanes: int, read_ports: int
+) -> float | None:
+    """Paper frequency for one configuration, or None if outside the table."""
+    try:
+        idx = TABLE_IV_COLUMNS.index((capacity_kb, lanes, read_ports))
+    except ValueError:
+        return None
+    return float(TABLE_IV_MHZ[scheme][idx])
+
+
+@dataclass(frozen=True)
+class UtilizationPoint:
+    """One utilization number quoted in the paper's §IV-C prose."""
+
+    scheme: Scheme
+    capacity_kb: int
+    lanes: int
+    read_ports: int
+    percent: float
+
+
+#: logic (slice) utilization, §IV-C prose
+LOGIC_POINTS: tuple[UtilizationPoint, ...] = (
+    UtilizationPoint(Scheme.ReO, 512, 8, 1, 10.58),
+    UtilizationPoint(Scheme.RoCo, 4096, 8, 1, 13.05),
+    UtilizationPoint(Scheme.ReRo, 512, 8, 1, 10.78),
+    UtilizationPoint(Scheme.ReRo, 512, 8, 4, 22.34),
+    UtilizationPoint(Scheme.ReRo, 512, 16, 1, 23.73),
+)
+
+#: BRAM utilization, §IV-C prose
+BRAM_POINTS: tuple[UtilizationPoint, ...] = (
+    UtilizationPoint(Scheme.ReRo, 512, 8, 1, 16.07),
+    UtilizationPoint(Scheme.ReRo, 512, 16, 1, 19.31),
+    UtilizationPoint(Scheme.ReRo, 512, 8, 2, 29.04),
+    UtilizationPoint(Scheme.ReRo, 2048, 16, 2, 97.0),
+)
+
+#: LUT utilization varies "between 7% and 28%" across the whole DSE
+LUT_RANGE: tuple[float, float] = (7.0, 28.0)
+
+#: headline caps from the §IV-C summary: logic < 38%, LUTs < 28%
+LOGIC_MAX_PCT = 38.0
+LUT_MAX_PCT = 28.0
+
+
+@dataclass(frozen=True)
+class StreamCopyReference:
+    """The paper's §V STREAM-Copy experiment constants."""
+
+    scheme: Scheme = Scheme.RoCo
+    p: int = 2
+    q: int = 4
+    clock_mhz: float = 120.0
+    read_latency_cycles: int = 14
+    host_call_overhead_ns: float = 300.0
+    runs: int = 1000
+    #: per array: 170 rows x 512 cols x 8 B ~ 700 KB maximum
+    max_array_rows: int = 170
+    array_cols: int = 512
+    word_bytes: int = 8
+    peak_mbps: float = 15_360.0
+    measured_mbps: float = 15_301.0
+
+
+STREAM_COPY = StreamCopyReference()

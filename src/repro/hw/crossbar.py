@@ -1,0 +1,83 @@
+"""Whole-design crossbar area accounting.
+
+A MAX-PolyMem instantiation contains, per §III-B:
+
+* per **read** port: one Address Shuffle (intra-bank address width) and one
+  Read Data Shuffle (full data width);
+* for the **write** port: one Address Shuffle and one Write Data Shuffle.
+
+All shuffles are full ``lanes x lanes`` crossbars in the paper's
+implementation — the source of the supra-linear logic growth from 8 to 16
+lanes (§IV-C).  This module aggregates their cost for either realization
+(full crossbar or Benes), feeding the synthesis model and the crossbar
+ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import PolyMemConfig
+from ..core.shuffle import BenesNetwork, FullCrossbar
+
+__all__ = ["ShuffleInventory", "design_shuffles"]
+
+
+@dataclass(frozen=True)
+class ShuffleInventory:
+    """Aggregate shuffle-network cost of one PolyMem design."""
+
+    data_crossbars: int
+    addr_crossbars: int
+    lanes: int
+    data_width_bits: int
+    addr_width_bits: int
+    realization: str
+    total_luts: int
+    max_stages: int
+
+    @property
+    def total_crossbars(self) -> int:
+        return self.data_crossbars + self.addr_crossbars
+
+
+def _cost(realization: str, lanes: int, width: int):
+    if realization == "full":
+        return FullCrossbar(lanes, width).cost()
+    if realization == "benes":
+        return BenesNetwork(lanes, width).cost()
+    raise ValueError(f"unknown shuffle realization {realization!r}")
+
+
+def design_shuffles(
+    config: PolyMemConfig, realization: str = "full"
+) -> ShuffleInventory:
+    """Inventory and LUT cost of every shuffle in a PolyMem design.
+
+    Parameters
+    ----------
+    config:
+        The PolyMem instantiation.
+    realization:
+        ``"full"`` (the paper's implementation) or ``"benes"`` (the
+        area-optimized alternative explored by the ablation bench).
+    """
+    lanes = config.lanes
+    addr_bits = max(1, math.ceil(math.log2(config.bank_depth)))
+    # one write port + R read ports, each with an address and a data shuffle
+    data_xb = 1 + config.read_ports
+    addr_xb = 1 + config.read_ports
+    data_cost = _cost(realization, lanes, config.width_bits)
+    addr_cost = _cost(realization, lanes, addr_bits)
+    return ShuffleInventory(
+        data_crossbars=data_xb,
+        addr_crossbars=addr_xb,
+        lanes=lanes,
+        data_width_bits=config.width_bits,
+        addr_width_bits=addr_bits,
+        realization=realization,
+        total_luts=data_xb * data_cost.lut_estimate
+        + addr_xb * addr_cost.lut_estimate,
+        max_stages=max(data_cost.stages, addr_cost.stages),
+    )

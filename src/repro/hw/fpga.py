@@ -1,0 +1,73 @@
+"""FPGA device models.
+
+The paper's experiments all run on a Maxeler Vectis DFE carrying a Xilinx
+Virtex-6 SX475T.  :class:`FpgaDevice` captures the resource counts the DSE
+reports utilization against; other devices can be described for
+what-if exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FpgaDevice", "VIRTEX6_SX475T", "devices"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource inventory of one FPGA part.
+
+    ``logic_cells`` is the marketing-equivalent count the paper quotes
+    ("475k logic cells"); utilization percentages are computed against
+    ``luts`` (LUT6) and ``slices`` as the vendor tools do.
+    """
+
+    name: str
+    logic_cells: int
+    slices: int
+    luts: int
+    flip_flops: int
+    bram36: int
+    dsp48: int
+
+    @property
+    def bram_bytes_64bit(self) -> int:
+        """Usable bytes when every RAMB36 stores 512 x 64-bit words — the
+        paper's "4MB of on-chip BRAMs"."""
+        return self.bram36 * 512 * 8
+
+    def lut_pct(self, luts: float) -> float:
+        """LUT utilization percentage."""
+        return 100.0 * luts / self.luts
+
+    def logic_pct(self, slices: float) -> float:
+        """Logic (slice) utilization percentage."""
+        return 100.0 * slices / self.slices
+
+
+#: the Vectis DFE's FPGA (Virtex-6 Family Overview, DS150)
+VIRTEX6_SX475T = FpgaDevice(
+    name="xc6vsx475t",
+    logic_cells=476_160,
+    slices=74_400,
+    luts=297_600,
+    flip_flops=595_200,
+    bram36=1_064,
+    dsp48=2_016,
+)
+
+#: a smaller sibling, useful for feasibility what-ifs in examples
+VIRTEX6_LX240T = FpgaDevice(
+    name="xc6vlx240t",
+    logic_cells=241_152,
+    slices=37_680,
+    luts=150_720,
+    flip_flops=301_440,
+    bram36=416,
+    dsp48=768,
+)
+
+
+def devices() -> dict[str, FpgaDevice]:
+    """Known device models by name."""
+    return {d.name: d for d in (VIRTEX6_SX475T, VIRTEX6_LX240T)}

@@ -1,0 +1,74 @@
+"""Vendor-style synthesis report rendering.
+
+``SynthesisModel.estimate`` returns numbers; this module formats them the
+way FPGA engineers expect to read them — a per-design report with the
+timing summary, the resource breakdown (data BRAMs vs infrastructure,
+crossbar LUTs by instance), and the feasibility verdict.  Used by the CLI
+and handy when comparing configurations by eye.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+from ..core.config import PolyMemConfig
+from .bram import polymem_bram_usage
+from .crossbar import design_shuffles
+from .fpga import VIRTEX6_SX475T, FpgaDevice
+from .synthesis import SynthesisModel, default_model
+
+__all__ = ["synthesis_report_text"]
+
+
+def synthesis_report_text(
+    config: PolyMemConfig,
+    model: SynthesisModel | None = None,
+    device: FpgaDevice = VIRTEX6_SX475T,
+) -> str:
+    """A human-readable synthesis estimate for one configuration."""
+    model = model or default_model(device.name)
+    est = model.estimate(config)
+    budget = polymem_bram_usage(config, device.bram36)
+    shuffles = design_shuffles(config)
+    out = io.StringIO()
+    bar = "=" * 64
+    out.write(f"{bar}\nSYNTHESIS ESTIMATE — {config.label()}\n{bar}\n")
+    out.write(f"device            : {device.name} "
+              f"({device.logic_cells:,} logic cells, {device.bram36} RAMB36)\n")
+    out.write(f"address space     : {config.rows} x {config.cols} "
+              f"x {config.width_bits}-bit\n")
+    out.write(f"lane grid         : {config.p} x {config.q} "
+              f"({config.lanes} lanes/port)\n")
+    out.write(f"read ports        : {config.read_ports}\n\n")
+
+    out.write("-- timing ------------------------------------------------\n")
+    out.write(f"estimated Fmax    : {est.fmax_mhz:7.1f} MHz "
+              f"(period {est.period_ns:5.2f} ns)\n")
+    bw = config.lanes * config.word_bytes * est.fmax_mhz * 1e6 / 1e9
+    out.write(f"per-port bandwidth: {bw:7.2f} GB/s\n")
+    out.write(f"aggregate read BW : {bw * config.read_ports:7.2f} GB/s\n\n")
+
+    out.write("-- block RAM ----------------------------------------------\n")
+    per_bank = budget.data_blocks // (config.lanes * config.read_ports)
+    out.write(f"bank geometry     : {config.bank_depth:,} x 64b words "
+              f"-> {per_bank} RAMB36/bank\n")
+    out.write(f"data blocks       : {budget.data_blocks} "
+              f"({config.lanes} banks x {config.read_ports} replicas)\n")
+    out.write(f"infrastructure    : {budget.infra_blocks}\n")
+    out.write(f"total             : {budget.total_blocks} / {device.bram36} "
+              f"({100 * budget.utilization:5.2f}%)\n\n")
+
+    out.write("-- logic ---------------------------------------------------\n")
+    addr_bits = max(1, math.ceil(math.log2(config.bank_depth)))
+    out.write(f"shuffle networks  : {shuffles.data_crossbars} data "
+              f"({config.width_bits}b) + {shuffles.addr_crossbars} address "
+              f"({addr_bits}b) full crossbars\n")
+    out.write(f"crossbar LUTs     : {shuffles.total_luts:,} "
+              f"({100 * shuffles.total_luts / device.luts:4.2f}% of device)\n")
+    out.write(f"estimated logic   : {est.logic_pct:5.2f}% of slices\n")
+    out.write(f"estimated LUTs    : {est.lut_pct:5.2f}%\n\n")
+
+    verdict = "FEASIBLE" if est.feasible else "INFEASIBLE (data exceeds BRAM)"
+    out.write(f"verdict           : {verdict}\n")
+    return out.getvalue()

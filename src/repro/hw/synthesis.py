@@ -1,0 +1,203 @@
+"""Calibrated synthesis estimator: the stand-in for the vendor toolchain.
+
+The paper's Table IV and Figures 6–8 are produced by Xilinx synthesis/place &
+route, which is unavailable here.  :class:`SynthesisModel` replaces it with
+analytical models whose coefficients are least-squares fit to the paper's own
+published numbers (:mod:`repro.hw.calibration`):
+
+* **clock frequency** — the critical-path period (ns) is modeled as a
+  non-negative linear combination of structural features: crossbar depth
+  (``log2(lanes)``), read-port replication, placement pressure
+  (``sqrt(BRAM blocks)`` — the empirically observed sub-linear growth of
+  routing delay with memory footprint), crossbar interaction
+  (``lanes * ports``), and MAF complexity.  Fit by NNLS over all 90 cells
+  of Table IV.
+* **logic (slice) utilization** — intercept + first-principles crossbar
+  LUT share + per-port and per-capacity terms, fit to the five §IV-C prose
+  data points.
+* **LUT utilization** — proportional to logic utilization; the factor is
+  pinned by the paper's "<38% logic / <28% LUTs" caps.
+* **BRAM utilization** — exact arithmetic from :mod:`repro.hw.bram`.
+
+Model-vs-paper residuals are reported by ``benchmarks/bench_table4_*`` and
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+from scipy.optimize import nnls
+
+from ..core.config import PolyMemConfig
+from ..core.schemes import Scheme
+from . import calibration
+from .bram import polymem_bram_usage
+from .crossbar import design_shuffles
+from .fpga import VIRTEX6_SX475T, FpgaDevice
+
+__all__ = ["SynthesisModel", "SynthesisReport", "MAF_COMPLEXITY"]
+
+#: adder/divider stages in each scheme's MAF (drives a small timing/area term)
+MAF_COMPLEXITY: dict[Scheme, int] = {
+    Scheme.ReO: 0,
+    Scheme.ReRo: 1,
+    Scheme.ReCo: 1,
+    Scheme.RoCo: 2,
+    Scheme.ReTr: 1,
+}
+
+#: LUT%-to-logic% ratio pinned by the paper's <38% logic / <28% LUT caps
+LUT_TO_LOGIC_RATIO = calibration.LUT_MAX_PCT / calibration.LOGIC_MAX_PCT
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Estimated synthesis outcome for one configuration."""
+
+    config: PolyMemConfig
+    fmax_mhz: float
+    logic_pct: float
+    lut_pct: float
+    bram_pct: float
+    feasible: bool
+
+    @property
+    def period_ns(self) -> float:
+        return 1e3 / self.fmax_mhz
+
+
+def _freq_features(cfg: PolyMemConfig, device: FpgaDevice) -> np.ndarray:
+    budget = polymem_bram_usage(cfg, device.bram36)
+    return np.array(
+        [
+            1.0,
+            math.log2(cfg.lanes),
+            float(cfg.read_ports),
+            math.sqrt(budget.data_blocks),
+            cfg.lanes * cfg.read_ports / 8.0,
+            float(MAF_COMPLEXITY[cfg.scheme]),
+        ]
+    )
+
+
+def _logic_features(cfg: PolyMemConfig, device: FpgaDevice) -> np.ndarray:
+    xb_pct = 100.0 * design_shuffles(cfg).total_luts / device.luts
+    cap_kb = cfg.capacity_bytes / 1024
+    return np.array(
+        [
+            1.0,
+            xb_pct,
+            float(cfg.read_ports),
+            math.log2(cap_kb / 512) if cap_kb >= 512 else 0.0,
+            float(MAF_COMPLEXITY[cfg.scheme]),
+        ]
+    )
+
+
+class SynthesisModel:
+    """The calibrated frequency/area estimator for one device.
+
+    Coefficients are fit once per device and cached; estimation is then a
+    cheap dot product, so DSE sweeps stay fast.
+    """
+
+    def __init__(self, device: FpgaDevice = VIRTEX6_SX475T):
+        self.device = device
+        self._freq_coef, self.freq_fit_stats = self._fit_frequency()
+        self._logic_coef, self.logic_fit_stats = self._fit_logic()
+
+    # -- calibration -------------------------------------------------------
+    def _fit_frequency(self):
+        cells = calibration.table_iv_grid()
+        X = np.stack([_freq_features(cfg, self.device) for cfg, _ in cells])
+        periods = np.array([1e3 / mhz for _, mhz in cells])  # ns
+        coef, _ = nnls(X, periods)
+        pred = X @ coef
+        resid = pred - periods
+        ss_res = float((resid**2).sum())
+        ss_tot = float(((periods - periods.mean()) ** 2).sum())
+        pred_mhz = 1e3 / pred
+        true_mhz = 1e3 / periods
+        stats = {
+            "r2": 1 - ss_res / ss_tot,
+            "mean_abs_pct_err": float(
+                np.abs(pred_mhz / true_mhz - 1).mean() * 100
+            ),
+            "max_abs_pct_err": float(
+                np.abs(pred_mhz / true_mhz - 1).max() * 100
+            ),
+            "n_points": len(cells),
+        }
+        return coef, stats
+
+    def _fit_logic(self):
+        points = calibration.LOGIC_POINTS
+        rows, targets = [], []
+        for pt in points:
+            cfg = self._point_config(pt)
+            rows.append(_logic_features(cfg, self.device))
+            targets.append(pt.percent)
+        X = np.stack(rows)
+        y = np.array(targets)
+        coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        pred = X @ coef
+        stats = {
+            "mean_abs_err_pp": float(np.abs(pred - y).mean()),
+            "max_abs_err_pp": float(np.abs(pred - y).max()),
+            "n_points": len(points),
+        }
+        return coef, stats
+
+    @staticmethod
+    def _point_config(pt: calibration.UtilizationPoint) -> PolyMemConfig:
+        p, q = {8: (2, 4), 16: (2, 8)}[pt.lanes]
+        return PolyMemConfig(
+            pt.capacity_kb * 1024,
+            p=p,
+            q=q,
+            scheme=pt.scheme,
+            read_ports=pt.read_ports,
+        )
+
+    # -- estimation -------------------------------------------------------
+    def frequency_mhz(self, config: PolyMemConfig) -> float:
+        """Estimated maximum clock frequency."""
+        period = float(_freq_features(config, self.device) @ self._freq_coef)
+        return 1e3 / period
+
+    def logic_pct(self, config: PolyMemConfig) -> float:
+        """Estimated slice utilization percentage."""
+        return float(_logic_features(config, self.device) @ self._logic_coef)
+
+    def lut_pct(self, config: PolyMemConfig) -> float:
+        """Estimated LUT utilization percentage."""
+        return self.logic_pct(config) * LUT_TO_LOGIC_RATIO
+
+    def bram_pct(self, config: PolyMemConfig) -> float:
+        """Block-RAM utilization percentage (exact arithmetic)."""
+        return 100.0 * polymem_bram_usage(config, self.device.bram36).utilization
+
+    def estimate(self, config: PolyMemConfig) -> SynthesisReport:
+        """Full synthesis estimate for one configuration."""
+        budget = polymem_bram_usage(config, self.device.bram36)
+        logic = self.logic_pct(config)
+        return SynthesisReport(
+            config=config,
+            fmax_mhz=self.frequency_mhz(config),
+            logic_pct=logic,
+            lut_pct=logic * LUT_TO_LOGIC_RATIO,
+            bram_pct=100.0 * budget.utilization,
+            feasible=budget.feasible and logic <= 100.0,
+        )
+
+
+@lru_cache(maxsize=4)
+def default_model(device_name: str = VIRTEX6_SX475T.name) -> SynthesisModel:
+    """A cached model for the named device (fit once per process)."""
+    from .fpga import devices
+
+    return SynthesisModel(devices()[device_name])

@@ -1,0 +1,31 @@
+"""PolyMem-backed application kernels (the paper's §VII future work).
+
+Each kernel routes *all* of its operand traffic through PolyMem parallel
+accesses, verifies against a NumPy reference, and reports cycle counts and
+speedups over a scalar memory — the application-level evidence for the
+multiview design.
+"""
+
+from .base import CycleScope, KernelReport
+from .jacobi import jacobi_reference, jacobi_solve
+from .matmul import matmul, matmul_scalar_cycles
+from .reduction import load_matrix, reduce_columns, reduce_rows
+from .stencil import stencil_reference, stencil_serial_cycles, stencil_sweep
+from .transpose import transpose, transpose_serial_cycles
+
+__all__ = [
+    "CycleScope",
+    "KernelReport",
+    "jacobi_reference",
+    "jacobi_solve",
+    "load_matrix",
+    "matmul",
+    "matmul_scalar_cycles",
+    "reduce_columns",
+    "reduce_rows",
+    "stencil_reference",
+    "stencil_serial_cycles",
+    "stencil_sweep",
+    "transpose",
+    "transpose_serial_cycles",
+]

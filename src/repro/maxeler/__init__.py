@@ -1,0 +1,52 @@
+"""Maxeler-like dataflow substrate: kernels, streams, manager, simulator.
+
+A cycle-accurate stand-in for the MaxJ platform the paper targets (see
+DESIGN.md).  Designs are built from :class:`Kernel` nodes connected by
+:class:`Stream` edges under a :class:`Manager`, loaded onto a :class:`DFE`,
+and driven by a :class:`Host` through blocking calls that model PCIe
+overheads.
+"""
+
+from .dfe import DFE, VectisBoard
+from .host import Host, StageTiming
+from .lmem import LMem
+from .kernel import (
+    BinOpKernel,
+    DelayKernel,
+    DemuxKernel,
+    Kernel,
+    MapKernel,
+    MuxKernel,
+    SinkKernel,
+    SourceKernel,
+)
+from .manager import DesignResources, Manager
+from .pcie import VECTIS_PCIE, PcieLink
+from .simulator import SimulationResult, Simulator
+from .stream import Stream
+from .trace import CycleEvent, TraceRecorder
+
+__all__ = [
+    "BinOpKernel",
+    "DFE",
+    "DelayKernel",
+    "DemuxKernel",
+    "DesignResources",
+    "Host",
+    "Kernel",
+    "LMem",
+    "Manager",
+    "MapKernel",
+    "MuxKernel",
+    "PcieLink",
+    "SimulationResult",
+    "Simulator",
+    "SinkKernel",
+    "SourceKernel",
+    "StageTiming",
+    "Stream",
+    "TraceRecorder",
+    "CycleEvent",
+    "VECTIS_PCIE",
+    "VectisBoard",
+]

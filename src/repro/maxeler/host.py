@@ -1,0 +1,127 @@
+"""Host-side orchestration: blocking calls and wall-clock accounting.
+
+The paper's measurement methodology (§V) runs each stage through *blocking*
+host calls, so stage boundaries are clean and each call pays the ~300 ns
+PCIe signalling overhead.  :class:`Host` mirrors that: every interaction
+with the DFE advances a simulated wall clock by PCIe overhead + payload
+time + on-chip execution time, and a per-stage ledger records where the
+time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..core.exceptions import SimulationError
+from .dfe import DFE
+
+__all__ = ["Host", "StageTiming"]
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock breakdown of one named stage."""
+
+    name: str
+    calls: int = 0
+    pcie_ns: float = 0.0
+    compute_ns: float = 0.0
+    payload_bytes: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.pcie_ns + self.compute_ns
+
+
+class Host:
+    """The CPU side of Fig. 1, driving a DFE through blocking calls."""
+
+    def __init__(self, dfe: DFE):
+        self.dfe = dfe
+        self.clock_ns = 0.0
+        self.stages: dict[str, StageTiming] = {}
+        self._stage = self._get_stage("default")
+
+    # -- stage bookkeeping ---------------------------------------------------
+    def _get_stage(self, name: str) -> StageTiming:
+        if name not in self.stages:
+            self.stages[name] = StageTiming(name)
+        return self.stages[name]
+
+    def begin_stage(self, name: str) -> StageTiming:
+        """Start attributing time to stage *name* (stages never overlap —
+        the paper's blocking-call separation)."""
+        self._stage = self._get_stage(name)
+        return self._stage
+
+    def stage(self, name: str) -> StageTiming:
+        """The ledger entry for stage *name*."""
+        if name not in self.stages:
+            raise SimulationError(f"unknown stage {name!r}")
+        return self.stages[name]
+
+    def _charge_pcie(self, payload_bytes: int, calls: int = 1) -> None:
+        link = self.dfe.board.pcie
+        ns = calls * link.call_overhead_ns + payload_bytes / link.bandwidth_gbps
+        self.clock_ns += ns
+        self._stage.calls += calls
+        self._stage.pcie_ns += ns
+        self._stage.payload_bytes += payload_bytes
+
+    def _charge_compute(self, cycles: int) -> None:
+        ns = self.dfe.cycles_to_ns(cycles)
+        self.clock_ns += ns
+        self._stage.compute_ns += ns
+
+    # -- blocking calls -----------------------------------------------------
+    @staticmethod
+    def _element_bytes(value: Any) -> int:
+        """Wire size of one stream element: array elements carry their real
+        byte count (wide lane vectors), anything else is one 64-bit word."""
+        nbytes = getattr(value, "nbytes", None)
+        return int(nbytes) if nbytes is not None else 8
+
+    def write_stream(self, name: str, values: Iterable[Any]) -> int:
+        """Blocking host->DFE transfer into input stream *name*.
+
+        Returns the element count.
+        """
+        stream = self.dfe.manager.host_input(name)
+        count = 0
+        payload = 0
+        for value in values:
+            stream.push(value)
+            payload += self._element_bytes(value)
+            count += 1
+        self._charge_pcie(payload_bytes=payload)
+        return count
+
+    def read_stream(self, name: str) -> list[Any]:
+        """Blocking DFE->host drain of output stream *name*."""
+        stream = self.dfe.manager.host_output(name)
+        values = stream.drain()
+        self._charge_pcie(
+            payload_bytes=sum(self._element_bytes(v) for v in values)
+        )
+        return values
+
+    def signal(self) -> None:
+        """A payload-free control call (mode/size scalars)."""
+        self._charge_pcie(payload_bytes=0)
+
+    def run_kernel(self, until=None, max_cycles=None):
+        """Blocking kernel execution: runs the on-chip simulation and
+        advances the wall clock by the consumed cycles plus one call
+        overhead."""
+        before = self.dfe.simulator.cycles
+        result = self.dfe.run(until=until, max_cycles=max_cycles)
+        self._charge_pcie(payload_bytes=0)
+        self._charge_compute(result.cycles - before)
+        return result
+
+    def charge_external_compute(self, cycles: int) -> None:
+        """Account for on-chip cycles computed analytically (the vectorized
+        fast path) without ticking the simulator."""
+        self._charge_pcie(payload_bytes=0)
+        self._charge_compute(cycles)

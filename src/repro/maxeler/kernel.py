@@ -1,0 +1,240 @@
+"""Dataflow kernels: the nodes of a MaxJ-like design.
+
+A :class:`Kernel` owns named input and output :class:`~repro.maxeler.stream.
+Stream` endpoints and advances one clock cycle per :meth:`Kernel.tick` call.
+The contract per tick:
+
+* pop at most one element from each input stream;
+* push at most one element to each output stream;
+* stall (do nothing) when required inputs are missing or outputs are full.
+
+A library of generic kernels used by the STREAM design is provided:
+:class:`SourceKernel`, :class:`SinkKernel`, :class:`MapKernel`,
+:class:`DelayKernel` (fixed-latency pipeline), :class:`MuxKernel`,
+:class:`DemuxKernel`, and :class:`BinOpKernel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from ..core.exceptions import SimulationError
+from .stream import Stream
+
+__all__ = [
+    "Kernel",
+    "SourceKernel",
+    "SinkKernel",
+    "MapKernel",
+    "BinOpKernel",
+    "DelayKernel",
+    "MuxKernel",
+    "DemuxKernel",
+]
+
+
+class Kernel:
+    """Base class for dataflow kernels."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: dict[str, Stream] = {}
+        self.outputs: dict[str, Stream] = {}
+        #: ticks in which the kernel made progress (for utilization stats)
+        self.active_cycles = 0
+        self.total_cycles = 0
+
+    # -- wiring -----------------------------------------------------------
+    def bind_input(self, port: str, stream: Stream) -> None:
+        """Attach *stream* to input *port*."""
+        if port in self.inputs:
+            raise SimulationError(f"{self.name}: input {port!r} already bound")
+        self.inputs[port] = stream
+
+    def bind_output(self, port: str, stream: Stream) -> None:
+        """Attach *stream* to output *port*."""
+        if port in self.outputs:
+            raise SimulationError(f"{self.name}: output {port!r} already bound")
+        self.outputs[port] = stream
+
+    def require(self, *ports: str) -> None:
+        """Assert all *ports* are bound (called by the manager at build)."""
+        for port in ports:
+            if port not in self.inputs and port not in self.outputs:
+                raise SimulationError(
+                    f"{self.name}: port {port!r} is not connected"
+                )
+
+    # -- execution ---------------------------------------------------------
+    def tick(self) -> bool:
+        """Advance one cycle; return True when progress was made."""
+        self.total_cycles += 1
+        progressed = self._tick()
+        if progressed:
+            self.active_cycles += 1
+        return progressed
+
+    def _tick(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def idle(self) -> bool:
+        """True when the kernel has no internal work pending (used by the
+        simulator's quiescence detection).  Kernels with internal state
+        override this."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SourceKernel(Kernel):
+    """Feeds a fixed sequence into its ``out`` stream, one element/cycle."""
+
+    def __init__(self, name: str, values: Iterable[Any]):
+        super().__init__(name)
+        self._pending = deque(values)
+
+    def _tick(self) -> bool:
+        out = self.outputs["out"]
+        if self._pending and out.can_push():
+            out.push(self._pending.popleft())
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending
+
+    @property
+    def idle(self) -> bool:
+        return self.exhausted
+
+
+class SinkKernel(Kernel):
+    """Collects everything arriving on its ``in`` stream."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.collected: list[Any] = []
+
+    def _tick(self) -> bool:
+        inp = self.inputs["in"]
+        if inp.can_pop():
+            self.collected.append(inp.pop())
+            return True
+        return False
+
+
+class MapKernel(Kernel):
+    """Applies a pointwise function: ``out = fn(in)``, one element/cycle."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Any]):
+        super().__init__(name)
+        self.fn = fn
+
+    def _tick(self) -> bool:
+        inp, out = self.inputs["in"], self.outputs["out"]
+        if inp.can_pop() and out.can_push():
+            out.push(self.fn(inp.pop()))
+            return True
+        return False
+
+
+class BinOpKernel(Kernel):
+    """Combines two streams element-wise: ``out = fn(a, b)``."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]):
+        super().__init__(name)
+        self.fn = fn
+
+    def _tick(self) -> bool:
+        a, b = self.inputs["a"], self.inputs["b"]
+        out = self.outputs["out"]
+        if a.can_pop() and b.can_pop() and out.can_push():
+            out.push(self.fn(a.pop(), b.pop()))
+            return True
+        return False
+
+
+class DelayKernel(Kernel):
+    """A fixed-latency pipeline: elements emerge *latency* cycles after
+    entering (models MaxJ's stream offsets / BRAM read latency)."""
+
+    def __init__(self, name: str, latency: int):
+        super().__init__(name)
+        if latency < 1:
+            raise SimulationError(f"{name}: latency must be >= 1")
+        self.latency = latency
+        self._pipe: deque[tuple[int, Any]] = deque()
+        self._now = 0
+
+    def _tick(self) -> bool:
+        inp, out = self.inputs["in"], self.outputs["out"]
+        self._now += 1
+        # an occupied pipeline advances every cycle — that is progress, or
+        # the simulator would flag the latency wait as a deadlock
+        progressed = bool(self._pipe)
+        # retire the head element once it has aged `latency` cycles
+        if self._pipe and self._pipe[0][0] + self.latency <= self._now:
+            if out.can_push():
+                out.push(self._pipe.popleft()[1])
+        if inp.can_pop() and len(self._pipe) < self.latency:
+            self._pipe.append((self._now, inp.pop()))
+            progressed = True
+        return progressed
+
+    @property
+    def idle(self) -> bool:
+        return not self._pipe
+
+
+class MuxKernel(Kernel):
+    """Selects one of N inputs per the ``select`` stream: Fig. 9's MUXes.
+
+    Input ports are ``in0 .. in{N-1}`` plus ``select``; one select token
+    routes one data element.
+    """
+
+    def __init__(self, name: str, n_inputs: int):
+        super().__init__(name)
+        self.n_inputs = n_inputs
+
+    def _tick(self) -> bool:
+        sel_s = self.inputs["select"]
+        out = self.outputs["out"]
+        if not sel_s.can_pop() or not out.can_push():
+            return False
+        sel = sel_s.peek()
+        if not 0 <= sel < self.n_inputs:
+            raise SimulationError(f"{self.name}: select {sel} out of range")
+        data = self.inputs[f"in{sel}"]
+        if not data.can_pop():
+            return False
+        sel_s.pop()
+        out.push(data.pop())
+        return True
+
+
+class DemuxKernel(Kernel):
+    """Routes its input to one of N outputs per the ``select`` stream:
+    Fig. 9's DEMUX.  Output ports are ``out0 .. out{N-1}``."""
+
+    def __init__(self, name: str, n_outputs: int):
+        super().__init__(name)
+        self.n_outputs = n_outputs
+
+    def _tick(self) -> bool:
+        sel_s, inp = self.inputs["select"], self.inputs["in"]
+        if not sel_s.can_pop() or not inp.can_pop():
+            return False
+        sel = sel_s.peek()
+        if not 0 <= sel < self.n_outputs:
+            raise SimulationError(f"{self.name}: select {sel} out of range")
+        out = self.outputs[f"out{sel}"]
+        if not out.can_push():
+            return False
+        sel_s.pop()
+        out.push(inp.pop())
+        return True

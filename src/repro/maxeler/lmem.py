@@ -1,0 +1,126 @@
+"""LMem: the DFE board's on-board DRAM (paper Fig. 1).
+
+The paper positions PolyMem as an on-chip cache *between* the board DRAM
+(LMem) and the kernel: LMem is large but has high latency and bounded
+bandwidth, while PolyMem delivers a full parallel word every cycle.
+:class:`LMem` models exactly the properties that trade-off depends on —
+capacity, per-burst latency, and sustained bandwidth — with a linear
+byte-addressed store behind them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import AddressError, CapacityError
+
+__all__ = ["LMem"]
+
+
+class LMem:
+    """On-board DRAM with burst-access timing.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable DRAM (Vectis: 24 GB; the model allocates lazily per page,
+        so a realistic capacity costs nothing until touched).
+    burst_latency_ns:
+        Fixed latency per burst access (row activation + controller).
+    bandwidth_gbps:
+        Sustained streaming bandwidth in GB/s.
+    """
+
+    PAGE_WORDS = 1 << 16  # lazy allocation granularity (512 KB pages)
+
+    def __init__(
+        self,
+        capacity_bytes: int = 24 * 1024**3,
+        burst_latency_ns: float = 200.0,
+        bandwidth_gbps: float = 38.4,
+    ):
+        if capacity_bytes <= 0 or capacity_bytes % 8:
+            raise CapacityError(
+                f"LMem capacity must be a positive multiple of 8 B, got "
+                f"{capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.burst_latency_ns = burst_latency_ns
+        self.bandwidth_gbps = bandwidth_gbps
+        self._pages: dict[int, np.ndarray] = {}
+        #: accumulated access time (the DFE adds this to its wall clock)
+        self.busy_ns = 0.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def capacity_words(self) -> int:
+        return self.capacity_bytes // 8
+
+    def _check_range(self, word_addr: int, n_words: int) -> None:
+        if word_addr < 0 or n_words < 0 or word_addr + n_words > self.capacity_words:
+            raise AddressError(
+                f"LMem access [{word_addr}, {word_addr + n_words}) exceeds "
+                f"{self.capacity_words} words"
+            )
+
+    def _page(self, index: int) -> np.ndarray:
+        page = self._pages.get(index)
+        if page is None:
+            page = np.zeros(self.PAGE_WORDS, dtype=np.uint64)
+            self._pages[index] = page
+        return page
+
+    def _touch(self, word_addr: int, n_words: int, write: bool, data=None):
+        """Move *n_words* starting at *word_addr*, page by page."""
+        out = np.empty(n_words, dtype=np.uint64) if not write else None
+        done = 0
+        while done < n_words:
+            addr = word_addr + done
+            page_idx, offset = divmod(addr, self.PAGE_WORDS)
+            chunk = min(n_words - done, self.PAGE_WORDS - offset)
+            page = self._page(page_idx)
+            if write:
+                page[offset : offset + chunk] = data[done : done + chunk]
+            else:
+                out[done : done + chunk] = page[offset : offset + chunk]
+            done += chunk
+        return out
+
+    def _charge(self, n_words: int) -> float:
+        ns = self.burst_latency_ns + (n_words * 8) / self.bandwidth_gbps
+        self.busy_ns += ns
+        return ns
+
+    def write(self, word_addr: int, data: np.ndarray) -> float:
+        """Burst-write *data*; returns the access time in ns."""
+        data = np.ascontiguousarray(data, dtype=np.uint64).ravel()
+        self._check_range(word_addr, data.size)
+        self._touch(word_addr, data.size, write=True, data=data)
+        self.bytes_written += data.size * 8
+        return self._charge(data.size)
+
+    def read(self, word_addr: int, n_words: int) -> tuple[np.ndarray, float]:
+        """Burst-read *n_words*; returns (data, access time in ns)."""
+        self._check_range(word_addr, n_words)
+        data = self._touch(word_addr, n_words, write=False)
+        self.bytes_read += n_words * 8
+        return data, self._charge(n_words)
+
+    def write_matrix(self, word_addr: int, matrix: np.ndarray, row_stride: int) -> float:
+        """Store a 2-D tile with a row stride (one burst per row)."""
+        ns = 0.0
+        for r, row in enumerate(np.asarray(matrix, dtype=np.uint64)):
+            ns += self.write(word_addr + r * row_stride, row)
+        return ns
+
+    def read_matrix(
+        self, word_addr: int, rows: int, cols: int, row_stride: int
+    ) -> tuple[np.ndarray, float]:
+        """Load a strided 2-D tile (one burst per row)."""
+        out = np.empty((rows, cols), dtype=np.uint64)
+        ns = 0.0
+        for r in range(rows):
+            out[r], dt = self.read(word_addr + r * row_stride, cols)
+            ns += dt
+        return out, ns

@@ -1,0 +1,43 @@
+"""PCI-Express host link model.
+
+The paper measured a minimum host–FPGA signalling overhead of ~300 ns per
+blocking call (§V), which dominates measurements of very short kernels —
+the visible ramp on the left of Fig. 10.  :class:`PcieLink` charges that
+fixed overhead per call plus a bandwidth-proportional payload time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PcieLink", "VECTIS_PCIE"]
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """Latency/bandwidth model of the host link.
+
+    Parameters
+    ----------
+    call_overhead_ns:
+        Fixed per-blocking-call software+signalling overhead (paper: ~300 ns).
+    bandwidth_gbps:
+        Sustained payload bandwidth in GB/s (PCIe gen2 x8 ~ 2 GB/s effective).
+    """
+
+    call_overhead_ns: float = 300.0
+    bandwidth_gbps: float = 2.0
+
+    def transfer_ns(self, payload_bytes: int) -> float:
+        """Wall time of one blocking call moving *payload_bytes*."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        return self.call_overhead_ns + payload_bytes / self.bandwidth_gbps
+
+    def signal_ns(self) -> float:
+        """Wall time of a payload-free control call (mode changes etc.)."""
+        return self.call_overhead_ns
+
+
+#: the Vectis board's link, with the paper's measured call overhead
+VECTIS_PCIE = PcieLink(call_overhead_ns=300.0, bandwidth_gbps=2.0)

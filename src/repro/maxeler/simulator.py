@@ -1,0 +1,111 @@
+"""The tick engine: cycle-accurate execution of a composed design.
+
+Each simulated clock cycle ticks every kernel once, in registration order.
+Because streams are registered FIFOs, intra-cycle evaluation order only
+affects latency by at most one cycle per edge, matching the registered
+semantics of real MaxJ designs.  The simulator tracks total cycles, detects
+quiescence (no kernel progressed and none has pending internal work) and
+deadlock (no progress while work is still pending).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.exceptions import SimulationError
+from .manager import Manager
+
+__all__ = ["Simulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    quiesced: bool
+    kernel_activity: dict[str, float] = field(default_factory=dict)
+
+    def wall_time_ns(self, clock_mhz: float) -> float:
+        """Convert cycle count to nanoseconds at *clock_mhz*."""
+        return self.cycles * 1e3 / clock_mhz
+
+
+class Simulator:
+    """Runs a frozen :class:`~repro.maxeler.manager.Manager` design."""
+
+    def __init__(self, manager: Manager, max_cycles: int = 10_000_000):
+        self.manager = manager
+        self.max_cycles = max_cycles
+        self.cycles = 0
+
+    def _pending_work(self) -> bool:
+        """True when any kernel has internal state or any internal stream
+        holds data (host-side streams excluded: the host decides when to
+        drain them)."""
+        for kernel in self.manager.kernels.values():
+            if not kernel.idle:
+                return True
+        for name, stream in self.manager.streams.items():
+            if name.startswith("host->") or name.endswith("->host"):
+                continue
+            if not stream.empty:
+                return True
+        return False
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_cycles: int | None = None,
+    ) -> SimulationResult:
+        """Tick until *until()* is satisfied, or quiescence when no
+        predicate is given.
+
+        Raises :class:`SimulationError` on deadlock (work pending, no
+        progress, predicate unsatisfied) and on cycle-budget exhaustion.
+        """
+        budget = max_cycles if max_cycles is not None else self.max_cycles
+        kernels = list(self.manager.kernels.values())
+        start = self.cycles
+        while True:
+            if until is not None and until():
+                return self._result(quiesced=False)
+            progressed = False
+            for kernel in kernels:
+                if kernel.tick():
+                    progressed = True
+            self.cycles += 1
+            if self.cycles - start > budget:
+                raise SimulationError(
+                    f"simulation exceeded {budget} cycles without completing"
+                )
+            if not progressed:
+                if until is None and not self._pending_work():
+                    return self._result(quiesced=True)
+                if self._pending_work() or until is not None:
+                    # one idle cycle can be legal (e.g. bubble); two in a row
+                    # with pending work is a deadlock
+                    if self._no_progress_twice(kernels):
+                        raise SimulationError(
+                            f"deadlock after {self.cycles} cycles in design "
+                            f"{self.manager.name!r}"
+                        )
+
+    def _no_progress_twice(self, kernels) -> bool:
+        """Tick one more cycle; report True when still no progress."""
+        progressed = False
+        for kernel in kernels:
+            if kernel.tick():
+                progressed = True
+        self.cycles += 1
+        return not progressed
+
+    def _result(self, quiesced: bool) -> SimulationResult:
+        activity = {
+            k.name: (k.active_cycles / k.total_cycles if k.total_cycles else 0.0)
+            for k in self.manager.kernels.values()
+        }
+        return SimulationResult(
+            cycles=self.cycles, quiesced=quiesced, kernel_activity=activity
+        )

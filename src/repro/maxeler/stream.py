@@ -1,0 +1,92 @@
+"""Typed streams: the edges of a dataflow graph.
+
+A :class:`Stream` is a bounded FIFO connecting exactly one producer kernel
+to one consumer kernel (or the host).  Kernels interact with streams once
+per tick: push at most one element, pop at most one element.  A full stream
+exerts *back-pressure* — the producer must check :meth:`Stream.can_push`
+and stall otherwise, exactly like a MaxJ stream with a full FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """A bounded single-producer single-consumer FIFO edge.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label (shows up in simulator error messages).
+    capacity:
+        Maximum queued elements; ``None`` = unbounded (host-side buffers).
+    """
+
+    def __init__(self, name: str, capacity: int | None = 16):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"stream {name!r}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._fifo: deque[Any] = deque()
+        #: lifetime counters for utilization accounting
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def empty(self) -> bool:
+        return not self._fifo
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._fifo) >= self.capacity
+
+    def can_push(self) -> bool:
+        """Producer-side back-pressure check."""
+        return not self.full
+
+    def can_pop(self) -> bool:
+        """Consumer-side data-availability check."""
+        return bool(self._fifo)
+
+    def push(self, value: Any) -> None:
+        """Enqueue one element; raises on overflow (a kernel bug — hardware
+        would drop data here)."""
+        if self.full:
+            raise SimulationError(
+                f"stream {self.name!r} overflow (capacity {self.capacity})"
+            )
+        self._fifo.append(value)
+        self.total_pushed += 1
+
+    def pop(self) -> Any:
+        """Dequeue one element; raises on underflow."""
+        if not self._fifo:
+            raise SimulationError(f"stream {self.name!r} underflow")
+        self.total_popped += 1
+        return self._fifo.popleft()
+
+    def peek(self) -> Any:
+        """Front element without consuming it."""
+        if not self._fifo:
+            raise SimulationError(f"stream {self.name!r} peek on empty")
+        return self._fifo[0]
+
+    def drain(self) -> list[Any]:
+        """Pop everything (host-side collection)."""
+        out = list(self._fifo)
+        self.total_popped += len(self._fifo)
+        self._fifo.clear()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"Stream({self.name!r}, {len(self._fifo)}/{cap})"

@@ -1,0 +1,145 @@
+"""Simulation tracing: a per-cycle event log for dataflow designs.
+
+MaxJ's behavioural simulator lets developers watch streams cycle by cycle
+(§III-C credits it with most of the debugging productivity).  This module
+adds the equivalent to the tick simulator: a :class:`TraceRecorder`
+observes a design and records, per cycle, which kernels progressed and
+stream occupancies, renderable as a text waveform for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .manager import Manager
+from .simulator import Simulator
+
+__all__ = ["CycleEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class CycleEvent:
+    """Snapshot of one simulated cycle."""
+
+    cycle: int
+    active_kernels: tuple[str, ...]
+    stream_depths: dict[str, int]
+
+
+@dataclass
+class TraceRecorder:
+    """Wraps a :class:`Simulator` and records per-cycle activity.
+
+    Use as a drop-in: ``rec = TraceRecorder(manager); rec.run(...)``.
+    Memory-bounded: keeps the last ``max_events`` cycles.
+    """
+
+    manager: Manager
+    max_events: int = 10_000
+    watch_streams: tuple[str, ...] = ()
+    events: list[CycleEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.simulator = Simulator(self.manager)
+
+    def _snapshot(self) -> None:
+        active = tuple(
+            k.name
+            for k in self.manager.kernels.values()
+            if k.total_cycles and k.active_cycles
+            and self._was_active_this_cycle(k)
+        )
+        streams = {
+            name: len(s)
+            for name, s in self.manager.streams.items()
+            if not self.watch_streams or name in self.watch_streams
+        }
+        self.events.append(
+            CycleEvent(
+                cycle=self.simulator.cycles,
+                active_kernels=active,
+                stream_depths=streams,
+            )
+        )
+        if len(self.events) > self.max_events:
+            del self.events[0 : len(self.events) - self.max_events]
+
+    def _was_active_this_cycle(self, kernel) -> bool:
+        # active count equals total count only while the kernel has never
+        # stalled; track per-cycle deltas instead
+        prev = self._prev_active.get(kernel.name, 0)
+        now = kernel.active_cycles
+        self._prev_active[kernel.name] = now
+        return now > prev
+
+    def run(self, until=None, max_cycles: int | None = None):
+        """Run the wrapped simulator, snapshotting after every cycle."""
+        self._prev_active: dict[str, int] = {
+            k.name: k.active_cycles for k in self.manager.kernels.values()
+        }
+        kernels = list(self.manager.kernels.values())
+        budget = max_cycles if max_cycles is not None else self.simulator.max_cycles
+        start = self.simulator.cycles
+        while True:
+            if until is not None and until():
+                return self.simulator._result(quiesced=False)
+            progressed = False
+            for kernel in kernels:
+                if kernel.tick():
+                    progressed = True
+            self.simulator.cycles += 1
+            self._snapshot()
+            if self.simulator.cycles - start > budget:
+                from ..core.exceptions import SimulationError
+
+                raise SimulationError("trace run exceeded the cycle budget")
+            if not progressed:
+                if until is None and not self.simulator._pending_work():
+                    return self.simulator._result(quiesced=True)
+                if self.simulator._no_progress_twice(kernels):
+                    self._snapshot()
+                    from ..core.exceptions import SimulationError
+
+                    raise SimulationError(
+                        f"deadlock after {self.simulator.cycles} cycles "
+                        f"(trace holds the last {len(self.events)} cycles)"
+                    )
+
+    # -- rendering ----------------------------------------------------------
+    def waveform(self, last: int = 40) -> str:
+        """A text waveform of the last *last* cycles: one row per kernel,
+        ``#`` for active cycles, ``.`` for stalls."""
+        events = self.events[-last:]
+        if not events:
+            return "(no trace)"
+        names = sorted(self.manager.kernels)
+        width = max(len(n) for n in names)
+        lines = [
+            " " * width
+            + " "
+            + "".join(str(e.cycle % 10) for e in events)
+        ]
+        for name in names:
+            row = "".join(
+                "#" if name in e.active_kernels else "." for e in events
+            )
+            lines.append(f"{name:>{width}s} {row}")
+        return "\n".join(lines)
+
+    def utilization(self) -> dict[str, float]:
+        """Per-kernel active fraction over the recorded window."""
+        if not self.events:
+            return {}
+        out = {}
+        for name in self.manager.kernels:
+            active = sum(1 for e in self.events if name in e.active_kernels)
+            out[name] = active / len(self.events)
+        return out
+
+    def peak_depths(self) -> dict[str, int]:
+        """Maximum observed occupancy per watched stream (FIFO sizing)."""
+        peaks: dict[str, int] = {}
+        for e in self.events:
+            for name, depth in e.stream_depths.items():
+                peaks[name] = max(peaks.get(name, 0), depth)
+        return peaks

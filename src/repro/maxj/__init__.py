@@ -1,0 +1,30 @@
+"""A MaxJ-like kernel DSL (paper §II-B's programming model, miniaturized).
+
+Dataflow kernels are described as typed operation graphs with stream
+offsets, then compiled into tickable kernels for the
+:mod:`repro.maxeler` simulator:
+
+>>> from repro.maxj import KernelGraph, compile_graph, FLOAT64
+>>> g = KernelGraph("smooth")
+>>> x = g.input("x", FLOAT64)
+>>> g.output("y", (x.offset(-1) + x) / 2.0)
+>>> kernel = compile_graph(g)
+"""
+
+from .compile import GraphKernel, compile_graph
+from .graph import DFEVar, KernelGraph, Node
+from .types import BOOL, FLOAT64, INT64, UINT32, UINT64, HWType
+
+__all__ = [
+    "BOOL",
+    "DFEVar",
+    "FLOAT64",
+    "GraphKernel",
+    "HWType",
+    "INT64",
+    "KernelGraph",
+    "Node",
+    "UINT32",
+    "UINT64",
+    "compile_graph",
+]

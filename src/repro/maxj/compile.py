@@ -1,0 +1,152 @@
+"""Compilation: turn a :class:`~repro.maxj.graph.KernelGraph` into a
+tickable dataflow kernel.
+
+The compiled :class:`GraphKernel` consumes one element from every input
+stream per tick, evaluates the graph in topological order (NumPy scalar
+arithmetic with hardware wrap semantics), and pushes results to the output
+streams after the graph's pipeline depth — MaxJ's balanced-pipeline timing
+without simulating every register stage individually.
+
+Stream offsets ``x.offset(-k)`` read a per-node history buffer; during the
+first ``k`` cycles the buffer is not yet warm and offsets deliver the
+configured ``fill`` value (hardware reads whatever the uninitialized
+register chain holds — the DSL makes it deterministic instead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from ..maxeler.kernel import Kernel
+from .graph import _BINOPS, KernelGraph, Node
+
+__all__ = ["GraphKernel", "compile_graph"]
+
+
+class GraphKernel(Kernel):
+    """A compiled dataflow graph as a :class:`~repro.maxeler.kernel.Kernel`.
+
+    Ports match the graph's declared stream names.
+    """
+
+    def __init__(self, graph: KernelGraph, fill=0):
+        super().__init__(graph.name)
+        graph.validate()
+        self.graph = graph
+        self.fill = fill
+        self.depth = graph.pipeline_depth()
+        self._tick_index = 0
+        # per-offset-node history of its source values
+        self._history: dict[int, deque] = {
+            n.id: deque(maxlen=n.payload)
+            for n in graph.nodes
+            if n.op == "offset"
+        }
+        # results waiting out the pipeline latency: (ready_tick, {name: value})
+        self._pipe: deque[tuple[int, dict[str, object]]] = deque()
+        self._counters: dict[int, int] = {
+            n.id: 0 for n in graph.nodes if n.op == "counter"
+        }
+        self._accums: dict[int, object] = {
+            n.id: n.payload for n in graph.nodes if n.op == "accum"
+        }
+
+    # -- evaluation -----------------------------------------------------------
+    def _eval(self, node: Node, values: dict[int, object]):
+        op = node.op
+        if op == "input":
+            return values[node.id]  # pre-filled by _tick
+        if op == "const":
+            return node.payload
+        if op == "counter":
+            count = self._counters[node.id]
+            wrap = node.payload
+            self._counters[node.id] = (
+                (count + 1) % wrap if wrap else count + 1
+            )
+            return node.type.cast(count)
+        if op == "offset":
+            hist = self._history[node.id]
+            src = values[node.inputs[0]]
+            out = (
+                hist[0]
+                if len(hist) == hist.maxlen
+                else node.type.cast(self.fill)
+            )
+            hist.append(src)
+            return out
+        if op == "accum":
+            value = values[node.inputs[0]]
+            reset = (
+                bool(values[node.inputs[1]]) if len(node.inputs) > 1 else False
+            )
+            base = node.payload if reset else self._accums[node.id]
+            import numpy as _np
+
+            with _np.errstate(over="ignore"):
+                total = node.type.cast(base + value)
+            self._accums[node.id] = total
+            return total
+        if op == "mux":
+            sel, a, b = (values[i] for i in node.inputs)
+            return a if sel else b
+        if op == "neg":
+            return node.type.cast(-values[node.inputs[0]])
+        if op == "abs":
+            return node.type.cast(abs(values[node.inputs[0]]))
+        if op == "cast":
+            return node.type.cast(values[node.inputs[0]])
+        fn = _BINOPS.get(op)
+        if fn is None:  # pragma: no cover - exhaustive ops
+            raise SimulationError(f"unknown op {op!r}")
+        a, b = (values[i] for i in node.inputs)
+        with np.errstate(over="ignore"):
+            result = fn(a, b)
+        return node.type.cast(result)
+
+    def _tick(self) -> bool:
+        progressed = bool(self._pipe)
+        # 1) retire results whose pipeline latency elapsed
+        while self._pipe and self._pipe[0][0] <= self._tick_index:
+            _, outputs = self._pipe.popleft()
+            if not all(
+                self.outputs[name].can_push() for name in outputs
+            ):
+                self._pipe.appendleft((self._tick_index, outputs))
+                break
+            for name, value in outputs.items():
+                self.outputs[name].push(value)
+        self._tick_index += 1
+        # 2) accept one element per input stream (all-or-nothing)
+        in_streams = {
+            name: self.inputs[name] for name in self.graph.inputs
+        }
+        if in_streams and not all(s.can_pop() for s in in_streams.values()):
+            return progressed
+        values: dict[int, object] = {}
+        for name, node_id in self.graph.inputs.items():
+            node = self.graph.nodes[node_id]
+            values[node_id] = node.type.cast(in_streams[name].pop())
+        for node in self.graph.nodes:
+            if node.op == "input":
+                continue
+            values[node.id] = self._eval(node, values)
+        outputs = {
+            name: values[node_id]
+            for name, node_id in self.graph.outputs.items()
+        }
+        self._pipe.append((self._tick_index + self.depth, outputs))
+        return True
+
+    @property
+    def idle(self) -> bool:
+        return not self._pipe
+
+
+def compile_graph(graph: KernelGraph, fill=0) -> GraphKernel:
+    """Compile *graph* into a kernel (the "generate the dataflow graph"
+    step of the MaxJ toolchain, §II-B)."""
+    return GraphKernel(graph, fill=fill)

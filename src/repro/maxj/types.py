@@ -1,0 +1,70 @@
+"""Hardware types for the MaxJ-like kernel DSL.
+
+MaxJ describes dataflow hardware with typed stream variables (``DFEVar``).
+This module provides the type lattice the mini-DSL uses: fixed-width
+integers and IEEE double, each backed by a NumPy scalar type so simulation
+arithmetic matches hardware width/wrap semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["HWType", "UINT64", "INT64", "UINT32", "FLOAT64", "BOOL"]
+
+
+@dataclass(frozen=True)
+class HWType:
+    """A hardware value type.
+
+    ``cast`` wraps Python/NumPy values to the type's width (integers wrap
+    modulo 2^width like hardware registers; floats pass through).
+    """
+
+    name: str
+    bits: int
+    dtype: type
+
+    def cast(self, value):
+        """Coerce *value* to this type's wrap/precision semantics.
+
+        Integers wrap modulo ``2^bits`` (two's complement for signed
+        types) like hardware registers; floats convert natively.
+        """
+        if self.dtype is np.bool_:
+            return bool(value)
+        if np.issubdtype(self.dtype, np.integer):
+            modulus = 1 << self.bits
+            v = int(value) % modulus
+            if np.issubdtype(self.dtype, np.signedinteger) and v >= modulus // 2:
+                v -= modulus
+            return self.dtype(v)
+        return self.dtype(value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+UINT64 = HWType("uint64", 64, np.uint64)
+INT64 = HWType("int64", 64, np.int64)
+UINT32 = HWType("uint32", 32, np.uint32)
+FLOAT64 = HWType("float64", 64, np.float64)
+BOOL = HWType("bool", 1, np.bool_)
+
+
+def unify(a: HWType, b: HWType) -> HWType:
+    """Result type of a binary operation (MaxJ requires explicit casts for
+    mixed widths; we allow only identical types or bool promotion)."""
+    if a == b:
+        return a
+    if a is BOOL:
+        return b
+    if b is BOOL:
+        return a
+    raise SimulationError(
+        f"type mismatch: {a} vs {b} (insert an explicit cast)"
+    )

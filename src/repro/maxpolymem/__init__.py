@@ -1,0 +1,38 @@
+"""MAX-PolyMem: PolyMem realized as a dataflow design (paper Fig. 3).
+
+Two implementations mirror the paper's §III-C development history:
+
+* :class:`FusedPolyMemKernel` — the optimized single-kernel design;
+* :func:`build_modular_design` — the multi-kernel pipeline (AGU, M, A,
+  Shuffles, Banks as separate kernels), ~2x the resources.
+
+:func:`build_design` assembles either into a runnable DFE;
+:func:`validate_design` runs the paper's §IV-A unique-value read/write
+validation cycle.
+"""
+
+from .cache import CacheTimings, SoftwareCache, Tile
+from .double_buffer import PingPongCache, PingPongReport
+from .design import PolyMemDesign, build_design, clock_for
+from .kernel import DEFAULT_READ_LATENCY, FusedPolyMemKernel, WriteCommand
+from .modular import Bundle, ModularDesign, build_modular_design
+from .validation import ValidationReport, validate_design
+
+__all__ = [
+    "Bundle",
+    "CacheTimings",
+    "SoftwareCache",
+    "Tile",
+    "DEFAULT_READ_LATENCY",
+    "FusedPolyMemKernel",
+    "ModularDesign",
+    "PingPongCache",
+    "PingPongReport",
+    "PolyMemDesign",
+    "ValidationReport",
+    "WriteCommand",
+    "build_design",
+    "build_modular_design",
+    "clock_for",
+    "validate_design",
+]

@@ -1,0 +1,191 @@
+"""PolyMem as a software cache between LMem and the kernel (paper Fig. 1).
+
+The paper's envisioned use: performance-critical data is staged from the
+board DRAM (LMem) into PolyMem, the kernel hammers it with parallel
+accesses (high reuse), and results stream back.  :class:`SoftwareCache`
+implements that tiling driver for matrices larger than the PolyMem:
+
+* tiles are fetched/written back as LMem bursts (latency + bandwidth
+  charged by the :class:`~repro.maxeler.lmem.LMem` model);
+* on-chip accesses run at one parallel access per cycle;
+* a time ledger splits the run into staging vs compute, quantifying the
+  reuse factor at which the PolyMem pays for itself.
+
+There are deliberately no placement/replacement heuristics — the paper:
+*"instead of supporting placement and replacement policies, our memory is
+configured for the application at hand"* — the application drives tiling
+explicitly through :meth:`SoftwareCache.tiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.config import PolyMemConfig
+from ..core.exceptions import CapacityError
+from ..core.patterns import PatternKind
+from ..core.polymem import PolyMem
+from ..maxeler.lmem import LMem
+
+__all__ = ["CacheTimings", "SoftwareCache", "Tile"]
+
+
+@dataclass
+class CacheTimings:
+    """Where the wall-clock went."""
+
+    stage_in_ns: float = 0.0
+    stage_out_ns: float = 0.0
+    compute_cycles: int = 0
+
+    def compute_ns(self, clock_mhz: float) -> float:
+        return self.compute_cycles * 1e3 / clock_mhz
+
+    def total_ns(self, clock_mhz: float) -> float:
+        return self.stage_in_ns + self.stage_out_ns + self.compute_ns(clock_mhz)
+
+    def staging_fraction(self, clock_mhz: float) -> float:
+        """Fraction of time spent moving data instead of computing."""
+        total = self.total_ns(clock_mhz)
+        return (self.stage_in_ns + self.stage_out_ns) / total if total else 0.0
+
+
+@dataclass
+class Tile:
+    """One resident tile: its LMem location and PolyMem contents."""
+
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+
+
+class SoftwareCache:
+    """Tile-wise staging of a big LMem matrix through a PolyMem.
+
+    Parameters
+    ----------
+    config:
+        The PolyMem configuration (its whole space is one tile frame).
+    lmem:
+        The board DRAM holding the full matrix.
+    matrix_shape:
+        (rows, cols) of the LMem-resident matrix, row-major at
+        ``base_addr``.
+    clock_mhz:
+        Kernel clock for the time ledger.
+    """
+
+    def __init__(
+        self,
+        config: PolyMemConfig,
+        lmem: LMem,
+        matrix_shape: tuple[int, int],
+        base_addr: int = 0,
+        clock_mhz: float = 120.0,
+    ):
+        self.memory = PolyMem(config)
+        self.lmem = lmem
+        self.matrix_rows, self.matrix_cols = matrix_shape
+        self.base_addr = base_addr
+        self.clock_mhz = clock_mhz
+        self.timings = CacheTimings()
+        self.tile: Tile | None = None
+        if self.matrix_rows * self.matrix_cols * 8 > lmem.capacity_bytes:
+            raise CapacityError("matrix exceeds LMem capacity")
+
+    @property
+    def tile_rows(self) -> int:
+        return self.memory.rows
+
+    @property
+    def tile_cols(self) -> int:
+        return self.memory.cols
+
+    def tiles(self) -> Iterator[Tile]:
+        """All tile frames covering the matrix, row-major order."""
+        for r in range(0, self.matrix_rows, self.tile_rows):
+            for c in range(0, self.matrix_cols, self.tile_cols):
+                yield Tile(
+                    row0=r,
+                    col0=c,
+                    rows=min(self.tile_rows, self.matrix_rows - r),
+                    cols=min(self.tile_cols, self.matrix_cols - c),
+                )
+
+    def _addr(self, row: int, col: int) -> int:
+        return self.base_addr + row * self.matrix_cols + col
+
+    # -- staging ------------------------------------------------------------
+    def stage_in(self, tile: Tile) -> None:
+        """Fetch *tile* from LMem into the PolyMem (padding short tiles)."""
+        data, ns = self.lmem.read_matrix(
+            self._addr(tile.row0, tile.col0),
+            tile.rows,
+            tile.cols,
+            row_stride=self.matrix_cols,
+        )
+        frame = np.zeros((self.tile_rows, self.tile_cols), dtype=np.uint64)
+        frame[: tile.rows, : tile.cols] = data
+        self.memory.load(frame)
+        self.timings.stage_in_ns += ns
+        self.tile = tile
+
+    def stage_out(self) -> None:
+        """Write the resident tile back to LMem."""
+        if self.tile is None:
+            raise CapacityError("no tile resident")
+        tile = self.tile
+        frame = self.memory.dump()
+        ns = self.lmem.write_matrix(
+            self._addr(tile.row0, tile.col0),
+            frame[: tile.rows, : tile.cols],
+            row_stride=self.matrix_cols,
+        )
+        self.timings.stage_out_ns += ns
+
+    # -- compute ------------------------------------------------------------
+    def read(self, kind: PatternKind, i: int, j: int, port: int = 0) -> np.ndarray:
+        """One on-chip parallel read (tile-relative)."""
+        before = self.memory.cycles
+        out = self.memory.read(kind, i, j, port)
+        self.timings.compute_cycles += self.memory.cycles - before
+        return out
+
+    def write(self, kind: PatternKind, i: int, j: int, values) -> None:
+        """One on-chip parallel write (tile-relative)."""
+        before = self.memory.cycles
+        self.memory.write(kind, i, j, values)
+        self.timings.compute_cycles += self.memory.cycles - before
+
+    def read_batch(self, kind: PatternKind, anchors_i, anchors_j, port: int = 0):
+        before = self.memory.cycles
+        out = self.memory.read_batch(kind, anchors_i, anchors_j, port)
+        self.timings.compute_cycles += self.memory.cycles - before
+        return out
+
+    def write_batch(self, kind: PatternKind, anchors_i, anchors_j, values):
+        before = self.memory.cycles
+        self.memory.write_batch(kind, anchors_i, anchors_j, values)
+        self.timings.compute_cycles += self.memory.cycles - before
+
+    # -- analysis ------------------------------------------------------------
+    def breakeven_reuse(self) -> float:
+        """Accesses per element at which staging cost equals compute cost.
+
+        Below this reuse factor the kernel is staging-bound and the cache
+        buys little; above it, PolyMem bandwidth dominates — the Fig. 1
+        design rationale, quantified.
+        """
+        tile_words = self.tile_rows * self.tile_cols
+        stage_ns = (
+            2 * (self.tile_rows * self.lmem.burst_latency_ns
+                 + tile_words * 8 / self.lmem.bandwidth_gbps)
+        )
+        accesses_per_ns = self.clock_mhz * 1e-3  # parallel accesses per ns
+        access_elems = self.memory.lanes
+        # reuse r => r * tile_words / access_elems cycles of compute
+        return stage_ns * accesses_per_ns * access_elems / tile_words

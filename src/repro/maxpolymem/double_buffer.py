@@ -1,0 +1,129 @@
+"""Double-buffered software cache: overlap staging with compute.
+
+The single-frame :class:`~repro.maxpolymem.cache.SoftwareCache` serializes
+stage-in → compute → stage-out per tile.  With two PolyMem frames in
+ping-pong, tile ``k+1`` streams in from LMem while the kernel computes on
+tile ``k`` — the standard DFE double-buffering idiom the Fig. 1
+architecture enables (PolyMem capacity permitting two frames).
+
+The timing model charges, per pipeline step, ``max(stage_time,
+compute_time)`` instead of their sum; :meth:`PingPongCache.run` reports
+both the overlapped wall clock and the serialized equivalent so the bench
+can quantify the benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.config import PolyMemConfig
+from ..core.polymem import PolyMem
+from ..maxeler.lmem import LMem
+from .cache import SoftwareCache, Tile
+
+__all__ = ["PingPongReport", "PingPongCache"]
+
+
+@dataclass(frozen=True)
+class PingPongReport:
+    """Timing of one double-buffered sweep."""
+
+    tiles: int
+    overlapped_ns: float
+    serialized_ns: float
+    compute_cycles: int
+    clock_mhz: float
+
+    @property
+    def overlap_speedup(self) -> float:
+        return self.serialized_ns / self.overlapped_ns if self.overlapped_ns else 1.0
+
+
+class PingPongCache:
+    """Two software-cache frames in ping-pong over one LMem matrix.
+
+    Parameters mirror :class:`~repro.maxpolymem.cache.SoftwareCache`;
+    *config* describes ONE frame (the device must afford two of them).
+    """
+
+    def __init__(
+        self,
+        config: PolyMemConfig,
+        lmem: LMem,
+        matrix_shape: tuple[int, int],
+        base_addr: int = 0,
+        clock_mhz: float = 120.0,
+    ):
+        self.frames = [
+            SoftwareCache(config, lmem, matrix_shape, base_addr, clock_mhz)
+            for _ in range(2)
+        ]
+        self.lmem = lmem
+        self.clock_mhz = clock_mhz
+
+    def tiles(self):
+        """Tile frames covering the matrix (delegates to frame 0)."""
+        return self.frames[0].tiles()
+
+    def run(
+        self,
+        compute: Callable[[SoftwareCache, Tile], None],
+        writeback: bool = True,
+    ) -> PingPongReport:
+        """Sweep every tile, overlapping tile k+1's staging with tile k's
+        compute.
+
+        *compute(frame, tile)* performs the on-chip work using the frame's
+        ``read``/``write``/``read_batch`` accessors (cycle-accounted).
+        """
+        tiles = list(self.tiles())
+        overlapped = 0.0
+        serialized = 0.0
+        total_cycles = 0
+        if not tiles:
+            return PingPongReport(0, 0.0, 0.0, 0, self.clock_mhz)
+
+        def stage_in_time(frame, tile):
+            before = frame.timings.stage_in_ns
+            frame.stage_in(tile)
+            return frame.timings.stage_in_ns - before
+
+        def stage_out_time(frame):
+            before = frame.timings.stage_out_ns
+            frame.stage_out()
+            return frame.timings.stage_out_ns - before
+
+        def compute_time(frame, tile):
+            before = frame.timings.compute_cycles
+            compute(frame, tile)
+            cycles = frame.timings.compute_cycles - before
+            return cycles, cycles * 1e3 / self.clock_mhz
+
+        # prologue: stage the first tile (not overlappable)
+        t_in = stage_in_time(self.frames[0], tiles[0])
+        overlapped += t_in
+        serialized += t_in
+        for k, tile in enumerate(tiles):
+            cur = self.frames[k % 2]
+            nxt = self.frames[(k + 1) % 2]
+            cycles, t_compute = compute_time(cur, tile)
+            total_cycles += cycles
+            t_stage_next = 0.0
+            if k + 1 < len(tiles):
+                t_stage_next = stage_in_time(nxt, tiles[k + 1])
+            t_out = stage_out_time(cur) if writeback else 0.0
+            # compute overlaps the next tile's staging; write-back of the
+            # current frame shares the LMem port with the stage-in, so the
+            # two LMem transfers serialize against each other
+            overlapped += max(t_compute, t_stage_next + t_out)
+            serialized += t_compute + t_stage_next + t_out
+        return PingPongReport(
+            tiles=len(tiles),
+            overlapped_ns=overlapped,
+            serialized_ns=serialized,
+            compute_cycles=total_cycles,
+            clock_mhz=self.clock_mhz,
+        )

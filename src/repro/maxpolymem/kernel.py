@@ -1,0 +1,120 @@
+"""The fused MAX-PolyMem kernel: the whole Fig. 3 design in one kernel.
+
+The paper built two variants of MAX-PolyMem (§III-C): a modular multi-kernel
+design and a fused single-kernel design (which halves resource usage).
+:class:`FusedPolyMemKernel` is the fused variant — a single dataflow kernel
+that accepts one write command and one read command per port per cycle and
+produces read data after a fixed pipeline latency (the paper measures 14
+cycles for the synthesized STREAM design).
+
+Stream protocol
+---------------
+* ``wr_cmd``  — elements are :class:`WriteCommand` (request + lane data).
+* ``rd_cmd{r}`` — per read port, elements are
+  :class:`~repro.core.agu.AccessRequest`.
+* ``rd_out{r}`` — per read port, lane-ordered result vectors, emerging
+  ``read_latency`` cycles after the command entered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.agu import AccessRequest
+from ..core.config import PolyMemConfig
+from ..core.polymem import PolyMem
+from ..maxeler.kernel import Kernel
+
+__all__ = ["WriteCommand", "FusedPolyMemKernel", "DEFAULT_READ_LATENCY"]
+
+#: pipeline depth of the synthesized design, estimated by Maxeler's tools
+#: for the paper's STREAM experiment (§V)
+DEFAULT_READ_LATENCY = 14
+
+
+@dataclass(frozen=True)
+class WriteCommand:
+    """One parallel write: the (i, j, AccType, DataIn) signal bundle."""
+
+    request: AccessRequest
+    values: np.ndarray
+
+
+class FusedPolyMemKernel(Kernel):
+    """Single-kernel MAX-PolyMem with pipelined reads.
+
+    Per tick it consumes at most one ``wr_cmd`` and one ``rd_cmd{r}`` per
+    read port — the paper's "one write access and one read access for each
+    read port ... independently at the same time".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: PolyMemConfig,
+        read_latency: int = DEFAULT_READ_LATENCY,
+    ):
+        super().__init__(name)
+        self.config = config
+        self.memory = PolyMem(config)
+        self.read_latency = read_latency
+        self._now = 0
+        # per-port in-flight pipelines of (issue_cycle, result_vector)
+        self._pipes: list[deque[tuple[int, np.ndarray]]] = [
+            deque() for _ in range(config.read_ports)
+        ]
+
+    def _tick(self) -> bool:
+        self._now += 1
+        # an occupied read pipeline advances every cycle — that is progress,
+        # or the simulator would flag the latency wait as a deadlock
+        progressed = any(self._pipes)
+        # 1) retire pipelined reads whose latency elapsed
+        for port, pipe in enumerate(self._pipes):
+            out = self.outputs.get(f"rd_out{port}")
+            if (
+                pipe
+                and out is not None
+                and pipe[0][0] + self.read_latency <= self._now
+                and out.can_push()
+            ):
+                out.push(pipe.popleft()[1])
+                progressed = True
+        # 2) accept one command per port; reads and the write share a cycle
+        reads: list[tuple[int, AccessRequest]] = []
+        for port in range(self.config.read_ports):
+            cmd = self.inputs.get(f"rd_cmd{port}")
+            if (
+                cmd is not None
+                and cmd.can_pop()
+                and len(self._pipes[port]) < self.read_latency
+            ):
+                reads.append((port, cmd.peek()))
+        write = None
+        wr = self.inputs.get("wr_cmd")
+        if wr is not None and wr.can_pop():
+            write = wr.peek()
+        if reads or write is not None:
+            results = self.memory.step(
+                reads=reads,
+                write=(write.request, write.values) if write else None,
+            )
+            for port, _ in reads:
+                self.inputs[f"rd_cmd{port}"].pop()
+                self._pipes[port].append((self._now, results[port]))
+            if write is not None:
+                wr.pop()
+            progressed = True
+        return progressed
+
+    @property
+    def idle(self) -> bool:
+        return all(not pipe for pipe in self._pipes)
+
+    @property
+    def cycles(self) -> int:
+        """Parallel-access cycles consumed by the underlying memory."""
+        return self.memory.cycles

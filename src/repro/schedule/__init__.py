@@ -1,0 +1,47 @@
+"""Application-driven PolyMem customization (paper §III-A).
+
+The end-to-end design flow: an application access trace is covered by the
+fewest conflict-free parallel accesses (set covering, exact branch-and-bound
+ILP with a greedy baseline), and candidate configurations are ranked by
+speedup and efficiency.
+"""
+
+from .cover import CandidateAccess, CoverProblem, build_cover_problem
+from .executor import ExecutionResult, execute_schedule, memory_for_trace
+from .customize import CustomizationResult, Schedule, customize, schedule_trace
+from .greedy import greedy_cover
+from .ilp import IlpSolution, solve_cover
+from .trace import (
+    ApplicationTrace,
+    block_trace,
+    column_trace,
+    diagonal_trace,
+    random_trace,
+    row_trace,
+    stencil_trace,
+    transpose_trace,
+)
+
+__all__ = [
+    "ApplicationTrace",
+    "CandidateAccess",
+    "CoverProblem",
+    "CustomizationResult",
+    "ExecutionResult",
+    "IlpSolution",
+    "Schedule",
+    "block_trace",
+    "build_cover_problem",
+    "column_trace",
+    "customize",
+    "diagonal_trace",
+    "execute_schedule",
+    "memory_for_trace",
+    "greedy_cover",
+    "random_trace",
+    "row_trace",
+    "schedule_trace",
+    "solve_cover",
+    "stencil_trace",
+    "transpose_trace",
+]

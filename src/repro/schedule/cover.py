@@ -1,0 +1,127 @@
+"""Set-covering formulation of the optimal parallel access schedule.
+
+Paper §III-A: *"To determine the optimal schedule we formulate the problem
+as a set covering problem, using ILP for the search itself."*
+
+Given an application trace and a candidate PolyMem configuration (scheme +
+lane grid + address space), the universe is the set of required cells and
+each candidate parallel access contributes the subset of required cells it
+covers.  The optimal schedule is a minimum set cover — the fewest parallel
+accesses that read every required cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import ScheduleError
+from ..core.patterns import AccessPattern, PatternKind
+from ..core.schemes import SCHEME_SPECS, Scheme, validate_lane_grid
+from .trace import ApplicationTrace
+
+__all__ = ["CandidateAccess", "CoverProblem", "build_cover_problem"]
+
+
+@dataclass(frozen=True)
+class CandidateAccess:
+    """One candidate parallel access: shape + anchor."""
+
+    kind: PatternKind
+    i: int
+    j: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}@({self.i},{self.j})"
+
+
+@dataclass
+class CoverProblem:
+    """A set-cover instance over bitmask-encoded cell sets.
+
+    ``universe`` has one bit per required cell; ``masks[k]`` is the subset
+    of required cells candidate ``k`` covers.
+    """
+
+    trace: ApplicationTrace
+    scheme: Scheme
+    p: int
+    q: int
+    candidates: list[CandidateAccess]
+    masks: list[int]
+    universe: int
+    cell_ids: dict[tuple[int, int], int]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cell_ids)
+
+    def coverable(self) -> bool:
+        """Whether the union of all candidates covers the universe."""
+        u = 0
+        for m in self.masks:
+            u |= m
+        return u == self.universe
+
+    def covered_cells(self, access: CandidateAccess) -> frozenset[tuple[int, int]]:
+        """The required cells one access covers (for reporting)."""
+        pat = AccessPattern(access.kind, self.p, self.q)
+        return pat.cover_cells(access.i, access.j) & self.trace.cells
+
+
+def build_cover_problem(
+    trace: ApplicationTrace, scheme: Scheme, p: int, q: int
+) -> CoverProblem:
+    """Enumerate candidate conflict-free accesses and encode the instance.
+
+    Candidates are generated per supported pattern of *scheme*: every
+    anchor that (a) satisfies the pattern's alignment constraint, (b) stays
+    inside the trace's bounding region, and (c) covers at least one
+    required cell.
+    """
+    validate_lane_grid(scheme, p, q)
+    spec = SCHEME_SPECS[scheme]
+    cell_ids = {cell: k for k, cell in enumerate(sorted(trace.cells))}
+    universe = (1 << len(cell_ids)) - 1
+    seen: set[CandidateAccess] = set()
+    candidates: list[CandidateAccess] = []
+    masks: list[int] = []
+    for entry in spec.supported:
+        if not entry.condition_holds(p, q):
+            continue
+        pat = AccessPattern(entry.kind, p, q)
+        di, dj = pat.offsets
+        for (ci, cj) in trace.cells:
+            # anchors that place some lane on (ci, cj)
+            for a, b in zip(di.tolist(), dj.tolist()):
+                i0, j0 = ci - a, cj - b
+                cand = CandidateAccess(entry.kind, i0, j0)
+                if cand in seen:
+                    continue
+                seen.add(cand)
+                if not entry.anchor_ok(i0, j0, p, q):
+                    continue
+                if not pat.fits(i0, j0, trace.rows, trace.cols):
+                    continue
+                mask = 0
+                for cell in pat.cover_cells(i0, j0):
+                    idx = cell_ids.get(cell)
+                    if idx is not None:
+                        mask |= 1 << idx
+                if mask:
+                    candidates.append(cand)
+                    masks.append(mask)
+    if not candidates:
+        raise ScheduleError(
+            f"no conflict-free access of scheme {scheme} fits trace "
+            f"{trace.name!r} on a {p}x{q} grid"
+        )
+    return CoverProblem(
+        trace=trace,
+        scheme=scheme,
+        p=p,
+        q=q,
+        candidates=candidates,
+        masks=masks,
+        universe=universe,
+        cell_ids=cell_ids,
+    )

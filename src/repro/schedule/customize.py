@@ -1,0 +1,140 @@
+"""Configuration selection: the end of the §III-A flow.
+
+For each candidate configuration (scheme x lane grid), the optimal parallel
+access schedule of the application trace is computed, and configurations
+are ranked by the paper's two metrics:
+
+* **speedup** — elements accessed per schedule step versus a scalar
+  (one-element-per-cycle) memory: ``|cells| / n_accesses``;
+* **efficiency** — achieved fraction of the configuration's peak
+  parallelism: ``speedup / (p * q)`` (1.0 means every lane of every access
+  carried a required element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import ScheduleError, SchemeError
+from ..core.schemes import Scheme, all_schemes, validate_lane_grid
+from .cover import CandidateAccess, build_cover_problem
+from .greedy import greedy_cover
+from .ilp import solve_cover
+from .trace import ApplicationTrace
+
+__all__ = ["Schedule", "CustomizationResult", "schedule_trace", "customize"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An optimal (or greedy) parallel access schedule for one config."""
+
+    trace_name: str
+    scheme: Scheme
+    p: int
+    q: int
+    accesses: tuple[CandidateAccess, ...]
+    proven_optimal: bool
+    solver: str
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def lanes(self) -> int:
+        return self.p * self.q
+
+    @property
+    def cells(self) -> int:
+        # every cell covered exactly >= once; schedule length is what counts
+        return self._n_cells
+
+    _n_cells: int = 0
+
+    @property
+    def speedup(self) -> float:
+        """Cells per schedule step vs a one-element-per-cycle memory."""
+        return self._n_cells / self.n_accesses
+
+    @property
+    def efficiency(self) -> float:
+        """speedup / lanes — lane occupancy of the schedule."""
+        return self.speedup / self.lanes
+
+
+def schedule_trace(
+    trace: ApplicationTrace,
+    scheme: Scheme,
+    p: int,
+    q: int,
+    solver: str = "ilp",
+    node_budget: int = 200_000,
+) -> Schedule:
+    """Optimal (``solver="ilp"``) or greedy schedule for one configuration."""
+    problem = build_cover_problem(trace, scheme, p, q)
+    if solver == "ilp":
+        sol = solve_cover(problem, node_budget=node_budget)
+        chosen, proven = sol.chosen, sol.proven_optimal
+    elif solver == "greedy":
+        chosen, proven = tuple(greedy_cover(problem)), False
+    else:
+        raise ScheduleError(f"unknown solver {solver!r}")
+    return Schedule(
+        trace_name=trace.name,
+        scheme=scheme,
+        p=p,
+        q=q,
+        accesses=tuple(problem.candidates[k] for k in chosen),
+        proven_optimal=proven,
+        solver=solver,
+        _n_cells=len(trace.cells),
+    )
+
+
+@dataclass
+class CustomizationResult:
+    """Ranked schedules across all candidate configurations."""
+
+    trace: ApplicationTrace
+    schedules: list[Schedule]
+
+    @property
+    def best(self) -> Schedule:
+        """Highest speedup; efficiency breaks ties (the paper's metrics)."""
+        return max(self.schedules, key=lambda s: (s.speedup, s.efficiency))
+
+    def by_scheme(self, scheme: Scheme) -> list[Schedule]:
+        return [s for s in self.schedules if s.scheme is scheme]
+
+
+def customize(
+    trace: ApplicationTrace,
+    lane_grids: list[tuple[int, int]] | None = None,
+    schemes: list[Scheme] | None = None,
+    solver: str = "ilp",
+    node_budget: int = 200_000,
+) -> CustomizationResult:
+    """Run the full §III-A flow: schedule the trace on every candidate
+    (scheme, lane grid) and rank by speedup/efficiency.
+
+    Configurations that cannot cover the trace (unsupported orientation,
+    pattern larger than the trace region) are skipped.
+    """
+    lane_grids = lane_grids or [(2, 4), (2, 8)]
+    schemes = list(schemes) if schemes is not None else list(all_schemes())
+    schedules = []
+    for p, q in lane_grids:
+        for scheme in schemes:
+            try:
+                validate_lane_grid(scheme, p, q)
+                schedules.append(
+                    schedule_trace(trace, scheme, p, q, solver, node_budget)
+                )
+            except (ScheduleError, SchemeError):
+                continue
+    if not schedules:
+        raise ScheduleError(
+            f"no candidate configuration can serve trace {trace.name!r}"
+        )
+    return CustomizationResult(trace=trace, schedules=schedules)

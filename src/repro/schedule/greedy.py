@@ -1,0 +1,43 @@
+"""Greedy set-cover: the classical ln(n)-approximation baseline.
+
+Used both as a fast scheduler in its own right and as the upper bound that
+primes the exact branch-and-bound solver in :mod:`repro.schedule.ilp`.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ScheduleError
+from .cover import CoverProblem
+
+__all__ = ["greedy_cover"]
+
+
+def greedy_cover(problem: CoverProblem) -> list[int]:
+    """Indices of the chosen candidates (largest marginal coverage first).
+
+    Raises :class:`ScheduleError` when the instance is not coverable.
+    """
+    if not problem.coverable():
+        raise ScheduleError(
+            f"trace {problem.trace.name!r} is not coverable under "
+            f"{problem.scheme} ({problem.p}x{problem.q})"
+        )
+    uncovered = problem.universe
+    chosen: list[int] = []
+    # candidates that can still contribute, re-filtered as coverage grows
+    active = list(range(len(problem.masks)))
+    while uncovered:
+        best, best_gain = -1, 0
+        still_active = []
+        for k in active:
+            gain = (problem.masks[k] & uncovered).bit_count()
+            if gain:
+                still_active.append(k)
+                if gain > best_gain:
+                    best, best_gain = k, gain
+        active = still_active
+        if best < 0:  # pragma: no cover - guarded by coverable()
+            raise ScheduleError("greedy cover stalled")
+        chosen.append(best)
+        uncovered &= ~problem.masks[best]
+    return chosen

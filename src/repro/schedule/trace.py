@@ -1,0 +1,127 @@
+"""Application memory-access traces (input to the §III-A customization flow).
+
+An :class:`ApplicationTrace` is the set of 2-D cells a kernel must read per
+iteration — the "application memory access pattern" the paper starts from
+when customizing PolyMem.  Factories generate the traces of the workloads
+the paper's introduction motivates: dense blocks (matrix kernels), rows and
+columns (matmul), stencil neighbourhoods, diagonals, and sparse random
+accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exceptions import ScheduleError
+
+__all__ = [
+    "ApplicationTrace",
+    "block_trace",
+    "row_trace",
+    "column_trace",
+    "stencil_trace",
+    "diagonal_trace",
+    "transpose_trace",
+    "random_trace",
+]
+
+
+@dataclass(frozen=True)
+class ApplicationTrace:
+    """A named set of required cells inside a bounding region."""
+
+    name: str
+    cells: frozenset[tuple[int, int]]
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ScheduleError(f"trace {self.name!r} has no cells")
+        for i, j in self.cells:
+            if not (0 <= i < self.rows and 0 <= j < self.cols):
+                raise ScheduleError(
+                    f"trace {self.name!r}: cell ({i},{j}) outside "
+                    f"{self.rows}x{self.cols}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def density(self) -> float:
+        """Fraction of the bounding region that is accessed."""
+        return len(self.cells) / (self.rows * self.cols)
+
+    def as_mask(self) -> np.ndarray:
+        """Boolean rows x cols mask of the required cells."""
+        mask = np.zeros((self.rows, self.cols), dtype=bool)
+        for i, j in self.cells:
+            mask[i, j] = True
+        return mask
+
+
+def block_trace(rows: int = 8, cols: int = 8, at: tuple[int, int] = (0, 0)) -> ApplicationTrace:
+    """A dense rows x cols block at *at* (matrix-tile workloads)."""
+    i0, j0 = at
+    cells = frozenset(
+        (i0 + a, j0 + b) for a in range(rows) for b in range(cols)
+    )
+    return ApplicationTrace("block", cells, i0 + rows, j0 + cols)
+
+
+def row_trace(n_rows: int, length: int) -> ApplicationTrace:
+    """*n_rows* full rows of *length* (row-streaming kernels)."""
+    cells = frozenset((i, j) for i in range(n_rows) for j in range(length))
+    return ApplicationTrace("rows", cells, n_rows, length)
+
+
+def column_trace(n_cols: int, length: int) -> ApplicationTrace:
+    """*n_cols* full columns of *length* (column-streaming kernels)."""
+    cells = frozenset((i, j) for j in range(n_cols) for i in range(length))
+    return ApplicationTrace("columns", cells, length, n_cols)
+
+
+def stencil_trace(rows: int, cols: int, radius: int = 1) -> ApplicationTrace:
+    """Every cell read by a dense (2*radius+1)-point star stencil sweep over
+    the interior of a rows x cols grid — effectively the full grid."""
+    cells = frozenset((i, j) for i in range(rows) for j in range(cols))
+    trace = ApplicationTrace("stencil", cells, rows, cols)
+    return trace
+
+
+def diagonal_trace(n: int, count: int = 1, anti: bool = False) -> ApplicationTrace:
+    """*count* (anti-)diagonals of length *n* (LU / wavefront kernels)."""
+    cells = set()
+    for d in range(count):
+        for k in range(n):
+            if anti:
+                cells.add((k + d, n - 1 - k))
+            else:
+                cells.add((k + d, k))
+    name = "anti_diagonals" if anti else "diagonals"
+    return ApplicationTrace(name, frozenset(cells), n + count - 1, n)
+
+
+def transpose_trace(rows: int, cols: int) -> ApplicationTrace:
+    """A full tile read both row-wise and column-wise (transpose kernels) —
+    the whole tile, favouring schemes with both orientations."""
+    cells = frozenset((i, j) for i in range(rows) for j in range(cols))
+    return ApplicationTrace("transpose", cells, rows, cols)
+
+
+def random_trace(
+    rows: int, cols: int, density: float = 0.2, seed: int = 0
+) -> ApplicationTrace:
+    """A sparse random trace (graph/irregular workloads)."""
+    if not 0 < density <= 1:
+        raise ScheduleError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    mask = rng.random((rows, cols)) < density
+    if not mask.any():
+        mask[rng.integers(rows), rng.integers(cols)] = True
+    ii, jj = np.nonzero(mask)
+    cells = frozenset(zip(ii.tolist(), jj.tolist()))
+    return ApplicationTrace("random", cells, rows, cols)

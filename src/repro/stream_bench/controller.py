@@ -1,0 +1,400 @@
+"""The Fig. 9 STREAM design: Controller + MUX + DEMUX + MAX-PolyMem.
+
+The host sends the Controller *jobs* (the ``Vector Sizes`` and ``Mode``
+signals of Fig. 9); the Controller generates PolyMem read/write commands,
+drives the write-input MUX (host arrays A/B/C or the feedback loop from
+PolyMem's read port) and the output DEMUX (A_OUT/B_OUT/C_OUT).
+
+PolyMem is split into three equal row bands holding the STREAM arrays A, B
+and C.  All transfers move lane-wide vectors (``p*q`` 64-bit words per
+stream element), modeling the wide PCIe stream interfaces of the MaxJ
+implementation.
+
+Stage semantics (paper §V):
+
+* ``LOAD``   — host vectors stream through the MUX into PolyMem rows;
+* ``COPY``   — reads of A stream back through the feedback MUX input and
+  are written to C, one parallel read + one parallel write per cycle, with
+  the read latency (14 cycles) separating the streams;
+* ``SCALE``/``SUM``/``TRIAD`` — the paper's future-work apps, using the
+  second read port for the two-operand kernels;
+* ``OFFLOAD`` — rows stream out through the DEMUX to the host.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.agu import AccessRequest
+from ..core.config import PolyMemConfig
+from ..core.exceptions import SimulationError
+from ..core.patterns import PatternKind
+from ..core.schemes import Scheme
+from ..maxeler.dfe import DFE, VectisBoard
+from ..maxeler.kernel import DemuxKernel, Kernel, MuxKernel
+from ..maxeler.manager import Manager
+from ..maxpolymem.kernel import DEFAULT_READ_LATENCY, FusedPolyMemKernel, WriteCommand
+
+__all__ = ["Mode", "Job", "StreamController", "StreamDesign", "build_stream_design"]
+
+#: MUX input indices (Fig. 9 left side)
+MUX_A, MUX_B, MUX_C, MUX_FEEDBACK = 0, 1, 2, 3
+
+#: DEMUX output indices (Fig. 9 right side)
+DEMUX_A, DEMUX_B, DEMUX_C = 0, 1, 2
+
+#: bit-exact float64 <-> uint64 views for the arithmetic kernels
+def _as_bits(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64).view(np.uint64)
+
+
+def _as_floats(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.uint64).view(np.float64)
+
+
+class Mode(str, enum.Enum):
+    """The Controller's Mode signal."""
+
+    LOAD = "load"
+    COPY = "copy"
+    SCALE = "scale"
+    SUM = "sum"
+    TRIAD = "triad"
+    OFFLOAD = "offload"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One Mode transition sent by the host.
+
+    ``array``: target array index (0=A, 1=B, 2=C) for LOAD/OFFLOAD.
+    ``vectors``: number of lane-wide vectors to process.
+    ``scalar``: the q constant of SCALE/TRIAD.
+    """
+
+    mode: Mode
+    vectors: int
+    array: int = 0
+    scalar: float = 3.0
+
+
+class StreamController(Kernel):
+    """The Controller block of Fig. 9.
+
+    Ports
+    -----
+    inputs:
+        ``job`` (host), ``wr_data`` (from the MUX), ``rd_data0``/``rd_data1``
+        (from PolyMem's read ports).
+    outputs:
+        ``mux_select``, ``demux_select``, ``demux_data``, ``feedback`` (to
+        the MUX), ``wr_cmd``, ``rd_cmd0``/``rd_cmd1`` (to PolyMem).
+    """
+
+    #: pattern used for all STREAM accesses (rows, under the RoCo scheme)
+    ACCESS = PatternKind.ROW
+
+    def __init__(self, name: str, config: PolyMemConfig):
+        super().__init__(name)
+        self.config = config
+        self.lanes = config.lanes
+        if config.cols % self.lanes:
+            raise SimulationError(
+                "PolyMem columns must be a multiple of the lane count for "
+                "row-streamed STREAM accesses"
+            )
+        #: rows per array band (A, B, C)
+        self.band_rows = config.rows // 3
+        if self.band_rows == 0:
+            raise SimulationError("PolyMem too small to hold three arrays")
+        self._jobs: deque[Job] = deque()
+        self._job: Job | None = None
+        self._reads_issued = 0
+        self._writes_done = 0
+        self._scalar_bits = 0.0
+        self.completed_jobs = 0
+
+    # -- address generation -------------------------------------------------
+    def _vec_anchor(self, array: int, k: int) -> tuple[int, int]:
+        """Anchor of lane-vector *k* of array band *array*."""
+        per_row = self.config.cols // self.lanes
+        row, slot = divmod(k, per_row)
+        if row >= self.band_rows:
+            raise SimulationError(
+                f"vector {k} exceeds array band of {self.band_rows} rows"
+            )
+        return array * self.band_rows + row, slot * self.lanes
+
+    def band_capacity_vectors(self) -> int:
+        """Lane-vectors one array band can hold."""
+        return self.band_rows * (self.config.cols // self.lanes)
+
+    # -- execution ------------------------------------------------------------
+    def _tick(self) -> bool:
+        progressed = False
+        job_in = self.inputs["job"]
+        if self._job is None and job_in.can_pop():
+            self._job = job_in.pop()
+            self._reads_issued = 0
+            self._writes_done = 0
+            progressed = True
+        if self._job is None:
+            return progressed
+        mode = self._job.mode
+        handler = {
+            Mode.LOAD: self._tick_load,
+            Mode.COPY: self._tick_copy,
+            Mode.SCALE: self._tick_scale,
+            Mode.SUM: self._tick_sum,
+            Mode.TRIAD: self._tick_triad,
+            Mode.OFFLOAD: self._tick_offload,
+        }[mode]
+        if handler():
+            progressed = True
+        if self._job is not None and self._writes_done >= self._job.vectors:
+            self._job = None
+            self.completed_jobs += 1
+            progressed = True
+        return progressed
+
+    @property
+    def idle(self) -> bool:
+        return self._job is None and not self._jobs
+
+    # LOAD: select host array input on the MUX, write rows sequentially.
+    def _tick_load(self) -> bool:
+        job = self._job
+        mux_sel = self.outputs["mux_select"]
+        wr_data = self.inputs["wr_data"]
+        wr_cmd = self.outputs["wr_cmd"]
+        progressed = False
+        if self._reads_issued < job.vectors and mux_sel.can_push():
+            # one select token routes one host vector through the MUX
+            mux_sel.push(job.array)
+            self._reads_issued += 1
+            progressed = True
+        if wr_data.can_pop() and wr_cmd.can_push():
+            vec = wr_data.pop()
+            i, j = self._vec_anchor(job.array, self._writes_done)
+            wr_cmd.push(WriteCommand(AccessRequest(self.ACCESS, i, j), vec))
+            self._writes_done += 1
+            progressed = True
+        return progressed
+
+    # COPY: read A on port 0, feed back through the MUX, write C.
+    def _tick_copy(self) -> bool:
+        return self._tick_feedback(
+            src_arrays=(0,), dst_array=2, combine=lambda a: a
+        )
+
+    # SCALE: a = q * b -> read B, multiply, write A.
+    def _tick_scale(self) -> bool:
+        q = self._job.scalar
+        return self._tick_feedback(
+            src_arrays=(1,),
+            dst_array=0,
+            combine=lambda b: _as_bits(q * _as_floats(b)),
+        )
+
+    # SUM: a = b + c -> read B (port 0) and C (port 1), add, write A.
+    def _tick_sum(self) -> bool:
+        return self._tick_feedback(
+            src_arrays=(1, 2),
+            dst_array=0,
+            combine=lambda b, c: _as_bits(_as_floats(b) + _as_floats(c)),
+        )
+
+    # TRIAD: a = b + q * c.
+    def _tick_triad(self) -> bool:
+        q = self._job.scalar
+        return self._tick_feedback(
+            src_arrays=(1, 2),
+            dst_array=0,
+            combine=lambda b, c: _as_bits(_as_floats(b) + q * _as_floats(c)),
+        )
+
+    def _tick_feedback(self, src_arrays, dst_array, combine) -> bool:
+        """Shared logic for the compute stages: issue one parallel read per
+        source port and turn arriving data into one parallel write."""
+        job = self._job
+        progressed = False
+        if len(src_arrays) > self.config.read_ports:
+            raise SimulationError(
+                f"{job.mode.value} needs {len(src_arrays)} read ports, "
+                f"design has {self.config.read_ports}"
+            )
+        # issue reads (one per port per cycle)
+        if self._reads_issued < job.vectors:
+            cmds = []
+            for port, array in enumerate(src_arrays):
+                stream = self.outputs[f"rd_cmd{port}"]
+                if not stream.can_push():
+                    break
+                i, j = self._vec_anchor(array, self._reads_issued)
+                cmds.append((stream, AccessRequest(self.ACCESS, i, j)))
+            if len(cmds) == len(src_arrays):
+                for stream, req in cmds:
+                    stream.push(req)
+                self._reads_issued += 1
+                progressed = True
+        # consume arriving data: combine and route the result through the
+        # MUX's feedback input, as in Fig. 9 (the controller selects the
+        # feedback loop)
+        data_streams = [self.inputs[f"rd_data{p}"] for p in range(len(src_arrays))]
+        mux_sel = self.outputs["mux_select"]
+        feedback = self.outputs["feedback"]
+        if (
+            all(s.can_pop() for s in data_streams)
+            and feedback.can_push()
+            and mux_sel.can_push()
+        ):
+            vecs = [np.asarray(s.pop()) for s in data_streams]
+            feedback.push(combine(*vecs))
+            mux_sel.push(MUX_FEEDBACK)
+            progressed = True
+        # drain the MUX into write commands at the destination cursor
+        wr_data = self.inputs["wr_data"]
+        wr_cmd = self.outputs["wr_cmd"]
+        if wr_data.can_pop() and wr_cmd.can_push():
+            vec = wr_data.pop()
+            i, j = self._vec_anchor(dst_array, self._writes_done)
+            wr_cmd.push(WriteCommand(AccessRequest(self.ACCESS, i, j), vec))
+            self._writes_done += 1
+            progressed = True
+        return progressed
+
+    # OFFLOAD: read rows on port 0, route to the host through the DEMUX.
+    def _tick_offload(self) -> bool:
+        job = self._job
+        progressed = False
+        rd_cmd = self.outputs["rd_cmd0"]
+        if self._reads_issued < job.vectors and rd_cmd.can_push():
+            i, j = self._vec_anchor(job.array, self._reads_issued)
+            rd_cmd.push(AccessRequest(self.ACCESS, i, j))
+            self._reads_issued += 1
+            progressed = True
+        rd_data = self.inputs["rd_data0"]
+        demux_data = self.outputs["demux_data"]
+        demux_sel = self.outputs["demux_select"]
+        if rd_data.can_pop() and demux_data.can_push() and demux_sel.can_push():
+            demux_data.push(rd_data.pop())
+            demux_sel.push(job.array)
+            self._writes_done += 1
+            progressed = True
+        return progressed
+
+
+@dataclass
+class StreamDesign:
+    """The assembled Fig. 9 design."""
+
+    manager: Manager
+    config: PolyMemConfig
+    controller: StreamController
+    polymem: FusedPolyMemKernel | None
+    dfe: DFE
+    read_latency: int
+    style: str = "fused"
+
+    def host(self):
+        from ..maxeler.host import Host
+
+        return Host(self.dfe)
+
+
+def build_stream_design(
+    config: PolyMemConfig | None = None,
+    clock_mhz: float = 120.0,
+    read_latency: int = DEFAULT_READ_LATENCY,
+    board: VectisBoard | None = None,
+    style: str = "fused",
+) -> StreamDesign:
+    """Assemble the STREAM framework of Fig. 9.
+
+    The default configuration matches the paper's synthesized design: RoCo
+    scheme, 8 lanes (2 x 4), 2 read ports, 120 MHz, a ~2 MB PolyMem of
+    510 x 512 words — three bands of 170 x 512 x 8 B ~ 700 KB each, the
+    paper's maximum array size.
+    """
+    if config is None:
+        rows, cols = 510, 512
+        config = PolyMemConfig(
+            rows * cols * 8,
+            p=2,
+            q=4,
+            scheme=Scheme.RoCo,
+            read_ports=2,
+            rows=rows,
+            cols=cols,
+        )
+    if style not in ("fused", "modular"):
+        raise SimulationError(f"unknown STREAM design style {style!r}")
+    mgr = Manager("stream", style=style)
+    controller = StreamController("controller", config)
+    mux = MuxKernel("mux", 4)
+    demux = DemuxKernel("demux", 3)
+    for k in (controller, mux, demux):
+        mgr.add_kernel(k)
+    polymem = None
+    if style == "fused":
+        polymem = FusedPolyMemKernel("polymem", config, read_latency=read_latency)
+        mgr.add_kernel(polymem)
+        wr_ep = (polymem, "wr_cmd")
+        rd_cmd_eps = [(polymem, f"rd_cmd{r}") for r in range(config.read_ports)]
+        rd_out_eps = [(polymem, f"rd_out{r}") for r in range(config.read_ports)]
+        effective_latency = read_latency
+    else:
+        from ..maxpolymem.modular import add_modular_polymem
+
+        ep = add_modular_polymem(mgr, config)
+        wr_ep = ep.wr_cmd
+        rd_cmd_eps = ep.rd_cmd
+        rd_out_eps = ep.rd_out
+        # the tick simulator chains same-cycle through kernels registered
+        # downstream, so the modular pipeline's observable latency is set
+        # by its registration cuts (banks + controller round trip), not
+        # the 7 stage count: exactly 1 extra cycle beyond the slack
+        # (measured, size-independent — see tests/stream_bench)
+        effective_latency = 1
+
+    # host -> controller job stream; host -> MUX array inputs
+    mgr.host_to_kernel("job", controller, "job")
+    mgr.host_to_kernel("a_in", mux, "in0")
+    mgr.host_to_kernel("b_in", mux, "in1")
+    mgr.host_to_kernel("c_in", mux, "in2")
+    # controller <-> MUX
+    mgr.connect(controller, "feedback", mux, "in3", capacity=64)
+    mgr.connect(controller, "mux_select", mux, "select", capacity=64)
+    mgr.connect(mux, "out", controller, "wr_data", capacity=64)
+    # controller <-> PolyMem
+    mgr.connect(controller, "wr_cmd", *wr_ep, capacity=64)
+    for port in range(config.read_ports):
+        mgr.connect(controller, f"rd_cmd{port}", *rd_cmd_eps[port], capacity=64)
+        mgr.connect(
+            rd_out_eps[port][0],
+            rd_out_eps[port][1],
+            controller,
+            f"rd_data{port}",
+            capacity=64,
+        )
+    # controller -> DEMUX -> host
+    mgr.connect(controller, "demux_data", demux, "in", capacity=64)
+    mgr.connect(controller, "demux_select", demux, "select", capacity=64)
+    mgr.kernel_to_host("a_out", demux, "out0")
+    mgr.kernel_to_host("b_out", demux, "out1")
+    mgr.kernel_to_host("c_out", demux, "out2")
+
+    dfe = DFE(mgr, clock_mhz=clock_mhz, board=board, max_cycles=100_000_000)
+    return StreamDesign(
+        manager=mgr,
+        config=config,
+        controller=controller,
+        polymem=polymem,
+        dfe=dfe,
+        read_latency=effective_latency,
+        style=style,
+    )

@@ -1,0 +1,19 @@
+"""Cross-cutting utilities: result persistence and experiment manifests."""
+
+from .persist import (
+    dse_result_to_json,
+    load_dse_result,
+    load_schedule,
+    save_dse_result,
+    save_schedule,
+    schedule_to_json,
+)
+
+__all__ = [
+    "dse_result_to_json",
+    "load_dse_result",
+    "load_schedule",
+    "save_dse_result",
+    "save_schedule",
+    "schedule_to_json",
+]

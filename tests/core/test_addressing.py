@@ -1,0 +1,104 @@
+"""Unit tests for the intra-bank addressing function A."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import AddressingFunction
+from repro.core.exceptions import AddressError, ConfigurationError
+from repro.core.schemes import Scheme, flat_module_assignment
+
+
+class TestConstruction:
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            AddressingFunction(rows=9, cols=8, p=2, q=4)
+        with pytest.raises(ConfigurationError):
+            AddressingFunction(rows=8, cols=9, p=2, q=4)
+
+    def test_positive_dims(self):
+        with pytest.raises(ConfigurationError):
+            AddressingFunction(rows=0, cols=8, p=2, q=4)
+        with pytest.raises(ConfigurationError):
+            AddressingFunction(rows=8, cols=8, p=0, q=4)
+
+    def test_bank_depth(self):
+        a = AddressingFunction(rows=8, cols=16, p=2, q=4)
+        assert a.bank_depth == 4 * 4
+        assert a.blocks_per_row == 4
+
+
+class TestAddressComputation:
+    def test_scalar(self):
+        a = AddressingFunction(rows=8, cols=16, p=2, q=4)
+        assert a(0, 0) == 0
+        assert a(0, 4) == 1       # next column block
+        assert a(2, 0) == 4       # next row block: cols/q = 4
+        assert a(7, 15) == 3 * 4 + 3
+
+    def test_vectorized_matches_scalar(self):
+        a = AddressingFunction(rows=8, cols=16, p=2, q=4)
+        ii, jj = np.mgrid[0:8, 0:16]
+        addrs = a(ii, jj)
+        for i in range(8):
+            for j in range(16):
+                assert addrs[i, j] == a(i, j)
+
+    def test_out_of_range(self):
+        a = AddressingFunction(rows=8, cols=16, p=2, q=4)
+        with pytest.raises(AddressError):
+            a(8, 0)
+        with pytest.raises(AddressError):
+            a(0, 16)
+        with pytest.raises(AddressError):
+            a(-1, 0)
+
+    def test_address_range(self):
+        a = AddressingFunction(rows=8, cols=16, p=2, q=4)
+        ii, jj = np.mgrid[0:8, 0:16]
+        addrs = a(ii, jj)
+        assert addrs.min() == 0 and addrs.max() == a.bank_depth - 1
+
+
+class TestInjectivityPerBank:
+    """(bank, address) is unique per element — the storage soundness
+    invariant — for every scheme."""
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    @pytest.mark.parametrize("p,q", [(2, 4), (2, 8), (4, 2)])
+    def test_bank_address_pairs_unique(self, scheme, p, q):
+        if scheme is Scheme.ReTr and (q % p and p % q):
+            pytest.skip("invalid ReTr grid")
+        rows, cols = 4 * p, 4 * q
+        a = AddressingFunction(rows, cols, p, q)
+        ii, jj = np.mgrid[0:rows, 0:cols]
+        banks = flat_module_assignment(scheme, ii, jj, p, q)
+        addrs = a(ii, jj)
+        keys = banks.ravel() * a.bank_depth + addrs.ravel()
+        assert len(np.unique(keys)) == rows * cols
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_every_slot_used(self, scheme):
+        """The mapping is a bijection onto banks x depth (no holes)."""
+        p, q = 2, 4
+        rows, cols = 4 * p, 4 * q
+        a = AddressingFunction(rows, cols, p, q)
+        ii, jj = np.mgrid[0:rows, 0:cols]
+        banks = flat_module_assignment(scheme, ii, jj, p, q)
+        addrs = a(ii, jj)
+        keys = set((banks.ravel() * a.bank_depth + addrs.ravel()).tolist())
+        assert keys == set(range(p * q * a.bank_depth))
+
+
+class TestInverse:
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_inverse_roundtrip(self, scheme):
+        p, q = 2, 4
+        rows, cols = 2 * p, 2 * q
+        a = AddressingFunction(rows, cols, p, q)
+        from repro.core.schemes import module_assignment
+
+        for i in range(rows):
+            for j in range(cols):
+                mv, mh = module_assignment(scheme, i, j, p, q)
+                addr = a(i, j)
+                assert a.inverse(mv, mh, addr, scheme) == (i, j)

@@ -1,0 +1,86 @@
+"""Unit tests for the Address Generation Unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.agu import AGU, AccessRequest
+from repro.core.exceptions import AddressError, PatternError
+from repro.core.patterns import PatternKind
+
+
+@pytest.fixture
+def agu():
+    return AGU(rows=16, cols=32, p=2, q=4)
+
+
+class TestExpand:
+    def test_rectangle(self, agu):
+        ii, jj = agu.expand(AccessRequest(PatternKind.RECTANGLE, 2, 3))
+        assert ii.tolist() == [2, 2, 2, 2, 3, 3, 3, 3]
+        assert jj.tolist() == [3, 4, 5, 6, 3, 4, 5, 6]
+
+    def test_row(self, agu):
+        ii, jj = agu.expand(AccessRequest(PatternKind.ROW, 5, 10))
+        assert (ii == 5).all()
+        assert jj.tolist() == list(range(10, 18))
+
+    def test_out_of_bounds_right(self, agu):
+        with pytest.raises(AddressError):
+            agu.expand(AccessRequest(PatternKind.ROW, 0, 25))
+
+    def test_out_of_bounds_bottom(self, agu):
+        with pytest.raises(AddressError):
+            agu.expand(AccessRequest(PatternKind.COLUMN, 9, 0))
+
+    def test_out_of_bounds_negative(self, agu):
+        with pytest.raises(AddressError):
+            agu.expand(AccessRequest(PatternKind.RECTANGLE, -1, 0))
+
+    def test_anti_diagonal_needs_left_room(self, agu):
+        ii, jj = agu.expand(AccessRequest(PatternKind.ANTI_DIAGONAL, 0, 7))
+        assert jj.min() == 0
+        with pytest.raises(AddressError):
+            agu.expand(AccessRequest(PatternKind.ANTI_DIAGONAL, 0, 6))
+
+    def test_lane_order_is_canonical(self, agu):
+        """Lane k serves offset k of the pattern — the order DataIn/DataOut
+        use (left-to-right, top-to-bottom)."""
+        req = AccessRequest(PatternKind.RECTANGLE, 0, 0)
+        ii, jj = agu.expand(req)
+        flat = ii * 32 + jj
+        assert flat.tolist() == sorted(flat.tolist())
+
+
+class TestExpandMany:
+    def test_batch_shape(self, agu):
+        ii, jj = agu.expand_many(PatternKind.ROW, np.arange(4), np.zeros(4, int))
+        assert ii.shape == jj.shape == (4, 8)
+
+    def test_batch_matches_single(self, agu):
+        anchors_i = np.array([0, 3, 7])
+        anchors_j = np.array([1, 2, 3])
+        ii, jj = agu.expand_many(PatternKind.RECTANGLE, anchors_i, anchors_j)
+        for k, (ai, aj) in enumerate(zip(anchors_i, anchors_j)):
+            si, sj = agu.expand(AccessRequest(PatternKind.RECTANGLE, ai, aj))
+            assert (ii[k] == si).all() and (jj[k] == sj).all()
+
+    def test_batch_bounds_checked(self, agu):
+        with pytest.raises(AddressError):
+            agu.expand_many(PatternKind.ROW, np.array([0]), np.array([30]))
+
+    def test_mismatched_anchor_arrays(self, agu):
+        with pytest.raises(PatternError):
+            agu.expand_many(PatternKind.ROW, np.arange(3), np.arange(4))
+
+    def test_empty_batch(self, agu):
+        ii, jj = agu.expand_many(PatternKind.ROW, np.array([], int), np.array([], int))
+        assert ii.shape == (0, 8)
+
+
+def test_access_request_str():
+    assert str(AccessRequest(PatternKind.ROW, 1, 2)) == "row@(1,2)"
+
+
+def test_agu_pattern_helper(agu):
+    pat = agu.pattern(PatternKind.COLUMN)
+    assert pat.lanes == 8 and pat.shape == (8, 1)

@@ -1,0 +1,95 @@
+"""Tests for same-cycle read/write collision policies (BRAM port modes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agu import AccessRequest
+from repro.core.config import KB, PolyMemConfig
+from repro.core.exceptions import ConfigurationError, SimulationError
+from repro.core.patterns import PatternKind
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+
+
+def make(policy):
+    pm = PolyMem(
+        PolyMemConfig(4 * KB, p=2, q=4, scheme=Scheme.ReRo),
+        collision_policy=policy,
+    )
+    m = np.arange(pm.rows * pm.cols, dtype=np.uint64).reshape(pm.rows, pm.cols)
+    pm.load(m)
+    return pm, m
+
+
+def colliding_step(pm):
+    """Read and write the same row in one cycle."""
+    return pm.step(
+        reads=[(0, AccessRequest(PatternKind.ROW, 0, 0))],
+        write=(AccessRequest(PatternKind.ROW, 0, 0), np.full(8, 99, np.uint64)),
+    )
+
+
+class TestPolicies:
+    def test_read_first_returns_old_data(self):
+        pm, m = make("read_first")
+        out = colliding_step(pm)
+        assert (out[0] == m[0, :8]).all()
+        assert (pm.read(PatternKind.ROW, 0, 0) == 99).all()
+
+    def test_write_first_forwards_new_data(self):
+        pm, _ = make("write_first")
+        out = colliding_step(pm)
+        assert (out[0] == 99).all()
+
+    def test_write_first_partial_overlap(self):
+        """Only the colliding slots are forwarded."""
+        pm, m = make("write_first")
+        out = pm.step(
+            reads=[(0, AccessRequest(PatternKind.ROW, 0, 0))],
+            write=(
+                AccessRequest(PatternKind.ROW, 0, 4),
+                np.full(8, 7, np.uint64),
+            ),
+        )
+        assert (out[0][:4] == m[0, :4]).all()   # disjoint: old data
+        assert (out[0][4:] == 7).all()           # overlap: forwarded
+
+    def test_forbid_raises_on_hazard(self):
+        pm, _ = make("forbid")
+        with pytest.raises(SimulationError, match="collision"):
+            colliding_step(pm)
+
+    def test_forbid_allows_disjoint_access(self):
+        pm, m = make("forbid")
+        out = pm.step(
+            reads=[(0, AccessRequest(PatternKind.ROW, 2, 0))],
+            write=(AccessRequest(PatternKind.ROW, 3, 0), np.zeros(8, np.uint64)),
+        )
+        assert (out[0] == m[2, :8]).all()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolyMem(
+                PolyMemConfig(4 * KB, p=2, q=4), collision_policy="quantum"
+            )
+
+    def test_default_is_read_first(self):
+        pm, _ = make("read_first")
+        assert PolyMem(PolyMemConfig(4 * KB, p=2, q=4)).collision_policy == (
+            pm.collision_policy
+        )
+
+    def test_policies_agree_without_collisions(self):
+        """Disjoint traffic is policy-independent."""
+        outs = []
+        for policy in PolyMem.COLLISION_POLICIES:
+            pm, _ = make(policy)
+            out = pm.step(
+                reads=[(0, AccessRequest(PatternKind.ROW, 1, 0))],
+                write=(
+                    AccessRequest(PatternKind.ROW, 5, 0),
+                    np.arange(8, dtype=np.uint64),
+                ),
+            )
+            outs.append(out[0])
+        assert (outs[0] == outs[1]).all() and (outs[1] == outs[2]).all()

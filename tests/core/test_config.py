@@ -1,0 +1,121 @@
+"""Unit tests for PolyMemConfig validation and serialization."""
+
+import pytest
+
+from repro.core.config import KB, MB, PolyMemConfig
+from repro.core.exceptions import CapacityError, ConfigurationError
+from repro.core.schemes import Scheme
+
+
+class TestValidation:
+    def test_basic(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4)
+        assert cfg.lanes == 8
+        assert cfg.word_bytes == 8
+        assert cfg.total_words == 64 * KB
+        assert cfg.bank_depth == 8 * KB
+
+    def test_default_shape_divisibility(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4)
+        assert cfg.rows % 2 == 0 and cfg.cols % 4 == 0
+        assert cfg.rows * cfg.cols == cfg.total_words
+
+    def test_default_shape_near_square(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4)
+        assert 0.25 <= cfg.rows / cfg.cols <= 4
+
+    def test_explicit_shape(self):
+        cfg = PolyMemConfig(4 * KB, p=2, q=4, rows=8, cols=64)
+        assert (cfg.rows, cfg.cols) == (8, 64)
+
+    def test_explicit_shape_capacity_mismatch(self):
+        with pytest.raises(CapacityError):
+            PolyMemConfig(4 * KB, p=2, q=4, rows=8, cols=32)
+
+    def test_explicit_shape_divisibility(self):
+        # a skinny but divisible shape is fine
+        cfg = PolyMemConfig(4 * KB, p=2, q=4, rows=4, cols=128)
+        assert (cfg.rows, cfg.cols) == (4, 128)
+        # an indivisible shape is rejected
+        with pytest.raises(ConfigurationError):
+            PolyMemConfig(4 * KB, p=2, q=4, rows=7, cols=73)
+
+    def test_one_sided_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolyMemConfig(4 * KB, p=2, q=4, rows=8)
+
+    def test_negative_capacity(self):
+        with pytest.raises(CapacityError):
+            PolyMemConfig(-1, p=2, q=4)
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            PolyMemConfig(4 * KB, p=2, q=4, width_bits=63)
+
+    def test_bad_ports(self):
+        with pytest.raises(ConfigurationError):
+            PolyMemConfig(4 * KB, p=2, q=4, read_ports=0)
+
+    def test_retr_grid_check_runs(self):
+        with pytest.raises(ConfigurationError):
+            PolyMemConfig(4 * KB, p=3, q=5, scheme=Scheme.ReTr)
+
+    def test_scheme_by_name(self):
+        cfg = PolyMemConfig(4 * KB, p=2, q=4, scheme="RoCo")
+        assert cfg.scheme is Scheme.RoCo
+
+    def test_capacity_not_word_multiple(self):
+        with pytest.raises(CapacityError):
+            PolyMemConfig(1001, p=2, q=4)
+
+
+class TestDerived:
+    def test_label(self):
+        assert PolyMemConfig(512 * KB, p=2, q=4).label() == "512KB-8L-1R-ReRo"
+        assert (
+            PolyMemConfig(4 * MB, p=2, q=8, read_ports=2, scheme=Scheme.ReO).label()
+            == "4MB-16L-2R-ReO"
+        )
+
+    def test_with_(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4)
+        cfg2 = cfg.with_(read_ports=3)
+        assert cfg2.read_ports == 3 and cfg2.capacity_bytes == cfg.capacity_bytes
+        cfg3 = cfg.with_(capacity_bytes=1 * MB)
+        # shape re-derived for the new capacity
+        assert cfg3.rows * cfg3.cols == cfg3.total_words
+
+    def test_bank_bytes(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4)
+        assert cfg.bank_bytes == 64 * KB
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        cfg = PolyMemConfig(
+            2 * MB, p=2, q=8, scheme=Scheme.ReTr, read_ports=3
+        )
+        assert PolyMemConfig.from_text(cfg.to_text()) == cfg
+
+    def test_parse_with_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        capacity_bytes = 4096
+
+        p = 2     # inline comment
+        q = 4
+        """
+        cfg = PolyMemConfig.from_text(text)
+        assert cfg.capacity_bytes == 4096 and cfg.scheme is Scheme.ReRo
+
+    def test_missing_keys(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            PolyMemConfig.from_text("capacity_bytes = 4096")
+
+    def test_malformed_line(self):
+        with pytest.raises(ConfigurationError, match="line"):
+            PolyMemConfig.from_text("capacity_bytes 4096")
+
+    def test_bad_value(self):
+        with pytest.raises(ConfigurationError):
+            PolyMemConfig.from_text("capacity_bytes = many\np = 2\nq = 4")

@@ -1,0 +1,108 @@
+"""Edge lane-grid geometries: 1xN, Nx1 and 1x1 grids must work end to end.
+
+Degenerate grids are legal PolyMem configurations (a 1x8 grid is a plain
+wide memory; 1x1 is a scalar memory) and exercise the MAF arithmetic's
+boundary behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PolyMemConfig
+from repro.core.conflict import ConflictAnalyzer, is_conflict_free
+from repro.core.patterns import PatternKind
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+
+
+def make(p, q, scheme, rows=8, cols=16):
+    cfg = PolyMemConfig(
+        rows * cols * 8, p=p, q=q, scheme=scheme, rows=rows, cols=cols
+    )
+    pm = PolyMem(cfg)
+    m = np.arange(rows * cols, dtype=np.uint64).reshape(rows, cols)
+    pm.load(m)
+    return pm, m
+
+
+class TestFlatGrid1xN:
+    """p=1: one bank row; rows and rectangles coincide."""
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_load_dump(self, scheme):
+        pm, m = make(1, 8, scheme)
+        assert (pm.dump() == m).all()
+
+    def test_row_reads(self):
+        pm, m = make(1, 8, Scheme.ReRo)
+        assert (pm.read(PatternKind.ROW, 3, 2) == m[3, 2:10]).all()
+        # a 1x8 rectangle IS a row
+        assert (pm.read(PatternKind.RECTANGLE, 3, 2) == m[3, 2:10]).all()
+
+    def test_diagonals_on_flat_grid(self):
+        # p=1: every diagonal is conflict-free iff the column residues are
+        # (trivially gcd(1, *) == 1 row-wise; q governs)
+        assert is_conflict_free(Scheme.ReRo, PatternKind.MAIN_DIAGONAL, 0, 0, 1, 8)
+
+    def test_retr_on_flat_grid(self):
+        pm, m = make(1, 8, Scheme.ReTr)
+        got = pm.read(PatternKind.TRANSPOSED_RECTANGLE, 0, 5)
+        assert (got == m[0:8, 5]).all()
+
+
+class TestTallGridNx1:
+    """q=1: one bank column; columns and rectangles coincide."""
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_load_dump(self, scheme):
+        pm, m = make(8, 1, scheme)
+        assert (pm.dump() == m).all()
+
+    def test_column_reads(self):
+        pm, m = make(8, 1, Scheme.ReCo)
+        assert (pm.read(PatternKind.COLUMN, 0, 3) == m[0:8, 3]).all()
+        assert (pm.read(PatternKind.RECTANGLE, 0, 3) == m[0:8, 3]).all()
+
+    def test_retr_mirror_formula(self):
+        pm, m = make(8, 1, Scheme.ReTr)
+        got = pm.read(PatternKind.TRANSPOSED_RECTANGLE, 2, 4)
+        assert (got == m[2, 4:12]).all()
+
+
+class TestScalarGrid1x1:
+    """p=q=1: a scalar memory; every pattern is a single element."""
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_every_pattern_reads_one_element(self, scheme):
+        pm, m = make(1, 1, scheme)
+        for kind in PatternKind:
+            if kind is PatternKind.ANTI_DIAGONAL:
+                got = pm.read(kind, 2, 3)
+            else:
+                got = pm.read(kind, 2, 3)
+            assert got.shape == (1,)
+            assert got[0] == m[2, 3]
+
+    def test_analyzer_all_any(self):
+        table = ConflictAnalyzer(1, 1).table()
+        for scheme, row in table.items():
+            for kind, dom in row.items():
+                assert dom.label == "any", (scheme, kind)
+
+
+class TestWideGrid4x8:
+    """A 32-lane grid (the whatif module's 4x8) works through the stack."""
+
+    def test_rero_rows(self):
+        pm, m = make(4, 8, Scheme.ReRo, rows=8, cols=64)
+        assert (pm.read(PatternKind.ROW, 1, 3) == m[1, 3:35]).all()
+
+    def test_retr_both_orientations(self):
+        pm, m = make(4, 8, Scheme.ReTr, rows=16, cols=32)
+        assert (
+            pm.read(PatternKind.RECTANGLE, 3, 5) == m[3:7, 5:13].ravel()
+        ).all()
+        assert (
+            pm.read(PatternKind.TRANSPOSED_RECTANGLE, 3, 5)
+            == m[3:11, 5:9].ravel()
+        ).all()

@@ -1,0 +1,105 @@
+"""Tests for partial (masked) parallel accesses."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.exceptions import AddressError, ConflictError, PatternError, PortError
+from repro.core.patterns import PatternKind
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+
+
+@pytest.fixture
+def pm():
+    mem = PolyMem(PolyMemConfig(4 * KB, p=2, q=4, scheme=Scheme.ReRo))
+    m = np.arange(mem.rows * mem.cols, dtype=np.uint64).reshape(mem.rows, mem.cols)
+    mem.load(m)
+    return mem, m
+
+
+class TestReadPartial:
+    def test_prefix_of_full_access(self, pm):
+        mem, m = pm
+        full = mem.read(PatternKind.ROW, 2, 0)
+        part = mem.read_partial(PatternKind.ROW, 2, 0, count=5)
+        assert (part == full[:5]).all()
+
+    def test_ragged_row_tail(self, pm):
+        """A short access fits where the full row would run off the edge."""
+        mem, m = pm
+        j = mem.cols - 3
+        with pytest.raises(AddressError):
+            mem.read(PatternKind.ROW, 0, j)
+        part = mem.read_partial(PatternKind.ROW, 0, j, count=3)
+        assert (part == m[0, j:]).all()
+
+    def test_single_element(self, pm):
+        mem, m = pm
+        assert mem.read_partial(PatternKind.ROW, 4, 7, count=1)[0] == m[4, 7]
+
+    def test_count_validation(self, pm):
+        mem, _ = pm
+        with pytest.raises(PatternError):
+            mem.read_partial(PatternKind.ROW, 0, 0, count=0)
+        with pytest.raises(PatternError):
+            mem.read_partial(PatternKind.ROW, 0, 0, count=9)
+
+    def test_port_validation(self, pm):
+        mem, _ = pm
+        with pytest.raises(PortError):
+            mem.read_partial(PatternKind.ROW, 0, 0, count=2, port=1)
+
+    def test_partial_of_unsupported_pattern_may_work(self, pm):
+        """A 2-element column prefix is conflict-free under ReRo even
+        though the full 8-element column is not."""
+        mem, m = pm
+        with pytest.raises(ConflictError):
+            mem.read(PatternKind.COLUMN, 0, 0)
+        part = mem.read_partial(PatternKind.COLUMN, 0, 0, count=2)
+        assert (part == m[:2, 0]).all()
+
+    def test_partial_conflict_still_rejected(self, pm):
+        """3 column elements hit bank row 0 twice under ReRo (p=2)."""
+        mem, _ = pm
+        with pytest.raises(ConflictError):
+            mem.read_partial(PatternKind.COLUMN, 0, 0, count=3)
+
+    def test_cycle_accounting(self, pm):
+        mem, _ = pm
+        mem.reset_stats()
+        mem.read_partial(PatternKind.ROW, 0, 0, count=3)
+        assert mem.cycles == 1
+        assert mem.read_stats[0].elements == 3
+
+
+class TestWritePartial:
+    def test_writes_only_touched_lanes(self, pm):
+        mem, m = pm
+        mem.write_partial(PatternKind.ROW, 1, 2, np.array([7, 8, 9]))
+        row = mem.read(PatternKind.ROW, 1, 0)
+        assert row[2:5].tolist() == [7, 8, 9]
+        assert row[0] == m[1, 0] and row[5] == m[1, 5]
+
+    def test_ragged_tail_write(self, pm):
+        mem, _ = pm
+        j = mem.cols - 2
+        mem.write_partial(PatternKind.ROW, 0, j, np.array([1, 2]))
+        assert mem.dump()[0, j:].tolist() == [1, 2]
+
+    def test_shape_validation(self, pm):
+        mem, _ = pm
+        with pytest.raises(PatternError):
+            mem.write_partial(PatternKind.ROW, 0, 0, np.zeros((2, 2)))
+
+    def test_conflicting_partial_write_rejected(self, pm):
+        mem, _ = pm
+        with pytest.raises(ConflictError):
+            mem.write_partial(PatternKind.COLUMN, 0, 0, np.arange(4))
+
+    def test_stats(self, pm):
+        mem, _ = pm
+        mem.reset_stats()
+        mem.write_partial(PatternKind.ROW, 0, 0, np.arange(6))
+        assert mem.write_stats.elements == 6
+        assert mem.cycles == 1

@@ -1,0 +1,109 @@
+"""Unit tests for access-pattern shapes and offset generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PatternError
+from repro.core.patterns import (
+    AccessPattern,
+    PatternKind,
+    kinds_in_table_order,
+    pattern_offsets,
+)
+
+
+class TestPatternOffsets:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_lane_count(self, kind):
+        di, dj = pattern_offsets(kind, 2, 4)
+        assert di.shape == dj.shape == (8,)
+
+    def test_rectangle_order_row_major(self):
+        di, dj = pattern_offsets(PatternKind.RECTANGLE, 2, 4)
+        assert di.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert dj.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_transposed_rectangle_is_qxp(self):
+        di, dj = pattern_offsets(PatternKind.TRANSPOSED_RECTANGLE, 2, 4)
+        assert di.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert dj.tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_row_and_column(self):
+        di, dj = pattern_offsets(PatternKind.ROW, 2, 4)
+        assert (di == 0).all() and dj.tolist() == list(range(8))
+        di, dj = pattern_offsets(PatternKind.COLUMN, 2, 4)
+        assert (dj == 0).all() and di.tolist() == list(range(8))
+
+    def test_diagonals(self):
+        di, dj = pattern_offsets(PatternKind.MAIN_DIAGONAL, 2, 4)
+        assert (di == dj).all()
+        di, dj = pattern_offsets(PatternKind.ANTI_DIAGONAL, 2, 4)
+        assert (di == -dj).all()
+
+    def test_offsets_are_readonly_and_cached(self):
+        a1, _ = pattern_offsets(PatternKind.ROW, 2, 4)
+        a2, _ = pattern_offsets(PatternKind.ROW, 2, 4)
+        assert a1 is a2
+        with pytest.raises(ValueError):
+            a1[0] = 99
+
+    def test_invalid_grid(self):
+        with pytest.raises(PatternError):
+            pattern_offsets(PatternKind.ROW, 0, 4)
+
+
+class TestAccessPattern:
+    def test_lanes(self):
+        assert AccessPattern(PatternKind.ROW, 2, 8).lanes == 16
+
+    def test_invalid_grid_raises(self):
+        with pytest.raises(PatternError):
+            AccessPattern(PatternKind.ROW, -1, 4)
+
+    def test_coordinates_anchor_shift(self):
+        pat = AccessPattern(PatternKind.RECTANGLE, 2, 4)
+        ii, jj = pat.coordinates(10, 20)
+        assert ii.min() == 10 and jj.min() == 20
+        assert ii.max() == 11 and jj.max() == 23
+
+    @pytest.mark.parametrize(
+        "kind,shape",
+        [
+            (PatternKind.RECTANGLE, (2, 4)),
+            (PatternKind.TRANSPOSED_RECTANGLE, (4, 2)),
+            (PatternKind.ROW, (1, 8)),
+            (PatternKind.COLUMN, (8, 1)),
+            (PatternKind.MAIN_DIAGONAL, (8, 8)),
+            (PatternKind.ANTI_DIAGONAL, (8, 8)),
+        ],
+    )
+    def test_bounding_shape(self, kind, shape):
+        assert AccessPattern(kind, 2, 4).shape == shape
+
+    def test_fits(self):
+        pat = AccessPattern(PatternKind.RECTANGLE, 2, 4)
+        assert pat.fits(0, 0, rows=2, cols=4)
+        assert not pat.fits(1, 0, rows=2, cols=4)
+        assert not pat.fits(0, 1, rows=2, cols=4)
+
+    def test_anti_diagonal_fits_needs_left_space(self):
+        pat = AccessPattern(PatternKind.ANTI_DIAGONAL, 2, 4)
+        assert pat.fits(0, 7, rows=8, cols=8)
+        assert not pat.fits(0, 6, rows=8, cols=8)
+
+    def test_cover_cells(self):
+        pat = AccessPattern(PatternKind.ROW, 2, 2)
+        cells = pat.cover_cells(1, 2)
+        assert cells == frozenset({(1, 2), (1, 3), (1, 4), (1, 5)})
+
+    def test_bounds(self):
+        pat = AccessPattern(PatternKind.ANTI_DIAGONAL, 2, 2)
+        assert pat.bounds(0, 3) == (0, 3, 0, 3)
+
+    def test_str(self):
+        assert "rectangle" in str(AccessPattern(PatternKind.RECTANGLE, 2, 4))
+
+
+def test_kinds_in_table_order_complete():
+    assert set(kinds_in_table_order()) == set(PatternKind)
+    assert len(kinds_in_table_order()) == 6

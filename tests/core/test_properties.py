@@ -1,0 +1,188 @@
+"""Hypothesis property-based tests for the PolyMem core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import AddressingFunction
+from repro.core.banks import BankArray
+from repro.core.config import PolyMemConfig
+from repro.core.conflict import is_conflict_free
+from repro.core.patterns import AccessPattern, PatternKind
+from repro.core.polymem import PolyMem
+from repro.core.schemes import (
+    SCHEME_SPECS,
+    Scheme,
+    flat_module_assignment,
+    module_assignment,
+)
+from repro.core.shuffle import BenesNetwork, InverseShuffle, Shuffle
+
+# -- strategies ---------------------------------------------------------------
+
+lane_grids = st.sampled_from([(2, 2), (2, 4), (2, 8), (4, 2), (4, 4)])
+schemes = st.sampled_from(list(Scheme))
+coords = st.integers(min_value=0, max_value=512)
+
+
+@st.composite
+def scheme_and_grid(draw):
+    p, q = draw(lane_grids)
+    s = draw(schemes)
+    # every sampled grid satisfies p|q or q|p, so ReTr is always legal
+    return s, p, q
+
+
+# -- MAF invariants ------------------------------------------------------------
+
+
+@given(scheme_and_grid(), coords, coords)
+def test_maf_output_in_range(sg, i, j):
+    s, p, q = sg
+    mv, mh = module_assignment(s, i, j, p, q)
+    assert 0 <= mv < p and 0 <= mh < q
+
+
+@given(scheme_and_grid(), coords, coords)
+def test_maf_periodicity(sg, i, j):
+    """MAFs are periodic with period p*q in each coordinate."""
+    s, p, q = sg
+    n = p * q
+    assert module_assignment(s, i, j, p, q) == module_assignment(
+        s, i + n, j + n, p, q
+    )
+
+
+@given(scheme_and_grid(), coords, coords)
+def test_aligned_rectangle_always_conflict_free(sg, bi, bj):
+    """A p x q block at a block-aligned anchor is conflict-free under every
+    scheme — the invariant the load/dump path relies on."""
+    s, p, q = sg
+    assert is_conflict_free(s, PatternKind.RECTANGLE, bi * p, bj * q, p, q)
+
+
+@given(scheme_and_grid(), coords, coords)
+def test_spec_claims_imply_conflict_freedom(sg, i, j):
+    """Whatever the static table claims conflict-free IS conflict-free —
+    soundness of SchemeSpec at arbitrary anchors."""
+    s, p, q = sg
+    spec = SCHEME_SPECS[s]
+    for entry in spec.supported:
+        if not entry.condition_holds(p, q):
+            continue
+        kind = entry.kind
+        ii, jj = i, j
+        if kind is PatternKind.ANTI_DIAGONAL:
+            jj = j + p * q  # keep coordinates non-negative
+        if not entry.anchor_ok(ii, jj, p, q):
+            continue
+        assert is_conflict_free(s, kind, ii, jj, p, q), (s, kind, ii, jj)
+
+
+# -- shuffle invariants -------------------------------------------------------
+
+
+@given(st.permutations(list(range(8))), st.lists(st.integers(0, 2**32), min_size=8, max_size=8))
+def test_inverse_shuffle_inverts(perm, values):
+    perm = np.array(perm)
+    v = np.array(values, dtype=np.uint64)
+    sh, inv = Shuffle(8), InverseShuffle(8)
+    assert (inv(sh(v, perm), perm) == v).all()
+    assert (sh(inv(v, perm), perm) == v).all()
+
+
+@given(st.permutations(list(range(16))))
+@settings(max_examples=50)
+def test_benes_routes_any_permutation(perm):
+    perm = np.array(perm)
+    v = np.arange(16)
+    bn = BenesNetwork(16)
+    out = np.empty(16, int)
+    out[perm] = v
+    assert (bn(v, perm) == out).all()
+
+
+# -- storage invariants --------------------------------------------------------
+
+
+@given(
+    scheme_and_grid(),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_storage_bijection(sg, row_blocks, col_blocks):
+    """bank x address slots biject onto logical elements for any space."""
+    s, p, q = sg
+    rows, cols = row_blocks * p, col_blocks * q
+    a = AddressingFunction(rows, cols, p, q)
+    ii, jj = np.mgrid[0:rows, 0:cols]
+    banks = flat_module_assignment(s, ii, jj, p, q)
+    keys = banks.ravel() * a.bank_depth + a(ii, jj).ravel()
+    assert len(np.unique(keys)) == rows * cols
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.lists(
+        st.tuples(
+            st.integers(0, 7), st.integers(0, 15), st.integers(0, 2**30)
+        ),
+        max_size=30,
+    ),
+)
+def test_bank_replicas_always_consistent(ports, ops):
+    banks = BankArray(num_banks=8, bank_depth=16, read_ports=ports)
+    for b, a, v in ops:
+        banks.write(np.array([b]), np.array([a]), np.array([v]))
+    assert banks.replicas_consistent()
+
+
+# -- end-to-end memory semantics -------------------------------------------------
+
+
+@st.composite
+def polymem_and_ops(draw):
+    scheme = draw(st.sampled_from([Scheme.ReRo, Scheme.ReCo, Scheme.RoCo]))
+    cfg = PolyMemConfig(4 * 1024, p=2, q=4, scheme=scheme)
+    spec = SCHEME_SPECS[scheme]
+    kinds = [
+        e.kind
+        for e in spec.supported
+        if e.condition_holds(2, 4) and e.anchor_constraint == "any"
+    ]
+    n_ops = draw(st.integers(1, 12))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(kinds))
+        pat = AccessPattern(kind, 2, 4)
+        h, w = pat.shape
+        # choose an in-bounds anchor (shape fits in 16 x 32 default space)
+        i = draw(st.integers(0, 16 - h))
+        if kind is PatternKind.ANTI_DIAGONAL:
+            j = draw(st.integers(7, 31))
+        else:
+            j = draw(st.integers(0, 32 - w))
+        is_write = draw(st.booleans())
+        vals = draw(st.integers(0, 2**20)) if is_write else None
+        ops.append((kind, i, j, is_write, vals))
+    return cfg, ops
+
+
+@given(polymem_and_ops())
+@settings(max_examples=60, deadline=None)
+def test_polymem_matches_reference_matrix(arg):
+    """PolyMem behaves exactly like a plain 2-D array under any sequence of
+    supported parallel reads/writes — the fundamental correctness property."""
+    cfg, ops = arg
+    pm = PolyMem(cfg)
+    ref = np.zeros((pm.rows, pm.cols), dtype=np.uint64)
+    for k, (kind, i, j, is_write, seed) in enumerate(ops):
+        pat = AccessPattern(kind, 2, 4)
+        ii, jj = pat.coordinates(i, j)
+        if is_write:
+            vals = (np.arange(8, dtype=np.uint64) + seed) * (k + 1)
+            pm.write(kind, i, j, vals)
+            ref[ii, jj] = vals
+        else:
+            assert (pm.read(kind, i, j) == ref[ii, jj]).all()
+    assert (pm.dump() == ref).all()

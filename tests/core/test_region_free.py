@@ -1,0 +1,73 @@
+"""Tests for region free/reallocation (the swap-in/swap-out workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.exceptions import CapacityError, PatternError
+from repro.core.polymem import PolyMem
+from repro.core.regions import RegionMap
+
+
+@pytest.fixture
+def rm():
+    return RegionMap(PolyMem(PolyMemConfig(4 * KB, p=2, q=4)))
+
+
+class TestFree:
+    def test_freed_slot_is_reused(self, rm):
+        a = rm.allocate("a", 4, 8)
+        rm.allocate("b", 4, 8)
+        rm.free("a")
+        c = rm.allocate("c", 4, 8)
+        assert (c.origin_i, c.origin_j) == (a.origin_i, a.origin_j)
+        assert rm.overlaps() == []
+
+    def test_smaller_region_fits_freed_slot(self, rm):
+        a = rm.allocate("a", 6, 16)
+        rm.free("a")
+        c = rm.allocate("c", 2, 4)
+        assert (c.origin_i, c.origin_j) == (a.origin_i, a.origin_j)
+        # remainder strips stay usable
+        d = rm.allocate("d", 2, 8)
+        assert rm.overlaps() == []
+
+    def test_free_unknown_raises(self, rm):
+        with pytest.raises(PatternError, match="not allocated"):
+            rm.free("ghost")
+
+    def test_name_reusable_after_free(self, rm):
+        rm.allocate("x", 2, 4)
+        rm.free("x")
+        rm.allocate("x", 2, 4)
+        assert "x" in rm
+
+    def test_churn_never_overlaps(self, rm):
+        """Allocate/free churn keeps the invariant."""
+        rng = np.random.default_rng(0)
+        alive = []
+        for k in range(60):
+            if alive and rng.random() < 0.4:
+                name = alive.pop(rng.integers(len(alive)))
+                rm.free(name)
+            else:
+                name = f"r{k}"
+                try:
+                    rm.allocate(
+                        name,
+                        int(rng.integers(1, 6)),
+                        int(rng.integers(1, 12)),
+                    )
+                    alive.append(name)
+                except CapacityError:
+                    continue
+            assert rm.overlaps() == []
+
+    def test_data_isolation_after_reuse(self, rm):
+        a = rm.allocate("a", 4, 8)
+        keep = rm.allocate("keep", 4, 8)
+        keep.store(np.full((4, 8), 7, dtype=np.uint64))
+        rm.free("a")
+        c = rm.allocate("c", 4, 8)
+        c.store(np.full((4, 8), 9, dtype=np.uint64))
+        assert (keep.load() == 7).all()

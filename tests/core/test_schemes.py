@@ -1,0 +1,206 @@
+"""Unit tests for the five PRF access schemes and their MAFs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemeError
+from repro.core.patterns import PatternKind
+from repro.core.schemes import (
+    SCHEME_SPECS,
+    Scheme,
+    all_schemes,
+    flat_module_assignment,
+    module_assignment,
+    schemes_supporting,
+    spec,
+    validate_lane_grid,
+)
+
+
+class TestModuleAssignment:
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_scalar_output_types(self, scheme):
+        if scheme is Scheme.ReTr:
+            p, q = 2, 4
+        else:
+            p, q = 3, 5
+        mv, mh = module_assignment(scheme, 7, 11, p, q)
+        assert isinstance(mv, int) and isinstance(mh, int)
+        assert 0 <= mv < p and 0 <= mh < q
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_array_matches_scalar(self, scheme):
+        p, q = 2, 4
+        ii, jj = np.mgrid[0:10, 0:10]
+        mv, mh = module_assignment(scheme, ii, jj, p, q)
+        for i in range(10):
+            for j in range(10):
+                smv, smh = module_assignment(scheme, i, j, p, q)
+                assert (mv[i, j], mh[i, j]) == (smv, smh)
+
+    def test_reo_formula(self):
+        assert module_assignment(Scheme.ReO, 5, 7, 2, 4) == (1, 3)
+
+    def test_rero_row_wraps_vertically(self):
+        # moving q columns right shifts the bank row by one
+        p, q = 2, 4
+        mv0, _ = module_assignment(Scheme.ReRo, 0, 0, p, q)
+        mv1, _ = module_assignment(Scheme.ReRo, 0, q, p, q)
+        assert (mv0 + 1) % p == mv1
+
+    def test_reco_column_wraps_horizontally(self):
+        p, q = 2, 4
+        _, mh0 = module_assignment(Scheme.ReCo, 0, 0, p, q)
+        _, mh1 = module_assignment(Scheme.ReCo, p, 0, p, q)
+        assert (mh0 + 1) % q == mh1
+
+    def test_retr_mirror_formula_for_tall_grids(self):
+        # q | p: mirrored formula is used
+        mv, mh = module_assignment(Scheme.ReTr, 3, 2, 4, 2)
+        assert (mv, mh) == ((3 + 2) % 4, 2 % 2)
+
+    def test_retr_rejects_coprime_grid(self):
+        with pytest.raises(SchemeError):
+            module_assignment(Scheme.ReTr, 0, 0, 3, 5)
+
+    def test_flat_assignment_range(self):
+        p, q = 2, 8
+        ii, jj = np.mgrid[0:32, 0:32]
+        for scheme in all_schemes():
+            flat = flat_module_assignment(scheme, ii, jj, p, q)
+            assert flat.min() >= 0 and flat.max() < p * q
+            # all banks are used somewhere
+            assert len(np.unique(flat)) == p * q
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_periodicity(self, scheme):
+        """Every MAF is periodic with period p*q in both coordinates."""
+        p, q = 2, 4
+        n = p * q
+        for i in range(n):
+            for j in range(n):
+                base = module_assignment(scheme, i, j, p, q)
+                assert module_assignment(scheme, i + n, j, p, q) == base
+                assert module_assignment(scheme, i, j + n, p, q) == base
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_negative_coordinates_periodic(self, scheme):
+        p, q = 2, 4
+        n = p * q
+        assert module_assignment(scheme, -3, -5, p, q) == module_assignment(
+            scheme, -3 + 10 * n, -5 + 10 * n, p, q
+        )
+
+
+class TestSchemeSpecs:
+    def test_all_schemes_order(self):
+        assert [s.value for s in all_schemes()] == [
+            "ReO",
+            "ReRo",
+            "ReCo",
+            "RoCo",
+            "ReTr",
+        ]
+
+    def test_spec_lookup_by_name(self):
+        assert spec("RoCo").scheme is Scheme.RoCo
+        with pytest.raises(SchemeError):
+            spec("NoSuchScheme")
+
+    def test_table1_rero(self):
+        s = SCHEME_SPECS[Scheme.ReRo]
+        kinds = set(s.pattern_kinds(2, 4))
+        assert kinds == {
+            PatternKind.RECTANGLE,
+            PatternKind.ROW,
+            PatternKind.MAIN_DIAGONAL,
+            PatternKind.ANTI_DIAGONAL,
+        }
+
+    def test_table1_reco(self):
+        s = SCHEME_SPECS[Scheme.ReCo]
+        kinds = set(s.pattern_kinds(2, 4))
+        assert kinds == {
+            PatternKind.RECTANGLE,
+            PatternKind.COLUMN,
+            PatternKind.MAIN_DIAGONAL,
+            PatternKind.ANTI_DIAGONAL,
+        }
+
+    def test_table1_roco(self):
+        s = SCHEME_SPECS[Scheme.RoCo]
+        kinds = set(s.pattern_kinds(2, 4))
+        assert kinds == {
+            PatternKind.ROW,
+            PatternKind.COLUMN,
+            PatternKind.RECTANGLE,
+        }
+
+    def test_table1_retr(self):
+        s = SCHEME_SPECS[Scheme.ReTr]
+        assert set(s.pattern_kinds(2, 4)) == {
+            PatternKind.RECTANGLE,
+            PatternKind.TRANSPOSED_RECTANGLE,
+        }
+
+    def test_diagonal_gcd_conditions(self):
+        # ReRo main diagonal requires gcd(p, q+1) == 1: fails for p=3, q=5
+        s = SCHEME_SPECS[Scheme.ReRo]
+        assert not s.supports(PatternKind.MAIN_DIAGONAL, 3, 5)
+        assert s.supports(PatternKind.MAIN_DIAGONAL, 2, 4)
+        # ReO diagonals only for coprime grids
+        assert SCHEME_SPECS[Scheme.ReO].supports(PatternKind.MAIN_DIAGONAL, 3, 5)
+        assert not SCHEME_SPECS[Scheme.ReO].supports(PatternKind.MAIN_DIAGONAL, 2, 4)
+
+    def test_roco_rectangle_anchor_constraint(self):
+        s = SCHEME_SPECS[Scheme.RoCo]
+        assert s.supports(PatternKind.RECTANGLE, 2, 4, anchor=(0, 3))
+        assert s.supports(PatternKind.RECTANGLE, 2, 4, anchor=(4, 1))
+        assert not s.supports(PatternKind.RECTANGLE, 2, 4, anchor=(1, 0))
+
+    def test_schemes_supporting(self):
+        got = schemes_supporting([PatternKind.ROW, PatternKind.COLUMN], 2, 4)
+        assert got == [Scheme.RoCo]
+        got = schemes_supporting([PatternKind.RECTANGLE], 2, 4)
+        assert Scheme.ReO in got and Scheme.ReRo in got
+
+    def test_schemes_supporting_excludes_invalid_retr_grid(self):
+        got = schemes_supporting([PatternKind.RECTANGLE], 3, 5)
+        assert Scheme.ReTr not in got
+
+    def test_validate_lane_grid(self):
+        validate_lane_grid(Scheme.ReO, 2, 4)
+        with pytest.raises(SchemeError):
+            validate_lane_grid(Scheme.ReO, 0, 4)
+        with pytest.raises(SchemeError):
+            validate_lane_grid(Scheme.ReTr, 3, 4)
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_description_nonempty(self, scheme):
+        assert SCHEME_SPECS[scheme].description
+
+
+class TestConflictFreedomBySpec:
+    """The static spec's claims hold on every paper lane grid (ground truth
+    via direct bank enumeration; the exhaustive version lives in
+    test_conflict.py)."""
+
+    @pytest.mark.parametrize("p,q", [(2, 4), (2, 8)])
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_claimed_patterns_are_conflict_free_at_origin(self, scheme, p, q):
+        from repro.core.conflict import is_conflict_free
+
+        for entry in SCHEME_SPECS[scheme].supported:
+            if not entry.condition_holds(p, q):
+                continue
+            assert is_conflict_free(scheme, entry.kind, 0, p * q, p, q), (
+                scheme,
+                entry.kind,
+            )
+
+    def test_gcd_condition_matches_math(self):
+        for p, q in [(2, 4), (2, 8), (3, 5), (4, 4), (3, 4)]:
+            e = SCHEME_SPECS[Scheme.ReRo].entry_for(PatternKind.MAIN_DIAGONAL)
+            assert e.condition_holds(p, q) == (math.gcd(p, q + 1) == 1)

@@ -1,0 +1,59 @@
+"""Tests for stride-domain analysis (sparse access characterization)."""
+
+import math
+
+import pytest
+
+from repro.core.conflict import ConflictAnalyzer
+from repro.core.patterns import PatternKind
+from repro.core.schemes import Scheme
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return ConflictAnalyzer(2, 4)
+
+
+class TestStrideDomain:
+    def test_stride_one_matches_plain_domain(self, analyzer):
+        plain = analyzer.domain(Scheme.ReRo, PatternKind.ROW)
+        strided = analyzer.stride_domain(Scheme.ReRo, PatternKind.ROW, 1)
+        assert plain.ok_residues == strided.ok_residues
+
+    def test_rero_row_stride_rule(self, analyzer):
+        """Rows stay conflict-free exactly when gcd(stride, q) == 1."""
+        table = analyzer.stride_table(Scheme.ReRo, PatternKind.ROW, range(1, 9))
+        for stride, label in table.items():
+            if math.gcd(stride, 4) == 1:
+                assert label == "any", stride
+            else:
+                assert label == "none", stride
+
+    def test_reco_column_stride_rule(self, analyzer):
+        table = analyzer.stride_table(Scheme.ReCo, PatternKind.COLUMN, range(1, 9))
+        for stride, label in table.items():
+            if math.gcd(stride, 4) == 1:
+                assert label == "any", stride
+
+    def test_reo_rectangle_strides(self, analyzer):
+        """Dilated blocks under ReO: need gcd(stride, p) == gcd(stride, q) == 1."""
+        table = analyzer.stride_table(
+            Scheme.ReO, PatternKind.RECTANGLE, range(1, 7)
+        )
+        assert table[1] == "any"
+        assert table[3] == "any"
+        assert table[5] == "any"
+        assert table[2] == "none"
+        assert table[4] == "none"
+
+    def test_anti_diagonal_stride_window_safe(self, analyzer):
+        """The anti-diagonal's stride-scaled window must not go negative
+        (regression guard for the analysis window shift)."""
+        dom = analyzer.stride_domain(Scheme.ReRo, PatternKind.ANTI_DIAGONAL, 3)
+        assert dom.label in ("any", "none", "partial")
+
+    def test_stride_table_keys(self, analyzer):
+        table = analyzer.stride_table(
+            Scheme.ReRo, PatternKind.ROW, strides=(1, 2, 3)
+        )
+        assert set(table) == {1, 2, 3}

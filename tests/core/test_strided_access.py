@@ -1,0 +1,132 @@
+"""Tests for strided (sparse) parallel accesses — paper §VII's sparse
+pattern claim."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.conflict import is_conflict_free
+from repro.core.exceptions import ConflictError, PatternError
+from repro.core.patterns import AccessPattern, PatternKind, pattern_offsets
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+
+
+@pytest.fixture
+def pm():
+    mem = PolyMem(PolyMemConfig(8 * KB, p=2, q=4, scheme=Scheme.ReRo))
+    m = np.arange(mem.rows * mem.cols, dtype=np.uint64).reshape(mem.rows, mem.cols)
+    mem.load(m)
+    return mem, m
+
+
+class TestStridedPatterns:
+    def test_offsets_dilated(self):
+        _, dj = pattern_offsets(PatternKind.ROW, 2, 4, stride=3)
+        assert dj.tolist() == [0, 3, 6, 9, 12, 15, 18, 21]
+
+    def test_strided_rectangle_shape(self):
+        pat = AccessPattern(PatternKind.RECTANGLE, 2, 4, stride=2)
+        assert pat.shape == (3, 7)
+
+    def test_stride_validation(self):
+        with pytest.raises(PatternError):
+            pattern_offsets(PatternKind.ROW, 2, 4, stride=0)
+        with pytest.raises(PatternError):
+            AccessPattern(PatternKind.ROW, 2, 4, stride=-1)
+
+    def test_stride_one_is_default(self):
+        a, b = pattern_offsets(PatternKind.ROW, 2, 4)
+        c, d = pattern_offsets(PatternKind.ROW, 2, 4, stride=1)
+        assert (a == c).all() and (b == d).all()
+
+
+class TestStridedConflictFreedom:
+    @pytest.mark.parametrize("stride", [1, 3, 5, 7, 9])
+    def test_coprime_strided_rows_free_under_rero(self, stride):
+        """Row accesses with gcd(stride, q) = 1 stay conflict-free."""
+        assert math.gcd(stride, 4) == 1
+        for i in range(4):
+            for j in range(4):
+                assert is_conflict_free(
+                    Scheme.ReRo, PatternKind.ROW, i, j, 2, 4, stride=stride
+                )
+
+    @pytest.mark.parametrize("stride", [2, 4, 6, 8])
+    def test_even_strided_rows_conflict_under_rero(self, stride):
+        assert not is_conflict_free(
+            Scheme.ReRo, PatternKind.ROW, 0, 0, 2, 4, stride=stride
+        )
+
+    @pytest.mark.parametrize("stride", [3, 5])
+    def test_strided_columns_under_reco(self, stride):
+        assert is_conflict_free(
+            Scheme.ReCo, PatternKind.COLUMN, 0, 0, 2, 4, stride=stride
+        )
+
+    def test_even_strided_columns_conflict_under_reco(self):
+        assert not is_conflict_free(
+            Scheme.ReCo, PatternKind.COLUMN, 0, 0, 2, 4, stride=2
+        )
+
+    def test_strided_rectangle_under_reo(self):
+        """An odd-stride dilated block keeps the residues distinct."""
+        assert is_conflict_free(
+            Scheme.ReO, PatternKind.RECTANGLE, 0, 0, 2, 4, stride=3
+        )
+        assert not is_conflict_free(
+            Scheme.ReO, PatternKind.RECTANGLE, 0, 0, 2, 4, stride=2
+        )
+
+
+class TestStridedMemoryAccess:
+    def test_strided_row_read(self, pm):
+        mem, m = pm
+        got = mem.read(PatternKind.ROW, 2, 1, stride=3)
+        assert (got == m[2, 1 : 1 + 24 : 3]).all()
+
+    def test_strided_row_write(self, pm):
+        mem, m = pm
+        mem.write(PatternKind.ROW, 0, 0, np.arange(8), stride=3)
+        assert (mem.dump()[0, 0:24:3] == np.arange(8)).all()
+        # untouched elements keep their values
+        assert mem.dump()[0, 1] == m[0, 1]
+
+    def test_conflicting_stride_rejected(self, pm):
+        mem, _ = pm
+        with pytest.raises(ConflictError, match="stride-4"):
+            mem.read(PatternKind.ROW, 0, 0, stride=4)
+
+    def test_strided_batch(self, pm):
+        mem, m = pm
+        out = mem.read_batch(
+            PatternKind.ROW, np.arange(4), np.zeros(4, int), stride=3
+        )
+        for r in range(4):
+            assert (out[r] == m[r, 0:24:3]).all()
+
+    def test_strided_bounds_checked(self, pm):
+        mem, _ = pm
+        from repro.core.exceptions import AddressError
+
+        with pytest.raises(AddressError):
+            mem.read(PatternKind.ROW, 0, mem.cols - 10, stride=3)
+
+    def test_strided_diagonal(self):
+        """A stride-3 main diagonal under ReRo (subsampled wavefront)."""
+        mem = PolyMem(
+            PolyMemConfig(8 * KB, p=2, q=4, scheme=Scheme.ReRo, rows=32, cols=32)
+        )
+        m = np.arange(32 * 32, dtype=np.uint64).reshape(32, 32)
+        mem.load(m)
+        if is_conflict_free(Scheme.ReRo, PatternKind.MAIN_DIAGONAL, 0, 0, 2, 4, 3):
+            got = mem.read(PatternKind.MAIN_DIAGONAL, 0, 0, stride=3)
+            idx = np.arange(8) * 3
+            assert (got == m[idx, idx]).all()
+
+    def test_stride_request_str(self):
+        from repro.core.agu import AccessRequest
+
+        assert str(AccessRequest(PatternKind.ROW, 1, 2, stride=3)) == "row@(1,2)/s3"

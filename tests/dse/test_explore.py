@@ -1,0 +1,188 @@
+"""Tests for the DSE sweep and the paper's headline §IV claims."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.dse import (
+    DesignSpace,
+    PAPER_SPACE,
+    explore,
+    figure_series,
+    render_series_table,
+    render_table_iv,
+    to_csv,
+)
+from repro.dse.bandwidth import BandwidthReport
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore()
+
+
+class TestExplore:
+    def test_point_count(self, result):
+        assert len(result.points) == 90
+
+    def test_every_point_has_paper_frequency(self, result):
+        """The feasible grid coincides with Table IV, so every point has a
+        published frequency."""
+        assert all(p.paper_mhz is not None for p in result.points)
+
+    def test_lookup(self, result):
+        p = result.lookup(Scheme.ReO, 512, 8, 1)
+        assert p is not None and p.paper_mhz == 202
+        assert result.lookup(Scheme.ReO, 4096, 8, 4) is None
+
+    def test_model_tracks_paper(self, result):
+        errs = [
+            abs(p.model_mhz - p.paper_mhz) / p.paper_mhz for p in result.points
+        ]
+        assert sum(errs) / len(errs) < 0.10
+
+    def test_clock_prefers_paper(self, result):
+        p = result.lookup(Scheme.ReO, 512, 8, 1)
+        assert p.clock_mhz == 202
+
+    def test_bandwidth_at_sources(self, result):
+        p = result.lookup(Scheme.ReO, 512, 8, 1)
+        assert p.bandwidth_at("paper").write_gbps == pytest.approx(
+            202e6 * 64 / 1e9
+        )
+        assert p.bandwidth_at("model").write_gbps != p.bandwidth_at(
+            "paper"
+        ).write_gbps
+        with pytest.raises(ValueError):
+            p.bandwidth_at("guess")
+        q = result.lookup(Scheme.ReO, 512, 8, 2)
+        assert q.bandwidth_at("paper").read_gbps == pytest.approx(
+            2 * 160e6 * 64 / 1e9
+        )
+
+
+class TestPaperHeadlineClaims:
+    """§IV's summary bullet points, reproduced from the sweep."""
+
+    def test_peak_write_bandwidth_exceeds_22gbps(self, result):
+        """'up to 22GB/s write bandwidth', from 512KB/16L ReO."""
+        assert result.peak_write_gbps > 22.0
+        best = result.best(lambda p: p.bandwidth.write_gbps)
+        assert best.config.scheme is Scheme.ReO
+        assert best.capacity_kb == 512 and best.config.lanes == 16
+
+    def test_peak_multiview_write_about_20gbps(self, result):
+        """'For the multiview schemes, the maximum achieved bandwidth is
+        20GB/s for the ReRo configuration.'"""
+        multiview = [
+            p for p in result.points if p.config.scheme is not Scheme.ReO
+            and p.config.scheme is not Scheme.ReTr
+        ]
+        best = max(multiview, key=lambda p: p.bandwidth.write_gbps)
+        assert best.config.scheme is Scheme.ReRo
+        assert best.bandwidth.write_gbps == pytest.approx(20.0, rel=0.10)
+
+    def test_peak_read_bandwidth_above_32gbps(self, result):
+        """'above 32GB/s' aggregated reads; the winner is the paper's
+        512KB, 8-lane, 4-port ReTr design."""
+        assert result.peak_read_gbps > 32.0
+        best = result.best(lambda p: p.bandwidth.read_gbps)
+        assert best.config.scheme is Scheme.ReTr
+        assert (best.capacity_kb, best.config.lanes, best.config.read_ports) == (
+            512,
+            8,
+            4,
+        )
+
+    def test_single_port_scales_linearly_with_lanes(self, result):
+        """§IV-B: 'single-port bandwidth scales linearly when doubling
+        number of memory banks from 8 to 16' — per cycle; the clock drop
+        keeps the realized gain below 2x but above 1x."""
+        for scheme in (Scheme.ReO, Scheme.ReRo):
+            p8 = result.lookup(scheme, 512, 8, 1)
+            p16 = result.lookup(scheme, 512, 16, 1)
+            per_cycle_ratio = (
+                p16.config.lanes / p8.config.lanes
+            )
+            assert per_cycle_ratio == 2.0
+            realized = p16.bandwidth.write_gbps / p8.bandwidth.write_gbps
+            assert 1.4 < realized < 2.0
+
+    def test_capacity_reduces_bandwidth(self, result):
+        """§IV-B: bandwidth drops when capacity grows at constant
+        lanes/ports."""
+        for scheme in Scheme:
+            bws = [
+                result.lookup(scheme, kb, 8, 1).bandwidth.write_gbps
+                for kb in (512, 1024, 2048, 4096)
+            ]
+            assert bws[0] > bws[-1]
+
+    def test_diminishing_returns_three_four_ports(self, result):
+        """§IV-B: good scaling 1->2 ports, diminishing returns at 3-4."""
+        p1 = result.lookup(Scheme.ReO, 512, 8, 1).bandwidth.read_gbps
+        p2 = result.lookup(Scheme.ReO, 512, 8, 2).bandwidth.read_gbps
+        p4 = result.lookup(Scheme.ReO, 512, 8, 4).bandwidth.read_gbps
+        gain_12 = p2 / p1
+        gain_24 = p4 / p2
+        assert gain_12 > 1.4
+        assert gain_24 < gain_12
+
+    def test_4mb_memory_instantiable(self, result):
+        """'allowing the instantiation of a 4MB parallel memory'."""
+        assert result.lookup(Scheme.ReRo, 4096, 8, 1) is not None
+        assert result.lookup(Scheme.ReRo, 4096, 16, 1) is not None
+
+    def test_bram_up_to_97_pct(self, result):
+        vals = [p.bram_pct for p in result.points]
+        assert max(vals) >= 97.0
+        assert min(vals) == pytest.approx(16.07, abs=0.5)
+
+
+class TestRenderers:
+    def test_table_iv_renders_all_sources(self, result):
+        for source in ("model", "paper", "both"):
+            text = render_table_iv(result, source=source)
+            assert "ReTr" in text and "512K/8L/1R" in text
+        with pytest.raises(ValueError):
+            render_table_iv(result, source="x")
+
+    def test_figure_series_shape(self, result):
+        series = figure_series(result, lambda p: p.bandwidth.write_gbps)
+        assert set(series) == set(Scheme)
+        assert all(len(row) == 18 for row in series.values())
+
+    def test_series_table_text(self, result):
+        series = figure_series(result, lambda p: p.bram_pct)
+        text = render_series_table(series, "BRAM", "%")
+        assert "BRAM [%]" in text
+        assert text.count("\n") >= 7
+
+    def test_csv_export(self, result):
+        series = figure_series(result, lambda p: p.lut_pct)
+        csv = to_csv(series)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("scheme,")
+        assert len(lines) == 6
+
+
+class TestBandwidthReport:
+    def test_formulas(self):
+        from repro.core.config import KB, PolyMemConfig
+
+        cfg = PolyMemConfig(512 * KB, p=2, q=4, read_ports=3)
+        bw = BandwidthReport(cfg, clock_mhz=100)
+        assert bw.write_gbps == pytest.approx(8 * 8 * 100e6 / 1e9)
+        assert bw.read_gbps == pytest.approx(3 * bw.write_gbps)
+        assert bw.total_gbps == pytest.approx(4 * bw.write_gbps)
+
+
+class TestValidatedSweep:
+    def test_small_space_validates(self):
+        space = DesignSpace(
+            capacities_kb=(512,),
+            lane_counts=(8,),
+            read_ports=(1,),
+            schemes=(Scheme.ReRo, Scheme.ReTr),
+        )
+        res = explore(space, validate=True, validate_rows=8)
+        assert all(p.validated for p in res.points)

@@ -1,0 +1,73 @@
+"""Tests for Pareto-frontier DSE analysis."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.dse import explore
+from repro.dse.pareto import best_under_budget, pareto_frontier
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore()
+
+
+class TestParetoFrontier:
+    def test_frontier_nonempty_and_sorted(self, result):
+        frontier = pareto_frontier(result)
+        assert frontier
+        bws = [p.read_gbps for p in frontier]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_no_point_on_frontier_is_dominated(self, result):
+        frontier = pareto_frontier(result)
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominated = (
+                    b.read_gbps >= a.read_gbps
+                    and b.bram_pct <= a.bram_pct
+                    and b.logic_pct <= a.logic_pct
+                    and (
+                        b.read_gbps > a.read_gbps
+                        or b.bram_pct < a.bram_pct
+                        or b.logic_pct < a.logic_pct
+                    )
+                )
+                assert not dominated, (a.label, b.label)
+
+    def test_peak_bandwidth_point_on_frontier(self, result):
+        frontier = pareto_frontier(result)
+        assert frontier[0].read_gbps == pytest.approx(result.peak_read_gbps)
+
+    def test_frontier_is_much_smaller_than_grid(self, result):
+        frontier = pareto_frontier(result)
+        assert len(frontier) < len(result.points) / 2
+
+    def test_model_source(self, result):
+        frontier = pareto_frontier(result, frequency_source="model")
+        assert frontier
+
+
+class TestBudgetQueries:
+    def test_unconstrained_is_global_peak(self, result):
+        best = best_under_budget(result)
+        assert best.bandwidth.read_gbps == pytest.approx(result.peak_read_gbps)
+
+    def test_bram_budget_limits_choice(self, result):
+        tight = best_under_budget(result, max_bram_pct=30)
+        loose = best_under_budget(result, max_bram_pct=100)
+        assert tight.bram_pct <= 30
+        assert tight.bandwidth.read_gbps <= loose.bandwidth.read_gbps
+
+    def test_capacity_floor(self, result):
+        big = best_under_budget(result, min_capacity_kb=4096)
+        assert big.capacity_kb == 4096
+
+    def test_impossible_budget(self, result):
+        assert best_under_budget(result, max_bram_pct=1) is None
+
+    def test_logic_budget(self, result):
+        frugal = best_under_budget(result, max_logic_pct=12)
+        assert frugal is not None and frugal.logic_pct <= 12

@@ -1,0 +1,88 @@
+"""Detail tests for the DSE renderers and lookup helpers."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.dse import (
+    DesignSpace,
+    column_label,
+    explore,
+    figure_series,
+    render_series_table,
+    render_table_iv,
+    to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return explore(
+        DesignSpace(
+            capacities_kb=(512, 1024),
+            lane_counts=(8,),
+            read_ports=(1, 2),
+            schemes=(Scheme.ReO, Scheme.ReTr),
+        )
+    )
+
+
+class TestColumnLabel:
+    def test_format(self):
+        assert column_label(512, 8, 1) == "512,8,1"
+        assert column_label(4096, 16, 4) == "4096,16,4"
+
+
+class TestSeries:
+    def test_columns_in_paper_order(self, small_result):
+        series = figure_series(small_result, lambda p: p.model_mhz)
+        labels = [l for l, _ in series[Scheme.ReO]]
+        assert labels == ["512,8,1", "512,8,2", "1024,8,1", "1024,8,2"]
+
+    def test_series_values_match_points(self, small_result):
+        series = figure_series(small_result, lambda p: p.bram_pct)
+        for scheme, row in series.items():
+            for label, value in row:
+                cap, lanes, ports = (int(x) for x in label.split(","))
+                point = small_result.lookup(scheme, cap, lanes, ports)
+                assert value == point.bram_pct
+
+    def test_table_renders_both_schemes(self, small_result):
+        text = render_series_table(
+            figure_series(small_result, lambda p: p.model_mhz), "T", "MHz"
+        )
+        assert "ReO" in text and "ReTr" in text
+        assert "T [MHz]" in text
+
+    def test_csv_has_header_plus_scheme_rows(self, small_result):
+        csv = to_csv(figure_series(small_result, lambda p: p.model_mhz))
+        lines = csv.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0] == "scheme,512,8,1,512,8,2,1024,8,1,1024,8,2"
+
+
+class TestTableIvRendering:
+    def test_model_source_has_no_parens(self, small_result):
+        text = render_table_iv(small_result, source="model")
+        assert "(" not in text.splitlines()[2]
+
+    def test_both_source_shows_paper_in_parens(self, small_result):
+        text = render_table_iv(small_result, source="both")
+        assert "(202)" in text  # the ReO/512K/8L/1P paper cell
+
+    def test_paper_source(self, small_result):
+        text = render_table_iv(small_result, source="paper")
+        assert "  202.0" in text
+
+
+class TestResultHelpers:
+    def test_best_with_custom_key(self, small_result):
+        frugal = small_result.best(lambda p: -p.bram_pct)
+        assert frugal.bram_pct == min(p.bram_pct for p in small_result.points)
+
+    def test_by_scheme(self, small_result):
+        reo = small_result.by_scheme(Scheme.ReO)
+        assert len(reo) == 4
+        assert all(p.config.scheme is Scheme.ReO for p in reo)
+
+    def test_lookup_missing_returns_none(self, small_result):
+        assert small_result.lookup(Scheme.ReRo, 512, 8, 1) is None

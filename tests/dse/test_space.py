@@ -1,0 +1,65 @@
+"""Tests for the Table III design space."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.dse.space import LANE_GRIDS, PAPER_SPACE, DesignSpace
+from repro.hw.calibration import TABLE_IV_COLUMNS
+
+
+class TestPaperSpace:
+    def test_matches_table_iv_columns_exactly(self):
+        """The feasible grid is exactly the paper's 18 Table IV columns."""
+        assert tuple(PAPER_SPACE.columns()) == TABLE_IV_COLUMNS
+
+    def test_size(self):
+        assert PAPER_SPACE.size() == 5 * 18
+
+    def test_infeasible_points_excluded(self):
+        labels = {
+            (c.capacity_bytes // 1024, c.lanes, c.read_ports)
+            for c in PAPER_SPACE.points()
+        }
+        assert (4096, 8, 2) not in labels  # 8 MB of data > device BRAM
+        assert (2048, 8, 3) not in labels
+        assert (512, 16, 3) not in labels  # 16-lane port cap
+        assert (512, 16, 4) not in labels
+
+    def test_all_points_included_when_unfiltered(self):
+        assert PAPER_SPACE.size(feasible_only=False) == 5 * 4 * 2 * 4
+
+    def test_lane_grids(self):
+        assert LANE_GRIDS == {8: (2, 4), 16: (2, 8)}
+
+    def test_config_construction(self):
+        cfg = PAPER_SPACE.config(512, 16, 2, Scheme.ReTr)
+        assert (cfg.p, cfg.q) == (2, 8)
+        assert cfg.read_ports == 2
+        assert cfg.capacity_bytes == 512 * 1024
+
+    def test_scheme_points_order(self):
+        pts = list(PAPER_SPACE.scheme_points(Scheme.ReO))
+        labels = [
+            (c.capacity_bytes // 1024, c.lanes, c.read_ports) for c in pts
+        ]
+        assert labels == list(TABLE_IV_COLUMNS)
+
+
+class TestCustomSpace:
+    def test_smaller_space(self):
+        space = DesignSpace(
+            capacities_kb=(512,),
+            lane_counts=(8,),
+            read_ports=(1, 2),
+            schemes=(Scheme.ReRo,),
+        )
+        assert space.size() == 2
+
+    def test_port_cap_default_for_unknown_lanes(self):
+        space = DesignSpace(max_ports_by_lanes=())
+        # without a cap, 16-lane 4-port 512KB is BRAM-feasible
+        labels = {
+            (c.capacity_bytes // 1024, c.lanes, c.read_ports)
+            for c in space.points()
+        }
+        assert (512, 16, 4) in labels

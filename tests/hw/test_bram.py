@@ -1,0 +1,96 @@
+"""Unit tests for BRAM primitive arithmetic and budgets."""
+
+import pytest
+
+from repro.core.config import KB, MB, PolyMemConfig
+from repro.core.exceptions import CapacityError
+from repro.hw.bram import RAMB36, BramBudget, polymem_bram_usage
+
+
+class TestRAMB36:
+    def test_words_64bit(self):
+        # 64-bit words use the 512 x 72 aspect ratio
+        assert RAMB36().words_at_width(64) == 512
+
+    def test_words_narrow(self):
+        assert RAMB36().words_at_width(32) == 1024
+        assert RAMB36().words_at_width(36) == 1024
+        assert RAMB36().words_at_width(1) == 32768
+
+    def test_blocks_for_bank_64bit(self):
+        prim = RAMB36()
+        assert prim.blocks_for_bank(512, 64) == 1
+        assert prim.blocks_for_bank(513, 64) == 2
+        assert prim.blocks_for_bank(8192, 64) == 16
+
+    def test_blocks_for_wide_bank(self):
+        # 128-bit words need 2 blocks side by side
+        assert RAMB36().blocks_for_bank(512, 128) == 2
+
+    def test_blocks_for_bank_validation(self):
+        with pytest.raises(CapacityError):
+            RAMB36().blocks_for_bank(0, 64)
+
+
+class TestPolymemBramUsage:
+    def test_paper_512kb_8lane_1port(self):
+        """The paper's 16.07% data point: 128 data + 43 infra = 171/1064."""
+        cfg = PolyMemConfig(512 * KB, p=2, q=4)
+        b = polymem_bram_usage(cfg)
+        assert b.data_blocks == 128
+        assert b.total_blocks == 171
+        assert b.utilization == pytest.approx(0.1607, abs=1e-3)
+
+    def test_port_replication_doubles_data(self):
+        cfg1 = PolyMemConfig(512 * KB, p=2, q=4, read_ports=1)
+        cfg2 = cfg1.with_(read_ports=2)
+        assert (
+            polymem_bram_usage(cfg2).data_blocks
+            == 2 * polymem_bram_usage(cfg1).data_blocks
+        )
+
+    def test_scheme_does_not_affect_brams(self):
+        """Paper §IV-C: 'the memory scheme has no influence on the amount of
+        BRAMs used.'"""
+        from repro.core.schemes import Scheme
+
+        base = None
+        for scheme in (Scheme.ReO, Scheme.ReRo, Scheme.RoCo):
+            cfg = PolyMemConfig(1 * MB, p=2, q=8, scheme=scheme)
+            blocks = polymem_bram_usage(cfg).data_blocks
+            base = blocks if base is None else base
+            assert blocks == base
+
+    def test_infra_clamped_when_full(self):
+        """The 4 MB / 2-port-equivalent config leaves <43 blocks of slack."""
+        cfg = PolyMemConfig(2 * MB, p=2, q=8, read_ports=2)
+        b = polymem_bram_usage(cfg)
+        assert b.data_blocks == 1024
+        assert b.infra_blocks == 1064 - 1024
+        assert b.utilization == pytest.approx(1.0)
+        assert b.feasible
+
+    def test_infeasible_when_data_exceeds_device(self):
+        cfg = PolyMemConfig(4 * MB, p=2, q=8, read_ports=2)
+        b = polymem_bram_usage(cfg)
+        assert not b.feasible
+
+    def test_paper_feasibility_boundary(self):
+        """Feasible exactly when capacity x ports <= 4 MB — this bounds the
+        paper's Table IV grid."""
+        for cap_mb, ports, expect in [
+            (0.5, 4, True),
+            (1, 4, True),
+            (2, 2, True),
+            (2, 3, False),
+            (4, 1, True),
+            (4, 2, False),
+        ]:
+            cfg = PolyMemConfig(int(cap_mb * MB), p=2, q=4, read_ports=ports)
+            assert polymem_bram_usage(cfg).feasible is expect, (cap_mb, ports)
+
+    def test_budget_fields(self):
+        b = BramBudget(data_blocks=100, infra_blocks=10, device_blocks=1000)
+        assert b.total_blocks == 110
+        assert b.utilization == pytest.approx(0.11)
+        assert b.feasible

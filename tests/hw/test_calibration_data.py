@@ -1,0 +1,102 @@
+"""Consistency tests over the embedded paper data itself.
+
+The calibration tables are hand-transcribed from the paper; these tests
+pin the transcription against every cross-checkable statement in the
+paper's prose, so a typo in the data cannot silently skew the models.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.hw.calibration import (
+    BRAM_POINTS,
+    LOGIC_POINTS,
+    STREAM_COPY,
+    TABLE_IV_COLUMNS,
+    TABLE_IV_MHZ,
+    table_iv_grid,
+)
+
+
+class TestTableIvTranscription:
+    def test_18_columns_per_row(self):
+        for scheme, row in TABLE_IV_MHZ.items():
+            assert len(row) == 18, scheme
+
+    def test_column_grid_structure(self):
+        """Columns follow (size major, lanes, ports minor) with the
+        paper's feasibility boundary."""
+        by_cap = {}
+        for cap, lanes, ports in TABLE_IV_COLUMNS:
+            by_cap.setdefault(cap, []).append((lanes, ports))
+        assert by_cap[512] == [(8, 1), (8, 2), (8, 3), (8, 4), (16, 1), (16, 2)]
+        assert by_cap[1024] == by_cap[512]
+        assert by_cap[2048] == [(8, 1), (8, 2), (16, 1), (16, 2)]
+        assert by_cap[4096] == [(8, 1), (16, 1)]
+
+    def test_prose_extremes(self):
+        """'The highest frequency, 202MHz, is achieved by the 512KB,
+        8-lane, single read port ReO design' / 'minimum ... 77MHz'."""
+        idx = TABLE_IV_COLUMNS.index((512, 8, 1))
+        assert TABLE_IV_MHZ[Scheme.ReO][idx] == 202
+        assert max(max(r) for r in TABLE_IV_MHZ.values()) == 202
+        assert min(min(r) for r in TABLE_IV_MHZ.values()) == 77
+        # 77 appears for ReRo/ReTr 1MB 4-port and ReTr 2MB/16L/2P
+        i77 = TABLE_IV_COLUMNS.index((1024, 8, 4))
+        assert TABLE_IV_MHZ[Scheme.ReRo][i77] == 77
+
+    def test_prose_multiview_peak(self):
+        """'the highest clock frequency is 196MHz for the 512KB, 8-lane,
+        single read port ReCo configuration'."""
+        idx = TABLE_IV_COLUMNS.index((512, 8, 1))
+        assert TABLE_IV_MHZ[Scheme.ReCo][idx] == 196
+        multiview_max = max(
+            v
+            for s, row in TABLE_IV_MHZ.items()
+            if s is not Scheme.ReO
+            for v in row
+        )
+        assert multiview_max == 196
+
+    def test_stream_clock_cross_reference(self):
+        """§V: the STREAM design synthesized 'at 120MHz, just 2 MHz lower
+        than the maximum clock frequency for a 2048KB configuration with a
+        single read port' (RoCo)."""
+        idx = TABLE_IV_COLUMNS.index((2048, 8, 1))
+        assert TABLE_IV_MHZ[Scheme.RoCo][idx] == 122
+        assert STREAM_COPY.clock_mhz == 120 == 122 - 2
+
+    def test_grid_builder_count(self):
+        assert len(table_iv_grid()) == 90
+
+
+class TestProsePoints:
+    def test_logic_points_match_prose(self):
+        vals = {(p.scheme, p.capacity_kb, p.lanes, p.read_ports): p.percent
+                for p in LOGIC_POINTS}
+        assert vals[(Scheme.ReO, 512, 8, 1)] == 10.58
+        assert vals[(Scheme.RoCo, 4096, 8, 1)] == 13.05
+        assert vals[(Scheme.ReRo, 512, 8, 1)] == 10.78
+        assert vals[(Scheme.ReRo, 512, 8, 4)] == 22.34
+        assert vals[(Scheme.ReRo, 512, 16, 1)] == 23.73
+        # the paper's own claim: 1 -> 4 ports 'doubles' the logic
+        assert vals[(Scheme.ReRo, 512, 8, 4)] / vals[
+            (Scheme.ReRo, 512, 8, 1)
+        ] == pytest.approx(2.07, abs=0.01)
+
+    def test_bram_points_match_prose(self):
+        vals = {(p.capacity_kb, p.lanes, p.read_ports): p.percent
+                for p in BRAM_POINTS}
+        assert vals[(512, 8, 1)] == 16.07
+        assert vals[(512, 16, 1)] == 19.31
+        assert vals[(512, 8, 2)] == 29.04
+        assert vals[(2048, 16, 2)] == 97.0
+
+    def test_stream_reference_arithmetic(self):
+        """15360 = 2 x 8 x 8 x 120; 15301/15360 > 99%; arrays 170x512x8B."""
+        r = STREAM_COPY
+        assert r.peak_mbps == 2 * 8 * 8 * r.clock_mhz
+        assert r.measured_mbps / r.peak_mbps > 0.99
+        assert r.max_array_rows * r.array_cols * r.word_bytes == pytest.approx(
+            700 * 1024, rel=0.03
+        )

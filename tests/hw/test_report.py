@@ -1,0 +1,44 @@
+"""Tests for the vendor-style synthesis report."""
+
+import pytest
+
+from repro.core.config import KB, MB, PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.hw.report import synthesis_report_text
+
+
+class TestSynthesisReport:
+    def test_contains_all_sections(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4, scheme=Scheme.ReRo)
+        text = synthesis_report_text(cfg)
+        for token in (
+            "SYNTHESIS ESTIMATE",
+            "512KB-8L-1R-ReRo",
+            "xc6vsx475t",
+            "Fmax",
+            "RAMB36/bank",
+            "crossbar LUTs",
+            "FEASIBLE",
+        ):
+            assert token in text, token
+
+    def test_numbers_match_model(self):
+        from repro.hw.synthesis import default_model
+
+        cfg = PolyMemConfig(512 * KB, p=2, q=4, scheme=Scheme.ReO)
+        text = synthesis_report_text(cfg)
+        est = default_model().estimate(cfg)
+        assert f"{est.fmax_mhz:7.1f} MHz" in text
+        assert f"{est.logic_pct:5.2f}%" in text
+        assert "16.07%" in text  # the paper's BRAM anchor point
+
+    def test_infeasible_verdict(self):
+        cfg = PolyMemConfig(4 * MB, p=2, q=8, read_ports=2)
+        text = synthesis_report_text(cfg)
+        assert "INFEASIBLE" in text
+
+    def test_multiport_replication_visible(self):
+        cfg = PolyMemConfig(512 * KB, p=2, q=4, read_ports=3)
+        text = synthesis_report_text(cfg)
+        assert "x 3 replicas" in text
+        assert "4 data" in text  # 3 read + 1 write data crossbars

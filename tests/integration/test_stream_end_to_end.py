@@ -1,0 +1,69 @@
+"""Integration: the complete §V STREAM experiment, end to end.
+
+Covers the full-size (paper-scale) cycle-accurate Copy run once — the
+170 x 512 arrays, the 14-cycle latency, the stage separation — and checks
+the Fig. 10 headline numbers against the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.calibration import STREAM_COPY
+from repro.stream_bench import COPY, StreamHarness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return StreamHarness()
+
+
+class TestPaperScaleCopy:
+    def test_full_size_cycle_accurate_copy(self, harness):
+        """The real thing: 10,880 parallel reads + writes through the
+        dataflow design, verified word-for-word."""
+        vectors = harness.max_vectors
+        m = harness.run(COPY, vectors=vectors, runs=STREAM_COPY.runs)
+        # exact cycle count: one parallel access per cycle + latency drain
+        assert m.cycles_per_run == vectors + 14 + 2
+        # bandwidth within 1% of the paper's measured 15,301 MB/s
+        assert m.mbps == pytest.approx(STREAM_COPY.measured_mbps, rel=0.01)
+        assert m.efficiency > 0.99
+
+    def test_stage_ledger_accounts_everything(self, harness):
+        host = harness.host
+        stages = {k: v for k, v in host.stages.items() if v.total_ns}
+        assert {"load", "copy", "offload"} <= set(stages)
+        # the load stage moved 3 arrays of 680 KB each over PCIe
+        assert stages["load"].payload_bytes >= 3 * 170 * 512 * 8
+        # stage wall clocks are disjoint and sum to the host clock
+        total = sum(v.total_ns for v in host.stages.values())
+        assert total == pytest.approx(host.clock_ns)
+
+    def test_copy_preserves_sources(self, harness):
+        """After Copy, arrays A and B are untouched (fresh harness)."""
+        h = StreamHarness()
+        arrays = h.load_arrays(vectors=64)
+        h.run_app(COPY, vectors=64)
+        assert np.allclose(h.offload_array(0, 64), arrays["a"])
+        assert np.allclose(h.offload_array(1, 64), arrays["b"])
+        assert np.allclose(h.offload_array(2, 64), arrays["a"])
+
+
+class TestPaperConstants:
+    def test_reference_constants(self):
+        assert STREAM_COPY.clock_mhz == 120
+        assert STREAM_COPY.read_latency_cycles == 14
+        assert STREAM_COPY.host_call_overhead_ns == 300
+        assert STREAM_COPY.peak_mbps == 2 * 8 * 8 * 120
+        assert STREAM_COPY.measured_mbps / STREAM_COPY.peak_mbps > 0.99
+
+    def test_design_defaults_match_constants(self, harness):
+        d = harness.design
+        assert d.dfe.clock_mhz == STREAM_COPY.clock_mhz
+        assert d.polymem.read_latency == STREAM_COPY.read_latency_cycles
+        assert (
+            d.dfe.board.pcie.call_overhead_ns
+            == STREAM_COPY.host_call_overhead_ns
+        )
+        assert d.controller.band_rows == STREAM_COPY.max_array_rows
+        assert d.config.cols == STREAM_COPY.array_cols

@@ -1,0 +1,43 @@
+"""Integration: the §IV-A validation cycle across the DSE grid.
+
+The paper validates *every* DSE design with the unique-value read/write
+cycle.  Running all 90 full-size designs is minutes of work; this test
+covers every (scheme x lanes x ports) combination at reduced capacity —
+the capacity axis only changes bank depth, which the addressing tests
+already cover exhaustively.
+"""
+
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.dse.space import LANE_GRIDS
+from repro.maxpolymem import build_design, validate_design
+
+
+@pytest.mark.parametrize("scheme", list(Scheme))
+@pytest.mark.parametrize("lanes", [8, 16])
+@pytest.mark.parametrize("ports", [1, 2])
+def test_validation_cycle_grid(scheme, lanes, ports):
+    p, q = LANE_GRIDS[lanes]
+    cfg = PolyMemConfig(
+        16 * KB, p=p, q=q, scheme=scheme, read_ports=ports
+    )
+    report = validate_design(build_design(cfg, clock_source="model"), max_rows=16)
+    assert report.passed, report.mismatches
+
+
+@pytest.mark.parametrize("ports", [3, 4])
+def test_validation_cycle_many_ports(ports):
+    cfg = PolyMemConfig(16 * KB, p=2, q=4, scheme=Scheme.ReRo, read_ports=ports)
+    report = validate_design(build_design(cfg, clock_source="model"), max_rows=8)
+    assert report.passed, report.mismatches
+
+
+def test_validation_cycle_full_512kb_design():
+    """One paper-size design validated end to end (capped rows)."""
+    cfg = PolyMemConfig(512 * KB, p=2, q=4, scheme=Scheme.RoCo)
+    design = build_design(cfg)  # paper clock: 194 MHz from Table IV
+    assert design.dfe.clock_mhz == 194
+    report = validate_design(design, max_rows=8)
+    assert report.passed

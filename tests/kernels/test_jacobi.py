@@ -1,0 +1,64 @@
+"""Tests for the Jacobi iterative solver on PolyMem."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PatternError
+from repro.kernels import jacobi_reference, jacobi_solve
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestJacobi:
+    @pytest.mark.parametrize("iterations", [1, 3, 10])
+    def test_matches_reference(self, rng, iterations):
+        grid = rng.uniform(-50, 50, (8, 16))
+        out, _ = jacobi_solve(grid, iterations)
+        assert np.allclose(out, jacobi_reference(grid, iterations))
+
+    def test_boundary_fixed(self, rng):
+        grid = rng.uniform(0, 1, (8, 16))
+        out, _ = jacobi_solve(grid, 4)
+        assert (out[0] == grid[0]).all()
+        assert (out[-1] == grid[-1]).all()
+        assert (out[:, 0] == grid[:, 0]).all()
+        assert (out[:, -1] == grid[:, -1]).all()
+
+    def test_converges_to_laplace_solution(self):
+        """Hot left wall, cold elsewhere: many sweeps smooth the interior
+        monotonically toward the harmonic solution."""
+        grid = np.zeros((8, 16))
+        grid[:, 0] = 100.0
+        out10, _ = jacobi_solve(grid, 10)
+        out50, _ = jacobi_solve(grid, 50)
+        ref50 = jacobi_reference(grid, 50)
+        assert np.allclose(out50, ref50)
+        # the interior warms up over time and stays below the wall value
+        assert out50[4, 4] > out10[4, 4] > 0
+        assert out50[4, 4] < 100
+
+    def test_cycle_accounting(self, rng):
+        grid = rng.uniform(0, 1, (8, 16))
+        _, rep = jacobi_solve(grid, 2)
+        interior = 8 - 2
+        per_sweep = interior * (3 + 1) * (16 // 8)  # 3 reads + 1 write x strips
+        assert rep.cycles == 2 * per_sweep
+
+    def test_alignment_validation(self):
+        with pytest.raises(PatternError, match="align"):
+            jacobi_solve(np.zeros((7, 16)), 1)
+        with pytest.raises(PatternError, match="align"):
+            jacobi_solve(np.zeros((8, 12)), 1)
+
+    def test_too_small(self):
+        with pytest.raises(PatternError, match="interior"):
+            jacobi_solve(np.zeros((2, 8)), 1)
+
+    def test_zero_iterations_identity(self, rng):
+        grid = rng.uniform(0, 1, (4, 8))
+        out, rep = jacobi_solve(grid, 0)
+        assert np.allclose(out, grid)
+        assert rep.cycles == 0

@@ -1,0 +1,152 @@
+"""Tests for the PolyMem-backed application kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PatternError
+from repro.kernels import (
+    load_matrix,
+    matmul,
+    matmul_scalar_cycles,
+    reduce_columns,
+    reduce_rows,
+    stencil_reference,
+    stencil_serial_cycles,
+    stencil_sweep,
+    transpose,
+    transpose_serial_cycles,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestMatmul:
+    def test_correct_product(self, rng):
+        a = rng.integers(0, 100, (4, 8)).astype(np.uint64)
+        b = rng.integers(0, 100, (8, 16)).astype(np.uint64)
+        c, _ = matmul(a, b)
+        assert (c == a @ b).all()
+
+    def test_cycle_accounting(self, rng):
+        a = rng.integers(0, 10, (4, 8)).astype(np.uint64)
+        b = rng.integers(0, 10, (8, 8)).astype(np.uint64)
+        _, rep = matmul(a, b)
+        # 4 row fetches (1 access each) + 4*8 column fetches (1 each)
+        assert rep.cycles == 4 + 4 * 8
+        assert rep.elements_accessed == rep.cycles * 8
+        assert rep.speedup_vs_scalar == 8.0
+
+    def test_beats_scalar_memory(self, rng):
+        a = rng.integers(0, 10, (4, 16)).astype(np.uint64)
+        b = rng.integers(0, 10, (16, 8)).astype(np.uint64)
+        _, rep = matmul(a, b)
+        assert rep.cycles * 8 == matmul_scalar_cycles(4, 16, 8)
+
+    def test_dimension_checks(self):
+        with pytest.raises(PatternError, match="inner"):
+            matmul(np.zeros((4, 8), np.uint64), np.zeros((16, 8), np.uint64))
+        with pytest.raises(PatternError, match="align"):
+            matmul(np.zeros((4, 9), np.uint64), np.zeros((9, 8), np.uint64))
+
+    def test_larger_grid(self, rng):
+        a = rng.integers(0, 50, (2, 16)).astype(np.uint64)
+        b = rng.integers(0, 50, (16, 16)).astype(np.uint64)
+        c, rep = matmul(a, b, p=2, q=8)
+        assert (c == a @ b).all()
+        assert rep.speedup_vs_scalar == 16.0
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("shape", [(8, 8), (8, 16), (16, 8)])
+    def test_correct(self, rng, shape):
+        m = rng.integers(0, 1 << 40, shape).astype(np.uint64)
+        t, _ = transpose(m)
+        assert (t == m.T).all()
+
+    def test_cycles_one_read_one_write_per_tile(self, rng):
+        m = rng.integers(0, 100, (8, 16)).astype(np.uint64)
+        _, rep = transpose(m)
+        tiles = (8 // 2) * (16 // 4)
+        assert rep.cycles == 2 * tiles
+
+    def test_faster_than_serialized(self):
+        # ReO banking pays a 2x arbiter penalty on every transposed write
+        tiles = (8 // 2) * (16 // 4)
+        assert transpose_serial_cycles(8, 16) == 3 * tiles
+
+    def test_shape_validation(self):
+        with pytest.raises(PatternError):
+            transpose(np.zeros((6, 16), np.uint64))  # 6 % q(4) != 0
+
+
+class TestStencil:
+    def test_box_blur(self, rng):
+        img = rng.integers(0, 256, (8, 16))
+        w = np.ones((3, 3), dtype=int)
+        out, _ = stencil_sweep(img, w)
+        assert (out == stencil_reference(img, w)).all()
+
+    def test_asymmetric_kernel(self, rng):
+        img = rng.integers(0, 256, (8, 16))
+        w = np.array([[0, 1, 0], [2, -4, 2], [0, 1, 0]])
+        out, _ = stencil_sweep(img, w)
+        assert (out == stencil_reference(img, w)).all()
+
+    def test_5x5_kernel_boundaries(self, rng):
+        img = rng.integers(0, 256, (8, 8))
+        w = rng.integers(-3, 4, (5, 5))
+        out, _ = stencil_sweep(img, w)
+        assert (out == stencil_reference(img, w)).all()
+
+    def test_zero_taps_skipped(self, rng):
+        img = rng.integers(0, 256, (4, 8))
+        w = np.zeros((3, 3), dtype=int)
+        w[1, 1] = 1  # identity
+        out, rep = stencil_sweep(img, w)
+        assert (out == img).all()
+        # only one tap -> one batch of tile reads
+        assert rep.cycles == (4 // 2) * (8 // 4)
+
+    def test_kernel_validation(self):
+        with pytest.raises(PatternError, match="odd square"):
+            stencil_sweep(np.zeros((4, 8)), np.ones((2, 2), int))
+        with pytest.raises(PatternError, match="align"):
+            stencil_sweep(np.zeros((5, 8)), np.ones((3, 3), int))
+
+    def test_speedup_is_lane_count(self, rng):
+        img = rng.integers(0, 256, (4, 8))
+        w = np.ones((3, 3), dtype=int)
+        _, rep = stencil_sweep(img, w)
+        assert rep.speedup_vs_scalar == 8.0
+        assert rep.cycles * 8 == stencil_serial_cycles(4, 8, w)
+
+
+class TestReductions:
+    def test_row_sums(self, rng):
+        m = rng.integers(0, 1000, (16, 32)).astype(np.uint64)
+        sums, rep = reduce_rows(load_matrix(m))
+        assert (sums == m.sum(axis=1)).all()
+        assert rep.cycles == 16 * (32 // 8)
+
+    def test_column_sums_same_memory(self, rng):
+        """Multiview: both reductions run on one stored matrix."""
+        m = rng.integers(0, 1000, (16, 32)).astype(np.uint64)
+        pm = load_matrix(m)
+        rs, _ = reduce_rows(pm)
+        cs, _ = reduce_columns(pm)
+        assert (rs == m.sum(axis=1)).all()
+        assert (cs == m.sum(axis=0)).all()
+
+    def test_alignment_check(self):
+        with pytest.raises(PatternError):
+            load_matrix(np.zeros((10, 32), np.uint64))
+
+    def test_report_fields(self, rng):
+        m = rng.integers(0, 10, (8, 8)).astype(np.uint64)
+        _, rep = reduce_rows(load_matrix(m))
+        assert rep.kernel == "reduce_rows"
+        assert rep.result_elements == 8
+        assert rep.elements_accessed == 64

@@ -1,0 +1,83 @@
+"""Tests for the LMem (board DRAM) model."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import AddressError, CapacityError
+from repro.maxeler.lmem import LMem
+
+
+@pytest.fixture
+def lmem():
+    return LMem(capacity_bytes=1 << 22, burst_latency_ns=200, bandwidth_gbps=38.4)
+
+
+class TestStorage:
+    def test_roundtrip(self, lmem):
+        data = np.arange(1000, dtype=np.uint64)
+        lmem.write(123, data)
+        got, _ = lmem.read(123, 1000)
+        assert (got == data).all()
+
+    def test_zero_initialized(self, lmem):
+        got, _ = lmem.read(0, 16)
+        assert (got == 0).all()
+
+    def test_cross_page_access(self, lmem):
+        addr = LMem.PAGE_WORDS - 10
+        data = np.arange(20, dtype=np.uint64)
+        lmem.write(addr, data)
+        got, _ = lmem.read(addr, 20)
+        assert (got == data).all()
+
+    def test_lazy_pages(self, lmem):
+        lmem.write(0, np.arange(10, dtype=np.uint64))
+        assert len(lmem._pages) == 1
+
+    def test_bounds(self, lmem):
+        with pytest.raises(AddressError):
+            lmem.read(lmem.capacity_words - 1, 2)
+        with pytest.raises(AddressError):
+            lmem.write(-1, np.arange(2, dtype=np.uint64))
+
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            LMem(capacity_bytes=7)
+
+    def test_matrix_roundtrip(self, lmem):
+        tile = np.arange(6 * 9, dtype=np.uint64).reshape(6, 9)
+        lmem.write_matrix(100, tile, row_stride=64)
+        got, _ = lmem.read_matrix(100, 6, 9, row_stride=64)
+        assert (got == tile).all()
+
+    def test_strided_rows_dont_clobber(self, lmem):
+        tile = np.ones((2, 4), dtype=np.uint64)
+        lmem.write_matrix(0, tile, row_stride=10)
+        # words between the rows stay zero
+        got, _ = lmem.read(4, 6)
+        assert (got == 0).all()
+
+
+class TestTiming:
+    def test_burst_cost(self, lmem):
+        ns = lmem.write(0, np.arange(100, dtype=np.uint64))
+        assert ns == pytest.approx(200 + 100 * 8 / 38.4)
+
+    def test_latency_dominates_small_bursts(self, lmem):
+        small = lmem.write(0, np.arange(1, dtype=np.uint64))
+        assert small == pytest.approx(200, rel=0.01)
+
+    def test_busy_accumulates(self, lmem):
+        lmem.write(0, np.arange(10, dtype=np.uint64))
+        lmem.read(0, 10)
+        assert lmem.busy_ns == pytest.approx(2 * (200 + 80 / 38.4))
+
+    def test_traffic_counters(self, lmem):
+        lmem.write(0, np.arange(10, dtype=np.uint64))
+        lmem.read(0, 4)
+        assert lmem.bytes_written == 80
+        assert lmem.bytes_read == 32
+
+    def test_matrix_pays_latency_per_row(self, lmem):
+        ns = lmem.write_matrix(0, np.zeros((5, 8), dtype=np.uint64), row_stride=16)
+        assert ns == pytest.approx(5 * (200 + 64 / 38.4))

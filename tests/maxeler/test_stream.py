@@ -1,0 +1,61 @@
+"""Unit tests for dataflow streams."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.maxeler.stream import Stream
+
+
+class TestStream:
+    def test_fifo_order(self):
+        s = Stream("s")
+        for v in (1, 2, 3):
+            s.push(v)
+        assert [s.pop(), s.pop(), s.pop()] == [1, 2, 3]
+
+    def test_capacity_and_backpressure(self):
+        s = Stream("s", capacity=2)
+        s.push(1)
+        assert s.can_push()
+        s.push(2)
+        assert s.full and not s.can_push()
+        with pytest.raises(SimulationError, match="overflow"):
+            s.push(3)
+
+    def test_underflow(self):
+        s = Stream("s")
+        with pytest.raises(SimulationError, match="underflow"):
+            s.pop()
+
+    def test_peek(self):
+        s = Stream("s")
+        s.push(42)
+        assert s.peek() == 42
+        assert len(s) == 1
+        with pytest.raises(SimulationError):
+            Stream("t").peek()
+
+    def test_unbounded(self):
+        s = Stream("s", capacity=None)
+        for v in range(1000):
+            s.push(v)
+        assert not s.full and s.can_push()
+
+    def test_drain(self):
+        s = Stream("s")
+        for v in range(5):
+            s.push(v)
+        assert s.drain() == [0, 1, 2, 3, 4]
+        assert s.empty
+
+    def test_counters(self):
+        s = Stream("s")
+        s.push(1)
+        s.push(2)
+        s.pop()
+        s.drain()
+        assert s.total_pushed == 2 and s.total_popped == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Stream("s", capacity=0)

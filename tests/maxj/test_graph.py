@@ -1,0 +1,125 @@
+"""Tests for the MaxJ-like graph builder and type system."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.maxj import BOOL, FLOAT64, INT64, UINT64, KernelGraph
+from repro.maxj.types import UINT32, unify
+
+
+class TestTypes:
+    def test_integer_wrap(self):
+        assert UINT64.cast(2**64 + 5) == 5
+        assert UINT32.cast(2**32 + 7) == 7
+
+    def test_bool_cast(self):
+        assert BOOL.cast(3) is True
+        assert BOOL.cast(0) is False
+
+    def test_unify_identical(self):
+        assert unify(UINT64, UINT64) is UINT64
+
+    def test_unify_bool_promotes(self):
+        assert unify(BOOL, FLOAT64) is FLOAT64
+        assert unify(INT64, BOOL) is INT64
+
+    def test_unify_mismatch(self):
+        with pytest.raises(SimulationError, match="cast"):
+            unify(UINT64, FLOAT64)
+
+
+class TestGraphConstruction:
+    def test_io_declaration(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        g.output("y", x + 1)
+        assert set(g.inputs) == {"x"}
+        assert set(g.outputs) == {"y"}
+
+    def test_duplicate_io_rejected(self):
+        g = KernelGraph("k")
+        g.input("x", UINT64)
+        with pytest.raises(SimulationError, match="duplicate"):
+            g.input("x", UINT64)
+        v = g.constant(1, UINT64)
+        g.output("y", v)
+        with pytest.raises(SimulationError, match="duplicate"):
+            g.output("y", v)
+
+    def test_scalar_operands_become_constants(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        y = x + 5
+        const_nodes = [n for n in g.nodes if n.op == "const"]
+        assert len(const_nodes) == 1
+        assert const_nodes[0].payload == 5
+
+    def test_reflected_operators(self):
+        g = KernelGraph("k")
+        x = g.input("x", FLOAT64)
+        y = 2.0 * x  # __rmul__
+        assert y.node.op == "*"
+
+    def test_comparison_yields_bool(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        assert (x < 3).type is BOOL
+        assert x.eq(3).type is BOOL
+
+    def test_type_mismatch_raises(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        f = g.constant(1.0, FLOAT64)
+        with pytest.raises(SimulationError, match="cast"):
+            _ = x + f
+
+    def test_explicit_cast(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        y = x.cast(FLOAT64) + 1.0
+        assert y.type is FLOAT64
+
+    def test_positive_offset_rejected(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        with pytest.raises(SimulationError, match="negative"):
+            x.offset(1)
+        with pytest.raises(SimulationError, match="negative"):
+            x.offset(0)
+
+    def test_no_outputs_rejected(self):
+        g = KernelGraph("k")
+        g.input("x", UINT64)
+        with pytest.raises(SimulationError, match="no outputs"):
+            g.validate()
+
+
+class TestPipelineDepth:
+    def test_add_chain(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        y = x + 1
+        z = y + 1
+        g.output("out", z)
+        assert g.pipeline_depth() == 2
+
+    def test_longest_path_wins(self):
+        g = KernelGraph("k")
+        x = g.input("x", FLOAT64)
+        short = x + 1.0                 # depth 1
+        long = x * 2.0 * 3.0            # depth 4
+        g.output("out", short + long)   # + adds 1 -> 5
+        assert g.pipeline_depth() == 5
+
+    def test_divide_is_expensive(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        g.output("out", x // 3)
+        assert g.pipeline_depth() == 8
+
+    def test_max_offset(self):
+        g = KernelGraph("k")
+        x = g.input("x", UINT64)
+        g.output("out", x.offset(-5) + x.offset(-2))
+        assert g.max_offset() == 5

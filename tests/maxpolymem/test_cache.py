@@ -1,0 +1,123 @@
+"""Tests for the Fig. 1 software-cache tiling driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PolyMemConfig
+from repro.core.exceptions import CapacityError
+from repro.core.patterns import PatternKind
+from repro.core.schemes import Scheme
+from repro.maxeler.lmem import LMem
+from repro.maxpolymem.cache import SoftwareCache
+
+
+def make_cache(matrix_rows=32, matrix_cols=64, tile_rows=16, tile_cols=32):
+    lmem = LMem(capacity_bytes=1 << 22)
+    cfg = PolyMemConfig(
+        tile_rows * tile_cols * 8, p=2, q=4, scheme=Scheme.ReRo,
+        rows=tile_rows, cols=tile_cols,
+    )
+    return SoftwareCache(cfg, lmem, (matrix_rows, matrix_cols), clock_mhz=120)
+
+
+def load_matrix(cache, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.integers(0, 1 << 40, (cache.matrix_rows, cache.matrix_cols)).astype(np.uint64)
+    cache.lmem.write(cache.base_addr, m.ravel())
+    return m
+
+
+class TestTiling:
+    def test_tile_enumeration(self):
+        cache = make_cache()
+        tiles = list(cache.tiles())
+        assert len(tiles) == (32 // 16) * (64 // 32)
+        assert tiles[0].row0 == 0 and tiles[-1].col0 == 32
+
+    def test_ragged_edges(self):
+        cache = make_cache(matrix_rows=20, matrix_cols=40)
+        tiles = list(cache.tiles())
+        assert tiles[-1].rows == 4 and tiles[-1].cols == 8
+
+    def test_stage_in_reads_correct_window(self):
+        cache = make_cache()
+        m = load_matrix(cache)
+        tile = list(cache.tiles())[2]
+        cache.stage_in(tile)
+        got = cache.read(PatternKind.ROW, 0, 0)
+        assert (got == m[tile.row0, tile.col0 : tile.col0 + 8]).all()
+
+    def test_stage_out_writes_back(self):
+        cache = make_cache()
+        m = load_matrix(cache)
+        tile = next(iter(cache.tiles()))
+        cache.stage_in(tile)
+        cache.write(PatternKind.ROW, 0, 0, np.arange(8))
+        cache.stage_out()
+        got, _ = cache.lmem.read(0, 8)
+        assert (got == np.arange(8)).all()
+        # rest of the matrix untouched
+        got, _ = cache.lmem.read(cache.matrix_cols, 8)
+        assert (got == m[1, :8]).all()
+
+    def test_stage_out_without_tile(self):
+        cache = make_cache()
+        with pytest.raises(CapacityError, match="no tile"):
+            cache.stage_out()
+
+    def test_full_sweep_roundtrip(self):
+        """Stage every tile in and out: LMem contents survive unchanged."""
+        cache = make_cache(matrix_rows=20, matrix_cols=40)
+        m = load_matrix(cache, seed=5)
+        for tile in cache.tiles():
+            cache.stage_in(tile)
+            cache.stage_out()
+        got, _ = cache.lmem.read(0, m.size)
+        assert (got.reshape(m.shape) == m).all()
+
+    def test_matrix_too_big(self):
+        lmem = LMem(capacity_bytes=1 << 12)
+        cfg = PolyMemConfig(16 * 32 * 8, p=2, q=4, rows=16, cols=32)
+        with pytest.raises(CapacityError):
+            SoftwareCache(cfg, lmem, (1 << 10, 1 << 10))
+
+
+class TestTimings:
+    def test_ledger_splits_time(self):
+        cache = make_cache()
+        load_matrix(cache)
+        tile = next(iter(cache.tiles()))
+        cache.stage_in(tile)
+        for r in range(8):
+            cache.read(PatternKind.ROW, r, 0)
+        cache.stage_out()
+        t = cache.timings
+        assert t.stage_in_ns > 0 and t.stage_out_ns > 0
+        assert t.compute_cycles == 8
+        assert t.total_ns(120) == pytest.approx(
+            t.stage_in_ns + t.stage_out_ns + 8 * 1e3 / 120
+        )
+
+    def test_reuse_drops_staging_fraction(self):
+        """More on-chip reuse -> staging fraction falls: the Fig. 1 cache
+        rationale."""
+        fractions = []
+        for reuse in (1, 16, 256):
+            cache = make_cache()
+            load_matrix(cache)
+            tile = next(iter(cache.tiles()))
+            cache.stage_in(tile)
+            anchors = np.zeros(reuse * 16, dtype=np.int64)
+            rows = np.tile(np.arange(16), reuse)
+            cache.read_batch(PatternKind.ROW, rows, anchors)
+            cache.stage_out()
+            fractions.append(cache.timings.staging_fraction(120))
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_breakeven_reuse_positive(self):
+        cache = make_cache()
+        r = cache.breakeven_reuse()
+        assert r > 0
+        # staging two directions of a 16x32 tile at 38.4 GB/s against
+        # 8 lanes @120 MHz: breakeven in the single-digit-to-tens range
+        assert 0.5 < r < 100

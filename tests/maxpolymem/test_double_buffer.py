@@ -1,0 +1,99 @@
+"""Tests for the double-buffered (ping-pong) software cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PolyMemConfig
+from repro.core.patterns import PatternKind
+from repro.core.schemes import Scheme
+from repro.maxeler.lmem import LMem
+from repro.maxpolymem.double_buffer import PingPongCache
+
+
+def make_pingpong(matrix_rows=64, matrix_cols=128, seed=0):
+    rng = np.random.default_rng(seed)
+    lmem = LMem()
+    m = rng.integers(0, 1 << 40, (matrix_rows, matrix_cols)).astype(np.uint64)
+    lmem.write(0, m.ravel())
+    cfg = PolyMemConfig(
+        16 * 32 * 8, p=2, q=4, scheme=Scheme.ReRo, rows=16, cols=32
+    )
+    return PingPongCache(cfg, lmem, (matrix_rows, matrix_cols), clock_mhz=120), m
+
+
+def row_sweeps(reuse):
+    def compute(frame, tile):
+        for _ in range(reuse):
+            for r in range(tile.rows):
+                frame.read_batch(
+                    PatternKind.ROW, np.full(4, r), np.arange(4) * 8
+                )
+
+    return compute
+
+
+class TestPingPong:
+    def test_overlap_beats_serialized(self):
+        pp, _ = make_pingpong()
+        report = pp.run(row_sweeps(reuse=4))
+        assert report.overlap_speedup > 1.0
+        assert report.overlapped_ns < report.serialized_ns
+
+    def test_overlap_bounded_by_two(self):
+        """Perfect overlap halves the time at best."""
+        pp, _ = make_pingpong()
+        report = pp.run(row_sweeps(reuse=2))
+        assert report.overlap_speedup <= 2.0
+
+    def test_compute_bound_sweep_gains_more(self):
+        """More reuse -> staging hides better behind compute."""
+        s1 = make_pingpong()[0].run(row_sweeps(reuse=1)).overlap_speedup
+        s8 = make_pingpong()[0].run(row_sweeps(reuse=8)).overlap_speedup
+        assert s8 >= s1 * 0.9  # never collapses; typically grows
+
+    def test_writeback_preserves_matrix(self):
+        pp, m = make_pingpong(seed=3)
+        pp.run(row_sweeps(reuse=1))
+        back, _ = pp.lmem.read(0, m.size)
+        assert (back.reshape(m.shape) == m).all()
+
+    def test_compute_writes_reach_lmem(self):
+        pp, m = make_pingpong(seed=4)
+
+        def zero_first_row(frame, tile):
+            frame.write_batch(
+                PatternKind.ROW,
+                np.zeros(4, dtype=np.int64),
+                np.arange(4) * 8,
+                np.zeros((4, 8), dtype=np.uint64),
+            )
+
+        pp.run(zero_first_row)
+        back, _ = pp.lmem.read(0, 32)
+        assert (back == 0).all()
+
+    def test_tile_count(self):
+        pp, _ = make_pingpong()
+        report = pp.run(row_sweeps(1))
+        assert report.tiles == (64 // 16) * (128 // 32)
+
+    def test_cycles_accumulated(self):
+        pp, _ = make_pingpong()
+        report = pp.run(row_sweeps(reuse=2))
+        per_tile = 2 * 16 * 4
+        assert report.compute_cycles == report.tiles * per_tile
+
+    def test_no_writeback_mode(self):
+        pp, m = make_pingpong(seed=5)
+
+        def scribble(frame, tile):
+            frame.write_batch(
+                PatternKind.ROW,
+                np.zeros(4, dtype=np.int64),
+                np.arange(4) * 8,
+                np.zeros((4, 8), dtype=np.uint64),
+            )
+
+        pp.run(scribble, writeback=False)
+        back, _ = pp.lmem.read(0, m.size)
+        assert (back.reshape(m.shape) == m).all()  # LMem untouched

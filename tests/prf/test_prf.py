@@ -1,0 +1,167 @@
+"""Tests for the PRF compatibility layer (registers + vector ISA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PatternError
+from repro.prf import PrfMachine, RegisterFile
+
+
+@pytest.fixture
+def rf():
+    return RegisterFile(capacity_kb=4)
+
+
+@pytest.fixture
+def machine(rf):
+    return PrfMachine(rf)
+
+
+class TestRegisterFile:
+    def test_define_and_roundtrip(self, rf):
+        r = rf.define("R0", 4, 8)
+        data = np.arange(32, dtype=np.float64).reshape(4, 8) / 7
+        r.store(data)
+        assert np.allclose(r.load(), data)
+
+    def test_mixed_shapes_coexist(self, rf):
+        """The PRF's point: registers of different shapes simultaneously."""
+        shapes = [(4, 8), (1, 16), (8, 2), (2, 2)]
+        rng = np.random.default_rng(0)
+        data = {}
+        for k, (r, c) in enumerate(shapes):
+            reg = rf.define(f"R{k}", r, c)
+            data[f"R{k}"] = rng.uniform(size=(r, c))
+            reg.store(data[f"R{k}"])
+        for name, want in data.items():
+            assert np.allclose(rf[name].load(), want), name
+
+    def test_resize_preserves_prefix(self, rf):
+        rf.define("R0", 2, 8)
+        rf["R0"].store(np.arange(16, dtype=np.float64).reshape(2, 8))
+        rf.resize("R0", 4, 4)
+        got = rf["R0"].load()
+        assert got.shape == (4, 4)
+        assert np.allclose(got.ravel(), np.arange(16))
+
+    def test_resize_shrink_truncates(self, rf):
+        rf.define("R0", 2, 8)
+        rf["R0"].store(np.arange(16, dtype=np.float64).reshape(2, 8))
+        rf.resize("R0", 1, 8)
+        assert np.allclose(rf["R0"].load().ravel(), np.arange(8))
+
+    def test_release_and_reuse(self, rf):
+        rf.define("R0", 4, 8)
+        rf.release("R0")
+        assert "R0" not in rf
+        rf.define("R0", 2, 4)  # name and storage reusable
+
+    def test_duplicate_and_missing(self, rf):
+        rf.define("R0", 2, 4)
+        with pytest.raises(PatternError, match="already"):
+            rf.define("R0", 2, 4)
+        with pytest.raises(PatternError, match="not defined"):
+            rf.release("R9")
+        with pytest.raises(PatternError, match="not defined"):
+            rf["R9"]
+
+    def test_store_shape_check(self, rf):
+        r = rf.define("R0", 2, 4)
+        with pytest.raises(PatternError, match="expects"):
+            r.store(np.zeros((4, 2)))
+
+
+class TestVectorISA:
+    def setup_regs(self, machine, shape=(2, 8), seed=1):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1, 1, shape)
+        b = rng.uniform(-1, 1, shape)
+        machine.rf.define("Ra", *shape)
+        machine.rf.define("Rb", *shape)
+        machine.rf.define("Rd", *shape)
+        machine.rf["Ra"].store(a)
+        machine.rf["Rb"].store(b)
+        return a, b
+
+    def test_vadd(self, machine):
+        a, b = self.setup_regs(machine)
+        machine.vadd("Rd", "Ra", "Rb")
+        assert np.allclose(machine.rf["Rd"].load(), a + b)
+
+    def test_vsub_vmul(self, machine):
+        a, b = self.setup_regs(machine)
+        machine.vsub("Rd", "Ra", "Rb")
+        assert np.allclose(machine.rf["Rd"].load(), a - b)
+        machine.vmul("Rd", "Ra", "Rb")
+        assert np.allclose(machine.rf["Rd"].load(), a * b)
+
+    def test_vaxpy_and_vscale(self, machine):
+        a, b = self.setup_regs(machine)
+        machine.vaxpy("Rd", 2.5, "Ra", "Rb")
+        assert np.allclose(machine.rf["Rd"].load(), 2.5 * a + b)
+        machine.vscale("Rd", -3.0, "Ra")
+        assert np.allclose(machine.rf["Rd"].load(), -3.0 * a)
+
+    def test_vdot_vsum(self, machine):
+        a, b = self.setup_regs(machine)
+        assert machine.vdot("Ra", "Rb") == pytest.approx(
+            float(np.dot(a.ravel(), b.ravel()))
+        )
+        assert machine.vsum("Ra") == pytest.approx(float(a.sum()))
+
+    def test_shape_mismatch_rejected(self, machine):
+        machine.rf.define("Ra", 2, 8)
+        machine.rf.define("Rb", 4, 4)
+        machine.rf.define("Rd", 2, 8)
+        with pytest.raises(PatternError, match="shape mismatch"):
+            machine.vadd("Rd", "Ra", "Rb")
+
+    def test_cycle_model_dual_port(self, machine):
+        a, b = self.setup_regs(machine, shape=(2, 16))  # 32 elems, 4 vecs
+        machine.vadd("Rd", "Ra", "Rb")
+        assert machine.stats.cycles == 4  # both operands stream together
+
+    def test_cycle_model_single_port(self):
+        machine = PrfMachine(read_ports=1)
+        rng = np.random.default_rng(2)
+        machine.rf.define("Ra", 2, 16)
+        machine.rf.define("Rb", 2, 16)
+        machine.rf.define("Rd", 2, 16)
+        machine.rf["Ra"].store(rng.uniform(size=(2, 16)))
+        machine.rf["Rb"].store(rng.uniform(size=(2, 16)))
+        machine.vadd("Rd", "Ra", "Rb")
+        assert machine.stats.cycles == 8  # operands serialize
+
+    def test_reduction_tail(self, machine):
+        self.setup_regs(machine, shape=(2, 16))
+        machine.vsum("Ra")
+        assert machine.stats.cycles == 4 + 3  # 4 vectors + log2(8)
+
+    def test_stats_log(self, machine):
+        self.setup_regs(machine)
+        machine.vadd("Rd", "Ra", "Rb")
+        machine.vdot("Ra", "Rb")
+        assert machine.stats.instructions == 2
+        assert machine.stats.log[0].startswith("vadd")
+
+
+class TestAxpyKernel:
+    def test_daxpy_program(self):
+        """A DAXPY over polymorphic registers: the PRF lineage's canonical
+        building block (CG case study)."""
+        machine = PrfMachine(RegisterFile(capacity_kb=4))
+        n = 64
+        rng = np.random.default_rng(5)
+        x, y = rng.uniform(size=n), rng.uniform(size=n)
+        machine.rf.define("X", 4, 16)
+        machine.rf.define("Y", 4, 16)
+        machine.rf.define("Z", 4, 16)
+        machine.rf["X"].store(x.reshape(4, 16))
+        machine.rf["Y"].store(y.reshape(4, 16))
+        machine.vaxpy("Z", 1.5, "X", "Y")
+        assert np.allclose(machine.rf["Z"].load().ravel(), 1.5 * x + y)
+        # residual norm via the ISA
+        machine.vsub("Z", "Z", "Y")
+        machine.vscale("Z", 1 / 1.5, "Z")
+        err = machine.vdot("Z", "Z") - float(np.dot(x, x))
+        assert abs(err) < 1e-9

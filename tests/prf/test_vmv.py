@@ -1,0 +1,61 @@
+"""Tests for the matrix-vector instruction (the CG building block)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PatternError
+from repro.prf import PrfMachine, RegisterFile
+
+
+@pytest.fixture
+def machine():
+    return PrfMachine(RegisterFile(capacity_kb=16))
+
+
+class TestVmv:
+    def test_matches_numpy(self, machine):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (8, 16))
+        v = rng.uniform(-1, 1, 16)
+        machine.rf.define("A", 8, 16)
+        machine.rf.define("v", 1, 16)
+        machine.rf.define("y", 1, 8)
+        machine.rf["A"].store(a)
+        machine.rf["v"].store(v.reshape(1, 16))
+        machine.vmv("y", "A", "v")
+        assert np.allclose(machine.rf["y"].load().ravel(), a @ v)
+
+    def test_vector_shape_flexible(self, machine):
+        """The vector operand may be any register holding n elements."""
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, (4, 16))
+        v = rng.uniform(-1, 1, 16)
+        machine.rf.define("A", 4, 16)
+        machine.rf.define("v", 2, 8)  # 16 elements, different shape
+        machine.rf.define("y", 1, 4)
+        machine.rf["A"].store(a)
+        machine.rf["v"].store(v.reshape(2, 8))
+        machine.vmv("y", "A", "v")
+        assert np.allclose(machine.rf["y"].load().ravel(), a @ v)
+
+    def test_dimension_checks(self, machine):
+        machine.rf.define("A", 4, 16)
+        machine.rf.define("v", 1, 8)   # wrong length
+        machine.rf.define("y", 1, 4)
+        with pytest.raises(PatternError, match="needs a 16-element"):
+            machine.vmv("y", "A", "v")
+        machine.rf.define("w", 1, 16)
+        machine.rf.define("z", 1, 8)   # wrong destination
+        with pytest.raises(PatternError, match="destination"):
+            machine.vmv("z", "A", "w")
+
+    def test_cycle_model(self, machine):
+        rng = np.random.default_rng(2)
+        machine.rf.define("A", 8, 16)
+        machine.rf.define("v", 1, 16)
+        machine.rf.define("y", 1, 8)
+        machine.rf["A"].store(rng.uniform(size=(8, 16)))
+        machine.rf["v"].store(rng.uniform(size=(1, 16)))
+        machine.vmv("y", "A", "v")
+        # 2 vectors to stream v + 8 rows x (2 stream + 3 reduce)
+        assert machine.stats.cycles == 2 + 8 * (2 + 3)

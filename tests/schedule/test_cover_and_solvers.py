@@ -1,0 +1,134 @@
+"""Tests for the set-cover formulation, greedy baseline and exact solver."""
+
+import pytest
+
+from repro.core.exceptions import ScheduleError
+from repro.core.patterns import PatternKind
+from repro.core.schemes import Scheme
+from repro.schedule import (
+    block_trace,
+    build_cover_problem,
+    column_trace,
+    diagonal_trace,
+    greedy_cover,
+    random_trace,
+    row_trace,
+    solve_cover,
+)
+
+
+class TestCoverProblem:
+    def test_candidates_respect_alignment(self):
+        # RoCo rectangles only at i-aligned or j-aligned anchors
+        t = block_trace(4, 8)
+        prob = build_cover_problem(t, Scheme.RoCo, 2, 4)
+        from repro.core.conflict import is_conflict_free
+
+        for cand in prob.candidates:
+            assert is_conflict_free(
+                Scheme.RoCo, cand.kind, cand.i, cand.j, 2, 4
+            ), cand
+
+    def test_candidates_fit_region(self):
+        t = row_trace(2, 16)
+        prob = build_cover_problem(t, Scheme.ReRo, 2, 4)
+        for cand in prob.candidates:
+            from repro.core.patterns import AccessPattern
+
+            assert AccessPattern(cand.kind, 2, 4).fits(
+                cand.i, cand.j, t.rows, t.cols
+            )
+
+    def test_masks_nonzero(self):
+        t = block_trace(4, 8)
+        prob = build_cover_problem(t, Scheme.ReO, 2, 4)
+        assert all(m for m in prob.masks)
+
+    def test_coverable(self):
+        t = block_trace(4, 8)
+        assert build_cover_problem(t, Scheme.ReO, 2, 4).coverable()
+
+    def test_not_coverable_region_too_small(self):
+        # a 2x4 block cannot host any 8-element pattern of a 2x8 grid
+        t = block_trace(2, 4)
+        with pytest.raises(ScheduleError):
+            build_cover_problem(t, Scheme.ReO, 2, 8)
+
+    def test_covered_cells_reporting(self):
+        t = block_trace(2, 4)
+        prob = build_cover_problem(t, Scheme.ReO, 2, 4)
+        k = prob.masks.index(prob.universe)
+        assert prob.covered_cells(prob.candidates[k]) == t.cells
+
+
+class TestGreedy:
+    def test_tiling_close_to_optimal(self):
+        """Greedy may over-cover on ties (it picks an overlapping rectangle
+        on this instance — the classic ln(n) gap); the exact solver finds
+        the 4-access tiling."""
+        t = block_trace(4, 8)
+        prob = build_cover_problem(t, Scheme.ReO, 2, 4)
+        chosen = greedy_cover(prob)
+        assert 4 <= len(chosen) <= 5
+        assert solve_cover(prob).n_accesses == 4  # 32 cells / 8 lanes
+
+    def test_produces_valid_cover(self):
+        t = random_trace(10, 10, density=0.4, seed=9)
+        prob = build_cover_problem(t, Scheme.ReRo, 2, 4)
+        chosen = greedy_cover(prob)
+        covered = 0
+        for k in chosen:
+            covered |= prob.masks[k]
+        assert covered == prob.universe
+
+
+class TestExactSolver:
+    def test_matches_known_optimum(self):
+        t = row_trace(4, 16)
+        prob = build_cover_problem(t, Scheme.ReRo, 2, 4)
+        sol = solve_cover(prob)
+        assert sol.n_accesses == 8
+        assert sol.proven_optimal
+
+    def test_never_worse_than_greedy(self):
+        for seed in range(5):
+            t = random_trace(10, 10, density=0.35, seed=seed)
+            prob = build_cover_problem(t, Scheme.ReRo, 2, 4)
+            g = len(greedy_cover(prob))
+            s = solve_cover(prob)
+            assert s.n_accesses <= g
+
+    def test_solution_is_valid_cover(self):
+        t = random_trace(8, 12, density=0.5, seed=2)
+        prob = build_cover_problem(t, Scheme.ReCo, 2, 4)
+        sol = solve_cover(prob)
+        covered = 0
+        for k in sol.chosen:
+            covered |= prob.masks[k]
+        assert covered == prob.universe
+
+    def test_node_budget_degrades_gracefully(self):
+        t = random_trace(12, 12, density=0.5, seed=4)
+        prob = build_cover_problem(t, Scheme.RoCo, 2, 4)
+        sol = solve_cover(prob, node_budget=10)
+        assert not sol.proven_optimal
+        covered = 0
+        for k in sol.chosen:
+            covered |= prob.masks[k]
+        assert covered == prob.universe  # incumbent is still a valid cover
+
+    def test_diagonal_trace_single_access(self):
+        t = diagonal_trace(8)
+        prob = build_cover_problem(t, Scheme.ReRo, 2, 4)
+        sol = solve_cover(prob)
+        assert sol.n_accesses == 1
+
+    def test_column_trace_on_reco(self):
+        t = column_trace(1, 16)
+        prob = build_cover_problem(t, Scheme.ReCo, 2, 4)
+        assert solve_cover(prob).n_accesses == 2
+
+    def test_nodes_counted(self):
+        t = block_trace(4, 8)
+        prob = build_cover_problem(t, Scheme.ReO, 2, 4)
+        assert solve_cover(prob).nodes_explored > 0

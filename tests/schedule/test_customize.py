@@ -1,0 +1,97 @@
+"""Tests for schedule metrics and configuration selection (§III-A)."""
+
+import pytest
+
+from repro.core.exceptions import ScheduleError
+from repro.core.schemes import Scheme
+from repro.schedule import (
+    block_trace,
+    column_trace,
+    customize,
+    diagonal_trace,
+    random_trace,
+    row_trace,
+    schedule_trace,
+    transpose_trace,
+)
+
+
+class TestScheduleMetrics:
+    def test_perfect_row_schedule(self):
+        s = schedule_trace(row_trace(4, 16), Scheme.ReRo, 2, 4)
+        assert s.n_accesses == 8
+        assert s.speedup == 8.0
+        assert s.efficiency == 1.0
+
+    def test_mismatched_scheme_lowers_efficiency(self):
+        """Rows read through ReO (rectangles only) waste lanes."""
+        good = schedule_trace(row_trace(2, 16), Scheme.ReRo, 2, 4)
+        bad = schedule_trace(row_trace(2, 16), Scheme.ReO, 2, 4)
+        assert good.efficiency >= bad.efficiency
+        assert good.speedup >= bad.speedup
+
+    def test_solver_choice(self):
+        t = random_trace(8, 8, density=0.4, seed=1)
+        ilp = schedule_trace(t, Scheme.ReRo, 2, 4, solver="ilp")
+        greedy = schedule_trace(t, Scheme.ReRo, 2, 4, solver="greedy")
+        assert ilp.n_accesses <= greedy.n_accesses
+        assert greedy.solver == "greedy" and not greedy.proven_optimal
+        with pytest.raises(ScheduleError):
+            schedule_trace(t, Scheme.ReRo, 2, 4, solver="oracle")
+
+
+class TestCustomize:
+    def test_row_workload_prefers_row_capable_scheme(self):
+        res = customize(row_trace(2, 32), lane_grids=[(2, 4)])
+        assert res.best.scheme in (Scheme.ReRo, Scheme.RoCo, Scheme.ReO,
+                                   Scheme.ReCo, Scheme.ReTr)
+        # all schemes tile 2 full rows with rectangles equally well; a
+        # single odd row separates them:
+        res = customize(row_trace(1, 32), lane_grids=[(2, 4)])
+        assert res.best.scheme in (Scheme.ReRo, Scheme.RoCo)
+        assert res.best.efficiency == 1.0
+
+    def test_column_workload(self):
+        res = customize(column_trace(1, 32), lane_grids=[(2, 4)])
+        assert res.best.scheme in (Scheme.ReCo, Scheme.RoCo)
+        assert res.best.efficiency == 1.0
+
+    def test_diagonal_workload(self):
+        res = customize(diagonal_trace(8), lane_grids=[(2, 4)])
+        assert res.best.scheme in (Scheme.ReRo, Scheme.ReCo)
+        assert res.best.n_accesses == 1
+
+    def test_block_workload_ties_resolved_by_metrics(self):
+        res = customize(block_trace(4, 8), lane_grids=[(2, 4)])
+        assert res.best.speedup == 8.0
+
+    def test_larger_lane_grid_wins_on_speedup(self):
+        res = customize(row_trace(2, 32), lane_grids=[(2, 4), (2, 8)])
+        assert res.best.lanes == 16
+        assert res.best.speedup == 16.0
+
+    def test_by_scheme_filter(self):
+        res = customize(block_trace(4, 8), lane_grids=[(2, 4)])
+        assert all(s.scheme is Scheme.ReO for s in res.by_scheme(Scheme.ReO))
+
+    def test_uncoverable_configs_skipped(self):
+        # no 16-element pattern fits a 4x4 region; the 2x4 grid still works
+        res = customize(block_trace(4, 4), lane_grids=[(2, 4), (2, 8)])
+        assert res.schedules
+        assert all(s.lanes == 8 for s in res.schedules)
+
+    def test_transposed_rectangle_rescues_tall_regions(self):
+        """An 8x4 block is unreachable for 2x8 rect/row/col patterns, but
+        ReTr's 8x2 transposed rectangle tiles it in 2 accesses."""
+        res = customize(block_trace(8, 4), lane_grids=[(2, 8)])
+        assert [s.scheme for s in res.schedules] == [Scheme.ReTr]
+        assert res.best.n_accesses == 2 and res.best.efficiency == 1.0
+
+    def test_nothing_fits_raises(self):
+        with pytest.raises(ScheduleError):
+            customize(block_trace(2, 2), lane_grids=[(2, 8)])
+
+    def test_transpose_workload_retr_competitive(self):
+        res = customize(transpose_trace(4, 8), lane_grids=[(2, 4)])
+        retr = res.by_scheme(Scheme.ReTr)[0]
+        assert retr.speedup == res.best.speedup

@@ -1,0 +1,77 @@
+"""Tests for schedule execution against a real PolyMem."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ScheduleError
+from repro.core.schemes import Scheme
+from repro.schedule import (
+    block_trace,
+    column_trace,
+    customize,
+    diagonal_trace,
+    execute_schedule,
+    memory_for_trace,
+    random_trace,
+    row_trace,
+    schedule_trace,
+)
+
+
+class TestExecuteSchedule:
+    @pytest.mark.parametrize(
+        "trace,scheme",
+        [
+            (row_trace(4, 16), Scheme.ReRo),
+            (column_trace(2, 16), Scheme.ReCo),
+            (diagonal_trace(8), Scheme.ReRo),
+            (block_trace(4, 8), Scheme.ReO),
+        ],
+        ids=["rows", "cols", "diag", "block"],
+    )
+    def test_regular_traces(self, trace, scheme):
+        schedule = schedule_trace(trace, scheme, 2, 4)
+        result = execute_schedule(trace, schedule)
+        assert result.covered
+        assert result.data_correct
+        assert result.matches_prediction
+        assert result.overfetch_ratio == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_irregular_traces_cover_with_overfetch(self, seed):
+        trace = random_trace(12, 12, density=0.3, seed=seed)
+        schedule = schedule_trace(trace, Scheme.ReRo, 2, 4)
+        result = execute_schedule(trace, schedule)
+        assert result.covered and result.data_correct
+        assert result.matches_prediction
+        assert result.overfetch_ratio >= 1.0
+
+    def test_every_customize_winner_executes(self):
+        trace = random_trace(10, 10, density=0.4, seed=7)
+        res = customize(trace, lane_grids=[(2, 4)])
+        for schedule in res.schedules:
+            result = execute_schedule(trace, schedule)
+            assert result.covered, schedule.scheme
+            assert result.matches_prediction, schedule.scheme
+
+    def test_trace_mismatch_rejected(self):
+        t1, t2 = row_trace(2, 16), column_trace(2, 16)
+        schedule = schedule_trace(t1, Scheme.ReRo, 2, 4)
+        with pytest.raises(ScheduleError, match="built for"):
+            execute_schedule(t2, schedule)
+
+    def test_memory_for_trace_pads_region(self):
+        trace = random_trace(5, 9, density=0.5, seed=1)
+        schedule = schedule_trace(trace, Scheme.ReRo, 2, 4)
+        pm, fill = memory_for_trace(trace, schedule)
+        assert pm.rows % 2 == 0 and pm.cols % 4 == 0
+        assert pm.rows >= 5 and pm.cols >= 9
+        assert fill.shape == (pm.rows, pm.cols)
+
+    def test_custom_fill(self):
+        trace = row_trace(2, 16)
+        schedule = schedule_trace(trace, Scheme.ReRo, 2, 4)
+        pm, fill = memory_for_trace(
+            trace, schedule, fill=np.full((2, 16), 9, dtype=np.uint64)
+        )
+        assert (pm.dump() == 9).all()

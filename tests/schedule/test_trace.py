@@ -1,0 +1,85 @@
+"""Tests for application trace factories."""
+
+import pytest
+
+from repro.core.exceptions import ScheduleError
+from repro.schedule.trace import (
+    ApplicationTrace,
+    block_trace,
+    column_trace,
+    diagonal_trace,
+    random_trace,
+    row_trace,
+    stencil_trace,
+    transpose_trace,
+)
+
+
+class TestApplicationTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError, match="no cells"):
+            ApplicationTrace("t", frozenset(), 4, 4)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ScheduleError, match="outside"):
+            ApplicationTrace("t", frozenset({(5, 0)}), 4, 4)
+
+    def test_density_and_len(self):
+        t = block_trace(2, 2)
+        assert len(t) == 4 and t.density == 1.0
+
+    def test_mask(self):
+        t = row_trace(1, 4)
+        mask = t.as_mask()
+        assert mask.shape == (1, 4) and mask.all()
+
+
+class TestFactories:
+    def test_block(self):
+        t = block_trace(3, 5, at=(2, 1))
+        assert (2, 1) in t.cells and (4, 5) in t.cells
+        assert len(t) == 15
+
+    def test_rows(self):
+        t = row_trace(2, 8)
+        assert len(t) == 16 and t.rows == 2 and t.cols == 8
+
+    def test_columns(self):
+        t = column_trace(3, 8)
+        assert len(t) == 24 and t.rows == 8 and t.cols == 3
+
+    def test_diagonal(self):
+        t = diagonal_trace(8)
+        assert (0, 0) in t.cells and (7, 7) in t.cells
+        assert len(t) == 8
+
+    def test_anti_diagonal(self):
+        t = diagonal_trace(8, anti=True)
+        assert (0, 7) in t.cells and (7, 0) in t.cells
+
+    def test_multi_diagonal(self):
+        t = diagonal_trace(4, count=3)
+        assert len(t) == 12 or len(t) < 12  # overlaps allowed
+        assert (2, 0) in t.cells  # third diagonal start
+
+    def test_transpose(self):
+        t = transpose_trace(4, 6)
+        assert len(t) == 24
+
+    def test_stencil(self):
+        t = stencil_trace(6, 6)
+        assert len(t) == 36
+
+    def test_random_deterministic(self):
+        t1 = random_trace(10, 10, density=0.3, seed=5)
+        t2 = random_trace(10, 10, density=0.3, seed=5)
+        assert t1.cells == t2.cells
+        assert 0 < t1.density < 1
+
+    def test_random_never_empty(self):
+        t = random_trace(10, 10, density=0.0001, seed=1)
+        assert len(t) >= 1
+
+    def test_random_density_validation(self):
+        with pytest.raises(ScheduleError):
+            random_trace(4, 4, density=0)

@@ -1,0 +1,45 @@
+"""Tests for the STREAM-standard report format."""
+
+import pytest
+
+from repro.stream_bench import COPY, StreamHarness, all_apps, stream_report
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return StreamHarness()
+
+
+class TestStreamReport:
+    def test_canonical_layout(self, harness):
+        ms = [
+            harness.measure_analytic(a, harness.max_vectors, runs=1000)
+            for a in all_apps()
+        ]
+        text = stream_report(ms)
+        # STREAM's signature lines
+        assert "Function" in text and "Best Rate MB/s" in text
+        assert "Copy:" in text and "Triad:" in text
+        assert "executed 1000 times" in text
+        assert "Array size = 87040" in text
+
+    def test_rates_match_measurements(self, harness):
+        m = harness.measure_analytic(COPY, harness.max_vectors, runs=1000)
+        text = stream_report([m])
+        assert f"{m.mbps:16.1f}".strip() in text
+
+    def test_efficiency_footer(self, harness):
+        m = harness.measure_analytic(COPY, harness.max_vectors)
+        text = stream_report([m])
+        assert "Sustained fraction of theoretical peak: 99." in text
+
+    def test_empty_report(self):
+        text = stream_report([])
+        assert "Function" in text
+
+    def test_cli_uses_stream_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["stream", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Best Rate MB/s" in out

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in ("info", "validate", "dse", "stream", "schedule", "productivity"):
+            args = parser.parse_args(
+                [cmd, "rows"] if cmd == "schedule" else [cmd]
+            )
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ReRo" in out and "rectangle" in out
+
+    def test_validate_passes(self, capsys):
+        rc = main(
+            ["validate", "--capacity-kb", "4", "--scheme", "ReCo", "--max-rows", "8"]
+        )
+        assert rc == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_validate_modular(self, capsys):
+        rc = main(
+            ["validate", "--capacity-kb", "4", "--style", "modular",
+             "--max-rows", "8"]
+        )
+        assert rc == 0
+
+    def test_validate_from_config_file(self, tmp_path, capsys):
+        cfg = tmp_path / "polymem.cfg"
+        cfg.write_text("capacity_bytes = 4096\np = 2\nq = 4\nscheme = ReTr\n")
+        rc = main(["validate", "--config", str(cfg), "--max-rows", "8"])
+        assert rc == 0
+        assert "ReTr" in capsys.readouterr().out
+
+    def test_dse(self, capsys):
+        assert main(["dse"]) == 0
+        out = capsys.readouterr().out
+        assert "MAXIMUM CLOCK FREQUENCIES" in out
+        assert "peak read" in out
+
+    def test_stream(self, capsys):
+        assert main(["stream"]) == 0
+        out = capsys.readouterr().out
+        assert "Copy" in out and "Triad" in out
+
+    def test_stream_fig10(self, capsys):
+        assert main(["stream", "--fig10", "--runs", "10"]) == 0
+        assert "copied KB" in capsys.readouterr().out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "columns", "--rows", "1", "--cols", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+
+    def test_schedule_greedy(self, capsys):
+        assert main(["schedule", "random", "--rows", "8", "--cols", "8",
+                     "--solver", "greedy"]) == 0
+
+    def test_productivity(self, capsys):
+        assert main(["productivity"]) == 0
+        assert "Shuffle" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report", "--capacity-kb", "512", "--scheme", "ReO"]) == 0
+        out = capsys.readouterr().out
+        assert "SYNTHESIS ESTIMATE" in out and "FEASIBLE" in out
+
+    def test_report_infeasible(self, capsys):
+        assert main(
+            ["report", "--capacity-kb", "4096", "--ports", "2"]
+        ) == 0
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "repro" in proc.stdout

@@ -1,0 +1,47 @@
+"""Every example script runs to completion (and its assertions pass)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: examples that sweep the full paper-size design space / arrays
+SLOW = {"dse_explore.py", "stream_copy.py"}
+
+
+@pytest.mark.parametrize(
+    "script", [e for e in EXAMPLES if e.name not in SLOW], ids=lambda p: p.name
+)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+@pytest.mark.parametrize(
+    "script", [e for e in EXAMPLES if e.name in SLOW], ids=lambda p: p.name
+)
+def test_slow_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_example_inventory():
+    """The deliverable floor: a quickstart plus domain scenarios."""
+    names = {e.name for e in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

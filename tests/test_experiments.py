@@ -1,0 +1,44 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments import ExperimentRow, render_report, run_all
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_all()
+
+
+class TestScorecard:
+    def test_every_check_passes(self, rows):
+        failing = [r for r in rows if not r.ok]
+        assert not failing, failing
+
+    def test_covers_every_experiment(self, rows):
+        experiments = {r.experiment for r in rows}
+        assert {"Table I", "Table IV", "Fig. 4", "Fig. 5", "Fig. 6",
+                "Fig. 7", "Fig. 8", "Fig. 10", "§IV-A"} <= experiments
+
+    def test_report_renders(self, rows):
+        text = render_report(rows)
+        assert "SCORECARD" in text
+        assert "PASS" in text
+        assert f"{len(rows)}/{len(rows)} checks passed" in text
+
+    def test_report_marks_failures(self):
+        rows = [
+            ExperimentRow("X", "q", "1", "2", False),
+            ExperimentRow("X", "r", "1", "1", True),
+        ]
+        text = render_report(rows)
+        assert "[FAIL] q" in text and "[PASS] r" in text
+        assert "1/2 checks passed" in text
+
+    def test_cli_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments"]) == 0
+        assert "14/14" in capsys.readouterr().out or "checks passed" in str(
+            capsys
+        )

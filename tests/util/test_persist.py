@@ -1,0 +1,84 @@
+"""Tests for JSON persistence of DSE sweeps and schedules."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.schemes import Scheme
+from repro.dse import DesignSpace, explore
+from repro.schedule import execute_schedule, random_trace, row_trace, schedule_trace
+from repro.util import (
+    load_dse_result,
+    load_schedule,
+    save_dse_result,
+    save_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    space = DesignSpace(
+        capacities_kb=(512,),
+        lane_counts=(8,),
+        read_ports=(1, 2),
+        schemes=(Scheme.ReRo, Scheme.ReTr),
+    )
+    return explore(space)
+
+
+class TestDsePersistence:
+    def test_roundtrip(self, small_result, tmp_path):
+        path = save_dse_result(small_result, tmp_path / "dse.json")
+        loaded = load_dse_result(path)
+        assert len(loaded.points) == len(small_result.points)
+        for a, b in zip(loaded.points, small_result.points):
+            assert a.config == b.config
+            assert a.model_mhz == b.model_mhz
+            assert a.paper_mhz == b.paper_mhz
+            assert a.bram_pct == b.bram_pct
+
+    def test_loaded_result_is_queryable(self, small_result, tmp_path):
+        path = save_dse_result(small_result, tmp_path / "dse.json")
+        loaded = load_dse_result(path)
+        point = loaded.lookup(Scheme.ReRo, 512, 8, 2)
+        assert point is not None
+        assert loaded.peak_read_gbps == small_result.peak_read_gbps
+        assert loaded.space.columns() == small_result.space.columns()
+
+    def test_format_tag_checked(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(ConfigurationError, match="format"):
+            load_dse_result(bad)
+
+    def test_json_is_stable_and_readable(self, small_result, tmp_path):
+        path = save_dse_result(small_result, tmp_path / "dse.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.dse/1"
+        assert payload["points"][0]["config"]["scheme"] in ("ReRo", "ReTr")
+
+
+class TestSchedulePersistence:
+    def test_roundtrip(self, tmp_path):
+        trace = random_trace(10, 10, density=0.3, seed=2)
+        schedule = schedule_trace(trace, Scheme.ReRo, 2, 4)
+        path = save_schedule(schedule, tmp_path / "sched.json")
+        loaded = load_schedule(path)
+        assert loaded.accesses == schedule.accesses
+        assert loaded.scheme is schedule.scheme
+        assert loaded.speedup == schedule.speedup
+        assert loaded.proven_optimal == schedule.proven_optimal
+
+    def test_loaded_schedule_executes(self, tmp_path):
+        trace = row_trace(4, 16)
+        schedule = schedule_trace(trace, Scheme.ReRo, 2, 4)
+        loaded = load_schedule(save_schedule(schedule, tmp_path / "s.json"))
+        result = execute_schedule(trace, loaded)
+        assert result.covered and result.matches_prediction
+
+    def test_format_tag_checked(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "repro.dse/1"}))
+        with pytest.raises(ConfigurationError, match="format"):
+            load_schedule(bad)
