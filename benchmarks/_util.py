@@ -2,7 +2,10 @@
 
 Every bench regenerates its paper table/figure as text, saves it under
 ``benchmarks/out/`` (so the artifacts survive pytest's output capture) and
-prints it (visible with ``pytest -s``).
+prints it (visible with ``pytest -s``).  Benches that produce structured
+results also write the unified ``repro.exec.report`` JSON schema next to
+the text artifact, and the figure benches share one Table III sweep run
+through the :mod:`repro.exec` runtime (:func:`dse_result`).
 """
 
 from __future__ import annotations
@@ -11,11 +14,33 @@ from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
 
+_DSE_RESULT = None
 
-def save_report(name: str, text: str) -> Path:
-    """Persist a regenerated table/figure and echo it."""
+
+def dse_result():
+    """The shared Table III sweep for the figure/table benches.
+
+    Routed through ``repro.exec`` (serial in-process memoization — the
+    parallel/cached paths get their own dedicated bench in
+    ``bench_exec_scaling.py``)."""
+    global _DSE_RESULT
+    if _DSE_RESULT is None:
+        from repro.dse import explore
+
+        _DSE_RESULT = explore()
+    return _DSE_RESULT
+
+
+def save_report(name: str, text: str, report=None) -> Path:
+    """Persist a regenerated table/figure and echo it.
+
+    When *report* (a :class:`repro.exec.Report`) is given, the unified
+    JSON schema is written alongside as ``benchmarks/out/<name>.json``.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text)
+    if report is not None:
+        report.save(OUT_DIR / f"{name}.json")
     print(f"\n[{name}] written to {path}\n{text}")
     return path

@@ -11,16 +11,15 @@ schemes buy (extra conflict-free patterns, serialization avoided).
 import io
 
 import pytest
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.conflict import ConflictAnalyzer
 from repro.core.schemes import Scheme
-from repro.dse import explore
 from repro.hw.synthesis import MAF_COMPLEXITY
 
 
 def test_ablation_multiview_cost(benchmark):
-    result = explore()
+    result = dse_result()
     analyzer = ConflictAnalyzer(2, 4)
     table = analyzer.table()
     out = io.StringIO()

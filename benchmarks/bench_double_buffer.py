@@ -24,8 +24,9 @@ def build(seed=0):
     lmem = LMem()
     m = rng.integers(0, 1 << 40, (64, 128)).astype(np.uint64)
     lmem.write(0, m.ravel())
-    cfg = PolyMemConfig(
-        16 * 32 * 8, p=2, q=4, scheme=Scheme.ReRo, rows=16, cols=32
+    cfg = PolyMemConfig.from_any(
+        {"capacity_bytes": 16 * 32 * 8, "p": 2, "q": 4,
+         "scheme": Scheme.ReRo, "rows": 16, "cols": 32}
     )
     return PingPongCache(cfg, lmem, (64, 128), clock_mhz=120)
 

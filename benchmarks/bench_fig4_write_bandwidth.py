@@ -7,21 +7,27 @@ multiview peak at ReRo, per-cycle linear scaling from 8 to 16 lanes.
 """
 
 import pytest
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.schemes import Scheme
-from repro.dse import explore, figure_series, render_series_table, to_csv
+from repro.dse import figure_series, render_series_table, to_csv
+from repro.exec import Report
+from repro.exec.report import entries_from_series
 
 
 @pytest.fixture(scope="module")
 def result():
-    return explore()
+    return dse_result()
 
 
 def test_fig4_write_bandwidth(benchmark, result):
     series = figure_series(result, lambda p: p.bandwidth.write_gbps)
     text = render_series_table(series, "Fig. 4 — Write bandwidth per port", "GB/s")
-    save_report("fig4_write_bandwidth", text + "\n" + to_csv(series))
+    report = Report(
+        title="Fig. 4 — Write bandwidth per port",
+        entries=entries_from_series("Fig. 4", series, "write bandwidth [GB/s]"),
+    )
+    save_report("fig4_write_bandwidth", text + "\n" + to_csv(series), report)
 
     flat = {
         (s, label): v for s, row in series.items() for label, v in row

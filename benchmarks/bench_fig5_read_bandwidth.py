@@ -7,15 +7,17 @@ the weak 2-port gain at 16 lanes.
 """
 
 import pytest
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.schemes import Scheme
-from repro.dse import explore, figure_series, render_series_table, to_csv
+from repro.dse import figure_series, render_series_table, to_csv
+from repro.exec import Report
+from repro.exec.report import entries_from_series
 
 
 @pytest.fixture(scope="module")
 def result():
-    return explore()
+    return dse_result()
 
 
 def test_fig5_read_bandwidth(benchmark, result):
@@ -23,7 +25,11 @@ def test_fig5_read_bandwidth(benchmark, result):
     text = render_series_table(
         series, "Fig. 5 — Read bandwidth (aggregated)", "GB/s"
     )
-    save_report("fig5_read_bandwidth", text + "\n" + to_csv(series))
+    report = Report(
+        title="Fig. 5 — Read bandwidth (aggregated)",
+        entries=entries_from_series("Fig. 5", series, "read bandwidth [GB/s]"),
+    )
+    save_report("fig5_read_bandwidth", text + "\n" + to_csv(series), report)
 
     flat = {(s, label): v for s, row in series.items() for label, v in row}
     # peak ~32 GB/s at 512KB, 8-lane, 4-port ReTr

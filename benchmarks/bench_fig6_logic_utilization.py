@@ -6,22 +6,28 @@ ports, supra-linear growth from 8 to 16 lanes, everything under 38%.
 """
 
 import pytest
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.schemes import Scheme
-from repro.dse import explore, figure_series, render_series_table, to_csv
+from repro.dse import figure_series, render_series_table, to_csv
+from repro.exec import Report
+from repro.exec.report import entries_from_series
 from repro.hw.calibration import LOGIC_POINTS
 
 
 @pytest.fixture(scope="module")
 def result():
-    return explore()
+    return dse_result()
 
 
 def test_fig6_logic_utilization(benchmark, result):
     series = figure_series(result, lambda p: p.logic_pct)
     text = render_series_table(series, "Fig. 6 — Logic utilization", "%")
-    save_report("fig6_logic_utilization", text + "\n" + to_csv(series))
+    report = Report(
+        title="Fig. 6 — Logic utilization",
+        entries=entries_from_series("Fig. 6", series, "logic [%]"),
+    )
+    save_report("fig6_logic_utilization", text + "\n" + to_csv(series), report)
 
     flat = {(s, label): v for s, row in series.items() for label, v in row}
     # paper prose data points reproduced

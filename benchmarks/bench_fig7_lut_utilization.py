@@ -5,21 +5,27 @@ same trends as logic utilization and stays within the paper's 7%-28% band.
 """
 
 import pytest
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.schemes import Scheme
-from repro.dse import explore, figure_series, render_series_table, to_csv
+from repro.dse import figure_series, render_series_table, to_csv
+from repro.exec import Report
+from repro.exec.report import entries_from_series
 
 
 @pytest.fixture(scope="module")
 def result():
-    return explore()
+    return dse_result()
 
 
 def test_fig7_lut_utilization(benchmark, result):
     series = figure_series(result, lambda p: p.lut_pct)
     text = render_series_table(series, "Fig. 7 — LUT utilization", "%")
-    save_report("fig7_lut_utilization", text + "\n" + to_csv(series))
+    report = Report(
+        title="Fig. 7 — LUT utilization",
+        entries=entries_from_series("Fig. 7", series, "LUT [%]"),
+    )
+    save_report("fig7_lut_utilization", text + "\n" + to_csv(series), report)
 
     flat = {(s, label): v for s, row in series.items() for label, v in row}
     # the paper's range: between ~7% and 28%

@@ -6,22 +6,28 @@ checks §IV-C: the scheme has no influence on BRAM usage; utilization spans
 """
 
 import pytest
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.schemes import Scheme
-from repro.dse import explore, figure_series, render_series_table, to_csv
+from repro.dse import figure_series, render_series_table, to_csv
+from repro.exec import Report
+from repro.exec.report import entries_from_series
 from repro.hw.calibration import BRAM_POINTS
 
 
 @pytest.fixture(scope="module")
 def result():
-    return explore()
+    return dse_result()
 
 
 def test_fig8_bram_utilization(benchmark, result):
     series = figure_series(result, lambda p: p.bram_pct)
     text = render_series_table(series, "Fig. 8 — BRAM utilization", "%")
-    save_report("fig8_bram_utilization", text + "\n" + to_csv(series))
+    report = Report(
+        title="Fig. 8 — BRAM utilization",
+        entries=entries_from_series("Fig. 8", series, "BRAM [%]"),
+    )
+    save_report("fig8_bram_utilization", text + "\n" + to_csv(series), report)
 
     flat = {(s, label): v for s, row in series.items() for label, v in row}
     # scheme-independence: identical columns across schemes

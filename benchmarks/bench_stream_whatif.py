@@ -21,14 +21,15 @@ from repro.stream_bench import StreamHarness, all_apps, build_stream_design
 def harness_for(lanes: int, read_ports: int) -> tuple[StreamHarness, float]:
     p, q = {8: (2, 4), 16: (2, 8)}[lanes]
     rows, cols = 510, 512  # three equal 170-row bands; p | rows, q | cols
-    cfg = PolyMemConfig(
-        rows * cols * 8, p=p, q=q, scheme=Scheme.RoCo,
-        read_ports=read_ports, rows=rows, cols=cols,
+    cfg = PolyMemConfig.from_any(
+        {"capacity_bytes": rows * cols * 8, "p": p, "q": q,
+         "scheme": Scheme.RoCo, "read_ports": read_ports,
+         "rows": rows, "cols": cols},
     )
     # model-estimated clock for the scaled design (the paper's 2 MB class)
     clock = default_model().frequency_mhz(
-        PolyMemConfig(2048 * 1024, p=p, q=q, scheme=Scheme.RoCo,
-                      read_ports=read_ports)
+        PolyMemConfig.from_any({"capacity_kb": 2048, "p": p, "q": q,
+                                "scheme": Scheme.RoCo, "ports": read_ports})
     )
     return StreamHarness(build_stream_design(cfg, clock_mhz=clock)), clock
 

@@ -8,15 +8,15 @@ monotone degradation with capacity/ports, 77-202 MHz range).
 
 import io
 
-from _util import save_report
+from _util import dse_result, save_report
 
 from repro.core.schemes import Scheme
-from repro.dse import explore, render_table_iv
+from repro.dse import dse_report, render_table_iv
 from repro.hw.synthesis import SynthesisModel, default_model
 
 
 def test_table4_frequencies(benchmark):
-    result = explore()
+    result = dse_result()
     model = default_model()
     out = io.StringIO()
     out.write(render_table_iv(result, source="both"))
@@ -26,7 +26,7 @@ def test_table4_frequencies(benchmark):
         f"R^2={stats['r2']:.3f}, mean |err|={stats['mean_abs_pct_err']:.1f}%, "
         f"max |err|={stats['max_abs_pct_err']:.1f}%\n"
     )
-    save_report("table4_frequency", out.getvalue())
+    save_report("table4_frequency", out.getvalue(), dse_report(result))
     # per-cell residuals as CSV (auditability of the calibration)
     csv = io.StringIO()
     csv.write("scheme,capacity_kb,lanes,ports,paper_mhz,model_mhz,err_pct\n")

@@ -10,34 +10,55 @@ Subcommands map one-to-one onto the paper's artifacts:
 * ``productivity`` — the §III-C Table II analysis;
 * ``experiments``  — the full paper-vs-reproduction scorecard;
 * ``report``       — a vendor-style synthesis estimate for one config.
+
+The grid-shaped subcommands (``dse``, ``stream``, ``experiments``) run on
+the :mod:`repro.exec` runtime and share four flags:
+
+``--workers N``
+    Fan independent sweep points out over an ``N``-process pool
+    (``0`` = one worker per CPU; default: serial).
+``--cache-dir PATH``
+    Where the content-addressed result cache lives (default:
+    ``$REPRO_CACHE_DIR``, else ``~/.cache/repro``).  Warm re-runs skip
+    every sweep point whose (config, model version, experiment) hash is
+    unchanged.
+``--no-cache``
+    Disable the result cache for this invocation.
+``--json [PATH]``
+    Emit the unified ``repro.exec.report`` JSON schema to *PATH*
+    (``-`` or no value: stdout) instead of only the human tables.
+
+Configuration-taking subcommands (``validate``, ``report``) build their
+:class:`~repro.core.config.PolyMemConfig` through the single
+:meth:`PolyMemConfig.from_any` surface (``--config`` file, flags, or both).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
+import warnings
 
-from .core.config import KB, PolyMemConfig
+from .core.config import PolyMemConfig
 from .core.schemes import Scheme
 
 __all__ = ["main", "build_parser"]
 
 
 def _config_from_args(args) -> PolyMemConfig:
-    if args.config:
-        return PolyMemConfig.from_text(Path(args.config).read_text())
-    return PolyMemConfig(
-        args.capacity_kb * KB,
-        p=args.p,
-        q=args.q,
-        scheme=Scheme(args.scheme),
-        read_ports=args.ports,
+    """Deprecated: use :meth:`PolyMemConfig.from_any` directly."""
+    warnings.warn(
+        "cli._config_from_args is deprecated; use PolyMemConfig.from_any",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return PolyMemConfig.from_any(args)
 
 
 def _add_config_args(sub) -> None:
-    sub.add_argument("--config", help="PolyMem key=value configuration file")
+    sub.add_argument(
+        "--config", help="PolyMem configuration file (key=value or JSON)"
+    )
     sub.add_argument("--capacity-kb", type=int, default=512)
     sub.add_argument("-p", type=int, default=2, help="lane-grid rows")
     sub.add_argument("-q", type=int, default=4, help="lane-grid columns")
@@ -45,6 +66,86 @@ def _add_config_args(sub) -> None:
         "--scheme", default="ReRo", choices=[s.value for s in Scheme]
     )
     sub.add_argument("--ports", type=int, default=1, help="read ports")
+
+
+def _workers_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per CPU), got {value}"
+        )
+    return value
+
+
+def _add_exec_args(sub) -> None:
+    """The shared repro.exec runtime flags (see the module docstring)."""
+    sub.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=None,
+        metavar="N",
+        help="process-pool workers for sweep points (0 = all CPUs; "
+        "default: serial)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    sub.add_argument(
+        "--json",
+        dest="json_out",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the unified JSON report ('-' or no value: stdout)",
+    )
+
+
+def _cache_from_args(args):
+    from .exec import ResultCache, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _progress_from_args(args):
+    """A stderr progress line for parallel runs (quiet when serial)."""
+    if not getattr(args, "workers", None) or not sys.stderr.isatty():
+        return None
+
+    def progress(done, total, result):
+        end = "\n" if done == total else ""
+        print(f"\r  sweep {done}/{total}", end=end, file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _emit_json(args, report) -> None:
+    if args.json_out is None:
+        return
+    if args.json_out == "-":
+        print(report.to_json())
+    else:
+        report.save(args.json_out)
+        print(f"JSON report written to {args.json_out}")
+
+
+def _sweep_stats_line(sweep) -> str:
+    return (
+        f"sweep: {len(sweep.results)} points "
+        f"({sweep.n_cached} cached, {sweep.n_computed} computed) "
+        f"on {sweep.workers} worker(s) in {sweep.wall_seconds:.3f} s"
+    )
 
 
 def cmd_info(args) -> int:
@@ -66,7 +167,7 @@ def cmd_info(args) -> int:
 def cmd_validate(args) -> int:
     from .maxpolymem import build_design, validate_design
 
-    cfg = _config_from_args(args)
+    cfg = PolyMemConfig.from_any(args)
     design = build_design(cfg, style=args.style, clock_source="auto")
     print(f"validating {cfg.label()} ({args.style}, "
           f"{design.dfe.clock_mhz:.0f} MHz) ...")
@@ -81,14 +182,24 @@ def cmd_validate(args) -> int:
 
 
 def cmd_dse(args) -> int:
-    from .dse import explore, figure_series, render_series_table, render_table_iv
+    from .dse import (
+        dse_report,
+        explore,
+        figure_series,
+        render_series_table,
+        render_table_iv,
+    )
 
     if args.load:
         from .util import load_dse_result
 
         result = load_dse_result(args.load)
     else:
-        result = explore()
+        result = explore(
+            workers=args.workers,
+            cache=_cache_from_args(args),
+            progress=_progress_from_args(args),
+        )
     if args.save:
         from .util import save_dse_result
 
@@ -97,6 +208,8 @@ def cmd_dse(args) -> int:
     print(render_table_iv(result, source=args.source))
     print(f"peak write bandwidth: {result.peak_write_gbps:.1f} GB/s")
     print(f"peak read  bandwidth: {result.peak_read_gbps:.1f} GB/s")
+    if result.sweep is not None:
+        print(_sweep_stats_line(result.sweep))
     if args.figures:
         metrics = {
             "fig4 write bandwidth [GB/s]": lambda p: p.bandwidth.write_gbps,
@@ -107,10 +220,12 @@ def cmd_dse(args) -> int:
         }
         for title, fn in metrics.items():
             print(render_series_table(figure_series(result, fn), title, ""))
+    _emit_json(args, dse_report(result))
     return 0
 
 
 def cmd_stream(args) -> int:
+    from .exec import Report, ReportEntry
     from .stream_bench import StreamHarness, all_apps, stream_report, sweep_fig10
 
     harness = StreamHarness()
@@ -119,11 +234,42 @@ def cmd_stream(args) -> int:
         for app in all_apps()
     ]
     print(stream_report(measurements))
+    report = Report(title="STREAM on MAX-PolyMem (paper §V, Fig. 10)")
+    for m in measurements:
+        report.entries.append(
+            ReportEntry(
+                experiment="§V STREAM",
+                quantity=f"{m.app_name} bandwidth [MB/s]",
+                measured=round(m.mbps, 1),
+                metrics={
+                    "peak_mbps": round(m.peak_mbps, 1),
+                    "efficiency": round(m.efficiency, 6),
+                    "elements": m.elements,
+                    "runs": m.runs,
+                },
+            )
+        )
     if args.fig10:
+        points = sweep_fig10(
+            harness=harness,
+            runs=args.runs,
+            workers=args.workers,
+            cache=_cache_from_args(args),
+            progress=_progress_from_args(args),
+        )
         print(f"\n{'copied KB':>10s} {'MB/s':>9s} {'of peak':>8s}")
-        for pt in sweep_fig10(harness=harness, runs=args.runs):
+        for pt in points:
             print(f"{pt.copied_kb:10.1f} {pt.mbps:9.0f} "
                   f"{pt.efficiency * 100:7.2f}%")
+            report.entries.append(
+                ReportEntry(
+                    experiment="Fig. 10",
+                    quantity=f"Copy bandwidth @ {pt.copied_kb:.1f} KB [MB/s]",
+                    measured=round(pt.mbps, 1),
+                    metrics={"efficiency": round(pt.efficiency, 6)},
+                )
+            )
+    _emit_json(args, report)
     return 0
 
 
@@ -159,16 +305,21 @@ def cmd_schedule(args) -> int:
 def cmd_report(args) -> int:
     from .hw.report import synthesis_report_text
 
-    print(synthesis_report_text(_config_from_args(args)))
+    print(synthesis_report_text(PolyMemConfig.from_any(args)))
     return 0
 
 
 def cmd_experiments(args) -> int:
-    from .experiments import render_report, run_all
+    from .experiments import run_scorecard
 
-    rows = run_all()
-    print(render_report(rows))
-    return 0 if all(r.ok for r in rows) else 1
+    card = run_scorecard(
+        workers=args.workers,
+        cache=_cache_from_args(args),
+        progress=_progress_from_args(args),
+    )
+    print(card.report.render())
+    _emit_json(args, card.report)
+    return 0 if card.ok else 1
 
 
 def cmd_productivity(args) -> int:
@@ -206,11 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the Fig. 4-8 series")
     p_dse.add_argument("--save", help="persist the sweep to a JSON file")
     p_dse.add_argument("--load", help="render from a saved sweep instead")
+    _add_exec_args(p_dse)
     p_dse.set_defaults(fn=cmd_dse)
 
     p_stream = sub.add_parser("stream", help="STREAM benchmark (§V)")
     p_stream.add_argument("--runs", type=int, default=1000)
     p_stream.add_argument("--fig10", action="store_true")
+    _add_exec_args(p_stream)
     p_stream.set_defaults(fn=cmd_stream)
 
     p_sched = sub.add_parser("schedule", help="access-schedule optimizer (§III-A)")
@@ -232,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser(
         "experiments", help="full paper-vs-reproduction scorecard"
     )
+    _add_exec_args(p_exp)
     p_exp.set_defaults(fn=cmd_experiments)
 
     p_rep = sub.add_parser(

@@ -10,7 +10,11 @@ parameter combination, derives the bank geometry, and (de)serializes to the
 from __future__ import annotations
 
 import io
+import json
+import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
 
 from .exceptions import CapacityError, ConfigurationError
 from .schemes import Scheme, validate_lane_grid
@@ -195,3 +199,112 @@ class PolyMemConfig:
             )
         except ValueError as exc:
             raise ConfigurationError(f"bad config value: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (stable field order; used by caches and reports)."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "p": self.p,
+            "q": self.q,
+            "scheme": self.scheme.value,
+            "read_ports": self.read_ports,
+            "width_bits": self.width_bits,
+            "rows": self.rows,
+            "cols": self.cols,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolyMemConfig":
+        """Build from a mapping.  Accepts the aliases used around the repo:
+        ``capacity_kb`` for ``capacity_bytes`` and ``ports`` for
+        ``read_ports``."""
+        d = dict(data)
+        if "capacity_kb" in d and "capacity_bytes" not in d:
+            d["capacity_bytes"] = int(d.pop("capacity_kb")) * KB
+        d.pop("capacity_kb", None)
+        if "ports" in d and "read_ports" not in d:
+            d["read_ports"] = d.pop("ports")
+        d.pop("ports", None)
+        unknown = d.keys() - {
+            "capacity_bytes", "p", "q", "scheme", "read_ports",
+            "width_bits", "rows", "cols",
+        }
+        if unknown:
+            raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
+        missing = {"capacity_bytes", "p", "q"} - d.keys()
+        if missing:
+            raise ConfigurationError(f"config missing keys: {sorted(missing)}")
+        try:
+            return cls(
+                capacity_bytes=int(d["capacity_bytes"]),
+                p=int(d["p"]),
+                q=int(d["q"]),
+                scheme=Scheme(d.get("scheme", Scheme.ReRo)),
+                read_ports=int(d.get("read_ports", 1)),
+                width_bits=int(d.get("width_bits", DEFAULT_WIDTH_BITS)),
+                rows=int(d.get("rows", 0)),
+                cols=int(d.get("cols", 0)),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"bad config value: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "PolyMemConfig":
+        """Load a configuration file: ``*.json`` or the ``key = value``
+        MaxJ-style format."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".json":
+            return cls.from_dict(json.loads(text))
+        return cls.from_text(text)
+
+    @classmethod
+    def from_any(cls, source: Any, **overrides: Any) -> "PolyMemConfig":
+        """The single config-construction surface.
+
+        Accepts, in order of checks:
+
+        * a :class:`PolyMemConfig` (returned as-is, or copied via
+          :meth:`with_` when *overrides* are given);
+        * a path (``str``/``os.PathLike``) to a ``key = value`` or JSON
+          configuration file;
+        * a mapping of field names (aliases ``capacity_kb``/``ports`` ok);
+        * any namespace-like object with config attributes — notably an
+          ``argparse.Namespace`` from the CLI parsers, honouring its
+          ``config`` (file path), ``capacity_kb``, ``p``, ``q``, ``scheme``
+          and ``ports`` attributes.
+
+        Keyword *overrides* are applied on top of whatever *source* yields.
+        """
+        if isinstance(source, cls):
+            return source.with_(**overrides) if overrides else source
+        if isinstance(source, (str, os.PathLike)):
+            cfg = cls.from_file(source)
+            return cfg.with_(**overrides) if overrides else cfg
+        if isinstance(source, Mapping):
+            return cls.from_dict({**source, **overrides})
+        # namespace-like (argparse.Namespace or similar attribute bag)
+        if getattr(source, "config", None):
+            cfg = cls.from_file(source.config)
+            return cfg.with_(**overrides) if overrides else cfg
+        fields = {}
+        for attr, key in (
+            ("capacity_bytes", "capacity_bytes"),
+            ("capacity_kb", "capacity_kb"),
+            ("p", "p"),
+            ("q", "q"),
+            ("scheme", "scheme"),
+            ("read_ports", "read_ports"),
+            ("ports", "ports"),
+            ("width_bits", "width_bits"),
+            ("rows", "rows"),
+            ("cols", "cols"),
+        ):
+            value = getattr(source, attr, None)
+            if value is not None:
+                fields.setdefault(key, value)
+        if not fields:
+            raise ConfigurationError(
+                f"cannot build a PolyMemConfig from {type(source).__name__!r}"
+            )
+        return cls.from_dict({**fields, **overrides})

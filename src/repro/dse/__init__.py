@@ -4,6 +4,7 @@ from .bandwidth import BandwidthReport, bandwidth_report, port_bandwidth_gbps
 from .explore import DsePoint, DseResult, explore
 from .report import (
     column_label,
+    dse_report,
     figure_series,
     render_series_table,
     render_table_iv,
@@ -26,6 +27,7 @@ __all__ = [
     "pareto_frontier",
     "bandwidth_report",
     "column_label",
+    "dse_report",
     "explore",
     "feasibility_frontier",
     "max_capacity_kb",

@@ -5,20 +5,26 @@ frequency (when the point is on the paper grid), the calibrated model's
 frequency, resource utilizations, and the derived bandwidth figures —
 everything Figures 4–8 plot.  Optionally each design is functionally
 validated with the paper's §IV-A unique-value read/write cycle.
+
+The sweep routes through :mod:`repro.exec`: pass ``workers`` to fan the
+grid out over a process pool and ``cache`` to skip previously computed
+points (``python -m repro dse --workers 4`` does both).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.config import PolyMemConfig
 from ..core.schemes import Scheme
+from ..exec import ResultCache, RunResult, SweepResult, SweepTask, run_sweep
 from ..hw.calibration import table_iv_frequency
 from ..hw.synthesis import SynthesisModel, default_model
 from .bandwidth import BandwidthReport
 from .space import DesignSpace, PAPER_SPACE
 
-__all__ = ["DsePoint", "DseResult", "explore"]
+__all__ = ["DsePoint", "DseResult", "explore", "evaluate_point"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,9 @@ class DseResult:
 
     space: DesignSpace
     points: list[DsePoint]
+    #: execution accounting of the sweep that produced the points
+    #: (None for results reconstructed from disk)
+    sweep: SweepResult | None = field(default=None, compare=False, repr=False)
 
     def by_scheme(self, scheme: Scheme) -> list[DsePoint]:
         return [p for p in self.points if p.config.scheme is scheme]
@@ -94,41 +103,82 @@ class DseResult:
         return max(p.bandwidth.write_gbps for p in self.points)
 
 
+def evaluate_point(
+    config: PolyMemConfig,
+    validate: bool = False,
+    validate_rows: int = 16,
+    device: str | None = None,
+    _model: SynthesisModel | None = None,
+) -> dict:
+    """Evaluate one grid point to its plain-JSON payload.
+
+    Module-level and picklable: this is the :class:`SweepTask` function the
+    process pool runs.  The synthesis model is resolved per process from
+    the *device* name (fit once, then cached by :func:`default_model`).
+    """
+    model = _model if _model is not None else (
+        default_model(device) if device else default_model()
+    )
+    report = model.estimate(config)
+    paper = table_iv_frequency(
+        config.scheme,
+        config.capacity_bytes // 1024,
+        config.lanes,
+        config.read_ports,
+    )
+    validated: bool | None = None
+    if validate:
+        from ..maxpolymem import build_design, validate_design
+
+        design = build_design(config, clock_source="model")
+        validated = validate_design(design, max_rows=validate_rows).passed
+    return {
+        "paper_mhz": paper,
+        "model_mhz": report.fmax_mhz,
+        "logic_pct": report.logic_pct,
+        "lut_pct": report.lut_pct,
+        "bram_pct": report.bram_pct,
+        "validated": validated,
+    }
+
+
 def explore(
     space: DesignSpace = PAPER_SPACE,
     model: SynthesisModel | None = None,
     validate: bool = False,
     validate_rows: int = 16,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int, RunResult], None] | None = None,
 ) -> DseResult:
-    """Run the full DSE sweep over *space*.
+    """Run the full DSE sweep over *space* through :mod:`repro.exec`.
 
     With ``validate=True`` every point's design is built and put through
     the §IV-A validation cycle on its first *validate_rows* logical rows
-    (slow — intended for the integration test and the examples, not the
-    benches).
-    """
-    model = model or default_model()
-    points: list[DsePoint] = []
-    for cfg in space.points(feasible_only=True):
-        report = model.estimate(cfg)
-        paper = table_iv_frequency(
-            cfg.scheme, cfg.capacity_bytes // 1024, cfg.lanes, cfg.read_ports
-        )
-        validated: bool | None = None
-        if validate:
-            from ..maxpolymem import build_design, validate_design
+    (slow serially — this is the workload ``workers`` parallelizes; see
+    ``benchmarks/bench_exec_scaling.py``).
 
-            design = build_design(cfg, clock_source="model")
-            validated = validate_design(design, max_rows=validate_rows).passed
-        points.append(
-            DsePoint(
-                config=cfg,
-                paper_mhz=paper,
-                model_mhz=report.fmax_mhz,
-                logic_pct=report.logic_pct,
-                lut_pct=report.lut_pct,
-                bram_pct=report.bram_pct,
-                validated=validated,
+    ``workers``/``cache``/``progress`` are forwarded to
+    :func:`repro.exec.run_sweep`.  Passing a custom *model* forces serial,
+    uncached evaluation (an ad-hoc estimator has no stable cache identity
+    and need not be picklable).
+    """
+    cfgs = list(space.points(feasible_only=True))
+    params = {"validate": validate, "validate_rows": validate_rows}
+    if model is not None:
+        values = [evaluate_point(cfg, _model=model, **params) for cfg in cfgs]
+        sweep = None
+    else:
+        tasks = [
+            SweepTask(
+                "dse.point",
+                evaluate_point,
+                cfg,
+                params={**params, "device": space.device.name},
             )
-        )
-    return DseResult(space=space, points=points)
+            for cfg in cfgs
+        ]
+        sweep = run_sweep(tasks, workers=workers, cache=cache, progress=progress)
+        values = sweep.values()
+    points = [DsePoint(config=cfg, **value) for cfg, value in zip(cfgs, values)]
+    return DseResult(space=space, points=points, sweep=sweep)

@@ -13,10 +13,12 @@ import io
 from typing import Callable
 
 from ..core.schemes import Scheme
+from ..exec import Report, ReportEntry, rel_error
 from .explore import DsePoint, DseResult
 
 __all__ = [
     "column_label",
+    "dse_report",
     "figure_series",
     "render_series_table",
     "render_table_iv",
@@ -102,6 +104,48 @@ def render_table_iv(result: DseResult, source: str = "model") -> str:
                 raise ValueError(f"unknown source {source!r}")
         out.write(f"{scheme.value:6s} | " + " | ".join(cells) + "\n")
     return out.getvalue()
+
+
+def dse_report(result: DseResult, freq_tolerance: float = 0.10) -> Report:
+    """The sweep in the unified ``repro.exec.report`` JSON schema.
+
+    One entry per grid point: the model's Fmax vs the paper's Table IV
+    value (pass mark: within *freq_tolerance* relative error), with the
+    utilization and bandwidth figures as metrics.  This is what
+    ``python -m repro dse --json`` emits and what the figure benches write
+    next to their text tables.
+    """
+    report = Report(title="MAX-PolyMem design-space exploration (Table IV, Figs 4-8)")
+    for p in result.points:
+        cfg = p.config
+        bw = p.bandwidth
+        report.entries.append(
+            ReportEntry(
+                experiment="Table IV",
+                quantity=f"Fmax {cfg.label()} [MHz]",
+                measured=round(p.model_mhz, 3),
+                paper=p.paper_mhz,
+                rel_err=rel_error(p.model_mhz, p.paper_mhz),
+                ok=(
+                    None
+                    if p.paper_mhz is None
+                    else abs(p.model_mhz - p.paper_mhz) / p.paper_mhz
+                    <= freq_tolerance
+                ),
+                config=cfg.to_dict(),
+                metrics={
+                    "logic_pct": round(p.logic_pct, 4),
+                    "lut_pct": round(p.lut_pct, 4),
+                    "bram_pct": round(p.bram_pct, 4),
+                    "write_gbps": round(bw.write_gbps, 4),
+                    "read_gbps": round(bw.read_gbps, 4),
+                    "validated": p.validated,
+                },
+            )
+        )
+    if result.sweep is not None:
+        report.add_sweep_meta(result.sweep)
+    return report
 
 
 def to_csv(series: dict[Scheme, list[tuple[str, float]]]) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..core.config import KB, PolyMemConfig
+from ..core.config import PolyMemConfig
 from ..core.schemes import Scheme, all_schemes
 from ..hw.bram import polymem_bram_usage
 from ..hw.fpga import VIRTEX6_SX475T, FpgaDevice
@@ -49,15 +49,18 @@ class DesignSpace:
     def config(
         self, capacity_kb: int, lanes: int, ports: int, scheme: Scheme
     ) -> PolyMemConfig:
-        """Build the PolyMemConfig for one grid point."""
+        """Build the PolyMemConfig for one grid point (through the single
+        :meth:`PolyMemConfig.from_any` construction surface)."""
         p, q = LANE_GRIDS[lanes]
-        return PolyMemConfig(
-            capacity_kb * KB,
-            p=p,
-            q=q,
-            scheme=scheme,
-            read_ports=ports,
-            width_bits=self.width_bits,
+        return PolyMemConfig.from_any(
+            {
+                "capacity_kb": capacity_kb,
+                "p": p,
+                "q": q,
+                "scheme": scheme,
+                "read_ports": ports,
+                "width_bits": self.width_bits,
+            }
         )
 
     def points(self, feasible_only: bool = True) -> Iterator[PolyMemConfig]:

@@ -1,0 +1,206 @@
+"""The parallel, cached, resumable sweep runtime.
+
+All grid-shaped work in this repository — the Table III DSE sweep, the
+§IV-A validation grid, the Fig. 10 size sweep, the scorecard — is a list
+of independent *(experiment id, function, config, params)* points.
+:func:`run_sweep` executes such a list with
+
+* a process-pool fan-out over the points (``workers``), falling back to
+  serial execution for small grids or single-worker requests;
+* an optional content-addressed :class:`~repro.exec.cache.ResultCache`
+  consulted before and written after every computation, so a re-run only
+  recomputes what changed;
+* deterministic result ordering — ``SweepResult.results[i]`` always
+  corresponds to ``tasks[i]`` regardless of completion order;
+* progress callbacks and wall-clock accounting.
+
+Task functions must be module-level callables (picklable) taking the
+task's config as the first argument plus the task's params as keyword
+arguments, and must return plain-JSON data (so results can be cached and
+compared byte-for-byte across worker counts).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .cache import MISS, ResultCache, cache_key
+
+__all__ = ["SweepTask", "RunResult", "SweepResult", "run_sweep", "resolve_workers"]
+
+#: grids smaller than this never pay the process-pool startup cost
+MIN_PARALLEL_TASKS = 4
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent sweep point.
+
+    ``fn(config, **params)`` computes the point's plain-JSON payload.
+    ``key`` overrides the derived cache key when the default
+    *(experiment_id, config, params, model version)* hash is not the right
+    identity for the work.
+    """
+
+    experiment_id: str
+    fn: Callable[..., Any]
+    config: Any = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    key: str | None = None
+
+    def cache_key(self, model_version: str | None = None) -> str:
+        if self.key is not None:
+            return self.key
+        return cache_key(
+            self.experiment_id, self.config, self.params, model_version
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one sweep point."""
+
+    experiment_id: str
+    key: str
+    value: Any
+    seconds: float  #: compute time (0.0 for a cache hit)
+    cached: bool
+
+
+@dataclass
+class SweepResult:
+    """All point outcomes, in task order, plus run accounting."""
+
+    results: list[RunResult]
+    wall_seconds: float  #: end-to-end sweep wall clock
+    workers: int  #: workers actually used (1 = serial)
+
+    def values(self) -> list[Any]:
+        return [r.value for r in self.results]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(r.cached for r in self.results)
+
+    @property
+    def n_computed(self) -> int:
+        return len(self.results) - self.n_cached
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total CPU-side compute time across all points (serial cost)."""
+        return sum(r.seconds for r in self.results)
+
+    def payload_json(self) -> str:
+        """Canonical JSON of (key, value) per point — identical bytes for
+        identical work regardless of workers/caching/timing."""
+        import json
+
+        return json.dumps(
+            [{"key": r.key, "value": r.value} for r in self.results],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def resolve_workers(workers: int | None, n_tasks: int) -> int:
+    """Effective worker count: ``None``/1 → serial, 0 → all CPUs, always
+    clamped to the task count; tiny grids run serially."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if n_tasks < MIN_PARALLEL_TASKS:
+        return 1
+    return max(1, min(workers, n_tasks))
+
+
+def _execute(task: SweepTask) -> tuple[Any, float]:
+    """Worker-side execution of one task (module-level: picklable)."""
+    t0 = time.perf_counter()
+    value = task.fn(task.config, **dict(task.params))
+    return value, time.perf_counter() - t0
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask] | Sequence[SweepTask],
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int, RunResult], None] | None = None,
+    model_version: str | None = None,
+) -> SweepResult:
+    """Run every task, in parallel when asked, consulting *cache* first.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``1`` — serial (the default); ``0`` — one worker per
+        CPU; ``n`` — a pool of *n* processes.  Small grids always run
+        serially (the pool would cost more than it saves).
+    cache:
+        A :class:`ResultCache`; hits skip computation, misses are stored
+        after computing.  ``None`` disables caching.
+    progress:
+        ``progress(done, total, result)`` invoked once per finished point,
+        in completion order.
+    model_version:
+        Overrides the cache-key model version (tests use this to exercise
+        invalidation; production code leaves the default).
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    t_start = time.perf_counter()
+    results: list[RunResult | None] = [None] * total
+    done = 0
+
+    # -- resolve cache hits up front ---------------------------------------
+    keys = [t.cache_key(model_version) for t in tasks]
+    pending: list[int] = []
+    for i, (task, key) in enumerate(zip(tasks, keys)):
+        value = cache.get(key) if cache is not None else MISS
+        if value is MISS:
+            pending.append(i)
+            continue
+        results[i] = RunResult(task.experiment_id, key, value, 0.0, True)
+        done += 1
+        if progress is not None:
+            progress(done, total, results[i])
+
+    # -- compute the misses -------------------------------------------------
+    n_workers = resolve_workers(workers, len(pending))
+
+    def finish(i: int, value: Any, seconds: float) -> None:
+        nonlocal done
+        if cache is not None:
+            cache.put(keys[i], value)
+        results[i] = RunResult(tasks[i].experiment_id, keys[i], value, seconds, False)
+        done += 1
+        if progress is not None:
+            progress(done, total, results[i])
+
+    if n_workers <= 1:
+        for i in pending:
+            value, seconds = _execute(tasks[i])
+            finish(i, value, seconds)
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(_execute, tasks[i]): i for i in pending}
+            finished, _ = wait(futures, return_when=FIRST_EXCEPTION)
+            # surface the first worker exception (if any) before collecting
+            for fut in finished:
+                fut.result()
+            for fut, i in futures.items():
+                value, seconds = fut.result()
+                finish(i, value, seconds)
+
+    return SweepResult(
+        results=results,  # type: ignore[arg-type]  (all slots filled above)
+        wall_seconds=time.perf_counter() - t_start,
+        workers=n_workers,
+    )

@@ -16,7 +16,12 @@ from .double_buffer import PingPongCache, PingPongReport
 from .design import PolyMemDesign, build_design, clock_for
 from .kernel import DEFAULT_READ_LATENCY, FusedPolyMemKernel, WriteCommand
 from .modular import Bundle, ModularDesign, build_modular_design
-from .validation import ValidationReport, validate_design
+from .validation import (
+    ValidationReport,
+    validate_config,
+    validate_configs,
+    validate_design,
+)
 
 __all__ = [
     "Bundle",
@@ -34,5 +39,7 @@ __all__ = [
     "build_design",
     "build_modular_design",
     "clock_for",
+    "validate_config",
+    "validate_configs",
     "validate_design",
 ]

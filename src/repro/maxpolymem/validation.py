@@ -10,21 +10,32 @@ values are written through the write port using aligned rectangle accesses
 (conflict-free under every scheme), then read back through every read port
 using every pattern the scheme supports, and compared against the expected
 layout.
+
+:func:`validate_configs` runs the cycle over a whole grid of
+configurations through :mod:`repro.exec` — in parallel and cached when
+asked — which is how the paper "validate[s] each design" across the DSE.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 import numpy as np
 
 from ..core.agu import AccessRequest
+from ..core.config import PolyMemConfig
 from ..core.patterns import AccessPattern, PatternKind
 from ..core.schemes import SCHEME_SPECS
 from .design import PolyMemDesign
 from .kernel import WriteCommand
 
-__all__ = ["ValidationReport", "validate_design"]
+__all__ = [
+    "ValidationReport",
+    "validate_design",
+    "validate_config",
+    "validate_configs",
+]
 
 
 @dataclass
@@ -128,3 +139,60 @@ def validate_design(design: PolyMemDesign, max_rows: int | None = 64) -> Validat
                         f"got {got}, want {want}"
                     )
     return report
+
+
+def validate_config(
+    config: PolyMemConfig,
+    max_rows: int | None = 16,
+    style: str = "fused",
+) -> dict:
+    """Build + validate one configuration, returning the plain-JSON
+    payload (module-level and picklable: the :class:`~repro.exec.SweepTask`
+    function for the validation grid)."""
+    from .design import build_design
+
+    design = build_design(config, style=style, clock_source="model")
+    report = validate_design(design, max_rows=max_rows)
+    return {
+        "config_label": report.config_label,
+        "passed": report.passed,
+        "writes": report.writes,
+        "reads": report.reads,
+        "mismatches": list(report.mismatches),
+    }
+
+
+def validate_configs(
+    configs: Iterable[PolyMemConfig],
+    max_rows: int | None = 16,
+    style: str = "fused",
+    workers: int | None = None,
+    cache=None,
+    progress: Callable | None = None,
+) -> list[ValidationReport]:
+    """The §IV-A cycle over a grid of configurations via :mod:`repro.exec`.
+
+    Returns one :class:`ValidationReport` per config, in input order.
+    ``workers``/``cache``/``progress`` go to :func:`repro.exec.run_sweep`.
+    """
+    from ..exec import SweepTask, run_sweep
+
+    tasks = [
+        SweepTask(
+            "maxpolymem.validate",
+            validate_config,
+            cfg,
+            params={"max_rows": max_rows, "style": style},
+        )
+        for cfg in configs
+    ]
+    sweep = run_sweep(tasks, workers=workers, cache=cache, progress=progress)
+    return [
+        ValidationReport(
+            config_label=v["config_label"],
+            writes=v["writes"],
+            reads=v["reads"],
+            mismatches=list(v["mismatches"]),
+        )
+        for v in sweep.values()
+    ]

@@ -235,16 +235,56 @@ class Fig10Point:
     efficiency: float
 
 
+def fig10_point(
+    _config,
+    vectors: int,
+    runs: int,
+    lanes: int,
+    read_latency: int,
+    clock_mhz: float,
+    overhead_ns: float,
+    bytes_per_element: int,
+) -> dict:
+    """One closed-form Fig. 10 point as a plain-JSON payload.
+
+    Module-level and picklable — the :class:`~repro.exec.SweepTask`
+    function of the Fig. 10 size sweep (the design is reduced to the five
+    scalars the analytic cycle model needs, so workers never rebuild it).
+    """
+    cycles = vectors + read_latency + PIPELINE_SLACK_CYCLES
+    m = StreamMeasurement(
+        app_name="Copy",
+        elements=vectors * lanes,
+        runs=runs,
+        cycles_per_run=cycles,
+        clock_mhz=clock_mhz,
+        host_overhead_ns=overhead_ns,
+        bytes_per_element=bytes_per_element,
+        lanes=lanes,
+    )
+    return {
+        "copied_kb": vectors * lanes * 8 / 1024,
+        "mbps": m.mbps,
+        "efficiency": m.efficiency,
+    }
+
+
 def sweep_fig10(
     sizes_kb: list[float] | None = None,
     runs: int = STREAM_COPY.runs,
     harness: StreamHarness | None = None,
+    workers: int | None = None,
+    cache=None,
+    progress=None,
 ) -> list[Fig10Point]:
     """Regenerate Fig. 10: Copy bandwidth vs copied data size.
 
     Uses the validated analytic cycle model (the full-size cycle-accurate
-    run is covered by the integration tests).
+    run is covered by the integration tests), executed as one
+    :func:`repro.exec.run_sweep` grid so the CLI's ``--workers`` /
+    ``--cache-dir`` flags apply here too.
     """
+    from ..exec import SweepTask, run_sweep
     from .apps import COPY
 
     harness = harness or StreamHarness()
@@ -252,16 +292,25 @@ def sweep_fig10(
     if sizes_kb is None:
         max_kb = harness.max_vectors * lanes * 8 / 1024
         sizes_kb = [max_kb * f / 20 for f in range(1, 21)]
-    points = []
+    design = harness.design
+    tasks = []
     for kb in sizes_kb:
         vectors = max(1, int(round(kb * 1024 / 8 / lanes)))
         vectors = min(vectors, harness.max_vectors)
-        m = harness.measure_analytic(COPY, vectors, runs=runs)
-        points.append(
-            Fig10Point(
-                copied_kb=vectors * lanes * 8 / 1024,
-                mbps=m.mbps,
-                efficiency=m.efficiency,
+        tasks.append(
+            SweepTask(
+                "stream.fig10",
+                fig10_point,
+                params={
+                    "vectors": vectors,
+                    "runs": runs,
+                    "lanes": lanes,
+                    "read_latency": design.read_latency,
+                    "clock_mhz": design.dfe.clock_mhz,
+                    "overhead_ns": design.dfe.board.pcie.call_overhead_ns,
+                    "bytes_per_element": COPY.bytes_per_element,
+                },
             )
         )
-    return points
+    sweep = run_sweep(tasks, workers=workers, cache=cache, progress=progress)
+    return [Fig10Point(**v) for v in sweep.values()]

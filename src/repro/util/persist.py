@@ -33,30 +33,9 @@ DSE_FORMAT = "repro.dse/1"
 SCHEDULE_FORMAT = "repro.schedule/1"
 
 
-def _config_to_dict(cfg: PolyMemConfig) -> dict:
-    return {
-        "capacity_bytes": cfg.capacity_bytes,
-        "p": cfg.p,
-        "q": cfg.q,
-        "scheme": cfg.scheme.value,
-        "read_ports": cfg.read_ports,
-        "width_bits": cfg.width_bits,
-        "rows": cfg.rows,
-        "cols": cfg.cols,
-    }
-
-
-def _config_from_dict(d: dict) -> PolyMemConfig:
-    return PolyMemConfig(
-        capacity_bytes=d["capacity_bytes"],
-        p=d["p"],
-        q=d["q"],
-        scheme=Scheme(d["scheme"]),
-        read_ports=d["read_ports"],
-        width_bits=d["width_bits"],
-        rows=d["rows"],
-        cols=d["cols"],
-    )
+# the single config (de)serialization surface lives on PolyMemConfig
+_config_to_dict = PolyMemConfig.to_dict
+_config_from_dict = PolyMemConfig.from_dict
 
 
 # -- DSE results ----------------------------------------------------------------

@@ -7,6 +7,16 @@ from repro.core.config import KB, PolyMemConfig
 from repro.core.polymem import PolyMem
 from repro.core.schemes import Scheme
 
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path_factory, monkeypatch):
+    """Point the repro.exec default cache at a per-session tmp dir, so CLI
+    invocations under test never touch the user's real ~/.cache."""
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR",
+        str(tmp_path_factory.getbasetemp() / "repro-exec-cache"),
+    )
+
 #: lane grids covering the paper's DSE (2x4, 2x8) plus edge geometries
 LANE_GRIDS = [(2, 4), (2, 8), (4, 2), (2, 2), (4, 4)]
 

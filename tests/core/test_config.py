@@ -119,3 +119,71 @@ class TestSerialization:
     def test_bad_value(self):
         with pytest.raises(ConfigurationError):
             PolyMemConfig.from_text("capacity_bytes = many\np = 2\nq = 4")
+
+
+class TestFromAny:
+    """PolyMemConfig.from_any — the single config-construction surface."""
+
+    def _cfg(self):
+        return PolyMemConfig(512 * KB, p=2, q=8, scheme=Scheme.ReTr, read_ports=2)
+
+    def test_dict_roundtrip(self):
+        cfg = self._cfg()
+        assert PolyMemConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_is_plain_json(self):
+        import json
+
+        assert json.loads(json.dumps(self._cfg().to_dict()))["scheme"] == "ReTr"
+
+    def test_mapping_with_aliases(self):
+        cfg = PolyMemConfig.from_any(
+            {"capacity_kb": 512, "p": 2, "q": 8, "scheme": "ReTr", "ports": 2}
+        )
+        assert cfg == self._cfg()
+
+    def test_mapping_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            PolyMemConfig.from_any({"capacity_kb": 4, "p": 2, "q": 4, "bogus": 1})
+
+    def test_mapping_missing_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            PolyMemConfig.from_any({"p": 2, "q": 4})
+
+    def test_config_passthrough_and_override(self):
+        cfg = self._cfg()
+        assert PolyMemConfig.from_any(cfg) is cfg
+        assert PolyMemConfig.from_any(cfg, read_ports=4).read_ports == 4
+
+    def test_text_config_file(self, tmp_path):
+        path = tmp_path / "polymem.cfg"
+        path.write_text(self._cfg().to_text())
+        assert PolyMemConfig.from_any(path) == self._cfg()
+        assert PolyMemConfig.from_any(str(path)) == self._cfg()
+
+    def test_json_config_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "polymem.json"
+        path.write_text(json.dumps(self._cfg().to_dict()))
+        assert PolyMemConfig.from_any(path) == self._cfg()
+
+    def test_namespace(self):
+        import argparse
+
+        ns = argparse.Namespace(
+            config=None, capacity_kb=512, p=2, q=8, scheme="ReTr", ports=2
+        )
+        assert PolyMemConfig.from_any(ns) == self._cfg()
+
+    def test_namespace_config_file_wins(self, tmp_path):
+        import argparse
+
+        path = tmp_path / "polymem.cfg"
+        path.write_text(self._cfg().to_text())
+        ns = argparse.Namespace(config=str(path), capacity_kb=4, p=4, q=4)
+        assert PolyMemConfig.from_any(ns) == self._cfg()
+
+    def test_unusable_source_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot build"):
+            PolyMemConfig.from_any(object())

@@ -1,0 +1,184 @@
+"""Tests for the repro.exec content-addressed result cache.
+
+Covers the ISSUE-1 cache requirements: hash stability across processes,
+invalidation on PolyMemConfig field changes and model-version bumps, and
+corrupted-entry recovery (recompute, never crash).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.exec import (
+    MISS,
+    MODEL_VERSION,
+    ResultCache,
+    SweepTask,
+    cache_key,
+    default_cache_dir,
+    run_sweep,
+)
+
+
+@pytest.fixture
+def config():
+    return PolyMemConfig(512 * KB, p=2, q=4, scheme=Scheme.ReRo, read_ports=2)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_deterministic_within_process(self, config):
+        a = cache_key("dse.point", config, {"validate": False})
+        b = cache_key("dse.point", config, {"validate": False})
+        assert a == b
+        assert len(a) == 64 and int(a, 16) >= 0  # sha256 hex
+
+    def test_param_order_irrelevant(self, config):
+        a = cache_key("x", config, {"a": 1, "b": 2})
+        b = cache_key("x", config, {"b": 2, "a": 1})
+        assert a == b
+
+    def test_stable_across_processes_and_hash_seeds(self, config):
+        """The key must be reproducible in a fresh interpreter — including
+        under a different PYTHONHASHSEED (no dict-order/str-hash leakage)."""
+        expected = cache_key("dse.point", config, {"validate": True, "rows": 8})
+        script = (
+            "from repro.core.config import KB, PolyMemConfig\n"
+            "from repro.core.schemes import Scheme\n"
+            "from repro.exec import cache_key\n"
+            "cfg = PolyMemConfig(512 * KB, p=2, q=4, scheme=Scheme.ReRo,"
+            " read_ports=2)\n"
+            "print(cache_key('dse.point', cfg,"
+            " {'validate': True, 'rows': 8}))\n"
+        )
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert proc.stdout.strip() == expected
+
+    def test_invalidates_on_config_field_change(self, config):
+        base = cache_key("dse.point", config)
+        variants = [
+            config.with_(capacity_bytes=1024 * KB),
+            config.with_(scheme=Scheme.ReCo),
+            config.with_(read_ports=1),
+            config.with_(p=2, q=8),
+            config.with_(width_bits=32),
+        ]
+        keys = {cache_key("dse.point", v) for v in variants}
+        assert base not in keys
+        assert len(keys) == len(variants)  # every field participates
+
+    def test_invalidates_on_model_version_bump(self, config):
+        current = cache_key("dse.point", config)
+        assert current == cache_key(
+            "dse.point", config, model_version=MODEL_VERSION
+        )
+        assert current != cache_key(
+            "dse.point", config, model_version="2099.01.0"
+        )
+
+    def test_invalidates_on_experiment_and_params(self, config):
+        assert cache_key("dse.point", config) != cache_key(
+            "maxpolymem.validate", config
+        )
+        assert cache_key("x", config, {"rows": 8}) != cache_key(
+            "x", config, {"rows": 16}
+        )
+
+    def test_enum_and_mapping_canonicalization(self):
+        a = cache_key("x", {"scheme": Scheme.ReRo, "n": (1, 2)})
+        b = cache_key("x", {"scheme": "ReRo", "n": [1, 2]})
+        assert a == b
+
+
+class TestResultCache:
+    def test_roundtrip(self, cache):
+        key = cache_key("t", None, {"i": 1})
+        assert cache.get(key) is MISS
+        value = {"mbps": 15301.5, "nested": {"ok": True}, "seq": [1, 2, 3]}
+        cache.put(key, value)
+        assert key in cache
+        assert cache.get(key) == value
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_none_distinct_from_miss(self, cache):
+        key = cache_key("t", None, {"i": 2})
+        cache.put(key, None)
+        assert cache.get(key) is None
+        assert cache.get(key) is not MISS
+
+    def test_corrupted_entry_recovers(self, cache):
+        key = cache_key("t", None, {"i": 3})
+        cache.put(key, {"v": 1})
+        path = cache.path_for(key)
+        path.write_text("{ not json at all")
+        assert cache.get(key) is MISS
+        assert not path.exists()  # evicted, next put recreates it
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+
+    def test_truncated_entry_recovers(self, cache):
+        key = cache_key("t", None, {"i": 4})
+        cache.put(key, {"v": list(range(100))})
+        path = cache.path_for(key)
+        path.write_text(path.read_text()[:20])
+        assert cache.get(key) is MISS
+
+    def test_foreign_or_mismatched_entry_recovers(self, cache):
+        key = cache_key("t", None, {"i": 5})
+        other = cache_key("t", None, {"i": 6})
+        cache.put(other, {"v": "other"})
+        # copy the other entry under the wrong key: detected and evicted
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(cache.path_for(other).read_text())
+        assert cache.get(key) is MISS
+        assert cache.get(other) == {"v": "other"}
+        # valid JSON without the envelope is also a miss
+        path.write_text(json.dumps({"value": 42}))
+        assert cache.get(key) is MISS
+
+    def test_corrupted_entry_never_crashes_a_sweep(self, cache, config):
+        from repro.dse.explore import evaluate_point
+
+        task = SweepTask("dse.point", evaluate_point, config)
+        first = run_sweep([task], cache=cache)
+        assert first.n_computed == 1
+        cache.path_for(task.cache_key()).write_text("\x00garbage")
+        again = run_sweep([task], cache=cache)
+        assert again.n_computed == 1  # recomputed, no exception
+        assert again.payload_json() == first.payload_json()
+
+    def test_len_and_clear(self, cache):
+        for i in range(5):
+            cache.put(cache_key("t", None, {"i": i}), i)
+        assert len(cache) == 5
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"

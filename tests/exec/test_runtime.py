@@ -1,0 +1,153 @@
+"""Tests for the repro.exec sweep runtime.
+
+Includes the ISSUE-1 equivalence requirement: the full Table III sweep
+produces byte-identical SweepResults at workers=1 and workers=4.
+"""
+
+import os
+
+import pytest
+
+from repro.dse import explore
+from repro.dse.space import PAPER_SPACE
+from repro.exec import ResultCache, SweepTask, resolve_workers, run_sweep
+from repro.exec.runtime import MIN_PARALLEL_TASKS
+
+
+def square(config, offset=0):
+    """Module-level (picklable) toy task: config is a plain int here."""
+    return {"square": config * config + offset}
+
+
+def boom(config):
+    raise ValueError(f"boom on {config}")
+
+
+def _tasks(n, offset=0):
+    return [
+        SweepTask("test.square", square, i, params={"offset": offset})
+        for i in range(n)
+    ]
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None, 100) == 1
+        assert resolve_workers(1, 100) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_workers(0, 100) == min(os.cpu_count() or 1, 100)
+
+    def test_clamped_to_task_count(self):
+        assert resolve_workers(16, MIN_PARALLEL_TASKS) == MIN_PARALLEL_TASKS
+
+    def test_tiny_grids_stay_serial(self):
+        assert resolve_workers(8, MIN_PARALLEL_TASKS - 1) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2, 10)
+
+
+class TestRunSweep:
+    def test_serial_order_and_values(self):
+        sweep = run_sweep(_tasks(6))
+        assert sweep.workers == 1
+        assert sweep.values() == [{"square": i * i} for i in range(6)]
+        assert sweep.n_computed == 6 and sweep.n_cached == 0
+        assert sweep.wall_seconds >= 0
+        assert sweep.compute_seconds >= 0
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = run_sweep(_tasks(10))
+        parallel = run_sweep(_tasks(10), workers=4)
+        assert parallel.workers > 1
+        assert parallel.payload_json() == serial.payload_json()
+        assert parallel.values() == serial.values()
+
+    def test_results_keep_task_order(self):
+        tasks = _tasks(12)
+        sweep = run_sweep(tasks, workers=3)
+        for task, result in zip(tasks, sweep.results):
+            assert result.key == task.cache_key()
+            assert result.experiment_id == task.experiment_id
+
+    def test_cache_hits_skip_computation(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(_tasks(8), cache=cache)
+        assert cold.n_computed == 8
+        warm = run_sweep(_tasks(8), cache=cache)
+        assert warm.n_cached == 8 and warm.n_computed == 0
+        assert all(r.seconds == 0.0 and r.cached for r in warm.results)
+        assert warm.payload_json() == cold.payload_json()
+
+    def test_partial_cache_recomputes_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(_tasks(5), cache=cache)
+        mixed = run_sweep(_tasks(8), cache=cache)  # 3 new points
+        assert mixed.n_cached == 5 and mixed.n_computed == 3
+        assert mixed.values() == [{"square": i * i} for i in range(8)]
+
+    def test_param_change_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(_tasks(5), cache=cache)
+        changed = run_sweep(_tasks(5, offset=1), cache=cache)
+        assert changed.n_computed == 5
+        assert changed.values() == [{"square": i * i + 1} for i in range(5)]
+
+    def test_progress_callback(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(_tasks(3), cache=cache)
+        seen = []
+        run_sweep(
+            _tasks(6),
+            cache=cache,
+            progress=lambda done, total, result: seen.append((done, total)),
+        )
+        assert [d for d, _ in seen] == list(range(1, 7))
+        assert all(t == 6 for _, t in seen)
+
+    def test_worker_exception_propagates_serial(self):
+        tasks = _tasks(3) + [SweepTask("test.boom", boom, 99)]
+        with pytest.raises(ValueError, match="boom on 99"):
+            run_sweep(tasks)
+
+    def test_worker_exception_propagates_parallel(self):
+        tasks = _tasks(4) + [SweepTask("test.boom", boom, 99)]
+        with pytest.raises(ValueError, match="boom on 99"):
+            run_sweep(tasks, workers=2)
+
+    def test_explicit_key_overrides_derived(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        a = SweepTask("test.square", square, 3, key="pinned")
+        run_sweep([a], cache=cache)
+        # a different config under the same pinned key is a cache hit
+        b = SweepTask("test.square", square, 4, key="pinned")
+        sweep = run_sweep([b], cache=cache)
+        assert sweep.n_cached == 1
+        assert sweep.values() == [{"square": 9}]
+
+
+class TestTableIIIEquivalence:
+    """ISSUE-1: the full Table III sweep is byte-identical at 1 vs 4 workers."""
+
+    def test_full_sweep_workers_1_vs_4(self):
+        serial = explore(workers=1)
+        parallel = explore(workers=4)
+        assert len(serial.points) == PAPER_SPACE.size()
+        assert serial.sweep is not None and parallel.sweep is not None
+        assert parallel.sweep.payload_json() == serial.sweep.payload_json()
+        assert [p.config.label() for p in parallel.points] == [
+            p.config.label() for p in serial.points
+        ]
+        assert [p.model_mhz for p in parallel.points] == [
+            p.model_mhz for p in serial.points
+        ]
+
+    def test_cached_sweep_equals_computed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = explore(workers=2, cache=cache)
+        warm = explore(workers=2, cache=cache)
+        assert warm.sweep.n_cached == PAPER_SPACE.size()
+        assert warm.sweep.payload_json() == cold.sweep.payload_json()
+        assert warm.points == cold.points

@@ -5,6 +5,10 @@ cycle.  Running all 90 full-size designs is minutes of work; this test
 covers every (scheme x lanes x ports) combination at reduced capacity —
 the capacity axis only changes bank depth, which the addressing tests
 already cover exhaustively.
+
+The grid runs through the :mod:`repro.exec` runtime (the same path
+``python -m repro experiments --workers N`` uses), exercising the
+process-pool fan-out and the result cache end to end.
 """
 
 import pytest
@@ -12,19 +16,37 @@ import pytest
 from repro.core.config import KB, PolyMemConfig
 from repro.core.schemes import Scheme
 from repro.dse.space import LANE_GRIDS
-from repro.maxpolymem import build_design, validate_design
+from repro.exec import ResultCache
+from repro.maxpolymem import build_design, validate_configs, validate_design
 
 
-@pytest.mark.parametrize("scheme", list(Scheme))
-@pytest.mark.parametrize("lanes", [8, 16])
-@pytest.mark.parametrize("ports", [1, 2])
-def test_validation_cycle_grid(scheme, lanes, ports):
-    p, q = LANE_GRIDS[lanes]
-    cfg = PolyMemConfig(
-        16 * KB, p=p, q=q, scheme=scheme, read_ports=ports
+def _grid_configs():
+    return [
+        PolyMemConfig(16 * KB, p=p, q=q, scheme=scheme, read_ports=ports)
+        for scheme in Scheme
+        for p, q in (LANE_GRIDS[8], LANE_GRIDS[16])
+        for ports in (1, 2)
+    ]
+
+
+def test_validation_cycle_grid(tmp_path):
+    """Every (scheme x lanes x ports) design validates; the grid runs on
+    the repro.exec runtime with a process pool and a result cache."""
+    configs = _grid_configs()
+    cache = ResultCache(tmp_path / "cache")
+    reports = validate_configs(
+        configs, max_rows=16, workers=2, cache=cache
     )
-    report = validate_design(build_design(cfg, clock_source="model"), max_rows=16)
-    assert report.passed, report.mismatches
+    assert len(reports) == len(configs)
+    for cfg, report in zip(configs, reports):
+        assert report.config_label == cfg.label()
+        assert report.passed, report.mismatches
+
+    # warm cache: identical outcome without recomputing a single design
+    again = validate_configs(configs, max_rows=16, workers=2, cache=cache)
+    assert [r.config_label for r in again] == [r.config_label for r in reports]
+    assert all(r.passed for r in again)
+    assert cache.hits >= len(configs)
 
 
 @pytest.mark.parametrize("ports", [3, 4])

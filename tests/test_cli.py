@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exec import REPORT_FORMAT, Report
 
 
 class TestParser:
@@ -84,6 +87,102 @@ class TestCommands:
             ["report", "--capacity-kb", "4096", "--ports", "2"]
         ) == 0
         assert "INFEASIBLE" in capsys.readouterr().out
+
+class TestExecFlags:
+    """The shared repro.exec flags on dse/stream/experiments."""
+
+    def test_registered_on_grid_subcommands(self):
+        parser = build_parser()
+        for cmd in ("dse", "stream", "experiments"):
+            args = parser.parse_args(
+                [cmd, "--workers", "2", "--no-cache", "--cache-dir", "/tmp/c"]
+            )
+            assert args.workers == 2
+            assert args.no_cache is True
+            assert args.cache_dir == "/tmp/c"
+            assert args.json_out is None
+            args = parser.parse_args([cmd, "--json"])
+            assert args.json_out == "-"
+
+    def test_dse_workers_and_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["dse", "--workers", "2", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "90 points (0 cached, 90 computed)" in out
+        # warm re-run: every point comes from the cache
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "90 points (90 cached, 0 computed)" in out
+        assert "MAXIMUM CLOCK FREQUENCIES" in out
+
+    def test_dse_no_cache(self, tmp_path, capsys):
+        argv = ["dse", "--no-cache", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "(0 cached, 90 computed)" in capsys.readouterr().out
+        assert not (tmp_path / "c").exists()
+
+    def test_dse_json_stdout(self, capsys):
+        assert main(["dse", "--no-cache", "--json"]) == 0
+        out = capsys.readouterr().out
+        report = Report.from_json(out[out.index('{\n  "format"'):])
+        assert report.entries
+        assert all(e.experiment == "Table IV" for e in report.entries)
+        assert report.n_checked == len(report.entries)
+
+    def test_dse_json_file(self, tmp_path, capsys):
+        path = tmp_path / "dse.json"
+        assert main(["dse", "--no-cache", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["format"] == REPORT_FORMAT
+        assert payload["meta"]["sweep_points"] == 90
+        assert len(payload["entries"]) == 90
+
+    def test_stream_json(self, tmp_path, capsys):
+        path = tmp_path / "stream.json"
+        rc = main(
+            ["stream", "--fig10", "--runs", "10", "--no-cache",
+             "--json", str(path)]
+        )
+        assert rc == 0
+        report = Report.from_json(path.read_text())
+        quantities = [e.quantity for e in report.entries]
+        assert any(q.startswith("Copy bandwidth @") for q in quantities)
+        assert any("Triad" in q for q in quantities)
+
+    def test_experiments_warm_cache_skips_sweep(self, tmp_path, capsys):
+        path = tmp_path / "scorecard.json"
+        argv = ["experiments", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"), "--json", str(path)]
+        assert main(argv) == 0
+        cold = Report.from_json(path.read_text())
+        assert cold.meta["sweep_cached"] == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "SCORECARD" in out and "checks passed" in out
+        warm = Report.from_json(path.read_text())
+        assert warm.meta["sweep_points"] == cold.meta["sweep_points"]
+        # a warm re-run skips >= 90% of the sweep points
+        assert warm.meta["sweep_cached"] >= 0.9 * warm.meta["sweep_points"]
+        assert [e.ok for e in warm.entries] == [e.ok for e in cold.entries]
+
+    def test_config_from_args_shim_warns(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(["report", "--capacity-kb", "4"])
+        with pytest.warns(DeprecationWarning, match="from_any"):
+            cfg = _config_from_args(args)
+        assert cfg.capacity_bytes == 4096
+
+    def test_validate_json_config_file(self, tmp_path, capsys):
+        cfg = tmp_path / "polymem.json"
+        cfg.write_text(json.dumps(
+            {"capacity_kb": 4, "p": 2, "q": 4, "scheme": "ReCo"}
+        ))
+        rc = main(["validate", "--config", str(cfg), "--max-rows", "8"])
+        assert rc == 0
+        assert "ReCo" in capsys.readouterr().out
 
     def test_module_entry_point(self):
         import subprocess
