@@ -273,6 +273,81 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_stream_run(args) -> int:
+    import time
+
+    from .exec import Report, ReportEntry
+    from .stream_bench import StreamHarness, all_apps
+    from .stream_bench.controller import build_stream_design
+
+    import numpy as np
+
+    from .stream_bench.apps import DEFAULT_SCALAR
+
+    app = {a.name.lower(): a for a in all_apps()}[args.app]
+    design = build_stream_design()
+    design.dfe.simulator.engine = args.engine
+    design.dfe.simulator.profile = args.profile
+    harness = StreamHarness(design)
+    vectors = min(args.vectors, harness.max_vectors)
+    t0 = time.perf_counter()
+    arrays = harness.load_arrays(vectors)
+    cycles = harness.run_app(app, vectors)
+    got = harness.offload_array(app.destination, vectors)
+    wall = time.perf_counter() - t0
+    want = app.expected(arrays["a"], arrays["b"], arrays["c"], DEFAULT_SCALAR)
+    if not np.allclose(got, want, rtol=1e-12):
+        print(f"{app.name}: offloaded data does not match the NumPy reference")
+        return 1
+    total = design.dfe.simulator.cycles
+    elements = vectors * harness.lanes
+    print(
+        f"{app.name}: {vectors} vectors ({elements * 8 / 1024:.0f} KB) "
+        f"on the {args.engine} engine (verified against NumPy)"
+    )
+    print(f"  compute cycles: {cycles}, total simulated: {total}")
+    print(f"  wall time: {wall:.3f} s ({total / wall:,.0f} cycles/s)")
+    report = Report(title="STREAM cycle-accurate run")
+    report.entries.append(
+        ReportEntry(
+            experiment="§V STREAM",
+            quantity=f"{app.name} compute cycles",
+            measured=cycles,
+            metrics={
+                "engine": args.engine,
+                "vectors": vectors,
+                "elements": elements,
+                "total_cycles": total,
+                "wall_seconds": round(wall, 6),
+            },
+        )
+    )
+    if args.profile:
+        stats = design.dfe.simulator.stats()
+        print(
+            f"\n  {'kernel':12s} {'active':>9s} {'total':>9s} "
+            f"{'batched':>9s} {'util':>7s} {'in':>9s} {'out':>9s} "
+            f"{'wall ms':>8s}"
+        )
+        for s in stats.values():
+            print(
+                f"  {s.name:12s} {s.active_cycles:9d} {s.total_cycles:9d} "
+                f"{s.batched_cycles:9d} {s.utilization:7.1%} "
+                f"{s.elements_in:9d} {s.elements_out:9d} "
+                f"{s.wall_ns / 1e6:8.2f}"
+            )
+            report.entries.append(
+                ReportEntry(
+                    experiment="kernel profile",
+                    quantity=s.name,
+                    measured=round(s.utilization, 6),
+                    metrics=s.to_dict(),
+                )
+            )
+    _emit_json(args, report)
+    return 0
+
+
 def cmd_schedule(args) -> int:
     from .schedule import (
         column_trace,
@@ -365,6 +440,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--fig10", action="store_true")
     _add_exec_args(p_stream)
     p_stream.set_defaults(fn=cmd_stream)
+    stream_sub = p_stream.add_subparsers(dest="stream_command")
+    p_srun = stream_sub.add_parser(
+        "run", help="one cycle-accurate Load/compute/Offload pass"
+    )
+    p_srun.add_argument(
+        "--app", default="copy", choices=["copy", "scale", "sum", "triad"]
+    )
+    p_srun.add_argument("--vectors", type=int, default=1024)
+    p_srun.add_argument(
+        "--engine",
+        default="batched",
+        choices=["scalar", "batched"],
+        help="tick engine (batched fast-forwards uniform phases)",
+    )
+    p_srun.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-kernel activity table",
+    )
+    _add_exec_args(p_srun)
+    p_srun.set_defaults(fn=cmd_stream_run)
 
     p_sched = sub.add_parser("schedule", help="access-schedule optimizer (§III-A)")
     p_sched.add_argument(

@@ -281,6 +281,24 @@ class PolyMem:
         addrs = self.addressing(ii, jj)
         return banks, addrs
 
+    def access_slots(
+        self, kind: PatternKind, anchors_i, anchors_j, stride: int = 1
+    ) -> np.ndarray:
+        """Flat ``bank * depth + address`` slot ids touched by a batch of
+        accesses, shaped ``(B, lanes)`` — no cycle cost, no conflict check.
+
+        The batched tick engine uses this to prove, before fast-forwarding
+        a chunk, that the chunk's reads and writes touch disjoint physical
+        slots (so read-before-write ordering inside the chunk cannot be
+        observed) and that its writes never overlap each other (so
+        :meth:`write_batch`'s fancy-indexed assignment matches sequential
+        issue order).
+        """
+        ii, jj = self.agu.expand_many(kind, anchors_i, anchors_j, stride)
+        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+        addrs = self.addressing(ii, jj)
+        return banks * self.banks.bank_depth + addrs
+
     def read_batch(
         self,
         kind: PatternKind,

@@ -7,6 +7,8 @@ and driven by a :class:`Host` through blocking calls that model PCIe
 overheads.
 """
 
+from .batch import BatchOp, BatchPlan, PushClaim, UNSET
+from .conditions import Predicate, RunCondition, StreamFill
 from .dfe import DFE, VectisBoard
 from .host import Host, StageTiming
 from .lmem import LMem
@@ -22,13 +24,22 @@ from .kernel import (
 )
 from .manager import DesignResources, Manager
 from .pcie import VECTIS_PCIE, PcieLink
-from .simulator import SimulationResult, Simulator
+from .simulator import ENGINES, KernelStats, SimulationResult, Simulator
 from .stream import Stream
 from .trace import CycleEvent, TraceRecorder
 
 __all__ = [
+    "BatchOp",
+    "BatchPlan",
     "BinOpKernel",
     "DFE",
+    "ENGINES",
+    "KernelStats",
+    "Predicate",
+    "PushClaim",
+    "RunCondition",
+    "StreamFill",
+    "UNSET",
     "DelayKernel",
     "DemuxKernel",
     "DesignResources",

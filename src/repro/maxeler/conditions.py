@@ -1,0 +1,69 @@
+"""Typed ``until`` conditions for :meth:`Simulator.run`.
+
+The simulator accepts any zero-argument callable as its stop predicate,
+but an opaque lambda can flip *anywhere* inside a fast-forwarded chunk,
+which would corrupt exact cycle accounting.  The batched engine therefore
+only chunks when the predicate exposes :meth:`RunCondition.
+min_cycles_to_flip` — a provable lower bound on the number of cycles
+before the predicate can become true.  Opaque callables still work
+everywhere; they simply run at scalar speed.
+
+The bounds here lean on the one-element-per-cycle stream contract: a
+stream's length grows by at most one per cycle, and a controller retires
+at most one write per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["RunCondition", "StreamFill", "Predicate"]
+
+
+class RunCondition:
+    """A stop predicate with a chunking horizon.
+
+    Subclasses implement ``__call__`` (the predicate) and
+    :meth:`min_cycles_to_flip`.  The horizon must be a *lower bound*: the
+    predicate may not become true in fewer cycles than reported, no matter
+    what the design does.  Zero means "may already be true / unknown".
+    """
+
+    def __call__(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def min_cycles_to_flip(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StreamFill(RunCondition):
+    """True once *stream* holds at least *target* elements.
+
+    Safe horizon: a stream gains at most one element per cycle, so the
+    predicate cannot flip for another ``target - len(stream)`` cycles.
+    """
+
+    def __init__(self, stream, target: int):
+        self.stream = stream
+        self.target = target
+
+    def __call__(self) -> bool:
+        return len(self.stream) >= self.target
+
+    def min_cycles_to_flip(self) -> int:
+        return max(0, self.target - len(self.stream))
+
+
+class Predicate(RunCondition):
+    """Wrap an opaque callable with an explicitly supplied horizon
+    callback (for callers that can bound their own predicate)."""
+
+    def __init__(self, fn: Callable[[], bool], horizon: Callable[[], int]):
+        self.fn = fn
+        self.horizon = horizon
+
+    def __call__(self) -> bool:
+        return self.fn()
+
+    def min_cycles_to_flip(self) -> int:
+        return self.horizon()

@@ -110,12 +110,12 @@ class Host:
         """A payload-free control call (mode/size scalars)."""
         self._charge_pcie(payload_bytes=0)
 
-    def run_kernel(self, until=None, max_cycles=None):
+    def run_kernel(self, until=None, max_cycles=None, engine=None):
         """Blocking kernel execution: runs the on-chip simulation and
         advances the wall clock by the consumed cycles plus one call
         overhead."""
         before = self.dfe.simulator.cycles
-        result = self.dfe.run(until=until, max_cycles=max_cycles)
+        result = self.dfe.run(until=until, max_cycles=max_cycles, engine=engine)
         self._charge_pcie(payload_bytes=0)
         self._charge_compute(result.cycles - before)
         return result

@@ -8,6 +8,18 @@ The contract per tick:
 * push at most one element to each output stream;
 * stall (do nothing) when required inputs are missing or outputs are full.
 
+Two faster execution surfaces ride on top of the scalar tick:
+
+* :meth:`Kernel.tick_many` — ``n`` consecutive ticks of *this* kernel in
+  one call (default: a scalar loop; library kernels vectorize the uniform
+  prefix).  Exactly equivalent to calling :meth:`tick` ``n`` times with no
+  other kernel in between.
+* :meth:`Kernel.batch_plan` — the batched tick engine's contract (see
+  :mod:`repro.maxeler.batch`): a kernel in a *uniform phase* publishes the
+  sub-activities the simulator may fast-forward chunk-wise, interleaved
+  with every other kernel.  Returning ``None`` (the default) always falls
+  back to exact scalar ticking.
+
 A library of generic kernels used by the STREAM design is provided:
 :class:`SourceKernel`, :class:`SinkKernel`, :class:`MapKernel`,
 :class:`DelayKernel` (fixed-latency pipeline), :class:`MuxKernel`,
@@ -20,6 +32,7 @@ from collections import deque
 from typing import Any, Callable, Iterable
 
 from ..core.exceptions import SimulationError
+from .batch import IDLE_PLAN, UNSET, BatchOp, BatchPlan, PushClaim
 from .stream import Stream
 
 __all__ = [
@@ -44,6 +57,10 @@ class Kernel:
         #: ticks in which the kernel made progress (for utilization stats)
         self.active_cycles = 0
         self.total_cycles = 0
+        #: cycles executed through the batched fast path
+        self.batched_cycles = 0
+        #: wall-clock attributed to this kernel (simulator-filled, profile)
+        self.wall_ns = 0
 
     # -- wiring -----------------------------------------------------------
     def bind_input(self, port: str, stream: Stream) -> None:
@@ -78,6 +95,34 @@ class Kernel:
     def _tick(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def tick_many(self, n: int) -> None:
+        """Advance *n* consecutive cycles of this kernel.
+
+        Semantically identical to ``for _ in range(n): self.tick()`` with
+        no other kernel ticking in between.  Subclasses override to
+        vectorize the uniform prefix of the window.
+        """
+        for _ in range(n):
+            self.tick()
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        """Declare this kernel's current uniform phase for the batched
+        engine, or ``None`` to force exact scalar ticking.  *ctx* maps
+        streams already claimed by earlier-registered kernels' plans to
+        their :class:`~repro.maxeler.batch.PushClaim`."""
+        return None
+
+    # plan helper: will elements flow on this input during a chunk?
+    def _flows(self, stream: Stream, ctx: dict) -> bool:
+        return stream in ctx or len(stream) > 0
+
+    def _charge(self, n: int, active: bool) -> None:
+        """Batched-path bookkeeping mirror of :meth:`tick`'s counters."""
+        self.total_cycles += n
+        if active:
+            self.active_cycles += n
+        self.batched_cycles += n
+
     @property
     def idle(self) -> bool:
         """True when the kernel has no internal work pending (used by the
@@ -103,6 +148,31 @@ class SourceKernel(Kernel):
             return True
         return False
 
+    def _emit(self, n: int) -> None:
+        out = self.outputs["out"]
+        out.push_many([self._pending.popleft() for _ in range(n)])
+
+    def tick_many(self, n: int) -> None:
+        out = self.outputs["out"]
+        room = len(self._pending)
+        if out.capacity is not None:
+            room = min(room, out.capacity - len(out))
+        k = min(n, room)
+        if k:
+            self._emit(k)
+            self._charge(k, active=True)
+        if n - k:
+            self._charge(n - k, active=False)
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        if not self._pending:
+            return IDLE_PLAN
+        if self.outputs["out"].full:
+            # a consumer's pops would un-stall us mid-chunk
+            return BatchPlan(sensitive=("out",))
+        op = BatchOp("emit", self._emit, pushes=("out",))
+        return BatchPlan(cycles=len(self._pending), ops=[op])
+
     @property
     def exhausted(self) -> bool:
         return not self._pending
@@ -126,6 +196,22 @@ class SinkKernel(Kernel):
             return True
         return False
 
+    def _absorb(self, n: int) -> None:
+        self.collected.extend(self.inputs["in"].pop_many(n))
+
+    def tick_many(self, n: int) -> None:
+        k = min(n, len(self.inputs["in"]))
+        if k:
+            self._absorb(k)
+            self._charge(k, active=True)
+        if n - k:
+            self._charge(n - k, active=False)
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        if not self._flows(self.inputs["in"], ctx):
+            return BatchPlan(sensitive=("in",))
+        return BatchPlan(ops=[BatchOp("absorb", self._absorb, pops=("in",))])
+
 
 class MapKernel(Kernel):
     """Applies a pointwise function: ``out = fn(in)``, one element/cycle."""
@@ -140,6 +226,30 @@ class MapKernel(Kernel):
             out.push(self.fn(inp.pop()))
             return True
         return False
+
+    def _apply(self, n: int) -> None:
+        fn = self.fn
+        values = self.inputs["in"].pop_many(n)
+        self.outputs["out"].push_many([fn(v) for v in values])
+
+    def tick_many(self, n: int) -> None:
+        inp, out = self.inputs["in"], self.outputs["out"]
+        k = min(n, len(inp))
+        if out.capacity is not None:
+            k = min(k, out.capacity - len(out))
+        if k:
+            self._apply(k)
+            self._charge(k, active=True)
+        if n - k:
+            self._charge(n - k, active=False)
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        if not self._flows(self.inputs["in"], ctx):
+            return BatchPlan(sensitive=("in", "out"))
+        if self.outputs["out"].full:
+            return BatchPlan(sensitive=("in", "out"))
+        op = BatchOp("apply", self._apply, pops=("in",), pushes=("out",))
+        return BatchPlan(ops=[op])
 
 
 class BinOpKernel(Kernel):
@@ -157,6 +267,32 @@ class BinOpKernel(Kernel):
             return True
         return False
 
+    def _apply(self, n: int) -> None:
+        fn = self.fn
+        lhs = self.inputs["a"].pop_many(n)
+        rhs = self.inputs["b"].pop_many(n)
+        self.outputs["out"].push_many([fn(x, y) for x, y in zip(lhs, rhs)])
+
+    def tick_many(self, n: int) -> None:
+        out = self.outputs["out"]
+        k = min(n, len(self.inputs["a"]), len(self.inputs["b"]))
+        if out.capacity is not None:
+            k = min(k, out.capacity - len(out))
+        if k:
+            self._apply(k)
+            self._charge(k, active=True)
+        if n - k:
+            self._charge(n - k, active=False)
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        flowing = self._flows(self.inputs["a"], ctx) and self._flows(
+            self.inputs["b"], ctx
+        )
+        if not flowing or self.outputs["out"].full:
+            return BatchPlan(sensitive=("a", "b", "out"))
+        op = BatchOp("apply", self._apply, pops=("a", "b"), pushes=("out",))
+        return BatchPlan(ops=[op])
+
 
 class DelayKernel(Kernel):
     """A fixed-latency pipeline: elements emerge *latency* cycles after
@@ -169,6 +305,7 @@ class DelayKernel(Kernel):
         self.latency = latency
         self._pipe: deque[tuple[int, Any]] = deque()
         self._now = 0
+        self._stash: list[Any] = []
 
     def _tick(self) -> bool:
         inp, out = self.inputs["in"], self.outputs["out"]
@@ -185,6 +322,75 @@ class DelayKernel(Kernel):
             progressed = True
         return progressed
 
+    # -- batched sub-activities -------------------------------------------
+    def _absorb(self, n: int) -> None:
+        self._stash = self.inputs["in"].pop_many(n)
+
+    def _emit_steady(self, n: int) -> None:
+        # full pipe with consecutive stamps and an exactly-ripe head: the
+        # combined (pipe + absorbed) sequence has consecutive stamps too,
+        # so n cycles retire its first n elements and keep the last
+        # `latency` with stamps reconstructed arithmetically.
+        values = [v for _, v in self._pipe]
+        values.extend(self._stash)
+        self._stash = []
+        self.outputs["out"].push_many(values[:n])
+        first = self._now + 1 - self.latency
+        self._now += n
+        self._pipe = deque(
+            (first + m, values[m]) for m in range(n, n + self.latency)
+        )
+
+    def _emit_drain(self, n: int) -> None:
+        out = self.outputs["out"]
+        out.push_many([self._pipe.popleft()[1] for _ in range(n)])
+        self._now += n
+
+    def _age(self, n: int) -> None:
+        self._now += n
+
+    def _ripe_prefix(self) -> int:
+        """Length of the pipe prefix with consecutive stamps starting from
+        an exactly-ripe head (each element retires one cycle after the
+        previous)."""
+        head_stamp = self._pipe[0][0]
+        if head_stamp + self.latency != self._now + 1:
+            return 0
+        run = 0
+        for stamp, _ in self._pipe:
+            if stamp != head_stamp + run:
+                break
+            run += 1
+        return run
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        inp, out = self.inputs["in"], self.outputs["out"]
+        flowing = self._flows(inp, ctx)
+        if not self._pipe:
+            if flowing:
+                return None  # ramp-up: scalar
+            return BatchPlan(sensitive=("in",))
+        if out.full:
+            return None  # back-pressure stall: scalar keeps exact timing
+        prefix = self._ripe_prefix()
+        if flowing:
+            if prefix == self.latency and len(self._pipe) == self.latency:
+                ops = [
+                    BatchOp("absorb", self._absorb, pops=("in",)),
+                    BatchOp("emit", self._emit_steady, pushes=("out",)),
+                ]
+                return BatchPlan(ops=ops)
+            return None  # filling / irregular stamps: scalar
+        if prefix:
+            op = BatchOp("emit", self._emit_drain, pushes=("out",))
+            return BatchPlan(cycles=prefix, ops=[op], sensitive=("in",))
+        # occupied but not yet ripe: pure aging still counts as progress
+        wait = self._pipe[0][0] + self.latency - self._now - 1
+        if wait < 1:
+            return None
+        op = BatchOp("age", self._age)
+        return BatchPlan(cycles=wait, ops=[op], sensitive=("in",))
+
     @property
     def idle(self) -> bool:
         return not self._pipe
@@ -200,6 +406,7 @@ class MuxKernel(Kernel):
     def __init__(self, name: str, n_inputs: int):
         super().__init__(name)
         self.n_inputs = n_inputs
+        self._route_port: str | None = None
 
     def _tick(self) -> bool:
         sel_s = self.inputs["select"]
@@ -216,6 +423,39 @@ class MuxKernel(Kernel):
         out.push(data.pop())
         return True
 
+    def _route(self, n: int) -> None:
+        self.inputs["select"].pop_many(n)
+        values = self.inputs[self._route_port].pop_many(n)
+        self.outputs["out"].push_many(values)
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        sel_s = self.inputs["select"]
+        if not self._flows(sel_s, ctx):
+            return BatchPlan(sensitive=("select",))
+        resolved = _uniform_select(sel_s, ctx)
+        if resolved is None:
+            return None
+        sel, bound = resolved
+        if not 0 <= sel < self.n_inputs:
+            return None
+        port = f"in{sel}"
+        data = self.inputs[port]
+        if not self._flows(data, ctx):
+            # selects merely queue while the routed input is silent
+            return BatchPlan(sensitive=(port,))
+        if self.outputs["out"].full:
+            return None
+        self._route_port = port
+        claim = ctx.get(data) if not len(data) else None
+        op = BatchOp(
+            "route",
+            self._route,
+            pops=("select", port),
+            pushes=("out",),
+            claims={"out": claim or PushClaim()},
+        )
+        return BatchPlan(cycles=bound, ops=[op])
+
 
 class DemuxKernel(Kernel):
     """Routes its input to one of N outputs per the ``select`` stream:
@@ -224,6 +464,7 @@ class DemuxKernel(Kernel):
     def __init__(self, name: str, n_outputs: int):
         super().__init__(name)
         self.n_outputs = n_outputs
+        self._route_port: str | None = None
 
     def _tick(self) -> bool:
         sel_s, inp = self.inputs["select"], self.inputs["in"]
@@ -238,3 +479,57 @@ class DemuxKernel(Kernel):
         sel_s.pop()
         out.push(inp.pop())
         return True
+
+    def _route(self, n: int) -> None:
+        self.inputs["select"].pop_many(n)
+        values = self.inputs["in"].pop_many(n)
+        self.outputs[self._route_port].push_many(values)
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        sel_s, inp = self.inputs["select"], self.inputs["in"]
+        if not self._flows(sel_s, ctx):
+            return BatchPlan(sensitive=("select",))
+        resolved = _uniform_select(sel_s, ctx)
+        if resolved is None:
+            return None
+        sel, bound = resolved
+        if not 0 <= sel < self.n_outputs:
+            return None
+        port = f"out{sel}"
+        if not self._flows(inp, ctx):
+            return BatchPlan(sensitive=("in",))
+        if self.outputs[port].full:
+            return None
+        self._route_port = port
+        claim = ctx.get(inp) if not len(inp) else None
+        op = BatchOp(
+            "route",
+            self._route,
+            pops=("select", "in"),
+            pushes=(port,),
+            claims={port: claim or PushClaim()},
+        )
+        return BatchPlan(cycles=bound, ops=[op])
+
+
+def _uniform_select(sel_s: Stream, ctx: dict) -> tuple[Any, int | None] | None:
+    """Resolve the single select value governing a chunk on *sel_s*.
+
+    Returns ``(value, max_cycles)`` — ``max_cycles`` is ``None`` when a
+    producer claims a known uniform value for the whole chunk, else the
+    length of the queued prefix the plan may rely on — or ``None`` when no
+    uniform value can be established.
+    """
+    claim = ctx.get(sel_s)
+    queued = sel_s.peek_many()
+    value = claim.value if claim is not None else UNSET
+    bound: int | None = None
+    if value is UNSET:
+        if not queued:
+            return None
+        value = queued[0]
+        # beyond the queued prefix the select values are unknown
+        bound = len(queued)
+    if any(q != value for q in queued):
+        return None
+    return value, bound

@@ -6,17 +6,72 @@ affects latency by at most one cycle per edge, matching the registered
 semantics of real MaxJ designs.  The simulator tracks total cycles, detects
 quiescence (no kernel progressed and none has pending internal work) and
 deadlock (no progress while work is still pending).
+
+Two engines share that contract:
+
+``scalar``
+    The reference path: one Python-level :meth:`Kernel.tick` per kernel
+    per cycle.
+
+``batched`` (default)
+    Fast-forwards *uniform phases*: when every kernel publishes a
+    :class:`~repro.maxeler.batch.BatchPlan` proving one-element-per-cycle
+    behaviour, a chunk of ``n`` cycles runs as a handful of vectorized
+    sub-activity calls.  The chunk size is bounded by every stream's
+    headroom/occupancy, every plan's phase length, the remaining cycle
+    budget and the ``until`` condition's flip horizon, so the observable
+    state at every chunk boundary — stream contents, kernel state, cycle
+    and utilization counters — is bit-identical to the scalar path.
+    Anywhere a plan cannot be proven (ramp-up, stalls, drains, data-
+    dependent routing), the engine falls back to scalar ticks, keeping
+    quiescence/deadlock detection semantics unchanged.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.exceptions import SimulationError
+from .batch import BatchOp, PushClaim
 from .manager import Manager
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = ["Simulator", "SimulationResult", "KernelStats", "ENGINES"]
+
+ENGINES = ("scalar", "batched")
+
+#: chunks below this size are not worth the planning overhead
+MIN_CHUNK = 4
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel performance counters for one simulation run."""
+
+    name: str
+    active_cycles: int
+    total_cycles: int
+    batched_cycles: int  #: cycles executed through the vectorized path
+    elements_in: int  #: elements popped from this kernel's input streams
+    elements_out: int  #: elements pushed to this kernel's output streams
+    wall_ns: int  #: host wall-clock attributed to this kernel
+
+    @property
+    def utilization(self) -> float:
+        return self.active_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "active_cycles": self.active_cycles,
+            "total_cycles": self.total_cycles,
+            "batched_cycles": self.batched_cycles,
+            "utilization": round(self.utilization, 6),
+            "elements_in": self.elements_in,
+            "elements_out": self.elements_out,
+            "wall_ns": self.wall_ns,
+        }
 
 
 @dataclass
@@ -26,6 +81,7 @@ class SimulationResult:
     cycles: int
     quiesced: bool
     kernel_activity: dict[str, float] = field(default_factory=dict)
+    kernel_stats: dict[str, KernelStats] = field(default_factory=dict)
 
     def wall_time_ns(self, clock_mhz: float) -> float:
         """Convert cycle count to nanoseconds at *clock_mhz*."""
@@ -33,11 +89,31 @@ class SimulationResult:
 
 
 class Simulator:
-    """Runs a frozen :class:`~repro.maxeler.manager.Manager` design."""
+    """Runs a frozen :class:`~repro.maxeler.manager.Manager` design.
 
-    def __init__(self, manager: Manager, max_cycles: int = 10_000_000):
+    Parameters
+    ----------
+    engine:
+        ``"batched"`` (default) or ``"scalar"``; per-run override via
+        :meth:`run`.
+    profile:
+        When True, scalar ticks are individually wall-clock timed per
+        kernel (adds overhead; chunked execution is always timed).
+    """
+
+    def __init__(
+        self,
+        manager: Manager,
+        max_cycles: int = 10_000_000,
+        engine: str = "batched",
+        profile: bool = False,
+    ):
+        if engine not in ENGINES:
+            raise SimulationError(f"unknown engine {engine!r} (use {ENGINES})")
         self.manager = manager
         self.max_cycles = max_cycles
+        self.engine = engine
+        self.profile = profile
         self.cycles = 0
 
     def _pending_work(self) -> bool:
@@ -58,54 +134,219 @@ class Simulator:
         self,
         until: Callable[[], bool] | None = None,
         max_cycles: int | None = None,
+        engine: str | None = None,
     ) -> SimulationResult:
         """Tick until *until()* is satisfied, or quiescence when no
         predicate is given.
 
-        Raises :class:`SimulationError` on deadlock (work pending, no
-        progress, predicate unsatisfied) and on cycle-budget exhaustion.
+        *max_cycles* is an exact inclusive budget: a run needing exactly
+        that many cycles completes; one needing more raises with exactly
+        ``max_cycles`` cycles consumed (every tick — including idle probe
+        cycles — is charged).
+
+        Raises :class:`SimulationError` on deadlock (two consecutive idle
+        cycles with work pending or a predicate unsatisfied) and on
+        cycle-budget exhaustion.
         """
+        engine = engine if engine is not None else self.engine
+        if engine not in ENGINES:
+            raise SimulationError(f"unknown engine {engine!r} (use {ENGINES})")
         budget = max_cycles if max_cycles is not None else self.max_cycles
         kernels = list(self.manager.kernels.values())
+        batching = engine == "batched"
         start = self.cycles
+        idle_streak = 0
         while True:
             if until is not None and until():
                 return self._result(quiesced=False)
-            progressed = False
-            for kernel in kernels:
-                if kernel.tick():
-                    progressed = True
-            self.cycles += 1
-            if self.cycles - start > budget:
+            if batching and idle_streak == 0:
+                chunk = self._plan_chunk(
+                    kernels, until, budget - (self.cycles - start)
+                )
+                if chunk is not None:
+                    self._run_chunk(*chunk)
+                    continue
+            if self.cycles - start >= budget:
                 raise SimulationError(
                     f"simulation exceeded {budget} cycles without completing"
                 )
-            if not progressed:
-                if until is None and not self._pending_work():
-                    return self._result(quiesced=True)
-                if self._pending_work() or until is not None:
-                    # one idle cycle can be legal (e.g. bubble); two in a row
-                    # with pending work is a deadlock
-                    if self._no_progress_twice(kernels):
-                        raise SimulationError(
-                            f"deadlock after {self.cycles} cycles in design "
-                            f"{self.manager.name!r}"
-                        )
+            progressed = self._tick_all(kernels)
+            self.cycles += 1
+            if progressed:
+                idle_streak = 0
+                continue
+            if until is None and not self._pending_work():
+                return self._result(quiesced=True)
+            # one idle cycle can be legal (e.g. bubble); two in a row with
+            # the run still unfinished is a deadlock
+            idle_streak += 1
+            if idle_streak >= 2:
+                raise SimulationError(
+                    f"deadlock after {self.cycles} cycles in design "
+                    f"{self.manager.name!r}"
+                )
 
-    def _no_progress_twice(self, kernels) -> bool:
-        """Tick one more cycle; report True when still no progress."""
+    def _tick_all(self, kernels) -> bool:
         progressed = False
-        for kernel in kernels:
-            if kernel.tick():
-                progressed = True
-        self.cycles += 1
-        return not progressed
+        if self.profile:
+            clock = time.perf_counter_ns
+            for kernel in kernels:
+                t0 = clock()
+                if kernel.tick():
+                    progressed = True
+                kernel.wall_ns += clock() - t0
+        else:
+            for kernel in kernels:
+                if kernel.tick():
+                    progressed = True
+        return progressed
+
+    # -- batched engine ----------------------------------------------------
+    def _plan_chunk(self, kernels, until, budget_left: int):
+        """Assemble a provably-safe chunk: collected plans, a dependency
+        order over their sub-activities, and the chunk size.  Returns None
+        whenever exact scalar ticking is required instead."""
+        n = budget_left
+        if until is not None:
+            horizon = getattr(until, "min_cycles_to_flip", None)
+            if horizon is None:
+                return None  # opaque predicate: cannot bound overshoot
+            n = min(n, horizon())
+        if n < MIN_CHUNK:
+            return None
+
+        ctx: dict = {}
+        plans: list[tuple] = []
+        ops: list[BatchOp] = []
+        producer: dict = {}
+        consumer: dict = {}
+        for kidx, kernel in enumerate(kernels):
+            plan = kernel.batch_plan(ctx)
+            if plan is None:
+                return None
+            plans.append((kernel, plan))
+            if plan.cycles is not None:
+                n = min(n, plan.cycles)
+                if n < MIN_CHUNK:
+                    return None
+            prev = None
+            for op in plan.ops:
+                op._kernel = kernel
+                op._kidx = kidx
+                op._prev = prev
+                prev = op
+                ops.append(op)
+                for port in op.pushes:
+                    stream = kernel.outputs[port]
+                    if stream in producer:
+                        return None
+                    producer[stream] = op
+                    claim = op.claims.get(port)
+                    ctx[stream] = claim if claim is not None else PushClaim()
+                for port in op.pops:
+                    stream = kernel.inputs[port]
+                    if stream in consumer:
+                        return None
+                    consumer[stream] = op
+        if not ops:
+            return None
+
+        # a sensitive port must see no in-chunk traffic from other plans
+        for kernel, plan in plans:
+            for port in plan.sensitive:
+                stream = kernel.inputs.get(port)
+                if stream is not None and stream in producer:
+                    return None
+                stream = kernel.outputs.get(port)
+                if stream is not None and stream in consumer:
+                    return None
+
+        # stream feasibility: consumers without an in-chunk producer are
+        # bounded by occupancy; a backward edge (producer registered after
+        # its consumer) needs one queued element of slack; every in-chunk
+        # push must fit the stream's free space, as sub-activities push a
+        # whole chunk before the downstream activity pops it
+        for stream, op in consumer.items():
+            prod = producer.get(stream)
+            if prod is None:
+                n = min(n, len(stream))
+            elif prod._kidx > op._kidx and len(stream) < 1:
+                return None
+        for stream in producer:
+            if stream.capacity is not None:
+                n = min(n, stream.capacity - len(stream))
+        if n < MIN_CHUNK:
+            return None
+
+        order = _toposort(ops, producer, consumer)
+        if order is None:
+            return None
+        for kernel, plan in plans:
+            if plan.validate is not None and not plan.validate(n):
+                return None
+        return plans, order, n
+
+    def _run_chunk(self, plans, order, n: int) -> None:
+        clock = time.perf_counter_ns
+        for op in order:
+            t0 = clock()
+            op.run(n)
+            op._kernel.wall_ns += clock() - t0
+        for kernel, plan in plans:
+            kernel._charge(n, plan.is_active)
+        self.cycles += n
+
+    def stats(self) -> dict[str, KernelStats]:
+        """Per-kernel performance counters accumulated so far."""
+        return {
+            k.name: KernelStats(
+                name=k.name,
+                active_cycles=k.active_cycles,
+                total_cycles=k.total_cycles,
+                batched_cycles=k.batched_cycles,
+                elements_in=sum(s.total_popped for s in k.inputs.values()),
+                elements_out=sum(s.total_pushed for s in k.outputs.values()),
+                wall_ns=k.wall_ns,
+            )
+            for k in self.manager.kernels.values()
+        }
 
     def _result(self, quiesced: bool) -> SimulationResult:
         activity = {
-            k.name: (k.active_cycles / k.total_cycles if k.total_cycles else 0.0)
+            k.name: k.active_cycles / k.total_cycles if k.total_cycles else 0.0
             for k in self.manager.kernels.values()
         }
         return SimulationResult(
-            cycles=self.cycles, quiesced=quiesced, kernel_activity=activity
+            cycles=self.cycles,
+            quiesced=quiesced,
+            kernel_activity=activity,
+            kernel_stats=self.stats(),
         )
+
+
+def _toposort(ops, producer, consumer):
+    """Order sub-activities so every in-chunk producer runs before its
+    consumer (plus each plan's own listed order); None on a cycle."""
+    deps: dict[BatchOp, set] = {op: set() for op in ops}
+    for stream, op in consumer.items():
+        prod = producer.get(stream)
+        if prod is not None:
+            deps[op].add(prod)
+    for op in ops:
+        if op._prev is not None:
+            deps[op].add(op._prev)
+    order = []
+    ready = [op for op, d in deps.items() if not d]
+    done: set = set()
+    while ready:
+        op = ready.pop()
+        order.append(op)
+        done.add(op)
+        for other, d in deps.items():
+            if other not in done and op in d:
+                d.discard(op)
+                if not d:
+                    ready.append(other)
+    if len(order) != len(ops):
+        return None  # dependency cycle: the phase is not linearizable
+    return order

@@ -96,7 +96,13 @@ class TraceRecorder:
             if not progressed:
                 if until is None and not self.simulator._pending_work():
                     return self.simulator._result(quiesced=True)
-                if self.simulator._no_progress_twice(kernels):
+                # probe one more cycle; two idle cycles in a row is deadlock
+                probe_progress = False
+                for kernel in kernels:
+                    if kernel.tick():
+                        probe_progress = True
+                self.simulator.cycles += 1
+                if not probe_progress:
                     self._snapshot()
                     from ..core.exceptions import SimulationError
 

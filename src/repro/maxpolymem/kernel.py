@@ -26,6 +26,7 @@ import numpy as np
 from ..core.agu import AccessRequest
 from ..core.config import PolyMemConfig
 from ..core.polymem import PolyMem
+from ..maxeler.batch import IDLE_PLAN, BatchOp, BatchPlan
 from ..maxeler.kernel import Kernel
 
 __all__ = ["WriteCommand", "FusedPolyMemKernel", "DEFAULT_READ_LATENCY"]
@@ -33,6 +34,10 @@ __all__ = ["WriteCommand", "FusedPolyMemKernel", "DEFAULT_READ_LATENCY"]
 #: pipeline depth of the synthesized design, estimated by Maxeler's tools
 #: for the paper's STREAM experiment (§V)
 DEFAULT_READ_LATENCY = 14
+
+
+def _bound(current: int | None, new: int) -> int:
+    return new if current is None else min(current, new)
 
 
 @dataclass(frozen=True)
@@ -56,16 +61,23 @@ class FusedPolyMemKernel(Kernel):
         name: str,
         config: PolyMemConfig,
         read_latency: int = DEFAULT_READ_LATENCY,
+        collision_policy: str = "read_first",
     ):
         super().__init__(name)
         self.config = config
-        self.memory = PolyMem(config)
+        self.memory = PolyMem(config, collision_policy=collision_policy)
         self.read_latency = read_latency
         self._now = 0
         # per-port in-flight pipelines of (issue_cycle, result_vector)
         self._pipes: list[deque[tuple[int, np.ndarray]]] = [
             deque() for _ in range(config.read_ports)
         ]
+        # batched-chunk scratch: per-port results accepted this chunk,
+        # per-chunk claims, and the step-counter compensation flag
+        self._accepted: dict[int, list[np.ndarray]] = {}
+        self._rd_claims: dict[int, object] = {}
+        self._wr_claim = None
+        self._chunk_accesses = 0
 
     def _tick(self) -> bool:
         self._now += 1
@@ -118,3 +130,221 @@ class FusedPolyMemKernel(Kernel):
     def cycles(self) -> int:
         """Parallel-access cycles consumed by the underlying memory."""
         return self.memory.cycles
+
+    # -- batched execution --------------------------------------------------
+    #
+    # The chunked sub-activities below reproduce `_tick`'s per-cycle
+    # behaviour exactly, under the uniformity conditions `batch_plan`
+    # checks: every accepted command stream delivers one command per cycle
+    # (claimed by the upstream plan), every streaming pipe is full with
+    # consecutive stamps and an exactly-ripe head, and the chunk's reads
+    # and writes touch disjoint memory slots (so read-before-write
+    # ordering inside the chunk is unobservable and all collision
+    # policies coincide).
+
+    def _pop_cmds_read(self, port: int, n: int) -> None:
+        """Accept n read commands on *port* and execute them vectorized
+        against the pre-chunk memory state."""
+        self.inputs[f"rd_cmd{port}"].pop_many(n)
+        kind, ai, aj = self._rd_claims[port].anchors(n)
+        rows = self.memory.read_batch(kind, ai, aj, port=port, check=True)
+        self._chunk_accesses += 1
+        self._accepted[port] = list(rows)
+
+    def _accept_fill(self, port: int):
+        # pipe empty at chunk start: n <= latency commands enter, nothing
+        # ripens inside the window
+        def run(n: int) -> None:
+            self._pop_cmds_read(port, n)
+            rows = self._accepted.pop(port)
+            base = self._now
+            self._pipes[port] = deque(
+                (base + t + 1, rows[t]) for t in range(n)
+            )
+
+        return run
+
+    def _accept_steady(self, port: int):
+        def run(n: int) -> None:
+            self._pop_cmds_read(port, n)
+
+        return run
+
+    def _retire_steady(self, port: int):
+        # full pipe + accepted results have consecutive stamps: n cycles
+        # retire the first n, keep the last `read_latency`
+        def run(n: int) -> None:
+            values = [v for _, v in self._pipes[port]]
+            values.extend(self._accepted.pop(port))
+            self.outputs[f"rd_out{port}"].push_many(values[:n])
+            first = self._now + 1 - self.read_latency
+            self._pipes[port] = deque(
+                (first + m, values[m])
+                for m in range(n, n + self.read_latency)
+            )
+
+        return run
+
+    def _retire_drain(self, port: int):
+        def run(n: int) -> None:
+            pipe = self._pipes[port]
+            self.outputs[f"rd_out{port}"].push_many(
+                [pipe.popleft()[1] for _ in range(n)]
+            )
+
+        return run
+
+    def _accept_write(self, n: int) -> None:
+        cmds = self.inputs["wr_cmd"].pop_many(n)
+        values = np.stack([c.values for c in cmds])
+        kind, ai, aj = self._wr_claim.anchors(n)
+        self.memory.write_batch(kind, ai, aj, values, check=True)
+        self._chunk_accesses += 1
+
+    def _advance(self, n: int) -> None:
+        """Last sub-activity of every chunk: advance local time and undo
+        the per-call cycle counting of read_batch/write_batch so
+        ``memory.cycles`` matches the scalar path (one `step` per cycle,
+        however many ports it served)."""
+        self._now += n
+        extra = self._planned_accesses - 1
+        if extra > 0:
+            self.memory.cycles -= extra * n
+
+    def _ripe_prefix(self, port: int) -> int:
+        """Length of the pipe prefix retiring one element per cycle from
+        the next tick on (consecutive stamps from an exactly-ripe head)."""
+        pipe = self._pipes[port]
+        head = pipe[0][0]
+        if head + self.read_latency != self._now + 1:
+            return 0
+        run = 0
+        for stamp, _ in pipe:
+            if stamp != head + run:
+                break
+            run += 1
+        return run
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        latency = self.read_latency
+        ops: list[BatchOp] = []
+        write_ops: list[BatchOp] = []
+        sensitive: list[str] = []
+        cycles: int | None = None
+        self._rd_claims = {}
+        self._wr_claim = None
+        self._chunk_accesses = 0
+        engaged = any(self._pipes)
+
+        for port in range(self.config.read_ports):
+            cmd_name = f"rd_cmd{port}"
+            cmd_s = self.inputs.get(cmd_name)
+            out_s = self.outputs.get(f"rd_out{port}")
+            pipe = self._pipes[port]
+            claim = ctx.get(cmd_s) if cmd_s is not None else None
+            if claim is not None:
+                if out_s is None or len(cmd_s) > 0:
+                    return None  # command backlog: irregular, keep scalar
+                if getattr(claim, "anchors", None) is None:
+                    return None  # untyped producer: cannot prove the chunk
+                self._rd_claims[port] = claim
+                if not pipe:
+                    ops.append(
+                        BatchOp(
+                            f"accept{port}",
+                            self._accept_fill(port),
+                            pops=(cmd_name,),
+                        )
+                    )
+                    cycles = _bound(cycles, latency)
+                elif len(pipe) == latency and self._ripe_prefix(port) == latency:
+                    ops.append(
+                        BatchOp(
+                            f"accept{port}",
+                            self._accept_steady(port),
+                            pops=(cmd_name,),
+                        )
+                    )
+                    ops.append(
+                        BatchOp(
+                            f"retire{port}",
+                            self._retire_steady(port),
+                            pushes=(f"rd_out{port}",),
+                        )
+                    )
+                else:
+                    return None  # partially-filled or stalled pipe
+            else:
+                if cmd_s is not None:
+                    if len(cmd_s) > 0:
+                        return None  # queued commands: scalar accepts them
+                    sensitive.append(cmd_name)
+                if pipe:
+                    if out_s is None:
+                        return None
+                    prefix = self._ripe_prefix(port)
+                    if prefix:
+                        ops.append(
+                            BatchOp(
+                                f"retire{port}",
+                                self._retire_drain(port),
+                                pushes=(f"rd_out{port}",),
+                            )
+                        )
+                        cycles = _bound(cycles, prefix)
+                    else:
+                        wait = pipe[0][0] + latency - self._now - 1
+                        if wait < 1:
+                            return None  # overdue head (stalled): scalar
+                        cycles = _bound(cycles, wait)
+
+        wr_s = self.inputs.get("wr_cmd")
+        wr_claim = ctx.get(wr_s) if wr_s is not None else None
+        if wr_claim is not None:
+            if len(wr_s) > 0:
+                return None
+            if getattr(wr_claim, "anchors", None) is None:
+                return None
+            self._wr_claim = wr_claim
+            write_ops.append(
+                BatchOp("accept_wr", self._accept_write, pops=("wr_cmd",))
+            )
+        elif wr_s is not None:
+            if len(wr_s) > 0:
+                return None
+            sensitive.append("wr_cmd")
+
+        if not ops and not write_ops and cycles is None:
+            if engaged:
+                return None
+            if not sensitive:
+                return IDLE_PLAN
+            return BatchPlan(sensitive=tuple(sensitive))
+        # reads run before the write (the intra-kernel chain), pinning the
+        # read-before-write semantics the slot-disjointness proof assumes;
+        # `advance` runs last to move local time once per chunk
+        ops.extend(write_ops)
+        self._planned_accesses = len(self._rd_claims) + len(write_ops)
+        ops.append(BatchOp("advance", self._advance))
+        return BatchPlan(
+            cycles=cycles,
+            ops=ops,
+            sensitive=tuple(sensitive),
+            active=True,
+            validate=self._validate_chunk,
+        )
+
+    def _validate_chunk(self, n: int) -> bool:
+        """Prove slot disjointness for the chunk's accesses."""
+        if self._wr_claim is None:
+            return True
+        kind, ai, aj = self._wr_claim.anchors(n)
+        wr_slots = self.memory.access_slots(kind, ai, aj).ravel()
+        if np.unique(wr_slots).size != wr_slots.size:
+            return False  # overlapping writes: sequential semantics differ
+        for claim in self._rd_claims.values():
+            kind, ai, aj = claim.anchors(n)
+            rd_slots = self.memory.access_slots(kind, ai, aj).ravel()
+            if np.intersect1d(rd_slots, wr_slots).size:
+                return False  # a read would observe an in-chunk write
+        return True

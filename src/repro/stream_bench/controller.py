@@ -34,12 +34,25 @@ from ..core.config import PolyMemConfig
 from ..core.exceptions import SimulationError
 from ..core.patterns import PatternKind
 from ..core.schemes import Scheme
+from ..maxeler.batch import BatchOp, BatchPlan, PushClaim
+from ..maxeler.conditions import RunCondition
 from ..maxeler.dfe import DFE, VectisBoard
 from ..maxeler.kernel import DemuxKernel, Kernel, MuxKernel
 from ..maxeler.manager import Manager
 from ..maxpolymem.kernel import DEFAULT_READ_LATENCY, FusedPolyMemKernel, WriteCommand
 
-__all__ = ["Mode", "Job", "StreamController", "StreamDesign", "build_stream_design"]
+__all__ = [
+    "Mode",
+    "Job",
+    "JobsDone",
+    "StreamController",
+    "StreamDesign",
+    "build_stream_design",
+]
+
+
+def _bound(current: int | None, new: int) -> int:
+    return new if current is None else min(current, new)
 
 #: MUX input indices (Fig. 9 left side)
 MUX_A, MUX_B, MUX_C, MUX_FEEDBACK = 0, 1, 2, 3
@@ -185,37 +198,44 @@ class StreamController(Kernel):
             progressed = True
         return progressed
 
+    def _mode_spec(self, job: Job):
+        """``(src_arrays, dst_array, combine)`` of a compute-stage job.
+
+        The combine functions are written so they apply identically to one
+        ``(lanes,)`` vector (scalar path) and a stacked ``(n, lanes)``
+        window (batched path) — NumPy broadcasting keeps the arithmetic
+        bit-identical either way.
+        """
+        q = job.scalar
+        if job.mode is Mode.COPY:
+            return (0,), 2, lambda a: a
+        if job.mode is Mode.SCALE:
+            return (1,), 0, lambda b: _as_bits(q * _as_floats(b))
+        if job.mode is Mode.SUM:
+            return (1, 2), 0, lambda b, c: _as_bits(_as_floats(b) + _as_floats(c))
+        if job.mode is Mode.TRIAD:
+            return (
+                (1, 2),
+                0,
+                lambda b, c: _as_bits(_as_floats(b) + q * _as_floats(c)),
+            )
+        raise SimulationError(f"{job.mode} is not a compute stage")
+
     # COPY: read A on port 0, feed back through the MUX, write C.
     def _tick_copy(self) -> bool:
-        return self._tick_feedback(
-            src_arrays=(0,), dst_array=2, combine=lambda a: a
-        )
+        return self._tick_feedback(*self._mode_spec(self._job))
 
     # SCALE: a = q * b -> read B, multiply, write A.
     def _tick_scale(self) -> bool:
-        q = self._job.scalar
-        return self._tick_feedback(
-            src_arrays=(1,),
-            dst_array=0,
-            combine=lambda b: _as_bits(q * _as_floats(b)),
-        )
+        return self._tick_feedback(*self._mode_spec(self._job))
 
     # SUM: a = b + c -> read B (port 0) and C (port 1), add, write A.
     def _tick_sum(self) -> bool:
-        return self._tick_feedback(
-            src_arrays=(1, 2),
-            dst_array=0,
-            combine=lambda b, c: _as_bits(_as_floats(b) + _as_floats(c)),
-        )
+        return self._tick_feedback(*self._mode_spec(self._job))
 
     # TRIAD: a = b + q * c.
     def _tick_triad(self) -> bool:
-        q = self._job.scalar
-        return self._tick_feedback(
-            src_arrays=(1, 2),
-            dst_array=0,
-            combine=lambda b, c: _as_bits(_as_floats(b) + q * _as_floats(c)),
-        )
+        return self._tick_feedback(*self._mode_spec(self._job))
 
     def _tick_feedback(self, src_arrays, dst_array, combine) -> bool:
         """Shared logic for the compute stages: issue one parallel read per
@@ -287,6 +307,238 @@ class StreamController(Kernel):
             progressed = True
         return progressed
 
+    # -- batched execution ---------------------------------------------------
+    #
+    # Each sub-activity of `_tick_load`/`_tick_feedback`/`_tick_offload`
+    # becomes a BatchOp moving exactly one element per port per cycle.
+    # Command streams carry PushClaims: `mux_select`/`demux_select` claim
+    # their uniform value (so the MUX/DEMUX can plan the routing) and the
+    # PolyMem command streams claim their access anchors (so the memory
+    # kernel can prove slot disjointness before committing to the chunk).
+
+    def _vec_anchors(self, array: int, start: int, n: int):
+        """Vectorized :meth:`_vec_anchor` for vectors ``start..start+n``."""
+        per_row = self.config.cols // self.lanes
+        ks = np.arange(start, start + n)
+        rows, slots = np.divmod(ks, per_row)
+        if n and rows[-1] >= self.band_rows:
+            raise SimulationError(
+                f"vector {start + n - 1} exceeds array band of "
+                f"{self.band_rows} rows"
+            )
+        return self.ACCESS, array * self.band_rows + rows, slots * self.lanes
+
+    def _anchors_fn(self, array: int, start: int):
+        def anchors(n: int):
+            return self._vec_anchors(array, start, n)
+
+        return anchors
+
+    def _finish_writes(self, job: Job, done: int) -> None:
+        self._writes_done = done
+        if done >= job.vectors:
+            # same tick as the final write, exactly like the scalar path
+            self._job = None
+            self.completed_jobs += 1
+
+    def _issue_select_run(self, job: Job):
+        start = self._reads_issued
+
+        def run(n: int) -> None:
+            self.outputs["mux_select"].push_many([job.array] * n)
+            self._reads_issued = start + n
+
+        return run
+
+    def _issue_reads_run(self, src_arrays):
+        start = self._reads_issued
+
+        def run(n: int) -> None:
+            for port, array in enumerate(src_arrays):
+                kind, ai, aj = self._vec_anchors(array, start, n)
+                self.outputs[f"rd_cmd{port}"].push_many(
+                    [
+                        AccessRequest(kind, i, j)
+                        for i, j in zip(ai.tolist(), aj.tolist())
+                    ]
+                )
+            self._reads_issued = start + n
+
+        return run
+
+    def _combine_run(self, nports: int, combine):
+        def run(n: int) -> None:
+            vecs = [
+                np.stack(self.inputs[f"rd_data{p}"].pop_many(n))
+                for p in range(nports)
+            ]
+            out = np.asarray(combine(*vecs))
+            self.outputs["feedback"].push_many(list(out))
+            self.outputs["mux_select"].push_many([MUX_FEEDBACK] * n)
+
+        return run
+
+    def _drain_op(self, job: Job, dst_array: int) -> BatchOp:
+        start = self._writes_done
+        anchors = self._anchors_fn(dst_array, start)
+
+        def run(n: int) -> None:
+            vecs = self.inputs["wr_data"].pop_many(n)
+            kind, ai, aj = anchors(n)
+            self.outputs["wr_cmd"].push_many(
+                [
+                    WriteCommand(AccessRequest(kind, i, j), vec)
+                    for i, j, vec in zip(ai.tolist(), aj.tolist(), vecs)
+                ]
+            )
+            self._finish_writes(job, start + n)
+
+        return BatchOp(
+            "drain",
+            run,
+            pops=("wr_data",),
+            pushes=("wr_cmd",),
+            claims={"wr_cmd": PushClaim(anchors=anchors)},
+        )
+
+    def _offload_emit_run(self, job: Job):
+        start = self._writes_done
+
+        def run(n: int) -> None:
+            data = self.inputs["rd_data0"].pop_many(n)
+            self.outputs["demux_data"].push_many(data)
+            self.outputs["demux_select"].push_many([job.array] * n)
+            self._finish_writes(job, start + n)
+
+        return run
+
+    def batch_plan(self, ctx: dict) -> BatchPlan | None:
+        job = self._job
+        if job is None:
+            if len(self.inputs["job"]) > 0:
+                return None  # job hand-off tick: scalar starts the mode
+            return BatchPlan(sensitive=("job",))
+        ops: list[BatchOp] = []
+        sensitive: list[str] = []
+        cycles: int | None = None
+        reads_left = job.vectors - self._reads_issued
+        writes_left = job.vectors - self._writes_done
+
+        if job.mode is Mode.LOAD:
+            if reads_left > 0:
+                ops.append(
+                    BatchOp(
+                        "issue_sel",
+                        self._issue_select_run(job),
+                        pushes=("mux_select",),
+                        claims={"mux_select": PushClaim(value=job.array)},
+                    )
+                )
+                cycles = _bound(cycles, reads_left)
+            if writes_left > 0 and len(self.inputs["wr_data"]) >= 1:
+                ops.append(self._drain_op(job, job.array))
+                cycles = _bound(cycles, writes_left)
+            elif writes_left > 0:
+                sensitive.append("wr_data")
+        elif job.mode is Mode.OFFLOAD:
+            if reads_left > 0:
+                ops.append(
+                    BatchOp(
+                        "issue",
+                        self._issue_reads_run((job.array,)),
+                        pushes=("rd_cmd0",),
+                        claims={
+                            "rd_cmd0": PushClaim(
+                                anchors=self._anchors_fn(
+                                    job.array, self._reads_issued
+                                )
+                            )
+                        },
+                    )
+                )
+                cycles = _bound(cycles, reads_left)
+            if writes_left > 0 and len(self.inputs["rd_data0"]) >= 1:
+                ops.append(
+                    BatchOp(
+                        "emit",
+                        self._offload_emit_run(job),
+                        pops=("rd_data0",),
+                        pushes=("demux_data", "demux_select"),
+                        claims={"demux_select": PushClaim(value=job.array)},
+                    )
+                )
+                cycles = _bound(cycles, writes_left)
+            elif writes_left > 0:
+                sensitive.append("rd_data0")
+        else:
+            src_arrays, dst_array, combine = self._mode_spec(job)
+            nports = len(src_arrays)
+            if reads_left > 0:
+                claims = {
+                    f"rd_cmd{p}": PushClaim(
+                        anchors=self._anchors_fn(array, self._reads_issued)
+                    )
+                    for p, array in enumerate(src_arrays)
+                }
+                ops.append(
+                    BatchOp(
+                        "issue",
+                        self._issue_reads_run(src_arrays),
+                        pushes=tuple(claims),
+                        claims=claims,
+                    )
+                )
+                cycles = _bound(cycles, reads_left)
+            data_ports = [f"rd_data{p}" for p in range(nports)]
+            empty = [p for p in data_ports if len(self.inputs[p]) == 0]
+            if not empty:
+                ops.append(
+                    BatchOp(
+                        "combine",
+                        self._combine_run(nports, combine),
+                        pops=tuple(data_ports),
+                        pushes=("feedback", "mux_select"),
+                        claims={"mux_select": PushClaim(value=MUX_FEEDBACK)},
+                    )
+                )
+            else:
+                # a mid-chunk arrival on a dry port would start combining
+                sensitive.extend(empty)
+            if writes_left > 0 and len(self.inputs["wr_data"]) >= 1:
+                ops.append(self._drain_op(job, dst_array))
+                cycles = _bound(cycles, writes_left)
+            elif writes_left > 0:
+                sensitive.append("wr_data")
+
+        if not ops:
+            # waiting (e.g. on the read latency): scalar reports no progress
+            return BatchPlan(sensitive=tuple(sensitive), active=False)
+        return BatchPlan(cycles=cycles, ops=ops, sensitive=tuple(sensitive))
+
+
+class JobsDone(RunCondition):
+    """Typed run-condition: the controller has completed *target* jobs.
+
+    The flip horizon lower-bounds the distance to completion by the
+    current job's remaining writes (one write per cycle at best), letting
+    the batched engine take full-size chunks without overshooting.
+    """
+
+    def __init__(self, controller: StreamController, target: int):
+        self.controller = controller
+        self.target = target
+
+    def __call__(self) -> bool:
+        return self.controller.completed_jobs >= self.target
+
+    def min_cycles_to_flip(self) -> int:
+        ctrl = self.controller
+        if ctrl.completed_jobs >= self.target:
+            return 0
+        if ctrl._job is None:
+            return 1
+        return max(1, ctrl._job.vectors - ctrl._writes_done)
+
 
 @dataclass
 class StreamDesign:
@@ -312,6 +564,7 @@ def build_stream_design(
     read_latency: int = DEFAULT_READ_LATENCY,
     board: VectisBoard | None = None,
     style: str = "fused",
+    collision_policy: str = "read_first",
 ) -> StreamDesign:
     """Assemble the STREAM framework of Fig. 9.
 
@@ -341,7 +594,12 @@ def build_stream_design(
         mgr.add_kernel(k)
     polymem = None
     if style == "fused":
-        polymem = FusedPolyMemKernel("polymem", config, read_latency=read_latency)
+        polymem = FusedPolyMemKernel(
+            "polymem",
+            config,
+            read_latency=read_latency,
+            collision_policy=collision_policy,
+        )
         mgr.add_kernel(polymem)
         wr_ep = (polymem, "wr_cmd")
         rd_cmd_eps = [(polymem, f"rd_cmd{r}") for r in range(config.read_ports)]

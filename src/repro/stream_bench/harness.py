@@ -25,8 +25,9 @@ import numpy as np
 
 from ..core.exceptions import SimulationError
 from ..hw.calibration import STREAM_COPY
+from ..maxeler.conditions import StreamFill
 from .apps import DEFAULT_SCALAR, StreamApp
-from .controller import Job, Mode, StreamDesign, build_stream_design
+from .controller import Job, JobsDone, Mode, StreamDesign, build_stream_design
 
 __all__ = ["StreamMeasurement", "StreamHarness", "Fig10Point", "sweep_fig10"]
 
@@ -126,9 +127,8 @@ class StreamHarness:
             bits = arrays[key].view(np.uint64).reshape(vectors, self.lanes)
             self.host.write_stream(f"{key}_in", list(bits))
             self.host.write_stream("job", [Job(Mode.LOAD, vectors, array=idx)])
-            done = ctrl.completed_jobs + 1
             self.host.run_kernel(
-                until=lambda c=ctrl, d=done: c.completed_jobs == d,
+                until=JobsDone(ctrl, ctrl.completed_jobs + 1),
                 max_cycles=20 * vectors + 10_000,
             )
         return arrays
@@ -148,9 +148,8 @@ class StreamHarness:
         self.host.write_stream(
             "job", [Job(app.mode, vectors, scalar=scalar)]
         )
-        done = ctrl.completed_jobs + 1
         self.host.run_kernel(
-            until=lambda c=ctrl, d=done: c.completed_jobs == d,
+            until=JobsDone(ctrl, ctrl.completed_jobs + 1),
             max_cycles=30 * vectors + 100_000,
         )
         return self.design.dfe.simulator.cycles - before
@@ -165,7 +164,7 @@ class StreamHarness:
             "job", [Job(Mode.OFFLOAD, vectors, array=array_index)]
         )
         self.host.run_kernel(
-            until=lambda s=out_stream, n=vectors: len(s) == n,
+            until=StreamFill(out_stream, vectors),
             max_cycles=30 * vectors + 100_000,
         )
         rows = self.host.read_stream(out_name)

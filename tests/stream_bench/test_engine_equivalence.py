@@ -1,0 +1,83 @@
+"""Property test: scalar vs batched equivalence on the Fig. 9 design.
+
+Randomized PolyMem geometries, read latencies, STREAM apps and all three
+collision policies run the full Load / compute / Offload sequence under
+both engines; the offloaded bytes, compute-stage cycles and every
+kernel's activity counters must be identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.stream_bench import StreamHarness, all_apps, build_stream_design
+
+
+def _design(rows, cols, latency, policy, engine):
+    cfg = PolyMemConfig(
+        rows * cols * 8,
+        p=2,
+        q=4,
+        scheme=Scheme.RoCo,
+        read_ports=2,
+        rows=rows,
+        cols=cols,
+    )
+    design = build_stream_design(
+        cfg, read_latency=latency, collision_policy=policy
+    )
+    design.dfe.simulator.engine = engine
+    return design
+
+
+def _full_pass(rows, cols, latency, policy, app, vectors, engine):
+    design = _design(rows, cols, latency, policy, engine)
+    harness = StreamHarness(design)
+    vectors = max(1, min(vectors, harness.max_vectors))
+    harness.load_arrays(vectors)
+    cycles = harness.run_app(app, vectors, scalar=1.5)
+    data = harness.offload_array(app.destination, vectors)
+    counters = {
+        k.name: (k.active_cycles, k.total_cycles)
+        for k in design.manager.kernels.values()
+    }
+    return data, cycles, design.dfe.simulator.cycles, counters
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.sampled_from([6, 12, 24]),
+    cols=st.sampled_from([8, 16, 32]),
+    latency=st.integers(1, 20),
+    policy=st.sampled_from(["read_first", "write_first", "forbid"]),
+    app_idx=st.integers(0, 3),
+    vectors=st.integers(1, 96),
+)
+def test_stream_engines_bit_identical(
+    rows, cols, latency, policy, app_idx, vectors
+):
+    app = all_apps()[app_idx]
+    s = _full_pass(rows, cols, latency, policy, app, vectors, "scalar")
+    b = _full_pass(rows, cols, latency, policy, app, vectors, "batched")
+    assert np.array_equal(
+        s[0].view(np.uint64), b[0].view(np.uint64)
+    ), "offloaded bytes differ"
+    assert b[1] == s[1], "compute-stage cycles differ"
+    assert b[2] == s[2], "total simulated cycles differ"
+    assert b[3] == s[3], "kernel activity counters differ"
+
+
+@pytest.mark.parametrize("policy", ["read_first", "write_first", "forbid"])
+def test_fig9_batches_under_every_policy(policy):
+    """The full-size design must take the fast path (the chunk validator
+    proves STREAM's read/write slots disjoint under every policy)."""
+    design = _design(36, 64, 14, policy, "batched")
+    harness = StreamHarness(design)
+    harness.load_arrays(96)
+    cycles = harness.run_app(all_apps()[0], 96)
+    assert cycles == 96 + 14 + 2
+    polymem = design.polymem
+    assert polymem.batched_cycles > 0.5 * polymem.total_cycles

@@ -167,6 +167,56 @@ class TestExecFlags:
         assert warm.meta["sweep_cached"] >= 0.9 * warm.meta["sweep_points"]
         assert [e.ok for e in warm.entries] == [e.ok for e in cold.entries]
 
+    def test_stream_run_batched_default_with_profile(self, capsys):
+        rc = main(["stream", "run", "--vectors", "96", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "batched engine" in out
+        assert "compute cycles: 112" in out  # 96 + 14 latency + 2 slack
+        # the per-kernel activity table
+        for name in ("controller", "mux", "demux", "polymem"):
+            assert name in out
+        assert "util" in out and "batched" in out
+
+    def test_stream_run_scalar_same_cycles(self, capsys):
+        rc = main(
+            ["stream", "run", "--vectors", "96", "--engine", "scalar",
+             "--app", "triad"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scalar engine" in out
+        assert "compute cycles: 112" in out
+
+    def test_stream_run_engine_arg_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(["stream", "run"])
+        assert args.engine == "batched" and args.profile is False
+        args = parser.parse_args(
+            ["stream", "run", "--engine", "scalar", "--profile"]
+        )
+        assert args.engine == "scalar" and args.profile is True
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream", "run", "--engine", "turbo"])
+
+    def test_stream_run_json_report(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        rc = main(
+            ["stream", "run", "--vectors", "64", "--profile",
+             "--json", str(path)]
+        )
+        assert rc == 0
+        report = Report.from_json(path.read_text())
+        compute = [e for e in report.entries if e.experiment == "§V STREAM"]
+        assert compute and compute[0].metrics["engine"] == "batched"
+        profiles = [
+            e for e in report.entries if e.experiment == "kernel profile"
+        ]
+        assert {e.quantity for e in profiles} == {
+            "controller", "mux", "demux", "polymem"
+        }
+        assert all("elements_in" in e.metrics for e in profiles)
+
     def test_config_from_args_shim_warns(self):
         from repro.cli import _config_from_args
 
