@@ -1,0 +1,234 @@
+"""Access-path throughput: scalar step vs planned step vs batched replay.
+
+The access-plan compiler caches the anchor-invariant half of each access
+family and ``PolyMem.replay`` executes whole traces as fancy-indexed
+NumPy operations.  This bench measures accesses/second through the three
+paths on the same workload — a stream of conflict-free ROW reads plus a
+rectangle write stream — across schemes and lane counts:
+
+* **scalar step** — ``use_plans = False``: the reference path, re-deriving
+  AGU expansion, MAF, conflict check and shuffle per access;
+* **planned step** — the default per-access path, applying the compiled
+  plan per ``step()``;
+* **batched replay** — one :class:`AccessTrace` for the whole stream.
+
+All three paths are bit-identical (asserted here on results and cycles;
+property-tested in ``tests/core/test_plan_equivalence.py``).  The
+headline acceptance is >= 10x for replay vs the per-access ``step()`` on
+the 64-lane RoCo configuration; the smoke variant (>= 2x vs scalar step
+on a small config) backs the CI perf gate.  Run directly with ``--smoke``
+for the gate only.
+"""
+
+import io
+import sys
+import time
+
+import numpy as np
+
+from _util import save_report
+
+from repro.core.agu import AccessRequest
+from repro.core.config import PolyMemConfig
+from repro.core.patterns import PatternKind
+from repro.core.plan import AccessTrace
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+from repro.exec import Report, ReportEntry
+
+#: (label, p, q, scheme) — the 64-lane RoCo row is the acceptance target
+CONFIGS = (
+    ("8-lane ReRo", 2, 4, Scheme.ReRo),
+    ("16-lane RoCo", 4, 4, Scheme.RoCo),
+    ("64-lane RoCo", 8, 8, Scheme.RoCo),
+)
+
+
+def _workload(p, q, scheme, accesses, seed=7):
+    """A memory plus a conflict-free read/write anchor stream.
+
+    The memory is sized so the write stream can cover ``accesses``
+    *distinct* blocks (a streaming store, STREAM-style — no block is
+    rewritten within the trace)."""
+    lanes = p * q
+    rows = cols = max(4 * lanes, 64)
+    while (rows // p) * (cols // q) < accesses:
+        rows = cols = rows * 2
+    pm = PolyMem(
+        PolyMemConfig(rows * cols * 8, p=p, q=q, scheme=scheme,
+                      rows=rows, cols=cols)
+    )
+    rng = np.random.default_rng(seed)
+    pm.load(rng.integers(0, 2**63, size=(rows, cols), dtype=np.uint64))
+    pm.reset_stats()
+    # lane-aligned ROW reads are conflict-free under every tested scheme
+    ri = rng.integers(0, rows, size=accesses)
+    rj = rng.integers(0, cols // lanes, size=accesses) * lanes
+    nbj = cols // q
+    blocks = rng.permutation((rows // p) * nbj)[:accesses]
+    wi = (blocks // nbj) * p
+    wj = (blocks % nbj) * q
+    values = rng.integers(0, 2**63, size=(accesses, lanes), dtype=np.uint64)
+    return pm, (ri, rj, wi, wj, values)
+
+
+def _serial_pass(pm, stream, use_plans):
+    ri, rj, wi, wj, values = stream
+    pm.use_plans = use_plans
+    t0 = time.perf_counter()
+    out = np.empty((ri.size, pm.lanes), dtype=np.uint64)
+    for t in range(ri.size):
+        res = pm.step(
+            reads=[(0, AccessRequest(PatternKind.ROW, int(ri[t]), int(rj[t])))],
+            write=(
+                AccessRequest(PatternKind.RECTANGLE, int(wi[t]), int(wj[t])),
+                values[t],
+            ),
+        )
+        out[t] = res[0]
+    wall = time.perf_counter() - t0
+    pm.use_plans = True
+    return out, wall
+
+
+def _replay_pass(pm, stream):
+    ri, rj, wi, wj, values = stream
+    trace = (
+        AccessTrace()
+        .read(PatternKind.ROW, ri, rj)
+        .write(PatternKind.RECTANGLE, wi, wj, values)
+    )
+    t0 = time.perf_counter()
+    out = pm.replay(trace)[0]
+    return out, time.perf_counter() - t0
+
+
+def _measure(label, p, q, scheme, accesses):
+    results = {}
+    walls = {}
+    cycles = {}
+    for path in ("scalar", "planned", "replay"):
+        if path == "replay":
+            # best-of-3: the whole pass is a few ms, so take the min to
+            # shed scheduler noise (the serial passes self-average over
+            # hundreds of ms)
+            wall = np.inf
+            for _ in range(3):
+                pm, stream = _workload(p, q, scheme, accesses)
+                out, w = _replay_pass(pm, stream)
+                wall = min(wall, w)
+        else:
+            pm, stream = _workload(p, q, scheme, accesses)
+            out, wall = _serial_pass(pm, stream, use_plans=(path == "planned"))
+        results[path] = out
+        walls[path] = wall
+        cycles[path] = pm.cycles
+    assert np.array_equal(results["scalar"], results["planned"])
+    assert np.array_equal(results["scalar"], results["replay"])
+    assert cycles["scalar"] == cycles["planned"] == cycles["replay"]
+    # each cycle carries one read and one write: 2 accesses per cycle
+    n_acc = 2 * accesses
+    aps = {path: n_acc / wall for path, wall in walls.items()}
+    return {
+        "label": label,
+        "lanes": p * q,
+        "scheme": str(scheme),
+        "accesses": n_acc,
+        "cycles": cycles["replay"],
+        "scalar_aps": aps["scalar"],
+        "planned_aps": aps["planned"],
+        "replay_aps": aps["replay"],
+        "planned_speedup": aps["planned"] / aps["scalar"],
+        "replay_vs_planned": aps["replay"] / aps["planned"],
+        "replay_vs_scalar": aps["replay"] / aps["scalar"],
+    }
+
+
+_HEADER = (
+    "PRF access-path throughput — scalar step vs planned step vs replay\n"
+    "(one ROW read + one RECTANGLE write per cycle; results and cycle\n"
+    "counts bit-identical by assertion)\n\n"
+    f"{'config':>14s} {'accesses':>9s} {'scalar a/s':>11s} "
+    f"{'planned a/s':>12s} {'replay a/s':>12s} {'replay/step':>12s}\n"
+)
+
+
+def _row(m):
+    return (
+        f"{m['label']:>14s} {m['accesses']:9d} {m['scalar_aps']:11.0f} "
+        f"{m['planned_aps']:12.0f} {m['replay_aps']:12.0f} "
+        f"{m['replay_vs_planned']:11.1f}x\n"
+    )
+
+
+def _entry(m):
+    return ReportEntry(
+        experiment="access throughput",
+        quantity=f"{m['label']} replay vs per-access step [x]",
+        measured=round(m["replay_vs_planned"], 2),
+        metrics={
+            "lanes": m["lanes"],
+            "scheme": m["scheme"],
+            "accesses": m["accesses"],
+            "cycles": m["cycles"],
+            "scalar_accesses_per_s": round(m["scalar_aps"]),
+            "planned_accesses_per_s": round(m["planned_aps"]),
+            "replay_accesses_per_s": round(m["replay_aps"]),
+            "replay_vs_scalar": round(m["replay_vs_scalar"], 2),
+        },
+    )
+
+
+def _smoke_measure():
+    return _measure("8-lane ReRo", 2, 4, Scheme.ReRo, 512)
+
+
+def test_access_throughput_report(benchmark):
+    out = io.StringIO()
+    out.write(_HEADER)
+    report = Report(title="Access plans: scalar vs planned vs replay")
+    by_label = {}
+    for label, p, q, scheme in CONFIGS:
+        m = _measure(label, p, q, scheme, 4096)
+        by_label[label] = m
+        out.write(_row(m))
+        report.entries.append(_entry(m))
+    save_report("access_throughput", out.getvalue(), report)
+
+    # the headline acceptance: >= 10x replay vs per-access step() on the
+    # 64-lane RoCo configuration
+    assert by_label["64-lane RoCo"]["replay_vs_planned"] >= 10
+    assert by_label["64-lane RoCo"]["replay_vs_scalar"] >= 10
+
+    pm, stream = _workload(8, 8, Scheme.RoCo, 4096)
+    benchmark(lambda: _replay_pass(pm, stream))
+
+
+def test_access_throughput_smoke(benchmark):
+    """The CI perf gate: batched replay must be >= 2x the scalar step."""
+    m = _smoke_measure()
+    report = Report(title="Access plans perf smoke (8-lane ReRo)")
+    report.entries.append(_entry(m))
+    save_report("access_throughput_smoke", _HEADER + _row(m), report)
+    assert m["replay_vs_scalar"] >= 2.0
+    pm, stream = _workload(2, 4, Scheme.ReRo, 512)
+    benchmark(lambda: _replay_pass(pm, stream))
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        m = _smoke_measure()
+        report = Report(title="Access plans perf smoke (8-lane ReRo)")
+        report.entries.append(_entry(m))
+        save_report("access_throughput_smoke", _HEADER + _row(m), report)
+        if m["replay_vs_scalar"] < 2.0:
+            sys.exit(f"perf gate failed: {m['replay_vs_scalar']:.1f}x < 2x")
+    else:
+        out = io.StringIO()
+        out.write(_HEADER)
+        report = Report(title="Access plans: scalar vs planned vs replay")
+        for label, p, q, scheme in CONFIGS:
+            m = _measure(label, p, q, scheme, 4096)
+            out.write(_row(m))
+            report.entries.append(_entry(m))
+        save_report("access_throughput", out.getvalue(), report)

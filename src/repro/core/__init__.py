@@ -23,6 +23,7 @@ from .exceptions import (
     SimulationError,
 )
 from .patterns import AccessPattern, PatternKind, pattern_offsets
+from .plan import AccessPlan, AccessTrace, compile_plan
 from .polymem import PolyMem
 from .regions import Region, RegionMap
 from .schemes import SCHEME_SPECS, Scheme, all_schemes, module_assignment
@@ -31,7 +32,9 @@ from .shuffle import BenesNetwork, FullCrossbar, InverseShuffle, Shuffle
 __all__ = [
     "AGU",
     "AccessPattern",
+    "AccessPlan",
     "AccessRequest",
+    "AccessTrace",
     "AddressError",
     "AddressingFunction",
     "AnchorDomain",
@@ -60,6 +63,7 @@ __all__ = [
     "Shuffle",
     "SimulationError",
     "all_schemes",
+    "compile_plan",
     "conflict_banks",
     "is_conflict_free",
     "module_assignment",

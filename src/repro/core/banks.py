@@ -112,6 +112,23 @@ class BankArray:
         self._check(banks, addrs)
         return self._data[port, banks, addrs]
 
+    def read_slots(self, port: int, slots) -> np.ndarray:
+        """Gather flat slot ids (``bank * bank_depth + addr``) from one
+        replica.  No bounds check: callers pass plan-validated slots
+        (a fitting access cannot produce an out-of-range id)."""
+        return self._data[port].reshape(-1)[slots]
+
+    def write_slots(self, slots, values) -> None:
+        """Broadcast-scatter *values* to flat slot ids on every replica.
+
+        Duplicate slot ids resolve to the value latest in flattened order
+        (NumPy fancy-assignment semantics) — batched callers rely on this
+        for last-write-wins.  No bounds check (see :meth:`read_slots`)."""
+        values = np.asarray(values, dtype=self.dtype)
+        flat = self._data.reshape(self.read_ports, -1)
+        for replica in range(self.read_ports):
+            flat[replica][slots] = values
+
     def fill(self, values: np.ndarray) -> None:
         """Bulk-load every replica with *values*, shaped ``(banks, depth)``."""
         values = np.asarray(values, dtype=self.dtype)

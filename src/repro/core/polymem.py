@@ -7,15 +7,25 @@ access through every port: up to one write plus one read per read port, all
 independent (paper §III-B: "one write access and one read access for each
 read port can happen independently at the same time").
 
-Two access paths exist:
+Three access paths exist:
 
 * the **architectural path** (:meth:`step`, :meth:`read`, :meth:`write`) —
-  routes data through explicit :class:`~repro.core.shuffle.Shuffle` objects
-  exactly as the hardware does, one access at a time;
+  one access at a time.  By default each access applies a compiled
+  :class:`~repro.core.plan.AccessPlan` (the anchor-invariant bank/address/
+  shuffle structure, cached per access family — the software analogue of
+  the fixed combinational logic of Fig. 3); setting ``use_plans = False``
+  re-derives everything per access and routes data through explicit
+  :class:`~repro.core.shuffle.Shuffle` objects, which is the reference
+  behaviour the planned path is property-tested against;
 * the **batch path** (:meth:`read_batch`, :meth:`write_batch`) — a
   vectorized fast path for simulation throughput that fancy-indexes the
   bank array directly; it is bit-identical to the architectural path
-  (property-tested) and counts cycles the same way.
+  (property-tested) and counts cycles the same way;
+* the **replay path** (:meth:`replay`) — executes a whole
+  :class:`~repro.core.plan.AccessTrace` (multi-port reads plus a write
+  stream, N cycles) as fancy-indexed NumPy operations, bit-identical to N
+  serial :meth:`step` calls including collision policies, statistics and
+  error behaviour.
 
 The naming convention for shuffles follows the implementation, not the
 paper's signal convention: our reordering signal is the lane→bank
@@ -37,6 +47,7 @@ from .banks import BankArray
 from .config import PolyMemConfig
 from .conflict import conflict_banks
 from .exceptions import (
+    AddressError,
     ConfigurationError,
     ConflictError,
     PatternError,
@@ -44,10 +55,11 @@ from .exceptions import (
     SimulationError,
 )
 from .patterns import PatternKind
+from .plan import AccessPlan, AccessTrace, compile_plan
 from .schemes import SCHEME_SPECS, flat_module_assignment
 from .shuffle import InverseShuffle, Shuffle
 
-__all__ = ["PolyMem", "AccessRequest", "PortStats"]
+__all__ = ["PolyMem", "AccessRequest", "AccessTrace", "PortStats"]
 
 
 @dataclass
@@ -76,6 +88,12 @@ class PolyMem:
 
     #: same-cycle read/write collision policies (Xilinx BRAM port semantics)
     COLLISION_POLICIES = ("read_first", "write_first", "forbid")
+
+    #: :meth:`replay` keeps two dense per-slot tables (cycle + value) when
+    #: the memory has at most this many bank slots *and* the trace writes
+    #: no slot twice; beyond it (or with repeated slots) it falls back to
+    #: the event-sort resolution
+    DENSE_SLOT_LIMIT = 1 << 21
 
     def __init__(self, config: PolyMemConfig, collision_policy: str = "read_first"):
         if collision_policy not in self.COLLISION_POLICIES:
@@ -106,6 +124,11 @@ class PolyMem:
         self._addr_shuffle = Shuffle(config.lanes)
         self._write_shuffle = Shuffle(config.lanes)
         self._read_shuffle = InverseShuffle(config.lanes)
+        #: apply compiled access plans (default); ``False`` re-derives the
+        #: bank/address/shuffle structure per access — the reference path
+        self.use_plans = True
+        self._plan_cache: dict[tuple[PatternKind, int], AccessPlan] = {}
+        self._lane_idx = np.arange(config.lanes)
         #: total cycles consumed by parallel accesses
         self.cycles = 0
         self.write_stats = PortStats()
@@ -156,13 +179,45 @@ class PolyMem:
                 banks=clashes,
             )
 
+    # -- compiled access plans -------------------------------------------------
+    def plan(self, kind: PatternKind, stride: int = 1) -> AccessPlan:
+        """The compiled :class:`AccessPlan` for one ``(shape, stride)``
+        family on this memory's geometry (instance-cached; the underlying
+        compilation is shared process-wide across same-geometry memories).
+        """
+        key = (PatternKind(kind), stride)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = compile_plan(
+                self.rows, self.cols, self.p, self.q, self.scheme, key[0], stride
+            )
+            self._plan_cache[key] = plan
+        return plan
+
     # -- architectural single-access path -------------------------------------
     def _expand(self, request: AccessRequest):
-        ii, jj = self.agu.expand(request)
-        self.check_access(request)
-        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
-        addrs = self.addressing(ii, jj)
-        return banks, addrs
+        """Expand one request into ``(banks, addrs, lane_of_bank)``.
+
+        ``lane_of_bank`` is the inverse lane→bank permutation used to
+        apply the address/write-data scatter as a gather; it is ``None``
+        on the unplanned path, signalling :meth:`step` to route through
+        the explicit :class:`Shuffle` objects instead.
+        """
+        if not self.use_plans:
+            ii, jj = self.agu.expand(request)
+            self.check_access(request)
+            banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
+            addrs = self.addressing(ii, jj)
+            return banks, addrs, None
+        plan = self.plan(request.kind, request.stride)
+        i, j = request.i, request.j
+        if not plan.fits(i, j):
+            raise AddressError(
+                f"access {request} exceeds the {self.rows}x{self.cols} space"
+            )
+        if not plan.conflict_free(i, j):
+            self.check_access(request)  # raises with the diagnostic message
+        return plan.banks(i, j), plan.addrs(i, j), plan.inverse_permutation(i, j)
 
     def step(
         self,
@@ -191,59 +246,66 @@ class PolyMem:
         if len(set(used_ports)) != len(used_ports):
             raise PortError("multiple reads issued to the same port in one cycle")
         # expand the write first so read/write collisions can be resolved
-        # per the configured BRAM port policy
-        write_slots = None
+        # per the configured BRAM port policy; the slot index is built only
+        # when a policy actually consults it (read_first never does)
+        w_banks = w_addrs = w_lob = None
+        w_slots_sorted = w_order = None
         write_by_lane = None
         if write is not None:
-            w_banks, w_addrs = self._expand(write[0])
-            write_slots = dict(
-                zip(
-                    (w_banks * self.banks.bank_depth + w_addrs).tolist(),
-                    range(self.lanes),
-                )
-            )
+            w_banks, w_addrs, w_lob = self._expand(write[0])
             write_by_lane = np.asarray(write[1])
+            if self.collision_policy != "read_first":
+                w_slots = (
+                    w_banks.astype(np.int64) * self.banks.bank_depth + w_addrs
+                )
+                w_order = np.argsort(w_slots)
+                w_slots_sorted = w_slots[w_order]
         results: dict[int, np.ndarray] = {}
         for port, request in reads:
             if not 0 <= port < self.read_ports:
                 raise PortError(
                     f"read port {port} out of range [0, {self.read_ports})"
                 )
-            banks, addrs = self._expand(request)
-            addr_by_bank = self._addr_shuffle(addrs, banks)
-            data_by_bank = self.banks.read(
-                port, np.arange(self.lanes), addr_by_bank
-            )
-            result = self._read_shuffle(data_by_bank, banks)
-            if write_slots is not None and self.collision_policy != "read_first":
-                slots = (banks * self.banks.bank_depth + addrs).tolist()
-                for lane, slot in enumerate(slots):
-                    w_lane = write_slots.get(slot)
-                    if w_lane is None:
-                        continue
+            banks, addrs, lob = self._expand(request)
+            if lob is None:
+                addr_by_bank = self._addr_shuffle(addrs, banks)
+                data_by_bank = self.banks.read(port, self._lane_idx, addr_by_bank)
+                result = self._read_shuffle(data_by_bank, banks)
+            else:
+                data_by_bank = self.banks.read(port, self._lane_idx, addrs[lob])
+                result = data_by_bank[banks]
+            if w_slots_sorted is not None:
+                slots = banks.astype(np.int64) * self.banks.bank_depth + addrs
+                pos = np.minimum(
+                    np.searchsorted(w_slots_sorted, slots), self.lanes - 1
+                )
+                hit = w_slots_sorted[pos] == slots
+                if hit.any():
                     if self.collision_policy == "forbid":
+                        lane = int(np.flatnonzero(hit)[0])
                         raise SimulationError(
                             f"same-cycle read/write collision on bank slot "
-                            f"{slot} (read {request}, write {write[0]})"
+                            f"{int(slots[lane])} (read {request}, "
+                            f"write {write[0]})"
                         )
                     result = result.copy()
-                    result[lane] = write_by_lane[w_lane]
+                    result[hit] = write_by_lane[w_order[pos[hit]]]
             results[port] = result
             self.read_stats[port].record(self.lanes)
         if write is not None:
-            request, values = write
-            values = np.asarray(values)
+            values = np.asarray(write[1])
             if values.shape != (self.lanes,):
                 raise PatternError(
                     f"write expects {self.lanes} lane values, got shape "
                     f"{values.shape}"
                 )
-            banks, addrs = self._expand(request)
-            addr_by_bank = self._addr_shuffle(addrs, banks)
-            data_by_bank = self._write_shuffle(values, banks)
-            self.banks.write(
-                np.arange(self.lanes), addr_by_bank, data_by_bank
-            )
+            if w_lob is None:
+                addr_by_bank = self._addr_shuffle(w_addrs, w_banks)
+                data_by_bank = self._write_shuffle(values, w_banks)
+            else:
+                addr_by_bank = w_addrs[w_lob]
+                data_by_bank = values[w_lob]
+            self.banks.write(self._lane_idx, addr_by_bank, data_by_bank)
             self.write_stats.record(self.lanes)
         self.cycles += 1
         return results
@@ -263,23 +325,39 @@ class PolyMem:
         self.step(write=(req, np.asarray(values)))
 
     # -- vectorized batch path -----------------------------------------------
+    def _batch_anchors(self, kind: PatternKind, anchors_i, anchors_j, stride: int):
+        """Normalize batch anchors and fetch the plan; bounds-checked."""
+        anchors_i = np.asarray(anchors_i, dtype=np.int64)
+        anchors_j = np.asarray(anchors_j, dtype=np.int64)
+        if anchors_i.shape != anchors_j.shape or anchors_i.ndim != 1:
+            raise PatternError("anchor arrays must be equal-length 1-D")
+        plan = self.plan(kind, stride)
+        if anchors_i.size and not plan.fits_mask(anchors_i, anchors_j).all():
+            raise AddressError(
+                f"batch of {PatternKind(kind)} accesses exceeds the "
+                f"{self.rows}x{self.cols} space"
+            )
+        return plan, anchors_i, anchors_j
+
     def _expand_batch(
         self, kind: PatternKind, anchors_i, anchors_j, check: bool, stride: int = 1
     ):
-        ii, jj = self.agu.expand_many(kind, anchors_i, anchors_j, stride)
-        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
-        if check:
-            sorted_banks = np.sort(banks, axis=1)
-            dup = (sorted_banks[:, 1:] == sorted_banks[:, :-1]).any(axis=1)
-            if dup.any():
-                bad = int(np.flatnonzero(dup)[0])
+        plan, anchors_i, anchors_j = self._batch_anchors(
+            kind, anchors_i, anchors_j, stride
+        )
+        if check and anchors_i.size:
+            ok = plan.ok_mask(anchors_i, anchors_j)
+            if not ok.all():
+                bad = int(np.flatnonzero(~ok)[0])
                 raise ConflictError(
                     f"batch access {bad} (anchor "
                     f"({anchors_i[bad]},{anchors_j[bad]})) is not conflict-free "
                     f"under {self.scheme}"
                 )
-        addrs = self.addressing(ii, jj)
-        return banks, addrs
+        return (
+            plan.banks_many(anchors_i, anchors_j),
+            plan.addrs_many(anchors_i, anchors_j),
+        )
 
     def access_slots(
         self, kind: PatternKind, anchors_i, anchors_j, stride: int = 1
@@ -294,10 +372,10 @@ class PolyMem:
         :meth:`write_batch`'s fancy-indexed assignment matches sequential
         issue order).
         """
-        ii, jj = self.agu.expand_many(kind, anchors_i, anchors_j, stride)
-        banks = flat_module_assignment(self.scheme, ii, jj, self.p, self.q)
-        addrs = self.addressing(ii, jj)
-        return banks * self.banks.bank_depth + addrs
+        plan, anchors_i, anchors_j = self._batch_anchors(
+            kind, anchors_i, anchors_j, stride
+        )
+        return plan.slots_many(anchors_i, anchors_j)
 
     def read_batch(
         self,
@@ -345,6 +423,172 @@ class PolyMem:
         self.cycles += n
         self.write_stats.accesses += n
         self.write_stats.elements += n * self.lanes
+
+    # -- whole-trace replay ----------------------------------------------------
+    def _expand_stream(self, stream):
+        """Expand one trace stream into ``(slots, valid)`` arrays.
+
+        ``slots`` holds flat ``bank * depth + address`` ids, ``(n, lanes)``;
+        ``valid[t]`` is True when cycle *t*'s access is in bounds and
+        conflict-free.  Slot rows are computed unconditionally (the residue
+        tables accept any anchor, producing garbage ids on invalid rows),
+        but are only *used* to touch memory when the whole trace is valid.
+        """
+        ai, aj = stream.anchors_i, stream.anchors_j
+        if stream.codes is None:
+            plan = self.plan(stream.kinds[0], stream.stride)
+            valid = plan.fits_mask(ai, aj) & plan.ok_mask(ai, aj)
+            return plan.slots_many(ai, aj), valid
+        n = stream.n
+        slots = np.empty((n, self.lanes), dtype=np.int64)
+        valid = np.empty(n, dtype=bool)
+        for code, kind in enumerate(stream.kinds):
+            m = stream.codes == code
+            mi, mj = ai[m], aj[m]
+            plan = self.plan(kind, stream.stride)
+            valid[m] = plan.fits_mask(mi, mj) & plan.ok_mask(mi, mj)
+            slots[m] = plan.slots_many(mi, mj)
+        return slots, valid
+
+    def replay(self, trace: AccessTrace) -> dict[int, np.ndarray]:
+        """Execute a whole :class:`AccessTrace` as vectorized operations.
+
+        Bit-identical to issuing the trace's ``n`` cycles through
+        :meth:`step` one at a time — same results, same memory state, same
+        cycle/port accounting, same collision-policy semantics (including
+        the exact error, partial statistics and partial memory state when a
+        cycle is invalid) — but executed as a handful of whole-trace
+        fancy-indexed NumPy operations.
+
+        Returns a dict mapping each read port to its ``(n, lanes)`` result
+        matrix (row *t* is what ``step`` cycle *t* would have returned).
+        """
+        n = trace.n
+        for port in trace.read_ports:
+            if not 0 <= port < self.read_ports:
+                raise PortError(
+                    f"read port {port} out of range [0, {self.read_ports})"
+                )
+        if n == 0:
+            return {
+                port: np.empty((0, self.lanes), dtype=self.banks.dtype)
+                for port in trace.read_ports
+            }
+        depth = self.banks.bank_depth
+        reads = {
+            port: self._expand_stream(stream)
+            for port, stream in trace._reads.items()
+        }
+        bad = np.zeros(n, dtype=bool)
+        for _, (_, valid) in reads.items():
+            bad |= ~valid
+        w_slots = w_values = None
+        if trace.has_write:
+            w_stream = trace._write
+            w_expanded, w_valid = self._expand_stream(w_stream)
+            bad |= ~w_valid
+            w_values = np.asarray(w_stream.values)
+            if w_values.shape[1] != self.lanes:
+                bad[0] = True  # step() raises the shape PatternError there
+            else:
+                w_slots = w_expanded
+        # Read/write resolution needs, per read element (slot, t), the
+        # latest write to that slot before (or at) cycle t.  Fast path:
+        # when no slot is written twice in the whole trace, a dense
+        # per-slot table answers that with two gathers — no sorting at
+        # all.  General path: order write events by key
+        # slot * (n + 1) + cycle (slot-major, then time; keys are unique
+        # because one valid cycle's write slots are distinct) and binary
+        # search for exact predecessors.
+        kw_sorted = w_order = last_t = last_val = None
+        if w_slots is not None:
+            t_col = np.arange(n, dtype=np.int64)[:, None]
+            flat_w = w_slots.ravel()
+            total_slots = self.lanes * depth
+            # invalid cycles expand to out-of-range slot ids the dense
+            # tables cannot index; the event keys tolerate them, so traces
+            # headed for the serial error fallback take the event path
+            if total_slots <= self.DENSE_SLOT_LIMIT and not bad.any():
+                # sentinel n ("written later than every cycle") instead of
+                # -1 keeps the fold to a single comparison per element;
+                # int32 halves the table the fold gathers from
+                last_t = np.full(total_slots, n, dtype=np.int32)
+                last_t[w_slots] = t_col
+                if int(np.count_nonzero(last_t != n)) == flat_w.size:
+                    last_val = np.empty(total_slots, dtype=self.banks.dtype)
+                    last_val[w_slots] = w_values
+                else:
+                    last_t = None  # a slot is written twice: event path
+            if last_t is None:
+                kw = (w_slots * (n + 1) + t_col).ravel()
+                w_order = np.argsort(kw)
+                kw_sorted = kw[w_order]
+            if self.collision_policy == "forbid" and not bad.all():
+                for port, (r_slots, _) in reads.items():
+                    if last_t is not None:
+                        hit = last_t[r_slots] == t_col
+                    else:
+                        kr = r_slots * (n + 1) + t_col
+                        pos = np.searchsorted(kw_sorted, kr.ravel())
+                        pos = np.minimum(pos, kw_sorted.size - 1)
+                        hit = (kw_sorted[pos] == kr.ravel()).reshape(
+                            n, self.lanes
+                        )
+                    bad |= hit.any(axis=1)
+        if bad.any():
+            # replay the valid prefix, then re-issue the first bad cycle
+            # serially: step() raises the exact error with the exact
+            # partial statistics and memory state
+            t_star = int(np.flatnonzero(bad)[0])
+            self.replay(trace.prefix(t_star))
+            step_reads, step_write = trace.cycle_args(t_star)
+            self.step(reads=step_reads, write=step_write)
+            raise SimulationError(
+                f"replay flagged cycle {t_star} but serial step succeeded"
+            )  # pragma: no cover - detection is property-tested against step
+        results: dict[int, np.ndarray] = {}
+        for port, (r_slots, _) in reads.items():
+            # pre-trace state; same-trace writes are folded in below.
+            # a read at cycle t observes writes with cycle < t
+            # (read-before-write port semantics); under write_first the
+            # same cycle's write is forwarded too, hence <= t
+            result = self.banks.read_slots(port, r_slots)
+            if w_slots is not None:
+                if last_t is not None:
+                    wt = last_t[r_slots]
+                    if self.collision_policy == "write_first":
+                        hit = wt <= t_col
+                    else:
+                        hit = wt < t_col
+                    if hit.any():
+                        result[hit] = last_val[r_slots[hit]]
+                else:
+                    bound = (
+                        t_col + 1
+                        if self.collision_policy == "write_first"
+                        else t_col
+                    )
+                    kr = (r_slots * (n + 1) + bound).ravel()
+                    pos = np.searchsorted(kw_sorted, kr, side="left") - 1
+                    clipped = np.maximum(pos, 0)
+                    hit = (pos >= 0) & (
+                        kw_sorted[clipped] // (n + 1) == r_slots.ravel()
+                    )
+                    if hit.any():
+                        flat = result.reshape(-1)
+                        flat[hit] = w_values.ravel()[w_order[clipped[hit]]]
+            results[port] = result
+            self.read_stats[port].accesses += n
+            self.read_stats[port].elements += n * self.lanes
+        if w_slots is not None:
+            # flattened fancy assignment applies events in cycle order, so
+            # duplicate slots resolve to the latest write — last-write-wins
+            # without any sort
+            self.banks.write_slots(flat_w, w_values.ravel())
+            self.write_stats.accesses += n
+            self.write_stats.elements += n * self.lanes
+        self.cycles += n
+        return results
 
     # -- partial (masked) accesses ---------------------------------------------
     def _expand_partial(self, kind: PatternKind, i: int, j: int, count: int):
@@ -451,6 +695,7 @@ class PolyMem:
         contents = self.dump()
         self.scheme = new_scheme
         self.config = self.config.with_(scheme=new_scheme)
+        self._plan_cache.clear()  # plans are scheme-specific
         self.load(contents)
         blocks = (self.rows // self.p) * (self.cols // self.q)
         self.cycles += blocks

@@ -68,6 +68,35 @@ class Region:
         anchors_j = np.asarray(anchors_j) + self.origin_j
         return self.memory.read_batch(kind, anchors_i, anchors_j, port)
 
+    # -- block tiling -------------------------------------------------------
+    def anchor_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Absolute anchors of the ``p x q`` tiles covering the region,
+        row-major — the anchor arrays an :class:`AccessTrace` streams."""
+        p, q = self.memory.p, self.memory.q
+        bi = np.arange(0, self.rows, p)
+        bj = np.arange(0, self.cols, q)
+        gi, gj = np.meshgrid(bi, bj, indexing="ij")
+        return gi.ravel() + self.origin_i, gj.ravel() + self.origin_j
+
+    def to_blocks(self, matrix: np.ndarray) -> np.ndarray:
+        """Region-shaped matrix -> ``(tiles, p*q)`` lane-ordered blocks
+        matching :meth:`anchor_grid` order."""
+        p, q = self.memory.p, self.memory.q
+        return (
+            matrix.reshape(self.rows // p, p, self.cols // q, q)
+            .swapaxes(1, 2)
+            .reshape(-1, p * q)
+        )
+
+    def from_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_blocks`."""
+        p, q = self.memory.p, self.memory.q
+        return (
+            blocks.reshape(self.rows // p, self.cols // q, p, q)
+            .swapaxes(1, 2)
+            .reshape(self.rows, self.cols)
+        )
+
     # -- bulk host transfers ------------------------------------------------
     def store(self, matrix: np.ndarray) -> None:
         """Fill the whole region from a host matrix (block-aligned writes)."""
@@ -76,37 +105,22 @@ class Region:
             raise PatternError(
                 f"region {self.name!r} expects {self.shape}, got {matrix.shape}"
             )
-        p, q = self.memory.p, self.memory.q
-        bi = np.arange(0, self.rows, p)
-        bj = np.arange(0, self.cols, q)
-        gi, gj = np.meshgrid(bi, bj, indexing="ij")
-        anchors_i = gi.ravel() + self.origin_i
-        anchors_j = gj.ravel() + self.origin_j
-        blocks = (
-            matrix.reshape(self.rows // p, p, self.cols // q, q)
-            .swapaxes(1, 2)
-            .reshape(-1, p * q)
-        )
+        anchors_i, anchors_j = self.anchor_grid()
         self.memory.write_batch(
-            PatternKind.RECTANGLE, anchors_i, anchors_j, blocks, check=False
+            PatternKind.RECTANGLE,
+            anchors_i,
+            anchors_j,
+            self.to_blocks(matrix),
+            check=False,
         )
 
     def load(self) -> np.ndarray:
         """Read the whole region back into a host matrix."""
-        p, q = self.memory.p, self.memory.q
-        bi = np.arange(0, self.rows, p)
-        bj = np.arange(0, self.cols, q)
-        gi, gj = np.meshgrid(bi, bj, indexing="ij")
-        blocks = self.memory.read_batch(
-            PatternKind.RECTANGLE,
-            gi.ravel() + self.origin_i,
-            gj.ravel() + self.origin_j,
-            check=False,
-        )
-        return (
-            blocks.reshape(self.rows // p, self.cols // q, p, q)
-            .swapaxes(1, 2)
-            .reshape(self.rows, self.cols)
+        anchors_i, anchors_j = self.anchor_grid()
+        return self.from_blocks(
+            self.memory.read_batch(
+                PatternKind.RECTANGLE, anchors_i, anchors_j, check=False
+            )
         )
 
 

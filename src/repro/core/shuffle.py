@@ -167,6 +167,7 @@ class BenesNetwork(Shuffle):
         if lanes & (lanes - 1):
             raise PatternError(f"Benes network requires power-of-two lanes, got {lanes}")
         self.width_bits = width_bits
+        self._route_cache: dict[bytes, list[np.ndarray]] = {}
 
     # -- routing ---------------------------------------------------------
     def route(self, perm: np.ndarray) -> list[np.ndarray]:
@@ -177,9 +178,21 @@ class BenesNetwork(Shuffle):
         The result has ``2*log2(n) - 1`` stages (a single 1-switch stage
         when n == 2).  Routing uses the looping algorithm expressed as a
         2-coloring of the input/output switch constraint graph.
+
+        Settings are memoized per permutation — the steady-state traffic of
+        a PRF repeats the same few reordering signals every cycle, so after
+        warm-up a route is one dict probe (the hardware analogue: the
+        switch-control signals are a pure function of the already-computed
+        bank assignment).
         """
         perm = permutation_from_banks(np.asarray(perm))
-        return self._route_two_coloring(perm.tolist())
+        key = np.ascontiguousarray(perm, dtype=np.int64).tobytes()
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = self._route_two_coloring(perm.tolist())
+            self._route_cache[key] = cached
+        # stage arrays are shared; callers treat them as read-only settings
+        return list(cached)
 
     def _route_two_coloring(self, perm: list[int]) -> list[np.ndarray]:
         """Route by 2-coloring the constraint graph between input and output

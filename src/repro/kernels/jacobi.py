@@ -19,6 +19,7 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
+from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
 from .base import CycleScope, KernelReport
@@ -73,38 +74,44 @@ def jacobi_solve(
     pm.reset_stats()
     per_row = cols // lanes
     strip_j = np.arange(per_row) * lanes
+    interior = np.arange(1, rows - 1, dtype=np.int64)
+    # every interior row's strips, row-major: (rows-2) * per_row anchors
+    row_ai = np.repeat(interior, per_row)
+    row_aj = np.tile(strip_j, interior.size)
 
     with CycleScope(pm, "jacobi") as scope:
         for _ in range(iterations):
-            new_rows = {}
-            for i in range(1, rows - 1):
-                north = _floats(
-                    pm.read_batch(PatternKind.ROW, np.full(per_row, i - 1), strip_j)
-                ).ravel()
-                south = _floats(
-                    pm.read_batch(PatternKind.ROW, np.full(per_row, i + 1), strip_j)
-                ).ravel()
-                center = _floats(
-                    pm.read_batch(PatternKind.ROW, np.full(per_row, i), strip_j)
-                ).ravel()
-                west = np.empty(cols)
-                east = np.empty(cols)
-                west[1:] = center[:-1]
-                west[0] = center[0]  # boundary column stays fixed anyway
-                east[:-1] = center[1:]
-                east[-1] = center[-1]
-                updated = center.copy()
-                updated[1:-1] = 0.25 * (
-                    north[1:-1] + south[1:-1] + west[1:-1] + east[1:-1]
-                )
-                new_rows[i] = updated
-            # write the sweep back (Jacobi: updates use the old grid only)
-            for i, updated in new_rows.items():
-                pm.write_batch(
+            # all of a sweep's neighbour fetches in one replayed trace:
+            # north, south and center strips for every interior row
+            fetched = pm.replay(
+                AccessTrace().read(
                     PatternKind.ROW,
-                    np.full(per_row, i),
-                    strip_j,
-                    _bits(updated).reshape(per_row, lanes),
+                    np.concatenate([row_ai - 1, row_ai + 1, row_ai]),
+                    np.concatenate([row_aj, row_aj, row_aj]),
                 )
+            )[0]
+            north, south, center = (
+                _floats(part.ravel()).reshape(interior.size, cols)
+                for part in np.split(fetched, 3)
+            )
+            west = np.empty_like(center)
+            east = np.empty_like(center)
+            west[:, 1:] = center[:, :-1]
+            west[:, 0] = center[:, 0]  # boundary column stays fixed anyway
+            east[:, :-1] = center[:, 1:]
+            east[:, -1] = center[:, -1]
+            updated = center.copy()
+            updated[:, 1:-1] = 0.25 * (
+                north[:, 1:-1] + south[:, 1:-1] + west[:, 1:-1] + east[:, 1:-1]
+            )
+            # write the sweep back (Jacobi: updates use the old grid only)
+            pm.replay(
+                AccessTrace().write(
+                    PatternKind.ROW,
+                    row_ai,
+                    row_aj,
+                    _bits(updated.ravel()).reshape(-1, lanes),
+                )
+            )
     result = _floats(pm.dump().ravel()).reshape(rows, cols)
     return result, scope.report(result_elements=rows * cols)

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.config import PolyMemConfig
 from ..core.patterns import PatternKind
+from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.regions import RegionMap
 from ..core.schemes import Scheme
@@ -70,24 +71,28 @@ def matmul(
     rb.store(np.pad(b, ((0, rb.rows - k), (0, rb.cols - m))))
     pm.reset_stats()
 
-    c = np.zeros((n, m), dtype=np.uint64)
+    kb = np.arange(0, k, lanes, dtype=np.int64)
+    nb = kb.size
     with CycleScope(pm, "matmul") as scope:
-        for i in range(n):
-            # fetch row i of A in k/lanes parallel accesses
-            row = np.concatenate(
-                [
-                    ra.read(PatternKind.ROW, i, kb)
-                    for kb in range(0, k, lanes)
-                ]
-            )
-            for j in range(m):
-                col = np.concatenate(
-                    [
-                        rb.read(PatternKind.COLUMN, kb, j)
-                        for kb in range(0, k, lanes)
-                    ]
-                )
-                c[i, j] = np.dot(row, col)
+        # row i of A: k/lanes ROW accesses anchored at (i, kb) — emitted as
+        # one anchor array and replayed in a single trace
+        row_ai = np.repeat(np.arange(n, dtype=np.int64), nb) + ra.origin_i
+        row_aj = np.tile(kb, n) + ra.origin_j
+        a_rows = pm.replay(
+            AccessTrace().read(PatternKind.ROW, row_ai, row_aj)
+        )[0].reshape(n, k)
+        # columns of B are refetched for every output row, exactly like the
+        # serial inner loop: n * m * (k/lanes) COLUMN accesses
+        col_ai = np.tile(kb, n * m) + rb.origin_i
+        col_aj = (
+            np.tile(np.repeat(np.arange(m, dtype=np.int64), nb), n)
+            + rb.origin_j
+        )
+        b_cols = pm.replay(
+            AccessTrace().read(PatternKind.COLUMN, col_ai, col_aj)
+        )[0].reshape(n, m, k)
+        # uint64 einsum wraps mod 2**64 like the per-(i,j) np.dot did
+        c = np.einsum("ik,imk->im", a_rows, b_cols)
     report = scope.report(result_elements=n * m)
     return c, report
 

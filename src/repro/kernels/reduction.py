@@ -14,6 +14,7 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
+from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
 from .base import CycleScope, KernelReport
@@ -46,7 +47,9 @@ def reduce_rows(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
     anchors_i = np.repeat(np.arange(pm.rows), per_row)
     anchors_j = np.tile(np.arange(per_row) * lanes, pm.rows)
     with CycleScope(pm, "reduce_rows") as scope:
-        strips = pm.read_batch(PatternKind.ROW, anchors_i, anchors_j)
+        strips = pm.replay(
+            AccessTrace().read(PatternKind.ROW, anchors_i, anchors_j)
+        )[0]
         sums = strips.reshape(pm.rows, per_row * lanes).sum(axis=1)
     return sums, scope.report(result_elements=pm.rows)
 
@@ -58,6 +61,8 @@ def reduce_columns(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
     anchors_j = np.repeat(np.arange(pm.cols), per_col)
     anchors_i = np.tile(np.arange(per_col) * lanes, pm.cols)
     with CycleScope(pm, "reduce_columns") as scope:
-        strips = pm.read_batch(PatternKind.COLUMN, anchors_i, anchors_j)
+        strips = pm.replay(
+            AccessTrace().read(PatternKind.COLUMN, anchors_i, anchors_j)
+        )[0]
         sums = strips.reshape(pm.cols, per_col * lanes).sum(axis=1)
     return sums, scope.report(result_elements=pm.cols)

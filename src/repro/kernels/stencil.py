@@ -15,6 +15,7 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
+from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
 from .base import CycleScope, KernelReport
@@ -68,34 +69,46 @@ def stencil_sweep(
     bj = np.arange(0, cols, q)
     gi, gj = np.meshgrid(bi, bj, indexing="ij")
     base_i, base_j = gi.ravel(), gj.ravel()
+    taps = [
+        (di, dj, int(weights[di + r, dj + r]))
+        for di in range(-r, r + 1)
+        for dj in range(-r, r + 1)
+        if int(weights[di + r, dj + r]) != 0
+    ]
+    nt = base_i.size
     with CycleScope(pm, "stencil") as scope:
-        for di in range(-r, r + 1):
-            for dj in range(-r, r + 1):
-                w = int(weights[di + r, dj + r])
-                if w == 0:
-                    continue
-                # the desired window may poke outside the image; fetch the
-                # nearest in-bounds rectangle and extract the overlap (the
-                # outside cells contribute zero — the padding)
+        if taps:
+            # the desired windows may poke outside the image; fetch the
+            # nearest in-bounds rectangles — all taps in one replayed trace
+            # — and extract the overlaps (outside cells contribute zero)
+            ai_all = np.concatenate(
+                [np.clip(base_i + di, 0, rows - p) for di, _, _ in taps]
+            )
+            aj_all = np.concatenate(
+                [np.clip(base_j + dj, 0, cols - q) for _, dj, _ in taps]
+            )
+            tiles = pm.replay(
+                AccessTrace().read(PatternKind.RECTANGLE, ai_all, aj_all)
+            )[0]
+            tiles = tiles.reshape(len(taps), nt, p, q).astype(np.int64)
+            acc4 = acc.reshape(rows // p, p, cols // q, q)
+            a_off = np.arange(p)
+            b_off = np.arange(q)
+            t_idx = np.arange(nt)[:, None, None]
+            for tap, (di, dj, w) in enumerate(taps):
                 ai = np.clip(base_i + di, 0, rows - p)
                 aj = np.clip(base_j + dj, 0, cols - q)
-                tiles = pm.read_batch(PatternKind.RECTANGLE, ai, aj)
-                for t in range(base_i.size):
-                    ti, tj = int(base_i[t]), int(base_j[t])
-                    block = tiles[t].reshape(p, q).astype(np.int64)
-                    window = np.zeros((p, q), dtype=np.int64)
-                    for a in range(p):
-                        gi_abs = ti + di + a
-                        if not 0 <= gi_abs < rows:
-                            continue
-                        for b in range(q):
-                            gj_abs = tj + dj + b
-                            if not 0 <= gj_abs < cols:
-                                continue
-                            window[a, b] = block[
-                                gi_abs - int(ai[t]), gj_abs - int(aj[t])
-                            ]
-                    acc[ti : ti + p, tj : tj + q] += w * window
+                gi_abs = base_i[:, None] + di + a_off[None, :]
+                gj_abs = base_j[:, None] + dj + b_off[None, :]
+                in_i = (gi_abs >= 0) & (gi_abs < rows)
+                in_j = (gj_abs >= 0) & (gj_abs < cols)
+                idx_i = np.clip(gi_abs - ai[:, None], 0, p - 1)
+                idx_j = np.clip(gj_abs - aj[:, None], 0, q - 1)
+                window = tiles[tap][t_idx, idx_i[:, :, None], idx_j[:, None, :]]
+                window = np.where(in_i[:, :, None] & in_j[:, None, :], window, 0)
+                acc4 += w * window.reshape(
+                    rows // p, cols // q, p, q
+                ).swapaxes(1, 2)
     return acc, scope.report(result_elements=rows * cols)
 
 

@@ -13,6 +13,7 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
+from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
 from .base import CycleScope, KernelReport
@@ -51,13 +52,17 @@ def transpose(
     gi, gj = np.meshgrid(bi, bj, indexing="ij")
     anchors_i, anchors_j = gi.ravel(), gj.ravel()
     with CycleScope(src, "transpose", dst) as scope:
-        tiles = src.read_batch(PatternKind.RECTANGLE, anchors_i, anchors_j)
+        tiles = src.replay(
+            AccessTrace().read(PatternKind.RECTANGLE, anchors_i, anchors_j)
+        )[0]
         # transpose each p x q tile into q x p lane order
         tiles_t = (
             tiles.reshape(-1, p, q).transpose(0, 2, 1).reshape(-1, p * q)
         )
-        dst.write_batch(
-            PatternKind.TRANSPOSED_RECTANGLE, anchors_j, anchors_i, tiles_t
+        dst.replay(
+            AccessTrace().write(
+                PatternKind.TRANSPOSED_RECTANGLE, anchors_j, anchors_i, tiles_t
+            )
         )
     out = dst.dump()
     return out, scope.report(result_elements=rows * cols)

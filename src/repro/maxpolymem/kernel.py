@@ -335,16 +335,24 @@ class FusedPolyMemKernel(Kernel):
         )
 
     def _validate_chunk(self, n: int) -> bool:
-        """Prove slot disjointness for the chunk's accesses."""
+        """Prove slot disjointness for the chunk's accesses.
+
+        Slot ids come from the compiled access plans (one table gather per
+        claim), and the disjointness test is one sort of the write slots
+        plus a searchsorted probe per read claim — no set construction.
+        """
         if self._wr_claim is None:
             return True
         kind, ai, aj = self._wr_claim.anchors(n)
-        wr_slots = self.memory.access_slots(kind, ai, aj).ravel()
-        if np.unique(wr_slots).size != wr_slots.size:
+        wr_slots = np.sort(self.memory.access_slots(kind, ai, aj).ravel())
+        if (wr_slots[1:] == wr_slots[:-1]).any():
             return False  # overlapping writes: sequential semantics differ
         for claim in self._rd_claims.values():
             kind, ai, aj = claim.anchors(n)
             rd_slots = self.memory.access_slots(kind, ai, aj).ravel()
-            if np.intersect1d(rd_slots, wr_slots).size:
+            pos = np.minimum(
+                np.searchsorted(wr_slots, rd_slots), wr_slots.size - 1
+            )
+            if (wr_slots[pos] == rd_slots).any():
                 return False  # a read would observe an in-chunk write
         return True

@@ -32,7 +32,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.exceptions import PatternError, PortError
-from .registers import RegisterFile, VectorRegister
+from ..core.patterns import PatternKind
+from ..core.plan import AccessTrace
+from .registers import RegisterFile, VectorRegister, _bits, _floats
 
 __all__ = ["ExecutionStats", "PrfMachine"]
 
@@ -83,11 +85,61 @@ class PrfMachine:
                 f"shape mismatch: {[f'{r.name}{r.shape}' for r in regs]}"
             )
 
+    def _load_operands(self, *regs: VectorRegister) -> list[np.ndarray]:
+        """Stream operand registers out of the PRF as replayed traces.
+
+        With enough physical read ports (and equal-length streams) every
+        operand gets its own port in a *single* trace — the concurrent
+        dual-port streaming the cycle model charges for; otherwise the
+        operands stream sequentially on port 0.
+        """
+        mem = self.rf.memory
+        grids = [r.region.anchor_grid() for r in regs]
+        ports = min(self.read_ports, mem.read_ports)
+        lengths = {ai.size for ai, _ in grids}
+        if len(regs) > 1 and ports >= len(regs) and len(lengths) == 1:
+            trace = AccessTrace()
+            for port, (ai, aj) in enumerate(grids):
+                trace.read(PatternKind.RECTANGLE, ai, aj, port=port)
+            results = mem.replay(trace)
+            blocks = [results[port] for port in range(len(regs))]
+        else:
+            blocks = [
+                mem.replay(AccessTrace().read(PatternKind.RECTANGLE, ai, aj))[0]
+                for ai, aj in grids
+            ]
+        out = []
+        for reg, blk in zip(regs, blocks):
+            frame = reg.region.from_blocks(blk)
+            out.append(
+                _floats(frame[: reg.rows, : reg.cols].ravel()).reshape(reg.shape)
+            )
+        return out
+
+    def _store_result(self, reg: VectorRegister, values: np.ndarray) -> None:
+        """Stream a result into *reg* as one replayed write trace."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != reg.shape:
+            raise PatternError(
+                f"register {reg.name!r} expects {reg.shape}, got {values.shape}"
+            )
+        frame = np.zeros(reg.region.shape, dtype=np.uint64)
+        frame[: reg.rows, : reg.cols] = _bits(values).reshape(reg.shape)
+        anchors_i, anchors_j = reg.region.anchor_grid()
+        self.rf.memory.replay(
+            AccessTrace().write(
+                PatternKind.RECTANGLE,
+                anchors_i,
+                anchors_j,
+                reg.region.to_blocks(frame),
+            )
+        )
+
     def _binary(self, mnemonic, dst, a, b, fn) -> None:
         ra, rb, rd = self._reg(a), self._reg(b), self._reg(dst)
         self._check_same_shape(ra, rb, rd)
-        result = fn(ra.load(), rb.load())
-        rd.store(result)
+        va, vb = self._load_operands(ra, rb)
+        self._store_result(rd, fn(va, vb))
         self.stats.record(
             mnemonic, self._stream_cycles(rd.elements, 2), rd.elements
         )
@@ -95,7 +147,8 @@ class PrfMachine:
     def _unary(self, mnemonic, dst, a, fn) -> None:
         ra, rd = self._reg(a), self._reg(dst)
         self._check_same_shape(ra, rd)
-        rd.store(fn(ra.load()))
+        (va,) = self._load_operands(ra)
+        self._store_result(rd, fn(va))
         self.stats.record(
             mnemonic, self._stream_cycles(rd.elements, 1), rd.elements
         )
@@ -129,7 +182,8 @@ class PrfMachine:
         """sum(Ra * Rb) — streams both operands, then a lane-tree reduce."""
         ra, rb = self._reg(a), self._reg(b)
         self._check_same_shape(ra, rb)
-        value = float(np.dot(ra.load().ravel(), rb.load().ravel()))
+        va, vb = self._load_operands(ra, rb)
+        value = float(np.dot(va.ravel(), vb.ravel()))
         cycles = self._stream_cycles(ra.elements, 2) + self._reduce_tail()
         self.stats.record("vdot", cycles, ra.elements)
         return value
@@ -137,7 +191,8 @@ class PrfMachine:
     def vsum(self, a: str) -> float:
         """sum(Ra)."""
         ra = self._reg(a)
-        value = float(ra.load().sum())
+        (va,) = self._load_operands(ra)
+        value = float(va.sum())
         cycles = self._stream_cycles(ra.elements, 1) + self._reduce_tail()
         self.stats.record("vsum", cycles, ra.elements)
         return value
@@ -163,8 +218,9 @@ class PrfMachine:
                 f"vmv: destination {dst} holds {rd.elements} elements, "
                 f"needs {m}"
             )
-        result = rm.load() @ rv.load().ravel()
-        rd.store(result.reshape(rd.shape))
+        vm, vv = self._load_operands(rm, rv)
+        result = vm @ vv.ravel()
+        self._store_result(rd, result.reshape(rd.shape))
         row_vectors = -(-n // self.rf.lanes)
         cycles = row_vectors + m * (row_vectors + self._reduce_tail())
         self.stats.record("vmv", cycles, (m + 1) * n)

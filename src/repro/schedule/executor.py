@@ -18,7 +18,8 @@ import numpy as np
 
 from ..core.config import PolyMemConfig
 from ..core.exceptions import ScheduleError
-from ..core.patterns import AccessPattern
+from ..core.patterns import pattern_offsets
+from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from .customize import Schedule
 from .trace import ApplicationTrace
@@ -81,13 +82,24 @@ def execute_schedule(
     pm, fill = memory_for_trace(trace, schedule)
     fetched: set[tuple[int, int]] = set()
     data_ok = True
-    for access in schedule.accesses:
-        values = pm.read(access.kind, access.i, access.j)
-        pat = AccessPattern(access.kind, schedule.p, schedule.q)
-        ii, jj = pat.coordinates(access.i, access.j)
-        if not np.array_equal(values, fill[ii, jj]):
-            data_ok = False
-        fetched.update(zip(ii.tolist(), jj.tolist()))
+    accesses = schedule.accesses
+    if accesses:
+        # one replay for the whole schedule: the heterogeneous per-cycle
+        # kind sequence keeps it a single trace even when the schedule
+        # mixes access shapes
+        n = len(accesses)
+        kinds = [a.kind for a in accesses]
+        ai = np.fromiter((a.i for a in accesses), dtype=np.int64, count=n)
+        aj = np.fromiter((a.j for a in accesses), dtype=np.int64, count=n)
+        results = pm.replay(AccessTrace().read(kinds, ai, aj))[0]
+        for kind in dict.fromkeys(kinds):
+            m = np.fromiter((k == kind for k in kinds), dtype=bool, count=n)
+            di, dj = pattern_offsets(kind, schedule.p, schedule.q)
+            ii = ai[m][:, None] + di
+            jj = aj[m][:, None] + dj
+            if not np.array_equal(results[m], fill[ii, jj]):
+                data_ok = False
+            fetched.update(zip(ii.ravel().tolist(), jj.ravel().tolist()))
     return ExecutionResult(
         schedule=schedule,
         cycles=pm.cycles,

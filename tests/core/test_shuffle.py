@@ -150,3 +150,17 @@ class TestBenesNetwork:
         banks = np.stack([rng.permutation(4) for _ in range(3)])
         vals = rng.integers(0, 100, (3, 4))
         assert (bn(vals, banks) == Shuffle(4)(vals, banks)).all()
+
+    def test_route_memoized_per_permutation(self, rng):
+        """Repeat routes hit the per-permutation cache and stay correct."""
+        bn = BenesNetwork(8)
+        perm = rng.permutation(8)
+        first = bn.route(perm)
+        assert len(bn._route_cache) == 1
+        second = bn.route(perm.copy())  # different array, same bytes key
+        assert len(bn._route_cache) == 1
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+        v = rng.integers(0, 100, 8)
+        assert (bn.apply_route(v, second) == Shuffle(8)(v, perm)).all()
+        bn.route(rng.permutation(8))
+        assert len(bn._route_cache) == 2
