@@ -11,7 +11,6 @@ lane counts and times both realizations' routing.
 import io
 
 import numpy as np
-import pytest
 from _util import save_report
 
 from repro.core.shuffle import BenesNetwork, FullCrossbar, Shuffle

@@ -9,7 +9,6 @@ they are behaviourally identical, and times each style's simulation.
 import io
 
 import numpy as np
-import pytest
 from _util import save_report
 
 from repro.core.agu import AccessRequest

@@ -10,7 +10,6 @@ schemes buy (extra conflict-free patterns, serialization avoided).
 
 import io
 
-import pytest
 from _util import dse_result, save_report
 
 from repro.core.conflict import ConflictAnalyzer

@@ -9,7 +9,6 @@ claims (speedup in (1, 2], growing with compute intensity).
 import io
 
 import numpy as np
-import pytest
 from _util import save_report
 
 from repro.core.config import PolyMemConfig

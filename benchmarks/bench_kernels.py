@@ -9,7 +9,6 @@ PRF lineage papers report, on this reproduction's kernel library.
 import io
 
 import numpy as np
-import pytest
 from _util import save_report
 
 from repro.kernels import (

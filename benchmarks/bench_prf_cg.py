@@ -12,7 +12,6 @@ import sys
 from pathlib import Path
 
 import numpy as np
-import pytest
 from _util import save_report
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))

@@ -7,7 +7,6 @@ solver dominates the greedy baseline, and benchmarks both solvers.
 
 import io
 
-import pytest
 from _util import save_report
 
 from repro.core.schemes import Scheme

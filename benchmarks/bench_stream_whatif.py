@@ -9,7 +9,6 @@ bandwidth table.
 
 import io
 
-import pytest
 from _util import save_report
 
 from repro.core.config import PolyMemConfig

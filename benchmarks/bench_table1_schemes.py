@@ -10,7 +10,7 @@ import io
 from _util import save_report
 
 from repro.core.conflict import ConflictAnalyzer
-from repro.core.patterns import PatternKind, kinds_in_table_order
+from repro.core.patterns import PatternKind
 from repro.core.schemes import Scheme
 
 #: Table I of the paper, transcribed: scheme -> supported patterns

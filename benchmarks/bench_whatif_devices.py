@@ -7,7 +7,6 @@ the feasibility frontier and the headline "largest instantiable PolyMem"
 
 import io
 
-import pytest
 from _util import save_report
 
 from repro.dse.whatif import feasibility_frontier, max_capacity_kb

@@ -9,7 +9,6 @@ with the §IV-A unique-value read/write cycle.
 Run:  python examples/dse_explore.py
 """
 
-from repro.core.schemes import Scheme
 from repro.dse import (
     DesignSpace,
     explore,

@@ -12,7 +12,7 @@ Run:  python examples/matrix_transpose.py
 
 import numpy as np
 
-from repro import KB, PatternKind, PolyMem, PolyMemConfig, Scheme
+from repro import PatternKind, PolyMem, PolyMemConfig, Scheme
 from repro.core.conflict import serialization_factor
 
 

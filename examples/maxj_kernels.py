@@ -10,7 +10,6 @@ through the cycle-accurate simulator.
 Run:  python examples/maxj_kernels.py
 """
 
-import numpy as np
 
 from repro.maxeler import DFE, Manager, SinkKernel, SourceKernel
 from repro.maxj import FLOAT64, INT64, KernelGraph, compile_graph

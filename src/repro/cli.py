@@ -377,6 +377,99 @@ def cmd_schedule(args) -> int:
     return 0
 
 
+def _describe_op(op) -> str:
+    from .program import Barrier, Compute, ParallelRead, ParallelWrite
+
+    if isinstance(op, ParallelRead):
+        flags = " fuse" if op.fuse else ""
+        return (
+            f"read   port={op.port} {op.kind_label()} x{op.n} "
+            f"stride={op.stride} mem={op.mem!r} tag={op.tag!r}{flags}"
+        )
+    if isinstance(op, ParallelWrite):
+        values = "deferred" if callable(op.values) else (
+            "none" if op.values is None else "inline"
+        )
+        flags = " fuse" if op.fuse else ""
+        return (
+            f"write  {op.kind_label()} x{op.n} stride={op.stride} "
+            f"mem={op.mem!r} values={values}{flags}"
+        )
+    if isinstance(op, Compute):
+        return f"compute {op.label!r}"
+    if isinstance(op, Barrier):
+        return f"barrier {op.label!r}"
+    return repr(op)
+
+
+def cmd_program_dump(args) -> int:
+    from .program import compile_program
+    from .program.lower import lower_demo
+
+    program, mems = lower_demo(args.kernel)
+    compiled = compile_program(program)
+    if args.json_out is not None:
+        import json
+
+        doc = {
+            "program": program.name,
+            "metadata": dict(program.metadata),
+            "memories": list(compiled.mems),
+            "access_cycles": compiled.access_cycles,
+            "ops": [_describe_op(op) for op in program.ops],
+            "segments": [
+                {
+                    "index": seg.index,
+                    "boundary": getattr(seg.boundary, "label", None),
+                    "traces": [
+                        {
+                            "mem": step.mem,
+                            "cycles": step.n,
+                            "read_ports": list(step.reads),
+                            "has_write": step.write is not None,
+                        }
+                        for step in seg.steps
+                    ],
+                }
+                for seg in compiled.segments
+            ],
+        }
+        text = json.dumps(doc, indent=2, default=str)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"JSON dump written to {args.json_out}")
+        return 0
+    print(f"program {program.name!r}")
+    if program.metadata:
+        meta = ", ".join(f"{k}={v}" for k, v in program.metadata.items())
+        print(f"  metadata: {meta}")
+    print(f"  memories: {', '.join(compiled.mems) or '(none)'}"
+          f"   access cycles: {compiled.access_cycles}")
+    print("  ops:")
+    for op in program.ops:
+        print(f"    {_describe_op(op)}")
+    print(f"  compiled: {len(compiled.segments)} segment(s), "
+          f"{compiled.n_traces} trace(s)")
+    for seg in compiled.segments:
+        tail = ""
+        if seg.boundary is not None:
+            kind = type(seg.boundary).__name__.lower()
+            tail = f" -> {kind} {seg.boundary.label!r}"
+        print(f"    segment {seg.index}{tail}")
+        for step in seg.steps:
+            if step.write is not None:
+                shape = "read+write" if step.reads else "write"
+            else:
+                shape = "read"
+            ports = f" ports={list(step.reads)}" if step.reads else ""
+            print(f"      trace: {shape} mem={step.mem!r} "
+                  f"cycles={step.n}{ports}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .hw.report import synthesis_report_text
 
@@ -474,6 +567,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--seed", type=int, default=0)
     p_sched.add_argument("--solver", default="ilp", choices=["ilp", "greedy"])
     p_sched.set_defaults(fn=cmd_schedule)
+
+    from .program.lower import DEMO_NAMES
+
+    p_prog = sub.add_parser(
+        "program", help="access-program IR tools (lower/compile/inspect)"
+    )
+    prog_sub = p_prog.add_subparsers(dest="program_command", required=True)
+    p_pdump = prog_sub.add_parser(
+        "dump",
+        help="lower one demo workload and print its ops and compiled "
+        "segments",
+    )
+    p_pdump.add_argument("kernel", choices=list(DEMO_NAMES))
+    p_pdump.add_argument(
+        "--json",
+        dest="json_out",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the dump as JSON ('-' or no value: stdout)",
+    )
+    p_pdump.set_defaults(fn=cmd_program_dump)
 
     p_prod = sub.add_parser("productivity", help="Table II analysis (§III-C)")
     p_prod.set_defaults(fn=cmd_productivity)

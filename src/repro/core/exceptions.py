@@ -16,6 +16,7 @@ __all__ = [
     "AddressError",
     "CapacityError",
     "PortError",
+    "ProgramError",
     "SimulationError",
     "ScheduleError",
 ]
@@ -65,6 +66,11 @@ class PortError(PolyMemError):
 
 class SimulationError(PolyMemError):
     """The dataflow simulation reached an inconsistent state."""
+
+
+class ProgramError(PolyMemError):
+    """An :class:`~repro.program.AccessProgram` is malformed (bad op
+    structure, mismatched stream lengths, unresolvable write values)."""
 
 
 class ScheduleError(PolyMemError):

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .exceptions import AddressError, CapacityError, PatternError
-from .patterns import AccessPattern, PatternKind
+from .patterns import PatternKind
 from .polymem import PolyMem
 
 __all__ = ["Region", "RegionMap"]

@@ -8,8 +8,12 @@ cache targets: stage once, iterate many times, write back once.
 Values are float64, bit-cast into PolyMem's 64-bit words (the same
 convention as the STREAM arithmetic kernels).  Each sweep fetches four
 shifted neighbour windows per tile row using strip (ROW) accesses; the
-update happens host-side, and the new grid is written back with aligned
-rectangles.
+update happens host-side, and the new grid is written back with ROW
+strips.  The whole solve lowers to one
+:class:`~repro.program.AccessProgram` (see :func:`jacobi_program`) —
+sweep reads and write-backs alternate as separate traces, so every
+sweep observes the previous write-back exactly as the hand-built loop
+did.
 """
 
 from __future__ import annotations
@@ -19,12 +23,12 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
-from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from .base import CycleScope, KernelReport
+from ..program import AccessProgram, execute
+from .base import KernelReport
 
-__all__ = ["jacobi_reference", "jacobi_solve"]
+__all__ = ["jacobi_reference", "jacobi_program", "jacobi_solve"]
 
 
 def _bits(x: np.ndarray) -> np.ndarray:
@@ -47,14 +51,14 @@ def jacobi_reference(grid: np.ndarray, iterations: int) -> np.ndarray:
     return g
 
 
-def jacobi_solve(
+def jacobi_program(
     grid: np.ndarray, iterations: int, p: int = 2, q: int = 4
-) -> tuple[np.ndarray, KernelReport]:
-    """Run *iterations* Jacobi sweeps with all grid traffic through PolyMem.
+) -> tuple[AccessProgram, PolyMem]:
+    """Lower *iterations* Jacobi sweeps to one access program.
 
-    Per sweep, each interior row is fetched via four neighbour-shifted ROW
-    strips (north, south, west, east) — ``4 * cols/lanes`` parallel reads
-    per row — and the averaged row is written back with ROW strips.
+    Per sweep ``it``: one ROW read stream of every interior row's north,
+    south and center strips (tag ``sweep{it}``), a Compute producing the
+    averaged rows, and a late-bound ROW write stream of them.
     """
     grid = np.asarray(grid, dtype=np.float64)
     rows, cols = grid.shape
@@ -78,21 +82,23 @@ def jacobi_solve(
     # every interior row's strips, row-major: (rows-2) * per_row anchors
     row_ai = np.repeat(interior, per_row)
     row_aj = np.tile(strip_j, interior.size)
+    n_int = interior.size
 
-    with CycleScope(pm, "jacobi") as scope:
-        for _ in range(iterations):
-            # all of a sweep's neighbour fetches in one replayed trace:
-            # north, south and center strips for every interior row
-            fetched = pm.replay(
-                AccessTrace().read(
-                    PatternKind.ROW,
-                    np.concatenate([row_ai - 1, row_ai + 1, row_ai]),
-                    np.concatenate([row_aj, row_aj, row_aj]),
-                )
-            )[0]
+    prog = AccessProgram("jacobi", metadata={"result_elements": rows * cols})
+    for it in range(iterations):
+        # all of a sweep's neighbour fetches in one replayed trace:
+        # north, south and center strips for every interior row
+        prog.read(
+            PatternKind.ROW,
+            np.concatenate([row_ai - 1, row_ai + 1, row_ai]),
+            np.concatenate([row_aj, row_aj, row_aj]),
+            tag=f"sweep{it}",
+        )
+
+        def _average(env, it=it):
             north, south, center = (
-                _floats(part.ravel()).reshape(interior.size, cols)
-                for part in np.split(fetched, 3)
+                _floats(part.ravel()).reshape(n_int, cols)
+                for part in np.split(env[f"sweep{it}"], 3)
             )
             west = np.empty_like(center)
             east = np.empty_like(center)
@@ -104,14 +110,25 @@ def jacobi_solve(
             updated[:, 1:-1] = 0.25 * (
                 north[:, 1:-1] + south[:, 1:-1] + west[:, 1:-1] + east[:, 1:-1]
             )
-            # write the sweep back (Jacobi: updates use the old grid only)
-            pm.replay(
-                AccessTrace().write(
-                    PatternKind.ROW,
-                    row_ai,
-                    row_aj,
-                    _bits(updated.ravel()).reshape(-1, lanes),
-                )
-            )
+            return {f"wb{it}": _bits(updated.ravel()).reshape(-1, lanes)}
+
+        prog.compute(_average, label=f"average{it}")
+        # write the sweep back (Jacobi: updates use the old grid only)
+        prog.write(
+            PatternKind.ROW,
+            row_ai,
+            row_aj,
+            values=lambda env, it=it: env[f"wb{it}"],
+        )
+    return prog, pm
+
+
+def jacobi_solve(
+    grid: np.ndarray, iterations: int, p: int = 2, q: int = 4
+) -> tuple[np.ndarray, KernelReport]:
+    """Run *iterations* Jacobi sweeps with all grid traffic through PolyMem."""
+    prog, pm = jacobi_program(grid, iterations, p, q)
+    res = execute(prog, pm)
+    rows, cols = np.asarray(grid).shape
     result = _floats(pm.dump().ravel()).reshape(rows, cols)
-    return result, scope.report(result_elements=rows * cols)
+    return result, res.report

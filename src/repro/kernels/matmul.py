@@ -9,7 +9,9 @@ and every operand fetch is a single conflict-free parallel access:
 * one COLUMN access per (k-block, j) of B.
 
 A rectangle-only memory (ReO) would serialize the column fetches; the
-report quantifies the difference.
+report quantifies the difference.  The kernel *lowers* to an
+:class:`~repro.program.AccessProgram` (see :func:`matmul_program`) and
+runs through the shared execution engine.
 """
 
 from __future__ import annotations
@@ -17,24 +19,24 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import PolyMemConfig
+from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
-from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.regions import RegionMap
 from ..core.schemes import Scheme
-from ..core.exceptions import PatternError
-from .base import CycleScope, KernelReport
+from ..program import AccessProgram, execute
+from .base import KernelReport
 
-__all__ = ["matmul"]
+__all__ = ["matmul", "matmul_program", "matmul_scalar_cycles"]
 
 
-def matmul(
+def matmul_program(
     a: np.ndarray, b: np.ndarray, p: int = 2, q: int = 4
-) -> tuple[np.ndarray, KernelReport]:
-    """``C = A @ B`` with every operand fetch a parallel PolyMem access.
+) -> tuple[AccessProgram, PolyMem]:
+    """Lower ``C = A @ B`` to an access program over one RoCo memory.
 
-    Matrix dimensions must be multiples of ``p*q`` (the parallel-access
-    length).  Returns the integer product and the cycle report.
+    Returns the program (reads tagged ``a_rows`` / ``b_cols``, product
+    bound to ``c``) and the loaded memory.
     """
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
@@ -48,13 +50,9 @@ def matmul(
             f"dims must align to the lane grid: n%p, k%{lanes}, m%{lanes}"
         )
     # one memory, two regions, RoCo: rows AND columns anywhere
-    total_words = n * k + k * m
     # place both operands in a single address space wide enough for each
     cols = max(k, m)
-    rows_a = n
-    rows_b = k
-    rows = rows_a + rows_b
-    # round the space so the config validates
+    rows = n + k
     cfg = PolyMemConfig(
         rows * cols * 8,
         p=p,
@@ -73,28 +71,41 @@ def matmul(
 
     kb = np.arange(0, k, lanes, dtype=np.int64)
     nb = kb.size
-    with CycleScope(pm, "matmul") as scope:
-        # row i of A: k/lanes ROW accesses anchored at (i, kb) — emitted as
-        # one anchor array and replayed in a single trace
-        row_ai = np.repeat(np.arange(n, dtype=np.int64), nb) + ra.origin_i
-        row_aj = np.tile(kb, n) + ra.origin_j
-        a_rows = pm.replay(
-            AccessTrace().read(PatternKind.ROW, row_ai, row_aj)
-        )[0].reshape(n, k)
-        # columns of B are refetched for every output row, exactly like the
-        # serial inner loop: n * m * (k/lanes) COLUMN accesses
-        col_ai = np.tile(kb, n * m) + rb.origin_i
-        col_aj = (
-            np.tile(np.repeat(np.arange(m, dtype=np.int64), nb), n)
-            + rb.origin_j
-        )
-        b_cols = pm.replay(
-            AccessTrace().read(PatternKind.COLUMN, col_ai, col_aj)
-        )[0].reshape(n, m, k)
+    # row i of A: k/lanes ROW accesses anchored at (i, kb) — one anchor
+    # array, replayed as a single stream
+    row_ai = np.repeat(np.arange(n, dtype=np.int64), nb) + ra.origin_i
+    row_aj = np.tile(kb, n) + ra.origin_j
+    # columns of B are refetched for every output row, exactly like the
+    # serial inner loop: n * m * (k/lanes) COLUMN accesses
+    col_ai = np.tile(kb, n * m) + rb.origin_i
+    col_aj = np.tile(np.repeat(np.arange(m, dtype=np.int64), nb), n) + rb.origin_j
+
+    def _einsum(env):
+        a_rows = env["a_rows"].reshape(n, k)
+        b_cols = env["b_cols"].reshape(n, m, k)
         # uint64 einsum wraps mod 2**64 like the per-(i,j) np.dot did
-        c = np.einsum("ik,imk->im", a_rows, b_cols)
-    report = scope.report(result_elements=n * m)
-    return c, report
+        return {"c": np.einsum("ik,imk->im", a_rows, b_cols)}
+
+    prog = (
+        AccessProgram("matmul", metadata={"result_elements": n * m})
+        .read(PatternKind.ROW, row_ai, row_aj, tag="a_rows")
+        .read(PatternKind.COLUMN, col_ai, col_aj, tag="b_cols")
+        .compute(_einsum, label="einsum")
+    )
+    return prog, pm
+
+
+def matmul(
+    a: np.ndarray, b: np.ndarray, p: int = 2, q: int = 4
+) -> tuple[np.ndarray, KernelReport]:
+    """``C = A @ B`` with every operand fetch a parallel PolyMem access.
+
+    Matrix dimensions must be multiples of ``p*q`` (the parallel-access
+    length).  Returns the integer product and the cycle report.
+    """
+    prog, pm = matmul_program(a, b, p, q)
+    res = execute(prog, pm)
+    return res["c"], res.report
 
 
 def matmul_scalar_cycles(n: int, k: int, m: int) -> int:

@@ -4,7 +4,9 @@ Reductions along either axis want the *other* orientation streamed: a
 row-sum reads rows, a column-sum reads columns.  RoCo serves both from the
 same stored matrix — one parallel access per ``p*q`` elements either way,
 demonstrating the multiview pay-off on a single data structure (the
-paper's §II-A motivation for multiview schemes).
+paper's §II-A motivation for multiview schemes).  Both directions lower
+to one-read-one-Compute access programs (:func:`reduce_rows_program`,
+:func:`reduce_columns_program`).
 """
 
 from __future__ import annotations
@@ -14,12 +16,18 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
-from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from .base import CycleScope, KernelReport
+from ..program import AccessProgram, execute
+from .base import KernelReport
 
-__all__ = ["reduce_rows", "reduce_columns", "load_matrix"]
+__all__ = [
+    "reduce_rows",
+    "reduce_rows_program",
+    "reduce_columns",
+    "reduce_columns_program",
+    "load_matrix",
+]
 
 
 def load_matrix(matrix: np.ndarray, p: int = 2, q: int = 4) -> PolyMem:
@@ -40,29 +48,51 @@ def load_matrix(matrix: np.ndarray, p: int = 2, q: int = 4) -> PolyMem:
     return pm
 
 
-def reduce_rows(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
-    """Per-row sums: streams ROW accesses (batch path)."""
+def reduce_rows_program(pm: PolyMem) -> AccessProgram:
+    """Lower per-row sums: one ROW read stream plus the summing Compute."""
     lanes = pm.lanes
     per_row = pm.cols // lanes
     anchors_i = np.repeat(np.arange(pm.rows), per_row)
     anchors_j = np.tile(np.arange(per_row) * lanes, pm.rows)
-    with CycleScope(pm, "reduce_rows") as scope:
-        strips = pm.replay(
-            AccessTrace().read(PatternKind.ROW, anchors_i, anchors_j)
-        )[0]
-        sums = strips.reshape(pm.rows, per_row * lanes).sum(axis=1)
-    return sums, scope.report(result_elements=pm.rows)
+    rows = pm.rows
+    return (
+        AccessProgram("reduce_rows", metadata={"result_elements": rows})
+        .read(PatternKind.ROW, anchors_i, anchors_j, tag="strips")
+        .compute(
+            lambda env: {
+                "sums": env["strips"].reshape(rows, per_row * lanes).sum(axis=1)
+            },
+            label="sum",
+        )
+    )
 
 
-def reduce_columns(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
-    """Per-column sums: streams COLUMN accesses over the same data."""
+def reduce_rows(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
+    """Per-row sums: streams ROW accesses (batch path)."""
+    res = execute(reduce_rows_program(pm), pm)
+    return res["sums"], res.report
+
+
+def reduce_columns_program(pm: PolyMem) -> AccessProgram:
+    """Lower per-column sums: one COLUMN read stream plus the Compute."""
     lanes = pm.lanes
     per_col = pm.rows // lanes
     anchors_j = np.repeat(np.arange(pm.cols), per_col)
     anchors_i = np.tile(np.arange(per_col) * lanes, pm.cols)
-    with CycleScope(pm, "reduce_columns") as scope:
-        strips = pm.replay(
-            AccessTrace().read(PatternKind.COLUMN, anchors_i, anchors_j)
-        )[0]
-        sums = strips.reshape(pm.cols, per_col * lanes).sum(axis=1)
-    return sums, scope.report(result_elements=pm.cols)
+    cols = pm.cols
+    return (
+        AccessProgram("reduce_columns", metadata={"result_elements": cols})
+        .read(PatternKind.COLUMN, anchors_i, anchors_j, tag="strips")
+        .compute(
+            lambda env: {
+                "sums": env["strips"].reshape(cols, per_col * lanes).sum(axis=1)
+            },
+            label="sum",
+        )
+    )
+
+
+def reduce_columns(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
+    """Per-column sums: streams COLUMN accesses over the same data."""
+    res = execute(reduce_columns_program(pm), pm)
+    return res["sums"], res.report

@@ -4,8 +4,9 @@ Image filters and PDE kernels read a halo-extended neighbourhood per
 output tile; PolyMem serves those as dense rectangle reads at *unaligned*
 anchors — the capability the paper's multimedia motivation leans on.
 :func:`stencil_sweep` applies an arbitrary (2r+1)² convolution kernel
-(integer weights, zero boundary) by streaming one rectangle access per
-shifted window per output tile row.
+(integer weights, zero boundary) by lowering one rectangle access per
+shifted window per output tile to an
+:class:`~repro.program.AccessProgram` (see :func:`stencil_program`).
 """
 
 from __future__ import annotations
@@ -15,12 +16,17 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
-from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from .base import CycleScope, KernelReport
+from ..program import AccessProgram, execute
+from .base import KernelReport
 
-__all__ = ["stencil_sweep", "stencil_reference", "stencil_serial_cycles"]
+__all__ = [
+    "stencil_program",
+    "stencil_sweep",
+    "stencil_reference",
+    "stencil_serial_cycles",
+]
 
 
 def stencil_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
@@ -38,15 +44,13 @@ def stencil_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
     return out
 
 
-def stencil_sweep(
+def stencil_program(
     image: np.ndarray, weights: np.ndarray, p: int = 2, q: int = 4
-) -> tuple[np.ndarray, KernelReport]:
-    """Apply *weights* (odd-square integer kernel) through PolyMem reads.
+) -> tuple[AccessProgram, PolyMem]:
+    """Lower the stencil sweep to an access program over a ReRo memory.
 
-    The image is stored once; for every kernel offset (di, dj), the sweep
-    streams shifted ``p x q`` rectangle reads over the interior using the
-    vectorized batch path, accumulating ``weights[di, dj] * window``.
-    Boundary cells use zero padding, handled host-side.
+    All taps' windows become one RECTANGLE read stream (tag ``tiles``);
+    the accumulation is a single Compute binding the result to ``out``.
     """
     image = np.asarray(image)
     weights = np.asarray(weights)
@@ -76,40 +80,55 @@ def stencil_sweep(
         if int(weights[di + r, dj + r]) != 0
     ]
     nt = base_i.size
-    with CycleScope(pm, "stencil") as scope:
-        if taps:
-            # the desired windows may poke outside the image; fetch the
-            # nearest in-bounds rectangles — all taps in one replayed trace
-            # — and extract the overlaps (outside cells contribute zero)
-            ai_all = np.concatenate(
-                [np.clip(base_i + di, 0, rows - p) for di, _, _ in taps]
-            )
-            aj_all = np.concatenate(
-                [np.clip(base_j + dj, 0, cols - q) for _, dj, _ in taps]
-            )
-            tiles = pm.replay(
-                AccessTrace().read(PatternKind.RECTANGLE, ai_all, aj_all)
-            )[0]
-            tiles = tiles.reshape(len(taps), nt, p, q).astype(np.int64)
-            acc4 = acc.reshape(rows // p, p, cols // q, q)
-            a_off = np.arange(p)
-            b_off = np.arange(q)
-            t_idx = np.arange(nt)[:, None, None]
-            for tap, (di, dj, w) in enumerate(taps):
-                ai = np.clip(base_i + di, 0, rows - p)
-                aj = np.clip(base_j + dj, 0, cols - q)
-                gi_abs = base_i[:, None] + di + a_off[None, :]
-                gj_abs = base_j[:, None] + dj + b_off[None, :]
-                in_i = (gi_abs >= 0) & (gi_abs < rows)
-                in_j = (gj_abs >= 0) & (gj_abs < cols)
-                idx_i = np.clip(gi_abs - ai[:, None], 0, p - 1)
-                idx_j = np.clip(gj_abs - aj[:, None], 0, q - 1)
-                window = tiles[tap][t_idx, idx_i[:, :, None], idx_j[:, None, :]]
-                window = np.where(in_i[:, :, None] & in_j[:, None, :], window, 0)
-                acc4 += w * window.reshape(
-                    rows // p, cols // q, p, q
-                ).swapaxes(1, 2)
-    return acc, scope.report(result_elements=rows * cols)
+    prog = AccessProgram("stencil", metadata={"result_elements": rows * cols})
+    if not taps:
+        return prog.compute(lambda env: {"out": acc}, label="accumulate"), pm
+    # the desired windows may poke outside the image; fetch the nearest
+    # in-bounds rectangles — all taps in one replayed trace — and extract
+    # the overlaps (outside cells contribute zero)
+    ai_all = np.concatenate(
+        [np.clip(base_i + di, 0, rows - p) for di, _, _ in taps]
+    )
+    aj_all = np.concatenate(
+        [np.clip(base_j + dj, 0, cols - q) for _, dj, _ in taps]
+    )
+
+    def _accumulate(env):
+        tiles = env["tiles"].reshape(len(taps), nt, p, q).astype(np.int64)
+        acc4 = acc.reshape(rows // p, p, cols // q, q)
+        a_off = np.arange(p)
+        b_off = np.arange(q)
+        t_idx = np.arange(nt)[:, None, None]
+        for tap, (di, dj, w) in enumerate(taps):
+            ai = np.clip(base_i + di, 0, rows - p)
+            aj = np.clip(base_j + dj, 0, cols - q)
+            gi_abs = base_i[:, None] + di + a_off[None, :]
+            gj_abs = base_j[:, None] + dj + b_off[None, :]
+            in_i = (gi_abs >= 0) & (gi_abs < rows)
+            in_j = (gj_abs >= 0) & (gj_abs < cols)
+            idx_i = np.clip(gi_abs - ai[:, None], 0, p - 1)
+            idx_j = np.clip(gj_abs - aj[:, None], 0, q - 1)
+            window = tiles[tap][t_idx, idx_i[:, :, None], idx_j[:, None, :]]
+            window = np.where(in_i[:, :, None] & in_j[:, None, :], window, 0)
+            acc4 += w * window.reshape(rows // p, cols // q, p, q).swapaxes(1, 2)
+        return {"out": acc}
+
+    prog.read(PatternKind.RECTANGLE, ai_all, aj_all, tag="tiles")
+    prog.compute(_accumulate, label="accumulate")
+    return prog, pm
+
+
+def stencil_sweep(
+    image: np.ndarray, weights: np.ndarray, p: int = 2, q: int = 4
+) -> tuple[np.ndarray, KernelReport]:
+    """Apply *weights* (odd-square integer kernel) through PolyMem reads.
+
+    Boundary cells use zero padding, handled host-side in the program's
+    accumulate step.
+    """
+    prog, pm = stencil_program(image, weights, p, q)
+    res = execute(prog, pm)
+    return res["out"], res.report
 
 
 def stencil_serial_cycles(rows: int, cols: int, weights: np.ndarray) -> int:

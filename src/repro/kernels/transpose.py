@@ -3,7 +3,9 @@
 Reads ``p x q`` tiles, writes ``q x p`` tiles — both single-cycle at any
 anchor under ReTr.  The library version of ``examples/matrix_transpose.py``
 with batch-vectorized accesses and full cycle accounting, plus the
-serialization cost a rectangle-only memory would pay.
+serialization cost a rectangle-only memory would pay.  Lowers to a
+two-memory :class:`~repro.program.AccessProgram` (``src`` / ``dst``, see
+:func:`transpose_program`).
 """
 
 from __future__ import annotations
@@ -13,22 +15,22 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
-from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from .base import CycleScope, KernelReport
+from ..program import AccessProgram, execute
+from .base import KernelReport
 
-__all__ = ["transpose", "transpose_serial_cycles"]
+__all__ = ["transpose", "transpose_program", "transpose_serial_cycles"]
 
 
-def transpose(
+def transpose_program(
     matrix: np.ndarray, p: int = 2, q: int = 4
-) -> tuple[np.ndarray, KernelReport]:
-    """Transpose via PolyMem tile traffic (ReTr, batch path).
+) -> tuple[AccessProgram, dict[str, PolyMem]]:
+    """Lower the blocked transpose to a two-memory access program.
 
-    *matrix* must be rows x cols with ``p | rows`` and ``q | cols`` and
-    square-compatible dims (``p | cols`` and ``q | rows``) so the
-    transposed tiles land on a valid grid.
+    RECTANGLE tile reads from ``src`` (tag ``tiles``), a Compute
+    transposing each tile's lane order, and TRANSPOSED_RECTANGLE writes
+    into ``dst`` at swapped anchors.
     """
     matrix = np.asarray(matrix, dtype=np.uint64)
     rows, cols = matrix.shape
@@ -51,21 +53,41 @@ def transpose(
     bj = np.arange(0, cols, q)
     gi, gj = np.meshgrid(bi, bj, indexing="ij")
     anchors_i, anchors_j = gi.ravel(), gj.ravel()
-    with CycleScope(src, "transpose", dst) as scope:
-        tiles = src.replay(
-            AccessTrace().read(PatternKind.RECTANGLE, anchors_i, anchors_j)
-        )[0]
+
+    def _tile_transpose(env):
         # transpose each p x q tile into q x p lane order
-        tiles_t = (
-            tiles.reshape(-1, p, q).transpose(0, 2, 1).reshape(-1, p * q)
+        tiles = env["tiles"]
+        return {
+            "tiles_t": tiles.reshape(-1, p, q).transpose(0, 2, 1).reshape(-1, p * q)
+        }
+
+    prog = (
+        AccessProgram("transpose", metadata={"result_elements": rows * cols})
+        .read(PatternKind.RECTANGLE, anchors_i, anchors_j, tag="tiles", mem="src")
+        .compute(_tile_transpose, label="tile_transpose")
+        .write(
+            PatternKind.TRANSPOSED_RECTANGLE,
+            anchors_j,
+            anchors_i,
+            values=lambda env: env["tiles_t"],
+            mem="dst",
         )
-        dst.replay(
-            AccessTrace().write(
-                PatternKind.TRANSPOSED_RECTANGLE, anchors_j, anchors_i, tiles_t
-            )
-        )
-    out = dst.dump()
-    return out, scope.report(result_elements=rows * cols)
+    )
+    return prog, {"src": src, "dst": dst}
+
+
+def transpose(
+    matrix: np.ndarray, p: int = 2, q: int = 4
+) -> tuple[np.ndarray, KernelReport]:
+    """Transpose via PolyMem tile traffic (ReTr, batch path).
+
+    *matrix* must be rows x cols with ``p | rows`` and ``q | cols`` and
+    square-compatible dims (``p | cols`` and ``q | rows``) so the
+    transposed tiles land on a valid grid.
+    """
+    prog, mems = transpose_program(matrix, p, q)
+    res = execute(prog, mems)
+    return mems["dst"].dump(), res.report
 
 
 def transpose_serial_cycles(rows: int, cols: int, p: int = 2, q: int = 4) -> int:

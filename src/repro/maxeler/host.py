@@ -10,7 +10,7 @@ time went.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..core.exceptions import SimulationError

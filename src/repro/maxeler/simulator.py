@@ -115,6 +115,12 @@ class Simulator:
         self.engine = engine
         self.profile = profile
         self.cycles = 0
+        #: attached instrumentation (e.g. :class:`~repro.maxeler.trace.
+        #: TraceRecorder`): objects with ``on_cycle(sim, progressed)`` /
+        #: ``on_chunk(sim, n, plans)`` hooks, notified after the cycle
+        #: counter moves — on both engines, so tracing works under
+        #: ``engine="batched"`` too
+        self.observers: list = []
 
     def _pending_work(self) -> bool:
         """True when any kernel has internal state or any internal stream
@@ -172,6 +178,9 @@ class Simulator:
                 )
             progressed = self._tick_all(kernels)
             self.cycles += 1
+            if self.observers:
+                for obs in self.observers:
+                    obs.on_cycle(self, progressed)
             if progressed:
                 idle_streak = 0
                 continue
@@ -295,6 +304,9 @@ class Simulator:
         for kernel, plan in plans:
             kernel._charge(n, plan.is_active)
         self.cycles += n
+        if self.observers:
+            for obs in self.observers:
+                obs.on_chunk(self, n, plans)
 
     def stats(self) -> dict[str, KernelStats]:
         """Per-kernel performance counters accumulated so far."""

@@ -72,44 +72,60 @@ class TraceRecorder:
         self._prev_active[kernel.name] = now
         return now > prev
 
-    def run(self, until=None, max_cycles: int | None = None):
-        """Run the wrapped simulator, snapshotting after every cycle."""
+    def run(
+        self,
+        until=None,
+        max_cycles: int | None = None,
+        engine: str | None = None,
+    ):
+        """Run the wrapped simulator, snapshotting after every cycle.
+
+        The recorder attaches itself as a simulator observer for the
+        duration of the run, so it traces both engines: scalar ticks
+        snapshot one event per cycle; batched chunks expand into one
+        synthesized event per fast-forwarded cycle (stream depths show
+        the post-chunk state — interior depths are not materialized by
+        the vectorized path).
+        """
         self._prev_active: dict[str, int] = {
             k.name: k.active_cycles for k in self.manager.kernels.values()
         }
-        kernels = list(self.manager.kernels.values())
-        budget = max_cycles if max_cycles is not None else self.simulator.max_cycles
-        start = self.simulator.cycles
-        while True:
-            if until is not None and until():
-                return self.simulator._result(quiesced=False)
-            progressed = False
-            for kernel in kernels:
-                if kernel.tick():
-                    progressed = True
-            self.simulator.cycles += 1
-            self._snapshot()
-            if self.simulator.cycles - start > budget:
-                from ..core.exceptions import SimulationError
+        self.simulator.observers.append(self)
+        try:
+            return self.simulator.run(
+                until=until, max_cycles=max_cycles, engine=engine
+            )
+        finally:
+            self.simulator.observers.remove(self)
 
-                raise SimulationError("trace run exceeded the cycle budget")
-            if not progressed:
-                if until is None and not self.simulator._pending_work():
-                    return self.simulator._result(quiesced=True)
-                # probe one more cycle; two idle cycles in a row is deadlock
-                probe_progress = False
-                for kernel in kernels:
-                    if kernel.tick():
-                        probe_progress = True
-                self.simulator.cycles += 1
-                if not probe_progress:
-                    self._snapshot()
-                    from ..core.exceptions import SimulationError
+    # -- simulator observer hooks -------------------------------------------
+    def on_cycle(self, sim, progressed: bool) -> None:
+        self._snapshot()
 
-                    raise SimulationError(
-                        f"deadlock after {self.simulator.cycles} cycles "
-                        f"(trace holds the last {len(self.events)} cycles)"
-                    )
+    def on_chunk(self, sim, n: int, plans) -> None:
+        # every kernel in a chunk was uniformly active (or uniformly idle)
+        # for all n cycles, so one activity tuple covers the whole window
+        active = tuple(
+            kernel.name for kernel, plan in plans if plan.is_active
+        )
+        for kernel in self.manager.kernels.values():
+            self._prev_active[kernel.name] = kernel.active_cycles
+        streams = {
+            name: len(s)
+            for name, s in self.manager.streams.items()
+            if not self.watch_streams or name in self.watch_streams
+        }
+        first = sim.cycles - n + 1
+        self.events.extend(
+            CycleEvent(
+                cycle=first + t,
+                active_kernels=active,
+                stream_depths=streams,
+            )
+            for t in range(n)
+        )
+        if len(self.events) > self.max_events:
+            del self.events[0 : len(self.events) - self.max_events]
 
     # -- rendering ----------------------------------------------------------
     def waveform(self, last: int = 40) -> str:

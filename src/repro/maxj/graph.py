@@ -21,7 +21,7 @@ tickable :class:`~repro.maxeler.kernel.Kernel`.
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np

@@ -17,10 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
 
 from ..core.config import PolyMemConfig
-from ..core.polymem import PolyMem
 from ..maxeler.lmem import LMem
 from .cache import SoftwareCache, Tile
 

@@ -28,6 +28,7 @@ from ..core.config import PolyMemConfig
 from ..core.polymem import PolyMem
 from ..maxeler.batch import IDLE_PLAN, BatchOp, BatchPlan
 from ..maxeler.kernel import Kernel
+from ..program import AccessProgram, slot_disjoint
 
 __all__ = ["WriteCommand", "FusedPolyMemKernel", "DEFAULT_READ_LATENCY"]
 
@@ -334,25 +335,26 @@ class FusedPolyMemKernel(Kernel):
             validate=self._validate_chunk,
         )
 
+    def _chunk_program(self, n: int) -> AccessProgram:
+        """The chunk's claimed accesses as a describe-only program."""
+        prog = AccessProgram(f"{self.name}.chunk")
+        for port, claim in self._rd_claims.items():
+            kind, ai, aj = claim.anchors(n)
+            prog.read(kind, ai, aj, port=port)
+        if self._wr_claim is not None:
+            kind, ai, aj = self._wr_claim.anchors(n)
+            prog.write(kind, ai, aj)
+        return prog
+
     def _validate_chunk(self, n: int) -> bool:
         """Prove slot disjointness for the chunk's accesses.
 
-        Slot ids come from the compiled access plans (one table gather per
-        claim), and the disjointness test is one sort of the write slots
-        plus a searchsorted probe per read claim — no set construction.
+        Lowers the chunk's claims to a describe-only
+        :class:`AccessProgram` and delegates to
+        :func:`repro.program.slot_disjoint` — one sort of the write slots
+        plus a searchsorted probe per read claim, slot ids straight from
+        the compiled access plans.
         """
         if self._wr_claim is None:
             return True
-        kind, ai, aj = self._wr_claim.anchors(n)
-        wr_slots = np.sort(self.memory.access_slots(kind, ai, aj).ravel())
-        if (wr_slots[1:] == wr_slots[:-1]).any():
-            return False  # overlapping writes: sequential semantics differ
-        for claim in self._rd_claims.values():
-            kind, ai, aj = claim.anchors(n)
-            rd_slots = self.memory.access_slots(kind, ai, aj).ravel()
-            pos = np.minimum(
-                np.searchsorted(wr_slots, rd_slots), wr_slots.size - 1
-            )
-            if (wr_slots[pos] == rd_slots).any():
-                return False  # a read would observe an in-chunk write
-        return True
+        return slot_disjoint(self._chunk_program(n), self.memory)

@@ -25,7 +25,6 @@ from ..core.addressing import AddressingFunction
 from ..core.agu import AGU, AccessRequest
 from ..core.banks import BankArray
 from ..core.config import PolyMemConfig
-from ..core.polymem import PolyMem
 from ..core.schemes import flat_module_assignment
 from ..core.shuffle import InverseShuffle, Shuffle
 from ..maxeler.kernel import Kernel

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..core.exceptions import PatternError, PortError
 from ..core.patterns import PatternKind
-from ..core.plan import AccessTrace
+from ..program import AccessProgram, execute
 from .registers import RegisterFile, VectorRegister, _bits, _floats
 
 __all__ = ["ExecutionStats", "PrfMachine"]
@@ -85,32 +85,38 @@ class PrfMachine:
                 f"shape mismatch: {[f'{r.name}{r.shape}' for r in regs]}"
             )
 
-    def _load_operands(self, *regs: VectorRegister) -> list[np.ndarray]:
-        """Stream operand registers out of the PRF as replayed traces.
+    def _operand_program(self, *regs: VectorRegister) -> AccessProgram:
+        """Lower operand streaming to an access program.
 
         With enough physical read ports (and equal-length streams) every
-        operand gets its own port in a *single* trace — the concurrent
-        dual-port streaming the cycle model charges for; otherwise the
-        operands stream sequentially on port 0.
+        operand gets its own port of a *single* trace (``fuse=True``) —
+        the concurrent dual-port streaming the cycle model charges for;
+        otherwise the operands stream sequentially on port 0 (the
+        compiler concatenates them into one equivalent replay).
         """
         mem = self.rf.memory
         grids = [r.region.anchor_grid() for r in regs]
         ports = min(self.read_ports, mem.read_ports)
         lengths = {ai.size for ai, _ in grids}
-        if len(regs) > 1 and ports >= len(regs) and len(lengths) == 1:
-            trace = AccessTrace()
-            for port, (ai, aj) in enumerate(grids):
-                trace.read(PatternKind.RECTANGLE, ai, aj, port=port)
-            results = mem.replay(trace)
-            blocks = [results[port] for port in range(len(regs))]
-        else:
-            blocks = [
-                mem.replay(AccessTrace().read(PatternKind.RECTANGLE, ai, aj))[0]
-                for ai, aj in grids
-            ]
+        parallel = len(regs) > 1 and ports >= len(regs) and len(lengths) == 1
+        prog = AccessProgram("prf_operands")
+        for k, (ai, aj) in enumerate(grids):
+            prog.read(
+                PatternKind.RECTANGLE,
+                ai,
+                aj,
+                port=k if parallel else 0,
+                tag=f"op{k}",
+                fuse=parallel and k > 0,
+            )
+        return prog
+
+    def _load_operands(self, *regs: VectorRegister) -> list[np.ndarray]:
+        """Stream operand registers out of the PRF via the program engine."""
+        res = execute(self._operand_program(*regs), self.rf.memory)
         out = []
-        for reg, blk in zip(regs, blocks):
-            frame = reg.region.from_blocks(blk)
+        for k, reg in enumerate(regs):
+            frame = reg.region.from_blocks(res[f"op{k}"])
             out.append(
                 _floats(frame[: reg.rows, : reg.cols].ravel()).reshape(reg.shape)
             )
@@ -126,14 +132,13 @@ class PrfMachine:
         frame = np.zeros(reg.region.shape, dtype=np.uint64)
         frame[: reg.rows, : reg.cols] = _bits(values).reshape(reg.shape)
         anchors_i, anchors_j = reg.region.anchor_grid()
-        self.rf.memory.replay(
-            AccessTrace().write(
-                PatternKind.RECTANGLE,
-                anchors_i,
-                anchors_j,
-                reg.region.to_blocks(frame),
-            )
+        prog = AccessProgram(f"prf_store_{reg.name}").write(
+            PatternKind.RECTANGLE,
+            anchors_i,
+            anchors_j,
+            values=reg.region.to_blocks(frame),
         )
+        execute(prog, self.rf.memory)
 
     def _binary(self, mnemonic, dst, a, b, fn) -> None:
         ra, rb, rd = self._reg(a), self._reg(b), self._reg(dst)

@@ -1,0 +1,62 @@
+"""``repro.program`` — the access-program IR and its execution pipeline.
+
+One typed description of a memory-bound kernel
+(:class:`~repro.program.ir.AccessProgram`: ordered
+:class:`~repro.program.ir.ParallelRead` /
+:class:`~repro.program.ir.ParallelWrite` /
+:class:`~repro.program.ir.Compute` / :class:`~repro.program.ir.Barrier`
+ops plus metadata), one pass pipeline
+(:func:`~repro.program.passes.compile_program`: validate → coalesce →
+compile to residue tables → segment), and one engine
+(:func:`~repro.program.engine.execute`) that replays each segment whole
+and reports through a single :class:`~repro.program.report.KernelReport`.
+Every PolyMem client — the application kernels, the PRF vector machine,
+the schedule executor, the STREAM controller, the fused MAX-PolyMem
+chunk proof — *lowers* to this IR instead of hand-assembling
+:class:`~repro.core.plan.AccessTrace` objects.
+
+Demo lowerings live in :mod:`repro.program.lower` (imported lazily —
+it depends on the kernel modules, which import this package).
+"""
+
+from .analysis import op_slots, slot_disjoint
+from .engine import Observer, ProgramResult, execute
+from .ir import (
+    AccessOp,
+    AccessProgram,
+    Barrier,
+    Compute,
+    ParallelRead,
+    ParallelWrite,
+)
+from .passes import (
+    CompiledProgram,
+    CompiledSegment,
+    TraceStep,
+    compile_program,
+    validate_program,
+    warm_plans,
+)
+from .report import CycleScope, KernelReport
+
+__all__ = [
+    "AccessOp",
+    "AccessProgram",
+    "Barrier",
+    "CompiledProgram",
+    "CompiledSegment",
+    "Compute",
+    "CycleScope",
+    "KernelReport",
+    "Observer",
+    "ParallelRead",
+    "ParallelWrite",
+    "ProgramResult",
+    "TraceStep",
+    "compile_program",
+    "execute",
+    "op_slots",
+    "slot_disjoint",
+    "validate_program",
+    "warm_plans",
+]

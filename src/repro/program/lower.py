@@ -1,0 +1,138 @@
+"""Demo lowerings: one representative access program per subsystem.
+
+Every caller of the access-program pipeline — the five kernels, the PRF
+machine, the schedule executor and the STREAM controller — exposes its
+lowering as a ``*_program`` function.  This module collects one small,
+deterministic instance of each under a stable name, for the CLI's
+``program dump`` subcommand and for cross-subsystem tests.
+
+Kept out of :mod:`repro.program`'s public namespace on purpose: the
+demos import the kernels (which import the package), so they load
+lazily, on first use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ir import AccessProgram
+
+__all__ = ["DEMO_NAMES", "lower_demo"]
+
+
+def _matmul():
+    from ..kernels.matmul import matmul_program
+
+    a = np.arange(8 * 8, dtype=np.uint64).reshape(8, 8)
+    b = (np.arange(8 * 8, dtype=np.uint64) % 7).reshape(8, 8)
+    return matmul_program(a, b, p=2, q=4)
+
+
+def _stencil():
+    from ..kernels.stencil import stencil_program
+
+    image = np.arange(8 * 8, dtype=np.int64).reshape(8, 8)
+    weights = np.ones((3, 3), dtype=np.int64)
+    return stencil_program(image, weights, p=2, q=4)
+
+
+def _jacobi():
+    from ..kernels.jacobi import jacobi_program
+
+    grid = np.linspace(0.0, 1.0, 8 * 8).reshape(8, 8)
+    return jacobi_program(grid, iterations=2, p=2, q=4)
+
+
+def _transpose():
+    from ..kernels.transpose import transpose_program
+
+    matrix = np.arange(8 * 8, dtype=np.uint64).reshape(8, 8)
+    return transpose_program(matrix, p=2, q=4)
+
+
+def _reduce(direction: str):
+    from ..kernels.reduction import (
+        load_matrix,
+        reduce_columns_program,
+        reduce_rows_program,
+    )
+
+    pm = load_matrix(np.arange(8 * 8, dtype=np.uint64).reshape(8, 8))
+    builder = (
+        reduce_rows_program if direction == "rows" else reduce_columns_program
+    )
+    return builder(pm), pm
+
+
+def _prf_vadd():
+    from ..prf.machine import PrfMachine
+    from ..prf.registers import RegisterFile
+
+    rf = RegisterFile(capacity_kb=4)
+    machine = PrfMachine(rf)
+    ra = rf.define("R0", 4, 8)
+    rb = rf.define("R1", 4, 8)
+    ra.store(np.arange(32, dtype=np.float64).reshape(4, 8))
+    rb.store(np.ones((4, 8)))
+    return machine._operand_program(ra, rb), rf.memory
+
+
+def _schedule():
+    from ..schedule import customize, transpose_trace
+    from ..schedule.executor import memory_for_trace, schedule_program
+
+    trace = transpose_trace(8, 8)
+    best = customize(trace, lane_grids=[(2, 4)], solver="greedy").best
+    pm, _ = memory_for_trace(trace, best)
+    return schedule_program(best), pm
+
+
+def _stream_copy():
+    from ..core.config import PolyMemConfig
+    from ..core.schemes import Scheme
+    from ..stream_bench.controller import Job, Mode, StreamController
+
+    config = PolyMemConfig(
+        12 * 32 * 8, p=2, q=4, scheme=Scheme.RoCo, read_ports=2,
+        rows=12, cols=32,
+    )
+    controller = StreamController("controller", config)
+    # describe-only: the write stream's values arrive over wr_data at
+    # simulation time, so this program documents the access shape only
+    return controller.job_program(Job(Mode.COPY, vectors=8)), None
+
+
+_DEMOS = {
+    "matmul": _matmul,
+    "stencil": _stencil,
+    "jacobi": _jacobi,
+    "transpose": _transpose,
+    "reduce_rows": lambda: _reduce("rows"),
+    "reduce_columns": lambda: _reduce("columns"),
+    "prf_vadd": _prf_vadd,
+    "schedule": _schedule,
+    "stream_copy": _stream_copy,
+}
+
+DEMO_NAMES = tuple(_DEMOS)
+
+
+def lower_demo(name: str) -> tuple[AccessProgram, dict]:
+    """Build the named demo; returns ``(program, mems)``.
+
+    *mems* maps the program's memory names to live PolyMems, empty for
+    describe-only programs (whose writes carry no values).
+    """
+    from .ir import ProgramError
+
+    if name not in _DEMOS:
+        raise ProgramError(
+            f"unknown demo {name!r} (use one of {', '.join(DEMO_NAMES)})"
+        )
+    built = _DEMOS[name]()
+    program, mem = built if isinstance(built, tuple) else (built, None)
+    if mem is None:
+        return program, {}
+    if not isinstance(mem, dict):
+        return program, {"default": mem}
+    return program, mem

@@ -19,12 +19,17 @@ import numpy as np
 from ..core.config import PolyMemConfig
 from ..core.exceptions import ScheduleError
 from ..core.patterns import pattern_offsets
-from ..core.plan import AccessTrace
 from ..core.polymem import PolyMem
+from ..program import AccessProgram, execute
 from .customize import Schedule
 from .trace import ApplicationTrace
 
-__all__ = ["ExecutionResult", "execute_schedule", "memory_for_trace"]
+__all__ = [
+    "ExecutionResult",
+    "execute_schedule",
+    "memory_for_trace",
+    "schedule_program",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,25 @@ def memory_for_trace(
     return pm, fill
 
 
+def schedule_program(schedule: Schedule) -> AccessProgram:
+    """Lower a schedule to an access program: one read stream whose
+    heterogeneous per-cycle kind sequence keeps it a single trace even
+    when the schedule mixes access shapes."""
+    prog = AccessProgram(
+        f"schedule:{schedule.trace_name}",
+        metadata={"scheme": schedule.scheme, "p": schedule.p, "q": schedule.q},
+    )
+    accesses = schedule.accesses
+    if not accesses:
+        return prog
+    n = len(accesses)
+    kinds = [a.kind for a in accesses]
+    ai = np.fromiter((a.i for a in accesses), dtype=np.int64, count=n)
+    aj = np.fromiter((a.j for a in accesses), dtype=np.int64, count=n)
+    kind = kinds[0] if len(set(kinds)) == 1 else kinds
+    return prog.read(kind, ai, aj, tag="data")
+
+
 def execute_schedule(
     trace: ApplicationTrace, schedule: Schedule
 ) -> ExecutionResult:
@@ -84,14 +108,11 @@ def execute_schedule(
     data_ok = True
     accesses = schedule.accesses
     if accesses:
-        # one replay for the whole schedule: the heterogeneous per-cycle
-        # kind sequence keeps it a single trace even when the schedule
-        # mixes access shapes
         n = len(accesses)
         kinds = [a.kind for a in accesses]
         ai = np.fromiter((a.i for a in accesses), dtype=np.int64, count=n)
         aj = np.fromiter((a.j for a in accesses), dtype=np.int64, count=n)
-        results = pm.replay(AccessTrace().read(kinds, ai, aj))[0]
+        results = execute(schedule_program(schedule), pm)["data"]
         for kind in dict.fromkeys(kinds):
             m = np.fromiter((k == kind for k in kinds), dtype=bool, count=n)
             di, dj = pattern_offsets(kind, schedule.p, schedule.q)

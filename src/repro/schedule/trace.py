@@ -2,22 +2,29 @@
 
 An :class:`ApplicationTrace` is the set of 2-D cells a kernel must read per
 iteration — the "application memory access pattern" the paper starts from
-when customizing PolyMem.  Factories generate the traces of the workloads
-the paper's introduction motivates: dense blocks (matrix kernels), rows and
-columns (matmul), stencil neighbourhoods, diagonals, and sparse random
-accesses.
+when customizing PolyMem.  Every workload factory here *lowers* to a
+describe-only :class:`~repro.program.AccessProgram` first and derives its
+cell set from the program (:func:`program_trace`), so the customization
+flow and the execution engine consume the same IR: dense blocks (matrix
+kernels), rows and columns (matmul), stencil neighbourhoods, diagonals,
+and sparse random accesses.  :func:`kernel_trace` goes further and derives
+a trace from a real kernel's production lowering.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.exceptions import ScheduleError
+from ..core.patterns import PatternKind
+from ..program import AccessProgram, ParallelRead
 
 __all__ = [
     "ApplicationTrace",
+    "program_trace",
+    "kernel_trace",
     "block_trace",
     "row_trace",
     "column_trace",
@@ -63,53 +70,110 @@ class ApplicationTrace:
         return mask
 
 
+def program_trace(
+    program: AccessProgram,
+    p: int,
+    q: int,
+    name: str | None = None,
+    rows: int | None = None,
+    cols: int | None = None,
+) -> ApplicationTrace:
+    """Derive an :class:`ApplicationTrace` from an access program.
+
+    The cell set is the union of every cell the program's accesses touch
+    on a ``p x q`` lane grid; the bounding region defaults to the cells'
+    extent.  Works on describe-only programs — deriving a trace never
+    executes anything.
+    """
+    cells = frozenset(program.cells(p, q))
+    if not cells:
+        raise ScheduleError(
+            f"program {program.name!r} has no accesses to derive a trace from"
+        )
+    if rows is None:
+        rows = 1 + max(i for i, _ in cells)
+    if cols is None:
+        cols = 1 + max(j for _, j in cells)
+    return ApplicationTrace(name or program.name, cells, rows, cols)
+
+
+def kernel_trace(kernel: str, mem: str | None = None) -> ApplicationTrace:
+    """The read footprint of a real kernel's production lowering.
+
+    *kernel* names a demo from :mod:`repro.program.lower` (``matmul``,
+    ``stencil``, ...); the trace is derived from the reads the lowered
+    program issues against *mem* (default: the program's first memory),
+    bounded by that memory's geometry.
+    """
+    from ..program import compile_program
+    from ..program.lower import lower_demo
+
+    program, mems = lower_demo(kernel)
+    compiled = compile_program(program)
+    target = mem if mem is not None else (
+        compiled.mems[0] if compiled.mems else "default"
+    )
+    reads = AccessProgram(f"{program.name}:{target}:reads")
+    reads.extend(
+        op for op in program.access_ops
+        if isinstance(op, ParallelRead) and op.mem == target
+    )
+    pm = mems.get(target)
+    return program_trace(
+        reads,
+        pm.p if pm is not None else 1,
+        pm.q if pm is not None else 1,
+        name=program.name,
+        rows=pm.rows if pm is not None else None,
+        cols=pm.cols if pm is not None else None,
+    )
+
+
 def block_trace(rows: int = 8, cols: int = 8, at: tuple[int, int] = (0, 0)) -> ApplicationTrace:
     """A dense rows x cols block at *at* (matrix-tile workloads)."""
     i0, j0 = at
-    cells = frozenset(
-        (i0 + a, j0 + b) for a in range(rows) for b in range(cols)
-    )
-    return ApplicationTrace("block", cells, i0 + rows, j0 + cols)
+    prog = AccessProgram("block").read(PatternKind.RECTANGLE, i0, j0)
+    return program_trace(prog, rows, cols, rows=i0 + rows, cols=j0 + cols)
 
 
 def row_trace(n_rows: int, length: int) -> ApplicationTrace:
     """*n_rows* full rows of *length* (row-streaming kernels)."""
-    cells = frozenset((i, j) for i in range(n_rows) for j in range(length))
-    return ApplicationTrace("rows", cells, n_rows, length)
+    prog = AccessProgram("rows").read(
+        PatternKind.ROW, np.arange(n_rows), np.zeros(n_rows, dtype=np.int64)
+    )
+    return program_trace(prog, 1, length, rows=n_rows, cols=length)
 
 
 def column_trace(n_cols: int, length: int) -> ApplicationTrace:
     """*n_cols* full columns of *length* (column-streaming kernels)."""
-    cells = frozenset((i, j) for j in range(n_cols) for i in range(length))
-    return ApplicationTrace("columns", cells, length, n_cols)
+    prog = AccessProgram("columns").read(
+        PatternKind.COLUMN, np.zeros(n_cols, dtype=np.int64), np.arange(n_cols)
+    )
+    return program_trace(prog, 1, length, rows=length, cols=n_cols)
 
 
 def stencil_trace(rows: int, cols: int, radius: int = 1) -> ApplicationTrace:
     """Every cell read by a dense (2*radius+1)-point star stencil sweep over
     the interior of a rows x cols grid — effectively the full grid."""
-    cells = frozenset((i, j) for i in range(rows) for j in range(cols))
-    trace = ApplicationTrace("stencil", cells, rows, cols)
-    return trace
+    prog = AccessProgram("stencil").read(PatternKind.RECTANGLE, 0, 0)
+    return program_trace(prog, rows, cols)
 
 
 def diagonal_trace(n: int, count: int = 1, anti: bool = False) -> ApplicationTrace:
     """*count* (anti-)diagonals of length *n* (LU / wavefront kernels)."""
-    cells = set()
-    for d in range(count):
-        for k in range(n):
-            if anti:
-                cells.add((k + d, n - 1 - k))
-            else:
-                cells.add((k + d, k))
+    kind = PatternKind.ANTI_DIAGONAL if anti else PatternKind.MAIN_DIAGONAL
     name = "anti_diagonals" if anti else "diagonals"
-    return ApplicationTrace(name, frozenset(cells), n + count - 1, n)
+    anchors_i = np.arange(count)
+    anchors_j = np.full(count, n - 1 if anti else 0, dtype=np.int64)
+    prog = AccessProgram(name).read(kind, anchors_i, anchors_j)
+    return program_trace(prog, 1, n, rows=n + count - 1, cols=n)
 
 
 def transpose_trace(rows: int, cols: int) -> ApplicationTrace:
     """A full tile read both row-wise and column-wise (transpose kernels) —
     the whole tile, favouring schemes with both orientations."""
-    cells = frozenset((i, j) for i in range(rows) for j in range(cols))
-    return ApplicationTrace("transpose", cells, rows, cols)
+    prog = AccessProgram("transpose").read(PatternKind.RECTANGLE, 0, 0)
+    return program_trace(prog, rows, cols)
 
 
 def random_trace(
@@ -123,5 +187,5 @@ def random_trace(
     if not mask.any():
         mask[rng.integers(rows), rng.integers(cols)] = True
     ii, jj = np.nonzero(mask)
-    cells = frozenset(zip(ii.tolist(), jj.tolist()))
-    return ApplicationTrace("random", cells, rows, cols)
+    prog = AccessProgram("random").read(PatternKind.RECTANGLE, ii, jj)
+    return program_trace(prog, 1, 1, rows=rows, cols=cols)

@@ -40,6 +40,7 @@ from ..maxeler.dfe import DFE, VectisBoard
 from ..maxeler.kernel import DemuxKernel, Kernel, MuxKernel
 from ..maxeler.manager import Manager
 from ..maxpolymem.kernel import DEFAULT_READ_LATENCY, FusedPolyMemKernel, WriteCommand
+from ..program import AccessProgram
 
 __all__ = [
     "Mode",
@@ -130,21 +131,90 @@ class StreamController(Kernel):
         self._writes_done = 0
         self._scalar_bits = 0.0
         self.completed_jobs = 0
+        #: per-array cache of the band's full lowered anchor stream — every
+        #: issued command is a slice of these arrays
+        self._band_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- address generation -------------------------------------------------
+    #
+    # All STREAM access generation flows through one lowering: each array
+    # band is a ROW anchor stream (lane-vector k at row k // per_row,
+    # column (k % per_row) * lanes), cached by `_band_anchors`; the scalar
+    # tick, the batched claims and `job_program` all take slices of it.
+
+    def _unchecked_anchors(
+        self, array: int, start: int, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Anchors of lane-vectors ``start..start+n`` — no band bound."""
+        per_row = self.config.cols // self.lanes
+        ks = np.arange(start, start + n, dtype=np.int64)
+        rows, slots = np.divmod(ks, per_row)
+        return array * self.band_rows + rows, slots * self.lanes
+
+    def _band_anchors(self, array: int) -> tuple[np.ndarray, np.ndarray]:
+        """The full band's anchor stream (cached)."""
+        cached = self._band_cache.get(array)
+        if cached is None:
+            cached = self._unchecked_anchors(
+                array, 0, self.band_capacity_vectors()
+            )
+            self._band_cache[array] = cached
+        return cached
+
+    def _band_slice(self, array: int, start: int, n: int):
+        """``(kind, ai, aj)`` of lane-vectors ``start..start+n``; raises
+        once the slice leaves the band, like per-vector issue did."""
+        if n and start + n > self.band_capacity_vectors():
+            raise SimulationError(
+                f"vector {start + n - 1} exceeds array band of "
+                f"{self.band_rows} rows"
+            )
+        ai, aj = self._band_anchors(array)
+        return self.ACCESS, ai[start : start + n], aj[start : start + n]
+
     def _vec_anchor(self, array: int, k: int) -> tuple[int, int]:
         """Anchor of lane-vector *k* of array band *array*."""
-        per_row = self.config.cols // self.lanes
-        row, slot = divmod(k, per_row)
-        if row >= self.band_rows:
-            raise SimulationError(
-                f"vector {k} exceeds array band of {self.band_rows} rows"
-            )
-        return array * self.band_rows + row, slot * self.lanes
+        _, ai, aj = self._band_slice(array, k, 1)
+        return int(ai[0]), int(aj[0])
 
     def band_capacity_vectors(self) -> int:
         """Lane-vectors one array band can hold."""
         return self.band_rows * (self.config.cols // self.lanes)
+
+    def job_program(self, job: Job) -> AccessProgram:
+        """Lower *job*'s full access stream to a describe-only program.
+
+        LOAD is one write stream into the target band, OFFLOAD one read
+        stream out of it; the compute modes read each source band on its
+        own port (fused: one command per port per cycle) and write the
+        destination band.  Out-of-band vectors are *not* rejected here —
+        describe-only programs never execute, and issue-time slicing
+        raises exactly where per-vector issue did.
+        """
+        prog = AccessProgram(
+            f"stream_{job.mode.value}",
+            metadata={"mode": job.mode.value, "vectors": job.vectors},
+        )
+        n = job.vectors
+
+        def anchors(array):
+            return self._unchecked_anchors(array, 0, n)
+
+        if job.mode is Mode.LOAD:
+            ai, aj = anchors(job.array)
+            return prog.write(self.ACCESS, ai, aj)
+        if job.mode is Mode.OFFLOAD:
+            ai, aj = anchors(job.array)
+            return prog.read(self.ACCESS, ai, aj, tag=f"band{job.array}")
+        src_arrays, dst_array, _ = self._mode_spec(job)
+        for port, array in enumerate(src_arrays):
+            ai, aj = anchors(array)
+            prog.read(
+                self.ACCESS, ai, aj, port=port, tag=f"band{array}",
+                fuse=port > 0,
+            )
+        ai, aj = anchors(dst_array)
+        return prog.write(self.ACCESS, ai, aj)
 
     # -- execution ------------------------------------------------------------
     def _tick(self) -> bool:
@@ -317,16 +387,9 @@ class StreamController(Kernel):
     # kernel can prove slot disjointness before committing to the chunk).
 
     def _vec_anchors(self, array: int, start: int, n: int):
-        """Vectorized :meth:`_vec_anchor` for vectors ``start..start+n``."""
-        per_row = self.config.cols // self.lanes
-        ks = np.arange(start, start + n)
-        rows, slots = np.divmod(ks, per_row)
-        if n and rows[-1] >= self.band_rows:
-            raise SimulationError(
-                f"vector {start + n - 1} exceeds array band of "
-                f"{self.band_rows} rows"
-            )
-        return self.ACCESS, array * self.band_rows + rows, slots * self.lanes
+        """Vectorized :meth:`_vec_anchor` for vectors ``start..start+n`` —
+        a slice of the band's lowered anchor stream."""
+        return self._band_slice(array, start, n)
 
     def _anchors_fn(self, array: int, start: int):
         def anchors(n: int):

@@ -2,7 +2,6 @@
 
 from pathlib import Path
 
-import pytest
 
 from repro.analysis import (
     PAPER_TABLE_II,

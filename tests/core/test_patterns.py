@@ -1,6 +1,5 @@
 """Unit tests for access-pattern shapes and offset generation."""
 
-import numpy as np
 import pytest
 
 from repro.core.exceptions import PatternError

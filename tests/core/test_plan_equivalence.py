@@ -14,7 +14,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.addressing import AddressingFunction
-from repro.core.agu import AccessRequest
 from repro.core.config import PolyMemConfig
 from repro.core.exceptions import PolyMemError
 from repro.core.patterns import PatternKind, pattern_offsets

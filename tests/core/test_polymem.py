@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.agu import AccessRequest
-from repro.core.config import KB, PolyMemConfig
 from repro.core.exceptions import ConflictError, PatternError, PortError
 from repro.core.patterns import PatternKind
-from repro.core.polymem import PolyMem
 from repro.core.schemes import Scheme
 
 from ..conftest import make_polymem

@@ -1,0 +1,152 @@
+"""Replay's prefix-fallback under ``forbid``: mid-trace conflicts.
+
+When a ``forbid``-policy trace conflicts at cycle ``t*``, ``replay`` must
+re-issue the valid prefix and then raise exactly the serial error, leaving
+memory, statistics and the cycle counter identical to stepping the trace
+one cycle at a time.  The generators here force the *event-sort* write
+path (a slot written twice disables the dense per-slot table), the
+fallback the prefix logic is hardest to get right on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PolyMemConfig
+from repro.core.exceptions import PolyMemError, SimulationError
+from repro.core.patterns import PatternKind
+from repro.core.plan import AccessTrace
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+
+LANE_GRIDS = [(2, 2), (2, 4), (4, 2)]
+
+
+def _memory(p, q, scheme, rows, cols, seed):
+    cfg = PolyMemConfig(
+        rows * cols * 8, p=p, q=q, scheme=scheme, rows=rows, cols=cols
+    )
+    pm = PolyMem(cfg, collision_policy="forbid")
+    rng = np.random.default_rng(seed)
+    pm.load(rng.integers(0, 2**63, size=(rows, cols), dtype=np.uint64))
+    pm.reset_stats()
+    return pm
+
+
+def _run_serial(pm, trace):
+    outs = {port: [] for port in trace.read_ports}
+    err = None
+    try:
+        for t in range(trace.n):
+            reads, write = trace.cycle_args(t)
+            res = pm.step(reads=reads, write=write)
+            for port in outs:
+                outs[port].append(res[port])
+    except PolyMemError as e:
+        err = (type(e), str(e))
+    return outs, err
+
+
+def _run_replay(pm, trace):
+    err = None
+    outs = None
+    try:
+        outs = pm.replay(trace)
+    except PolyMemError as e:
+        err = (type(e), str(e))
+    return outs, err
+
+
+def _assert_same_state(a, b):
+    assert a.cycles == b.cycles
+    assert a.write_stats == b.write_stats
+    assert a.read_stats == b.read_stats
+    assert np.array_equal(a.dump(), b.dump())
+
+
+@st.composite
+def forbid_conflict_cases(draw):
+    p, q = draw(st.sampled_from(LANE_GRIDS))
+    scheme = draw(st.sampled_from(list(Scheme)))
+    rows = cols = p * q * 4
+    n = draw(st.integers(2, 10))
+    t_star = draw(st.integers(0, n - 1))
+    seed = draw(st.integers(0, 2**32))
+    # the write hits tile (0, 0) every cycle: every slot is written n
+    # times, so the dense per-slot table bails and replay takes the
+    # event-sort path
+    wi = np.zeros(n, dtype=np.int64)
+    wj = np.zeros(n, dtype=np.int64)
+    # reads touch the disjoint tile (p, 0) except at t*, where they mirror
+    # the write anchors — the forbidden same-cycle collision
+    ri = np.full(n, p, dtype=np.int64)
+    rj = np.zeros(n, dtype=np.int64)
+    ri[t_star] = 0
+    rj[t_star] = 0
+    values = np.random.default_rng(seed).integers(
+        0, 2**63, size=(n, p * q), dtype=np.uint64
+    )
+    trace = (
+        AccessTrace()
+        .read(PatternKind.RECTANGLE, ri, rj, port=0)
+        .write(PatternKind.RECTANGLE, wi, wj, values)
+    )
+    return (p, q, scheme, rows, cols, seed, t_star, trace)
+
+
+class TestForbidPrefixFallback:
+    @given(forbid_conflict_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_mid_trace_conflict_matches_serial(self, case):
+        p, q, scheme, rows, cols, seed, t_star, trace = case
+        pm_serial = _memory(p, q, scheme, rows, cols, seed)
+        pm_replay = _memory(p, q, scheme, rows, cols, seed)
+        outs_s, err_s = _run_serial(pm_serial, trace)
+        outs_r, err_r = _run_replay(pm_replay, trace)
+        assert err_s is not None and err_s[0] is SimulationError
+        assert "same-cycle read/write collision" in err_s[1]
+        assert err_r == err_s
+        # the error surfaced after exactly t* good cycles on both paths
+        assert pm_replay.cycles == t_star
+        _assert_same_state(pm_serial, pm_replay)
+
+    @given(
+        st.sampled_from(LANE_GRIDS),
+        st.sampled_from(list(Scheme)),
+        st.integers(2, 10),
+        st.integers(0, 2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_event_path_without_conflict_matches_serial(
+        self, grid, scheme, n, seed
+    ):
+        """Twice-written slots force the event path; with disjoint reads
+        the whole trace must still replay bit-identically."""
+        p, q = grid
+        rows = cols = p * q * 4
+        values = np.random.default_rng(seed).integers(
+            0, 2**63, size=(n, p * q), dtype=np.uint64
+        )
+        trace = (
+            AccessTrace()
+            .read(
+                PatternKind.RECTANGLE,
+                np.full(n, p, dtype=np.int64),
+                np.zeros(n, dtype=np.int64),
+                port=0,
+            )
+            .write(
+                PatternKind.RECTANGLE,
+                np.zeros(n, dtype=np.int64),
+                np.zeros(n, dtype=np.int64),
+                values,
+            )
+        )
+        pm_serial = _memory(p, q, scheme, rows, cols, seed)
+        pm_replay = _memory(p, q, scheme, rows, cols, seed)
+        outs_s, err_s = _run_serial(pm_serial, trace)
+        outs_r, err_r = _run_replay(pm_replay, trace)
+        assert err_s is None and err_r is None
+        for port, stacked in outs_r.items():
+            assert np.array_equal(stacked, np.stack(outs_s[port]))
+        _assert_same_state(pm_serial, pm_replay)

@@ -5,7 +5,6 @@ import pytest
 from repro.core.schemes import Scheme
 from repro.dse import (
     DesignSpace,
-    PAPER_SPACE,
     explore,
     figure_series,
     render_series_table,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.schemes import Scheme
 from repro.dse import explore
 from repro.dse.pareto import best_under_budget, pareto_frontier
 

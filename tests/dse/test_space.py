@@ -1,6 +1,5 @@
 """Tests for the Table III design space."""
 
-import pytest
 
 from repro.core.schemes import Scheme
 from repro.dse.space import LANE_GRIDS, PAPER_SPACE, DesignSpace

@@ -1,6 +1,5 @@
 """Tests for cross-device feasibility exploration."""
 
-import pytest
 
 from repro.core.schemes import Scheme
 from repro.dse.whatif import FeasibilityPoint, feasibility_frontier, max_capacity_kb

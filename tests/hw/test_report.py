@@ -1,6 +1,5 @@
 """Tests for the vendor-style synthesis report."""
 
-import pytest
 
 from repro.core.config import KB, MB, PolyMemConfig
 from repro.core.schemes import Scheme

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import KB, MB, PolyMemConfig
+from repro.core.config import KB, PolyMemConfig
 from repro.core.schemes import Scheme
 from repro.hw import calibration
 from repro.hw.crossbar import design_shuffles

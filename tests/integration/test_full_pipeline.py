@@ -9,8 +9,6 @@ Walks the end-to-end story a user of this library follows:
 5. persist and reload the artifacts.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.config import KB, PolyMemConfig
 from repro.dse import DesignSpace, explore

@@ -6,7 +6,6 @@ from repro.core.exceptions import SimulationError
 from repro.maxeler import (
     DelayKernel,
     Manager,
-    MapKernel,
     MuxKernel,
     SinkKernel,
     SourceKernel,
@@ -88,6 +87,31 @@ class TestTraceRecorder:
         with pytest.raises(SimulationError, match="deadlock"):
             rec.run(until=lambda: len(snk.collected) == 1)
         assert rec.events  # the post-mortem evidence survives
+
+    def test_batched_engine_traces_chunks(self):
+        # large pipeline so the batched engine actually fast-forwards
+        # chunks; tracing must still yield one event per simulated cycle
+        mgr, snk = pipeline(n=200, latency=3)
+        rec = TraceRecorder(mgr)
+        result = rec.run(engine="batched")
+        assert result.quiesced
+        assert snk.collected == list(range(200))
+        assert len(rec.events) == result.cycles
+        assert [e.cycle for e in rec.events] == list(
+            range(1, result.cycles + 1)
+        )
+        assert any(k.batched_cycles for k in mgr.kernels.values())
+        # chunked cycles report kernel activity, same as scalar ones
+        assert any("dly" in e.active_kernels for e in rec.events)
+
+    def test_engines_agree_on_trace_shape(self):
+        runs = {}
+        for engine in ("scalar", "batched"):
+            mgr, _ = pipeline(n=120, latency=4)
+            rec = TraceRecorder(mgr)
+            result = rec.run(engine=engine)
+            runs[engine] = (result.cycles, len(rec.events))
+        assert runs["scalar"] == runs["batched"]
 
     def test_watch_streams_filter(self):
         mgr, _ = pipeline()

@@ -1,7 +1,5 @@
 """Tests for the MaxJ accumulator node (stateful reductions)."""
 
-import numpy as np
-import pytest
 
 from repro.maxeler import DFE, Manager, SinkKernel, SourceKernel
 from repro.maxj import FLOAT64, INT64, UINT32, KernelGraph, compile_graph

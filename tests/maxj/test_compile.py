@@ -1,7 +1,6 @@
 """Tests for compiled MaxJ-like kernels running on the tick simulator."""
 
 import numpy as np
-import pytest
 
 from repro.maxeler import DFE, Manager, SinkKernel, SourceKernel
 from repro.maxj import FLOAT64, INT64, UINT64, KernelGraph, compile_graph

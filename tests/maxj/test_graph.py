@@ -1,6 +1,5 @@
 """Tests for the MaxJ-like graph builder and type system."""
 
-import numpy as np
 import pytest
 
 from repro.core.exceptions import SimulationError

@@ -1,7 +1,6 @@
 """Tests for the double-buffered (ping-pong) software cache."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import PolyMemConfig
 from repro.core.patterns import PatternKind

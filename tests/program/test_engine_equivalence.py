@@ -1,0 +1,245 @@
+"""Property suite: the program engine vs architectural serial stepping.
+
+``execute(program, polymem)`` claims bit-identical behaviour to issuing
+every compiled cycle through ``PolyMem.step()`` one at a time — results,
+memory state, cycle/port statistics, and error behaviour (type and
+message) included.  The suite drives randomized programs through both
+paths, and pins every production lowering (the five kernels, the PRF
+machine, the schedule executor) to the same serial reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PolyMemConfig
+from repro.core.exceptions import PolyMemError
+from repro.core.patterns import PatternKind
+from repro.core.polymem import PolyMem
+from repro.core.schemes import Scheme
+from repro.program import AccessProgram, Compute, compile_program, execute
+from repro.program.lower import DEMO_NAMES, lower_demo
+
+LANE_GRIDS = [(2, 2), (2, 4)]
+
+
+def _memory(p, q, scheme, rows, cols, policy, read_ports, seed):
+    cfg = PolyMemConfig(
+        rows * cols * 8,
+        p=p,
+        q=q,
+        scheme=scheme,
+        rows=rows,
+        cols=cols,
+        read_ports=read_ports,
+    )
+    pm = PolyMem(cfg, collision_policy=policy)
+    rng = np.random.default_rng(seed)
+    pm.load(rng.integers(0, 2**63, size=(rows, cols), dtype=np.uint64))
+    pm.reset_stats()
+    return pm
+
+
+def _execute_serial(program, mems):
+    """The independent reference: compile, then step() every cycle."""
+    compiled = compile_program(program)
+    env = {}
+    start = {name: pm.cycles for name, pm in mems.items()}
+    err = None
+    try:
+        for seg in compiled.segments:
+            for step in seg.steps:
+                trace = step.trace(env)
+                pm = mems[step.mem]
+                outs = {port: [] for port in trace.read_ports}
+                for t in range(trace.n):
+                    reads, write = trace.cycle_args(t)
+                    res = pm.step(reads=reads, write=write)
+                    for port in outs:
+                        outs[port].append(res[port])
+                outputs = {
+                    port: np.stack(vals) for port, vals in outs.items()
+                }
+                for tag, port, lo, hi in step.bindings:
+                    env[tag] = outputs[port][lo:hi]
+            if isinstance(seg.boundary, Compute):
+                product = seg.boundary.fn(env)
+                if isinstance(product, dict):
+                    env.update(product)
+    except PolyMemError as e:
+        err = (type(e), str(e))
+    cycles = sum(pm.cycles - start[name] for name, pm in mems.items())
+    return env, err, cycles
+
+
+def _run_engine(program, mems):
+    err = None
+    res = None
+    try:
+        res = execute(program, mems)
+    except PolyMemError as e:
+        err = (type(e), str(e))
+    return res, err
+
+
+def _assert_same_state(mems_a, mems_b):
+    assert set(mems_a) == set(mems_b)
+    for name in mems_a:
+        a, b = mems_a[name], mems_b[name]
+        assert a.cycles == b.cycles
+        assert a.write_stats == b.write_stats
+        assert a.read_stats == b.read_stats
+        assert np.array_equal(a.dump(), b.dump())
+
+
+def _assert_same_env(env_a, env_b):
+    assert set(env_a) == set(env_b)
+    for tag, val in env_a.items():
+        other = env_b[tag]
+        if isinstance(val, np.ndarray):
+            assert np.array_equal(val, other), tag
+        else:
+            assert np.all(val == other), tag
+
+
+@st.composite
+def program_cases(draw):
+    p, q = draw(st.sampled_from(LANE_GRIDS))
+    lanes = p * q
+    rows = cols = lanes * 4
+    scheme = draw(st.sampled_from(list(Scheme)))
+    policy = draw(st.sampled_from(PolyMem.COLLISION_POLICIES))
+    read_ports = draw(st.integers(1, 2))
+    seed = draw(st.integers(0, 2**32))
+    n_ops = draw(st.integers(1, 6))
+    ops = []
+    for _ in range(n_ops):
+        choice = draw(
+            st.sampled_from(["read", "read", "read", "write", "write",
+                             "compute", "barrier"])
+        )
+        if choice in ("compute", "barrier"):
+            ops.append((choice,))
+            continue
+        n = draw(st.integers(1, 5))
+        # mostly valid anchors; -1 and rows-1 exercise the error paths
+        anchors = st.lists(
+            st.integers(-1, rows - 1), min_size=n, max_size=n
+        )
+        kind = draw(st.sampled_from(list(PatternKind)))
+        stride = draw(st.sampled_from([1, 1, 1, 2]))
+        ai = np.asarray(draw(anchors), dtype=np.int64)
+        aj = np.asarray(draw(anchors), dtype=np.int64)
+        if choice == "read":
+            port = draw(st.integers(0, read_ports - 1))
+            ops.append(("read", kind, ai, aj, port, stride))
+        else:
+            values = np.random.default_rng(
+                draw(st.integers(0, 2**32))
+            ).integers(0, 2**63, size=(n, lanes), dtype=np.uint64)
+            ops.append(("write", kind, ai, aj, values, stride))
+    return (p, q, scheme, rows, cols, policy, read_ports, seed, ops)
+
+
+def _build_program(ops):
+    prog = AccessProgram("fuzz")
+    tag_i = 0
+    for op in ops:
+        if op[0] == "read":
+            _, kind, ai, aj, port, stride = op
+            prog.read(kind, ai, aj, port=port, stride=stride,
+                      tag=f"t{tag_i}")
+            tag_i += 1
+        elif op[0] == "write":
+            _, kind, ai, aj, values, stride = op
+            prog.write(kind, ai, aj, values=values, stride=stride)
+        elif op[0] == "compute":
+            prog.compute(lambda env: {}, label="nop")
+        else:
+            prog.barrier()
+    return prog
+
+
+class TestEngineMatchesSerialStepping:
+    @given(program_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_randomized_programs(self, case):
+        p, q, scheme, rows, cols, policy, read_ports, seed, ops = case
+        args = (p, q, scheme, rows, cols, policy, read_ports, seed)
+        pm_eng = _memory(*args)
+        pm_ref = _memory(*args)
+        prog = _build_program(ops)
+        res, err_eng = _run_engine(prog, {"default": pm_eng})
+        env_ref, err_ref, cycles_ref = _execute_serial(
+            prog, {"default": pm_ref}
+        )
+        assert err_eng == err_ref
+        _assert_same_state({"d": pm_eng}, {"d": pm_ref})
+        if err_eng is None:
+            _assert_same_env(res.env, env_ref)
+            assert res.report.cycles == cycles_ref
+
+
+class TestProductionLowerings:
+    """Every caller's real lowering runs bit-identically on both paths."""
+
+    DEMOS = [n for n in DEMO_NAMES if n != "stream_copy"]  # describe-only
+
+    @pytest.mark.parametrize("name", DEMOS)
+    def test_demo_engine_matches_serial(self, name):
+        prog_a, mems_a = lower_demo(name)
+        prog_b, mems_b = lower_demo(name)
+        res, err = _run_engine(prog_a, mems_a)
+        env_ref, err_ref, cycles_ref = _execute_serial(prog_b, mems_b)
+        assert err is None and err_ref is None
+        _assert_same_state(mems_a, mems_b)
+        _assert_same_env(res.env, env_ref)
+        assert res.report.cycles == cycles_ref
+
+    @pytest.mark.parametrize("name", DEMOS)
+    def test_demo_cycle_pin(self, name):
+        """The report charges exactly the compiled access cycles."""
+        prog, mems = lower_demo(name)
+        compiled = compile_program(prog)
+        res, err = _run_engine(prog, mems)
+        assert err is None
+        assert res.report.cycles == compiled.access_cycles
+
+    def test_matmul_demo_is_numerically_right(self):
+        from repro.kernels import matmul
+
+        a = np.arange(8 * 8, dtype=np.uint64).reshape(8, 8)
+        b = (np.arange(8 * 8, dtype=np.uint64) % 7).reshape(8, 8)
+        c, rep = matmul(a, b)
+        assert np.array_equal(c, a @ b)
+        # 8 ROW accesses for A plus 64 COLUMN accesses for B
+        assert rep.cycles == 8 + 64
+
+    def test_prf_machine_pins(self):
+        from repro.prf.machine import PrfMachine
+        from repro.prf.registers import RegisterFile
+
+        rf = RegisterFile(capacity_kb=4)
+        m = PrfMachine(rf)
+        ra = rf.define("R0", 4, 8)
+        rb = rf.define("R1", 4, 8)
+        rd = rf.define("R2", 4, 8)
+        va = np.arange(32, dtype=np.float64).reshape(4, 8)
+        vb = np.full((4, 8), 2.0)
+        ra.store(va)
+        rb.store(vb)
+        m.vadd("R2", "R0", "R1")
+        assert np.array_equal(rd.load(), va + vb)
+        # 32 elements / 8 lanes on dual read ports: 4 streaming cycles
+        assert m.stats.cycles == 4
+
+    def test_schedule_executor_pin(self):
+        from repro.schedule import customize, row_trace
+        from repro.schedule.executor import execute_schedule
+
+        trace = row_trace(4, 32)
+        best = customize(trace, lane_grids=[(2, 4)]).best
+        result = execute_schedule(trace, best)
+        assert result.covered and result.data_correct
+        assert result.matches_prediction

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.exceptions import ScheduleError
-from repro.core.patterns import PatternKind
 from repro.core.schemes import Scheme
 from repro.schedule import (
     block_trace,

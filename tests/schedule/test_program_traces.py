@@ -1,0 +1,129 @@
+"""The trace factories are program-derived: same cells, same schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ScheduleError
+from repro.core.patterns import PatternKind
+from repro.core.schemes import Scheme
+from repro.program import AccessProgram
+from repro.schedule import (
+    block_trace,
+    column_trace,
+    customize,
+    diagonal_trace,
+    random_trace,
+    row_trace,
+    stencil_trace,
+    transpose_trace,
+)
+from repro.schedule.executor import execute_schedule
+from repro.schedule.trace import kernel_trace, program_trace
+
+
+def _reference_cells(name, *args):
+    """The pre-refactor hand-written cell sets, verbatim."""
+    if name == "block":
+        rows, cols, (i0, j0) = args
+        return {(i0 + a, j0 + b) for a in range(rows) for b in range(cols)}
+    if name == "rows":
+        n_rows, length = args
+        return {(i, j) for i in range(n_rows) for j in range(length)}
+    if name == "columns":
+        n_cols, length = args
+        return {(i, j) for j in range(n_cols) for i in range(length)}
+    if name == "full":
+        rows, cols = args
+        return {(i, j) for i in range(rows) for j in range(cols)}
+    if name == "diagonals":
+        n, count, anti = args
+        cells = set()
+        for d in range(count):
+            for k in range(n):
+                cells.add((k + d, n - 1 - k) if anti else (k + d, k))
+        return cells
+    raise AssertionError(name)
+
+
+class TestFactoriesMatchHandWrittenCells:
+    def test_block(self):
+        t = block_trace(4, 6, at=(2, 1))
+        assert t.cells == _reference_cells("block", 4, 6, (2, 1))
+        assert (t.rows, t.cols) == (6, 7)
+
+    def test_rows(self):
+        t = row_trace(3, 16)
+        assert t.cells == _reference_cells("rows", 3, 16)
+        assert (t.rows, t.cols) == (3, 16)
+
+    def test_columns(self):
+        t = column_trace(5, 12)
+        assert t.cells == _reference_cells("columns", 5, 12)
+        assert (t.rows, t.cols) == (12, 5)
+
+    def test_stencil_and_transpose(self):
+        assert stencil_trace(6, 10).cells == _reference_cells("full", 6, 10)
+        assert transpose_trace(7, 3).cells == _reference_cells("full", 7, 3)
+
+    @pytest.mark.parametrize("anti", [False, True])
+    def test_diagonals(self, anti):
+        t = diagonal_trace(8, count=3, anti=anti)
+        assert t.cells == _reference_cells("diagonals", 8, 3, anti)
+        assert (t.rows, t.cols) == (10, 8)
+
+    def test_random_is_deterministic(self):
+        a = random_trace(8, 8, density=0.3, seed=7)
+        b = random_trace(8, 8, density=0.3, seed=7)
+        assert a.cells == b.cells
+        assert all(0 <= i < 8 and 0 <= j < 8 for i, j in a.cells)
+
+
+class TestProgramTrace:
+    def test_extent_defaults(self):
+        prog = AccessProgram("two_tiles").read(
+            PatternKind.RECTANGLE, np.array([0, 2]), np.array([0, 4])
+        )
+        t = program_trace(prog, 2, 4)
+        assert (t.rows, t.cols) == (4, 8)
+        assert len(t) == 16
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ScheduleError, match="no accesses"):
+            program_trace(AccessProgram("empty"), 2, 4)
+
+    def test_derived_traces_drive_customization(self):
+        """Program-derived traces yield the same schemes the hand-written
+        sets did (the pre-refactor customize() pins, re-run)."""
+        res = customize(row_trace(1, 32), lane_grids=[(2, 4)])
+        assert res.best.scheme in (Scheme.ReRo, Scheme.RoCo)
+        assert res.best.efficiency == 1.0
+        res = customize(column_trace(1, 32), lane_grids=[(2, 4)])
+        assert res.best.scheme in (Scheme.ReCo, Scheme.RoCo)
+        assert res.best.efficiency == 1.0
+
+    def test_derived_schedule_executes_covered(self):
+        trace = diagonal_trace(8, count=2)
+        best = customize(trace, lane_grids=[(2, 4)]).best
+        result = execute_schedule(trace, best)
+        assert result.covered and result.data_correct
+        assert result.matches_prediction
+
+
+class TestKernelTrace:
+    @pytest.mark.parametrize(
+        "kernel", ["matmul", "stencil", "transpose", "reduce_rows"]
+    )
+    def test_real_lowerings_customize(self, kernel):
+        t = kernel_trace(kernel)
+        assert len(t) > 0
+        res = customize(t, lane_grids=[(2, 4)])
+        assert res.best.efficiency > 0
+
+    def test_matmul_trace_reads_rows_and_columns(self):
+        t = kernel_trace("matmul")
+        # the demo streams an 8x8 A and an 8x8 B from one 16x8 memory
+        assert (t.rows, t.cols) == (16, 8)
+        assert len(t) == 128
+
+    def test_reduce_rows_trace_matches_row_factory(self):
+        assert kernel_trace("reduce_rows").cells == row_trace(8, 8).cells

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.config import KB, PolyMemConfig
+from repro.core.config import PolyMemConfig
 from repro.core.exceptions import SimulationError
 from repro.core.schemes import Scheme
 from repro.stream_bench.controller import (
     Job,
     Mode,
-    StreamController,
     build_stream_design,
 )
 
