@@ -23,6 +23,9 @@ This package provides:
     The application-driven customization flow of §III-A (ILP set covering).
 ``repro.analysis``
     Productivity analysis (Table II).
+``repro.telemetry``
+    Cross-cutting observability: metrics registry + span tracing with
+    Perfetto export (``docs/observability.md``).
 
 Quickstart::
 

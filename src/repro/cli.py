@@ -9,7 +9,8 @@ Subcommands map one-to-one onto the paper's artifacts:
 * ``schedule``     — the §III-A access-schedule optimizer;
 * ``productivity`` — the §III-C Table II analysis;
 * ``experiments``  — the full paper-vs-reproduction scorecard;
-* ``report``       — a vendor-style synthesis estimate for one config.
+* ``report``       — a vendor-style synthesis estimate for one config;
+* ``telemetry``    — inspect recorded telemetry snapshots.
 
 The grid-shaped subcommands (``dse``, ``stream``, ``experiments``) run on
 the :mod:`repro.exec` runtime and share four flags:
@@ -27,6 +28,19 @@ the :mod:`repro.exec` runtime and share four flags:
 ``--json [PATH]``
     Emit the unified ``repro.exec.report`` JSON schema to *PATH*
     (``-`` or no value: stdout) instead of only the human tables.
+
+They (plus ``program dump``) also share the :mod:`repro.telemetry` flags:
+
+``--metrics``
+    Run inside a telemetry session and print the metrics summary —
+    counters, gauges, histograms, and paper-relevant derived values
+    (stall %, scalar-fallback %, plan-cache hit rate, achieved vs peak
+    bandwidth).  The same snapshot lands in ``meta["telemetry"]`` of any
+    ``--json`` report (``repro telemetry summary FILE`` re-renders it).
+``--trace-out PATH``
+    Also record a span trace (host call → PCIe DMA → kernel → program
+    segment → trace replay → compute boundary) and write
+    Chrome-trace-event JSON to *PATH* for https://ui.perfetto.dev.
 
 Configuration-taking subcommands (``validate``, ``report``) build their
 :class:`~repro.core.config.PolyMemConfig` through the single
@@ -108,6 +122,25 @@ def _add_exec_args(sub) -> None:
         metavar="PATH",
         help="emit the unified JSON report ('-' or no value: stdout)",
     )
+    _add_telemetry_args(sub)
+
+
+def _add_telemetry_args(sub) -> None:
+    """The shared telemetry flags: a metrics summary and a Perfetto trace."""
+    sub.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect run telemetry and print the metrics summary "
+        "(counters + derived stall/fallback/bandwidth figures)",
+    )
+    sub.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="PATH",
+        help="record a span trace and write Chrome-trace-event JSON to "
+        "PATH (load it at https://ui.perfetto.dev)",
+    )
 
 
 def _cache_from_args(args):
@@ -131,6 +164,7 @@ def _progress_from_args(args):
 
 
 def _emit_json(args, report) -> None:
+    report.attach_telemetry()  # no-op unless a telemetry session is active
     if args.json_out is None:
         return
     if args.json_out == "-":
@@ -279,6 +313,7 @@ def cmd_stream_run(args) -> int:
     from .exec import Report, ReportEntry
     from .stream_bench import StreamHarness, all_apps
     from .stream_bench.controller import build_stream_design
+    from .stream_bench.harness import StreamMeasurement
 
     import numpy as np
 
@@ -301,11 +336,26 @@ def cmd_stream_run(args) -> int:
         return 1
     total = design.dfe.simulator.cycles
     elements = vectors * harness.lanes
+    measurement = StreamMeasurement(
+        app_name=app.name,
+        elements=elements,
+        runs=1,
+        cycles_per_run=cycles,
+        clock_mhz=design.dfe.clock_mhz,
+        host_overhead_ns=design.dfe.board.pcie.call_overhead_ns,
+        bytes_per_element=app.bytes_per_element,
+        lanes=harness.lanes,
+    ).record_telemetry()
     print(
         f"{app.name}: {vectors} vectors ({elements * 8 / 1024:.0f} KB) "
         f"on the {args.engine} engine (verified against NumPy)"
     )
     print(f"  compute cycles: {cycles}, total simulated: {total}")
+    print(
+        f"  bandwidth: {measurement.mbps:,.0f} MB/s of "
+        f"{measurement.peak_mbps:,.0f} peak "
+        f"({measurement.efficiency * 100:.2f}%)"
+    )
     print(f"  wall time: {wall:.3f} s ({total / wall:,.0f} cycles/s)")
     report = Report(title="STREAM cycle-accurate run")
     report.entries.append(
@@ -319,6 +369,9 @@ def cmd_stream_run(args) -> int:
                 "elements": elements,
                 "total_cycles": total,
                 "wall_seconds": round(wall, 6),
+                "mbps": round(measurement.mbps, 1),
+                "peak_mbps": round(measurement.peak_mbps, 1),
+                "efficiency": round(measurement.efficiency, 6),
             },
         )
     )
@@ -402,12 +455,39 @@ def _describe_op(op) -> str:
     return repr(op)
 
 
+def _segment_stats(compiled, mems) -> list[dict]:
+    """Dry per-segment cycle/element counts from the compiled program —
+    derived from trace shapes alone, no execution.  ``elements`` is None
+    for describe-only programs (no live memory to take the lane count
+    from)."""
+    stats = []
+    for seg in compiled.segments:
+        elements = 0
+        for step in seg.steps:
+            mem = mems.get(step.mem)
+            if mem is None:
+                elements = None
+                break
+            ports = len(step.reads) + (1 if step.write is not None else 0)
+            elements += step.n * mem.lanes * ports
+        stats.append(
+            {
+                "index": seg.index,
+                "traces": len(seg.steps),
+                "cycles": seg.access_cycles,
+                "elements": elements,
+            }
+        )
+    return stats
+
+
 def cmd_program_dump(args) -> int:
     from .program import compile_program
     from .program.lower import lower_demo
 
     program, mems = lower_demo(args.kernel)
     compiled = compile_program(program)
+    stats = _segment_stats(compiled, mems) if args.stats else None
     if args.json_out is not None:
         import json
 
@@ -434,6 +514,14 @@ def cmd_program_dump(args) -> int:
                 for seg in compiled.segments
             ],
         }
+        if stats is not None:
+            doc["stats"] = {
+                "segments": stats,
+                "total_cycles": sum(s["cycles"] for s in stats),
+                "total_elements": None
+                if any(s["elements"] is None for s in stats)
+                else sum(s["elements"] for s in stats),
+            }
         text = json.dumps(doc, indent=2, default=str)
         if args.json_out == "-":
             print(text)
@@ -467,6 +555,19 @@ def cmd_program_dump(args) -> int:
             ports = f" ports={list(step.reads)}" if step.reads else ""
             print(f"      trace: {shape} mem={step.mem!r} "
                   f"cycles={step.n}{ports}")
+    if stats is not None:
+        print("  stats (dry, from trace shapes):")
+        print(f"    {'segment':>7s} {'traces':>7s} {'cycles':>8s} "
+              f"{'elements':>9s}")
+        for s in stats:
+            elems = "-" if s["elements"] is None else str(s["elements"])
+            print(f"    {s['index']:7d} {s['traces']:7d} {s['cycles']:8d} "
+                  f"{elems:>9s}")
+        total_elems = sum(s["elements"] or 0 for s in stats)
+        elems = "-" if any(s["elements"] is None for s in stats) \
+            else str(total_elems)
+        print(f"    {'total':>7s} {sum(s['traces'] for s in stats):7d} "
+              f"{sum(s['cycles'] for s in stats):8d} {elems:>9s}")
     return 0
 
 
@@ -488,6 +589,23 @@ def cmd_experiments(args) -> int:
     print(card.report.render())
     _emit_json(args, card.report)
     return 0 if card.ok else 1
+
+
+def cmd_telemetry_summary(args) -> int:
+    import json
+
+    from .core.exceptions import ConfigurationError
+    from .telemetry import load_snapshot, render_summary
+
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    try:
+        snapshot = load_snapshot(json.loads(text))
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"{args.file}: not a telemetry snapshot ({exc})"
+        ) from exc
+    print(render_summary(snapshot), end="")
+    return 0
 
 
 def cmd_productivity(args) -> int:
@@ -589,7 +707,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="emit the dump as JSON ('-' or no value: stdout)",
     )
+    p_pdump.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-segment cycle/element counts derived from the "
+        "compiled trace shapes (no execution)",
+    )
+    _add_telemetry_args(p_pdump)
     p_pdump.set_defaults(fn=cmd_program_dump)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect recorded telemetry snapshots"
+    )
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+    p_tsum = tel_sub.add_parser(
+        "summary",
+        help="pretty-print a telemetry snapshot (a report JSON with a "
+        "telemetry block, or a raw snapshot)",
+    )
+    p_tsum.add_argument("file", help="JSON file ('-' reads stdin)")
+    p_tsum.set_defaults(fn=cmd_telemetry_summary)
 
     p_prod = sub.add_parser("productivity", help="Table II analysis (§III-C)")
     p_prod.set_defaults(fn=cmd_productivity)
@@ -612,7 +749,24 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    want_metrics = getattr(args, "metrics", False)
+    trace_out = getattr(args, "trace_out", None)
+    if not want_metrics and trace_out is None:
+        return args.fn(args)
+    # --metrics / --trace-out: run the command inside a telemetry session
+    from .telemetry import Telemetry, render_summary, session
+
+    tel = Telemetry(tracing=trace_out is not None, label=args.command)
+    with session(tel):
+        rc = args.fn(args)
+    if trace_out is not None:
+        tel.tracer.close_open_spans()
+        tel.tracer.save(trace_out)
+        print(f"trace written to {trace_out} "
+              f"(load it at https://ui.perfetto.dev)", file=sys.stderr)
+    if want_metrics:
+        print(render_summary(tel.snapshot()), end="")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -58,6 +58,7 @@ from .patterns import PatternKind
 from .plan import AccessPlan, AccessTrace, compile_plan
 from .schemes import SCHEME_SPECS, flat_module_assignment
 from .shuffle import InverseShuffle, Shuffle
+from ..telemetry import context as _telemetry
 
 __all__ = ["PolyMem", "AccessRequest", "AccessTrace", "PortStats"]
 
@@ -187,11 +188,16 @@ class PolyMem:
         """
         key = (PatternKind(kind), stride)
         plan = self._plan_cache.get(key)
+        tel = _telemetry.active()
         if plan is None:
+            if tel is not None:
+                tel.metrics.counter("polymem.plan_cache.misses").inc()
             plan = compile_plan(
                 self.rows, self.cols, self.p, self.q, self.scheme, key[0], stride
             )
             self._plan_cache[key] = plan
+        elif tel is not None:
+            tel.metrics.counter("polymem.plan_cache.hits").inc()
         return plan
 
     # -- architectural single-access path -------------------------------------
@@ -245,6 +251,7 @@ class PolyMem:
         used_ports = [p for p, _ in reads]
         if len(set(used_ports)) != len(used_ports):
             raise PortError("multiple reads issued to the same port in one cycle")
+        tel = _telemetry.active()
         # expand the write first so read/write collisions can be resolved
         # per the configured BRAM port policy; the slot index is built only
         # when a policy actually consults it (read_first never does)
@@ -288,6 +295,10 @@ class PolyMem:
                             f"{int(slots[lane])} (read {request}, "
                             f"write {write[0]})"
                         )
+                    if tel is not None:
+                        tel.metrics.counter("polymem.collision.forwarded").inc(
+                            int(np.count_nonzero(hit))
+                        )
                     result = result.copy()
                     result[hit] = write_by_lane[w_order[pos[hit]]]
             results[port] = result
@@ -308,6 +319,12 @@ class PolyMem:
             self.banks.write(self._lane_idx, addr_by_bank, data_by_bank)
             self.write_stats.record(self.lanes)
         self.cycles += 1
+        if tel is not None:
+            m = tel.metrics
+            m.counter("polymem.cycles.step").inc()
+            m.counter("polymem.parallel_accesses").inc(
+                len(reads) + (1 if write is not None else 0)
+            )
         return results
 
     def read(
@@ -398,6 +415,11 @@ class PolyMem:
         self.cycles += n
         self.read_stats[port].accesses += n
         self.read_stats[port].elements += n * self.lanes
+        tel = _telemetry.active()
+        if tel is not None:
+            m = tel.metrics
+            m.counter("polymem.cycles.batch").inc(n)
+            m.counter("polymem.parallel_accesses").inc(n)
         return out
 
     def write_batch(
@@ -423,6 +445,11 @@ class PolyMem:
         self.cycles += n
         self.write_stats.accesses += n
         self.write_stats.elements += n * self.lanes
+        tel = _telemetry.active()
+        if tel is not None:
+            m = tel.metrics
+            m.counter("polymem.cycles.batch").inc(n)
+            m.counter("polymem.parallel_accesses").inc(n)
 
     # -- whole-trace replay ----------------------------------------------------
     def _expand_stream(self, stream):
@@ -463,6 +490,16 @@ class PolyMem:
         Returns a dict mapping each read port to its ``(n, lanes)`` result
         matrix (row *t* is what ``step`` cycle *t* would have returned).
         """
+        tel = _telemetry.active()
+        if tel is None or tel.tracer is None:
+            return self._replay(trace)
+        with tel.tracer.span(
+            "polymem.replay", cat="core", cycles=trace.n,
+            ports=len(trace.read_ports), write=trace.has_write,
+        ):
+            return self._replay(trace)
+
+    def _replay(self, trace: AccessTrace) -> dict[int, np.ndarray]:
         n = trace.n
         for port in trace.read_ports:
             if not 0 <= port < self.read_ports:
@@ -546,6 +583,7 @@ class PolyMem:
             raise SimulationError(
                 f"replay flagged cycle {t_star} but serial step succeeded"
             )  # pragma: no cover - detection is property-tested against step
+        tel = _telemetry.active()
         results: dict[int, np.ndarray] = {}
         for port, (r_slots, _) in reads.items():
             # pre-trace state; same-trace writes are folded in below.
@@ -561,6 +599,10 @@ class PolyMem:
                     else:
                         hit = wt < t_col
                     if hit.any():
+                        if tel is not None:
+                            tel.metrics.counter("polymem.collision.forwarded").inc(
+                                int(np.count_nonzero(hit))
+                            )
                         result[hit] = last_val[r_slots[hit]]
                 else:
                     bound = (
@@ -575,6 +617,10 @@ class PolyMem:
                         kw_sorted[clipped] // (n + 1) == r_slots.ravel()
                     )
                     if hit.any():
+                        if tel is not None:
+                            tel.metrics.counter("polymem.collision.forwarded").inc(
+                                int(np.count_nonzero(hit))
+                            )
                         flat = result.reshape(-1)
                         flat[hit] = w_values.ravel()[w_order[clipped[hit]]]
             results[port] = result
@@ -588,6 +634,13 @@ class PolyMem:
             self.write_stats.accesses += n
             self.write_stats.elements += n * self.lanes
         self.cycles += n
+        if tel is not None:
+            m = tel.metrics
+            m.counter("polymem.replay.calls").inc()
+            m.counter("polymem.cycles.replay").inc(n)
+            m.counter("polymem.parallel_accesses").inc(
+                n * (len(reads) + (1 if w_slots is not None else 0))
+            )
         return results
 
     # -- partial (masked) accesses ---------------------------------------------

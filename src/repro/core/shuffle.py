@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .exceptions import PatternError, SimulationError
+from ..telemetry import context as _telemetry
 
 __all__ = [
     "Shuffle",
@@ -188,9 +189,14 @@ class BenesNetwork(Shuffle):
         perm = permutation_from_banks(np.asarray(perm))
         key = np.ascontiguousarray(perm, dtype=np.int64).tobytes()
         cached = self._route_cache.get(key)
+        tel = _telemetry.active()
         if cached is None:
+            if tel is not None:
+                tel.metrics.counter("benes.route_cache.misses").inc()
             cached = self._route_two_coloring(perm.tolist())
             self._route_cache[key] = cached
+        elif tel is not None:
+            tel.metrics.counter("benes.route_cache.hits").inc()
         # stage arrays are shared; callers treat them as read-only settings
         return list(cached)
 

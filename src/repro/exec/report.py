@@ -113,6 +113,25 @@ class Report:
         )
         self.meta["workers"] = max(self.meta.get("workers", 1), sweep.workers)
 
+    def attach_telemetry(self, telemetry=None) -> None:
+        """Merge a telemetry snapshot into ``meta["telemetry"]``.
+
+        *telemetry* may be a :class:`~repro.telemetry.Telemetry` session, a
+        ready snapshot dict, or ``None`` to use the active session (no-op
+        when telemetry is off) — so report producers can call this
+        unconditionally.
+        """
+        if telemetry is None:
+            from ..telemetry import context as _telemetry
+
+            telemetry = _telemetry.active()
+            if telemetry is None:
+                return
+        snapshot = (
+            telemetry if isinstance(telemetry, dict) else telemetry.snapshot()
+        )
+        self.meta["telemetry"] = snapshot
+
     # -- serialization ------------------------------------------------------
     def to_json(self, indent: int | None = 2) -> str:
         payload = {

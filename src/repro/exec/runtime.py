@@ -28,6 +28,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..telemetry import context as _telemetry
 from .cache import MISS, ResultCache, cache_key
 
 __all__ = ["SweepTask", "RunResult", "SweepResult", "run_sweep", "resolve_workers"]
@@ -199,8 +200,31 @@ def run_sweep(
                 value, seconds = fut.result()
                 finish(i, value, seconds)
 
-    return SweepResult(
+    sweep = SweepResult(
         results=results,  # type: ignore[arg-type]  (all slots filled above)
         wall_seconds=time.perf_counter() - t_start,
         workers=n_workers,
     )
+    tel = _telemetry.active()
+    if tel is not None:
+        m = tel.metrics
+        m.counter("exec.points").inc(total)
+        m.counter("exec.cache.hits").inc(sweep.n_cached)
+        m.counter("exec.cache.misses").inc(sweep.n_computed)
+        m.counter("exec.wall_seconds").inc(sweep.wall_seconds)
+        m.counter("exec.compute_seconds").inc(sweep.compute_seconds)
+        m.gauge("exec.workers").set(n_workers)
+        task_hist = m.histogram("exec.task_seconds")
+        for r in sweep.results:
+            if not r.cached:
+                task_hist.observe(r.seconds)
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                "exec.sweep",
+                cat="exec",
+                points=total,
+                cached=sweep.n_cached,
+                workers=n_workers,
+                wall_seconds=sweep.wall_seconds,
+            )
+    return sweep

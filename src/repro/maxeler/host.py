@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..core.exceptions import SimulationError
+from ..telemetry import context as _telemetry
 from .dfe import DFE
 
 __all__ = ["Host", "StageTiming"]
@@ -64,15 +65,42 @@ class Host:
     def _charge_pcie(self, payload_bytes: int, calls: int = 1) -> None:
         link = self.dfe.board.pcie
         ns = calls * link.call_overhead_ns + payload_bytes / link.bandwidth_gbps
+        t0 = self.clock_ns
         self.clock_ns += ns
         self._stage.calls += calls
         self._stage.pcie_ns += ns
         self._stage.payload_bytes += payload_bytes
+        tel = _telemetry.active()
+        if tel is not None:
+            m = tel.metrics
+            m.counter("pcie.calls").inc(calls)
+            m.counter("pcie.payload_bytes").inc(payload_bytes)
+            m.counter("pcie.overhead_ns").inc(calls * link.call_overhead_ns)
+            m.counter("pcie.ns").inc(ns)
+            if tel.tracer is not None:
+                tel.tracer.complete_ns(
+                    "pcie.transfer", t0, ns, cat="pcie",
+                    payload_bytes=payload_bytes, calls=calls,
+                )
 
     def _charge_compute(self, cycles: int) -> None:
         ns = self.dfe.cycles_to_ns(cycles)
+        t0 = self.clock_ns
         self.clock_ns += ns
         self._stage.compute_ns += ns
+        tel = _telemetry.active()
+        if tel is not None and tel.tracer is not None:
+            tel.tracer.complete_ns(
+                "kernel.compute", t0, ns, cat="kernel", cycles=cycles
+            )
+
+    # -- telemetry ----------------------------------------------------------
+    def _host_call(self, name: str, **args):
+        """Span one blocking call on both tracks: real wall time via the
+        tracer stack, simulated time (the ledger's clock_ns interval) as an
+        explicit complete event.  A plain context manager when telemetry is
+        off."""
+        return _HostCallScope(self, name, args)
 
     # -- blocking calls -----------------------------------------------------
     @staticmethod
@@ -87,41 +115,81 @@ class Host:
 
         Returns the element count.
         """
-        stream = self.dfe.manager.host_input(name)
-        count = 0
-        payload = 0
-        for value in values:
-            stream.push(value)
-            payload += self._element_bytes(value)
-            count += 1
-        self._charge_pcie(payload_bytes=payload)
+        with self._host_call("write_stream", stream=name):
+            stream = self.dfe.manager.host_input(name)
+            count = 0
+            payload = 0
+            for value in values:
+                stream.push(value)
+                payload += self._element_bytes(value)
+                count += 1
+            self._charge_pcie(payload_bytes=payload)
         return count
 
     def read_stream(self, name: str) -> list[Any]:
         """Blocking DFE->host drain of output stream *name*."""
-        stream = self.dfe.manager.host_output(name)
-        values = stream.drain()
-        self._charge_pcie(
-            payload_bytes=sum(self._element_bytes(v) for v in values)
-        )
+        with self._host_call("read_stream", stream=name):
+            stream = self.dfe.manager.host_output(name)
+            values = stream.drain()
+            self._charge_pcie(
+                payload_bytes=sum(self._element_bytes(v) for v in values)
+            )
         return values
 
     def signal(self) -> None:
         """A payload-free control call (mode/size scalars)."""
-        self._charge_pcie(payload_bytes=0)
+        with self._host_call("signal"):
+            self._charge_pcie(payload_bytes=0)
 
     def run_kernel(self, until=None, max_cycles=None, engine=None):
         """Blocking kernel execution: runs the on-chip simulation and
         advances the wall clock by the consumed cycles plus one call
         overhead."""
-        before = self.dfe.simulator.cycles
-        result = self.dfe.run(until=until, max_cycles=max_cycles, engine=engine)
-        self._charge_pcie(payload_bytes=0)
-        self._charge_compute(result.cycles - before)
+        with self._host_call("run_kernel"):
+            before = self.dfe.simulator.cycles
+            result = self.dfe.run(until=until, max_cycles=max_cycles, engine=engine)
+            self._charge_pcie(payload_bytes=0)
+            self._charge_compute(result.cycles - before)
         return result
 
     def charge_external_compute(self, cycles: int) -> None:
         """Account for on-chip cycles computed analytically (the vectorized
         fast path) without ticking the simulator."""
-        self._charge_pcie(payload_bytes=0)
-        self._charge_compute(cycles)
+        with self._host_call("external_compute"):
+            self._charge_pcie(payload_bytes=0)
+            self._charge_compute(cycles)
+
+
+class _HostCallScope:
+    """Wall-clock span plus simulated-time interval for one host call."""
+
+    __slots__ = ("host", "name", "args", "tracer", "t0_sim")
+
+    def __init__(self, host: Host, name: str, args: dict):
+        self.host = host
+        self.name = name
+        self.args = args
+        tel = _telemetry.active()
+        self.tracer = tel.tracer if tel is not None else None
+        self.t0_sim = 0.0
+
+    def __enter__(self) -> "_HostCallScope":
+        if self.tracer is not None:
+            self.t0_sim = self.host.clock_ns
+            self.tracer.begin(f"host.{self.name}", cat="host", **self.args)
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if self.tracer is None:
+            return
+        if exc_type is not None:
+            self.tracer.end(aborted=True)
+            return
+        self.tracer.end()
+        self.tracer.complete_ns(
+            f"host.{self.name}",
+            self.t0_sim,
+            self.host.clock_ns - self.t0_sim,
+            cat="host",
+            **self.args,
+        )

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.exceptions import SimulationError
+from ..telemetry import context as _telemetry
 from .batch import BatchOp, PushClaim
 from .manager import Manager
 
@@ -154,6 +155,21 @@ class Simulator:
         cycles with work pending or a predicate unsatisfied) and on
         cycle-budget exhaustion.
         """
+        tel = _telemetry.active()
+        if tel is None or tel.tracer is None:
+            return self._run(until, max_cycles, engine, tel)
+        tracer = tel.tracer
+        start = self.cycles
+        tracer.begin("kernel.run", cat="sim", engine=engine or self.engine)
+        try:
+            result = self._run(until, max_cycles, engine, tel)
+        except BaseException:
+            tracer.end(cycles=self.cycles - start, aborted=True)
+            raise
+        tracer.end(cycles=self.cycles - start)
+        return result
+
+    def _run(self, until, max_cycles, engine, tel) -> SimulationResult:
         engine = engine if engine is not None else self.engine
         if engine not in ENGINES:
             raise SimulationError(f"unknown engine {engine!r} (use {ENGINES})")
@@ -162,38 +178,64 @@ class Simulator:
         batching = engine == "batched"
         start = self.cycles
         idle_streak = 0
-        while True:
-            if until is not None and until():
-                return self._result(quiesced=False)
-            if batching and idle_streak == 0:
-                chunk = self._plan_chunk(
-                    kernels, until, budget - (self.cycles - start)
-                )
-                if chunk is not None:
-                    self._run_chunk(*chunk)
+        # telemetry state, hoisted so the disabled-path loop cost is zero
+        metrics = tel.metrics if tel is not None else None
+        tracer = tel.tracer if tel is not None else None
+        if metrics is not None:
+            # eagerly create the core cycle counters so a snapshot always
+            # reports them (a stall-free run still shows 0 stall cycles)
+            metrics.counter("sim.stall_cycles")
+            metrics.counter("sim.cycles.scalar")
+            metrics.counter("sim.cycles.batched")
+        seg_cycles = None  # cycle count when the open scalar-segment span began
+        try:
+            while True:
+                if until is not None and until():
+                    return self._result(quiesced=False)
+                if batching and idle_streak == 0:
+                    chunk = self._plan_chunk(
+                        kernels, until, budget - (self.cycles - start)
+                    )
+                    if chunk is not None:
+                        if tracer is not None and seg_cycles is not None:
+                            tracer.end(cycles=self.cycles - seg_cycles)
+                            seg_cycles = None
+                        self._run_chunk(*chunk)
+                        continue
+                    if metrics is not None:
+                        metrics.counter("sim.plan_rejects").inc()
+                if self.cycles - start >= budget:
+                    raise SimulationError(
+                        f"simulation exceeded {budget} cycles without completing"
+                    )
+                if tracer is not None and seg_cycles is None:
+                    tracer.begin("segment.scalar", cat="sim")
+                    seg_cycles = self.cycles
+                progressed = self._tick_all(kernels)
+                self.cycles += 1
+                if metrics is not None:
+                    metrics.counter("sim.cycles.scalar").inc()
+                    if not progressed:
+                        metrics.counter("sim.stall_cycles").inc()
+                if self.observers:
+                    for obs in self.observers:
+                        obs.on_cycle(self, progressed)
+                if progressed:
+                    idle_streak = 0
                     continue
-            if self.cycles - start >= budget:
-                raise SimulationError(
-                    f"simulation exceeded {budget} cycles without completing"
-                )
-            progressed = self._tick_all(kernels)
-            self.cycles += 1
-            if self.observers:
-                for obs in self.observers:
-                    obs.on_cycle(self, progressed)
-            if progressed:
-                idle_streak = 0
-                continue
-            if until is None and not self._pending_work():
-                return self._result(quiesced=True)
-            # one idle cycle can be legal (e.g. bubble); two in a row with
-            # the run still unfinished is a deadlock
-            idle_streak += 1
-            if idle_streak >= 2:
-                raise SimulationError(
-                    f"deadlock after {self.cycles} cycles in design "
-                    f"{self.manager.name!r}"
-                )
+                if until is None and not self._pending_work():
+                    return self._result(quiesced=True)
+                # one idle cycle can be legal (e.g. bubble); two in a row
+                # with the run still unfinished is a deadlock
+                idle_streak += 1
+                if idle_streak >= 2:
+                    raise SimulationError(
+                        f"deadlock after {self.cycles} cycles in design "
+                        f"{self.manager.name!r}"
+                    )
+        finally:
+            if tracer is not None and seg_cycles is not None:
+                tracer.end(cycles=self.cycles - seg_cycles)
 
     def _tick_all(self, kernels) -> bool:
         progressed = False
@@ -296,6 +338,10 @@ class Simulator:
         return plans, order, n
 
     def _run_chunk(self, plans, order, n: int) -> None:
+        tel = _telemetry.active()
+        tracer = tel.tracer if tel is not None else None
+        if tracer is not None:
+            tracer.begin("segment.batched", cat="sim", cycles=n)
         clock = time.perf_counter_ns
         for op in order:
             t0 = clock()
@@ -304,6 +350,17 @@ class Simulator:
         for kernel, plan in plans:
             kernel._charge(n, plan.is_active)
         self.cycles += n
+        if tel is not None:
+            m = tel.metrics
+            m.counter("sim.chunks").inc()
+            m.counter("sim.cycles.batched").inc(n)
+            m.histogram("sim.chunk_cycles").observe(n)
+            # stream occupancy sampled at chunk boundaries (never per push
+            # — that is the hot path the batched engine exists to avoid)
+            for name, stream in self.manager.streams.items():
+                m.gauge(f"stream.depth.{name}").set(len(stream))
+        if tracer is not None:
+            tracer.end()
         if self.observers:
             for obs in self.observers:
                 obs.on_chunk(self, n, plans)

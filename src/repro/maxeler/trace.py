@@ -41,6 +41,7 @@ class TraceRecorder:
 
     def __post_init__(self) -> None:
         self.simulator = Simulator(self.manager)
+        self._prev_active: dict[str, int] = {}
 
     def _snapshot(self) -> None:
         active = tuple(
@@ -72,6 +73,25 @@ class TraceRecorder:
         self._prev_active[kernel.name] = now
         return now > prev
 
+    def attach(self) -> "TraceRecorder":
+        """Register on ``simulator.observers`` — idempotent: a recorder
+        already attached stays attached *once*, so repeated ``attach()``
+        (or an ``attach()`` followed by :meth:`run`, which attaches too)
+        never double-counts events.  Resets the per-kernel activity
+        baseline to the current counters."""
+        self._prev_active = {
+            k.name: k.active_cycles for k in self.manager.kernels.values()
+        }
+        if self not in self.simulator.observers:
+            self.simulator.observers.append(self)
+        return self
+
+    def detach(self) -> None:
+        """Unregister from ``simulator.observers``; a no-op when not
+        attached (idempotent, mirroring :meth:`attach`)."""
+        if self in self.simulator.observers:
+            self.simulator.observers.remove(self)
+
     def run(
         self,
         until=None,
@@ -80,23 +100,20 @@ class TraceRecorder:
     ):
         """Run the wrapped simulator, snapshotting after every cycle.
 
-        The recorder attaches itself as a simulator observer for the
-        duration of the run, so it traces both engines: scalar ticks
-        snapshot one event per cycle; batched chunks expand into one
-        synthesized event per fast-forwarded cycle (stream depths show
-        the post-chunk state — interior depths are not materialized by
-        the vectorized path).
+        The recorder attaches itself as a simulator observer (idempotently
+        — a manual :meth:`attach` beforehand is safe) and detaches after
+        the run, so it traces both engines: scalar ticks snapshot one
+        event per cycle; batched chunks expand into one synthesized event
+        per fast-forwarded cycle (stream depths show the post-chunk state
+        — interior depths are not materialized by the vectorized path).
         """
-        self._prev_active: dict[str, int] = {
-            k.name: k.active_cycles for k in self.manager.kernels.values()
-        }
-        self.simulator.observers.append(self)
+        self.attach()
         try:
             return self.simulator.run(
                 until=until, max_cycles=max_cycles, engine=engine
             )
         finally:
-            self.simulator.observers.remove(self)
+            self.detach()
 
     # -- simulator observer hooks -------------------------------------------
     def on_cycle(self, sim, progressed: bool) -> None:

@@ -22,6 +22,8 @@ from typing import Any, Mapping
 
 from ..core.exceptions import ProgramError
 from ..core.polymem import PolyMem
+from ..telemetry import context as _telemetry
+from ..telemetry.observers import TelemetryObserver
 from .ir import AccessProgram, Compute
 from .passes import CompiledProgram, compile_program, warm_plans
 from .report import CycleScope, KernelReport
@@ -115,6 +117,11 @@ def execute(
         if isinstance(program, CompiledProgram)
         else compile_program(program)
     )
+    tel = _telemetry.active()
+    if tel is not None:
+        # telemetry rides the existing hook surface — one observer per
+        # execution, appended after the caller's own observers
+        observers = (*observers, TelemetryObserver(tel))
     prog = compiled.program
     mems = _resolve_mems(compiled, polymem)
     warm_plans(compiled, mems)

@@ -19,6 +19,7 @@ compute stage's wall clock enters the bandwidth figure.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,7 @@ import numpy as np
 from ..core.exceptions import SimulationError
 from ..hw.calibration import STREAM_COPY
 from ..maxeler.conditions import StreamFill
+from ..telemetry import context as _telemetry
 from .apps import DEFAULT_SCALAR, StreamApp
 from .controller import Job, JobsDone, Mode, StreamDesign, build_stream_design
 
@@ -35,6 +37,9 @@ __all__ = ["StreamMeasurement", "StreamHarness", "Fig10Point", "sweep_fig10"]
 #: the MUX/feedback hop of the last element (exactly 2 in the tick
 #: simulator, for every app and every size — see tests/stream_bench)
 PIPELINE_SLACK_CYCLES = 2
+
+#: reusable no-op context for telemetry-off stage scopes
+_NULL = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,18 @@ class StreamMeasurement:
         """Measured / peak (the paper's >99% headline at 700 KB)."""
         return self.mbps / self.peak_mbps
 
+    def record_telemetry(self) -> "StreamMeasurement":
+        """Publish achieved/peak bandwidth into the active telemetry
+        session (no-op when telemetry is off); returns self for chaining."""
+        tel = _telemetry.active()
+        if tel is not None:
+            m = tel.metrics
+            m.gauge("stream.achieved_mbps").set(self.mbps)
+            m.gauge("stream.peak_mbps").set(self.peak_mbps)
+            m.gauge("stream.efficiency").set(self.efficiency)
+            m.counter("stream.measurements").inc()
+        return self
+
 
 class StreamHarness:
     """Orchestrates Load / compute / Offload over a Fig. 9 design."""
@@ -123,14 +140,16 @@ class StreamHarness:
         }
         self.host.begin_stage("load")
         ctrl = self.design.controller
-        for idx, key in enumerate("abc"):
-            bits = arrays[key].view(np.uint64).reshape(vectors, self.lanes)
-            self.host.write_stream(f"{key}_in", list(bits))
-            self.host.write_stream("job", [Job(Mode.LOAD, vectors, array=idx)])
-            self.host.run_kernel(
-                until=JobsDone(ctrl, ctrl.completed_jobs + 1),
-                max_cycles=20 * vectors + 10_000,
-            )
+        tel = _telemetry.active()
+        with tel.span("stage.load", cat="stream", vectors=vectors) if tel else _NULL:
+            for idx, key in enumerate("abc"):
+                bits = arrays[key].view(np.uint64).reshape(vectors, self.lanes)
+                self.host.write_stream(f"{key}_in", list(bits))
+                self.host.write_stream("job", [Job(Mode.LOAD, vectors, array=idx)])
+                self.host.run_kernel(
+                    until=JobsDone(ctrl, ctrl.completed_jobs + 1),
+                    max_cycles=20 * vectors + 10_000,
+                )
         return arrays
 
     def run_app(self, app: StreamApp, vectors: int, scalar: float = DEFAULT_SCALAR) -> int:
@@ -145,13 +164,20 @@ class StreamHarness:
         ctrl = self.design.controller
         self.host.begin_stage(app.name.lower())
         before = self.design.dfe.simulator.cycles
-        self.host.write_stream(
-            "job", [Job(app.mode, vectors, scalar=scalar)]
+        tel = _telemetry.active()
+        scope = (
+            tel.span(f"stage.compute.{app.name}", cat="stream", vectors=vectors)
+            if tel
+            else _NULL
         )
-        self.host.run_kernel(
-            until=JobsDone(ctrl, ctrl.completed_jobs + 1),
-            max_cycles=30 * vectors + 100_000,
-        )
+        with scope:
+            self.host.write_stream(
+                "job", [Job(app.mode, vectors, scalar=scalar)]
+            )
+            self.host.run_kernel(
+                until=JobsDone(ctrl, ctrl.completed_jobs + 1),
+                max_cycles=30 * vectors + 100_000,
+            )
         return self.design.dfe.simulator.cycles - before
 
     def offload_array(self, array_index: int, vectors: int) -> np.ndarray:
@@ -160,14 +186,21 @@ class StreamHarness:
         self.host.begin_stage("offload")
         out_name = f"{'abc'[array_index]}_out"
         out_stream = self.design.dfe.manager.host_output(out_name)
-        self.host.write_stream(
-            "job", [Job(Mode.OFFLOAD, vectors, array=array_index)]
+        tel = _telemetry.active()
+        scope = (
+            tel.span("stage.offload", cat="stream", vectors=vectors)
+            if tel
+            else _NULL
         )
-        self.host.run_kernel(
-            until=StreamFill(out_stream, vectors),
-            max_cycles=30 * vectors + 100_000,
-        )
-        rows = self.host.read_stream(out_name)
+        with scope:
+            self.host.write_stream(
+                "job", [Job(Mode.OFFLOAD, vectors, array=array_index)]
+            )
+            self.host.run_kernel(
+                until=StreamFill(out_stream, vectors),
+                max_cycles=30 * vectors + 100_000,
+            )
+            rows = self.host.read_stream(out_name)
         return np.concatenate([np.asarray(r) for r in rows]).view(np.float64)
 
     # -- end-to-end measurement ---------------------------------------------
@@ -205,7 +238,7 @@ class StreamHarness:
             host_overhead_ns=self.design.dfe.board.pcie.call_overhead_ns,
             bytes_per_element=app.bytes_per_element,
             lanes=self.lanes,
-        )
+        ).record_telemetry()
 
     def measure_analytic(
         self, app: StreamApp, vectors: int, runs: int = 1000
@@ -222,7 +255,7 @@ class StreamHarness:
             host_overhead_ns=self.design.dfe.board.pcie.call_overhead_ns,
             bytes_per_element=app.bytes_per_element,
             lanes=self.lanes,
-        )
+        ).record_telemetry()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,49 @@
+"""Unified telemetry: a metrics registry plus span tracing.
+
+One :class:`Telemetry` session observes a whole run — PolyMem replays,
+Benes routing, the tick simulator, the host/PCIe ledger, the program
+engine and the exec runtime all report into it through the
+:func:`~repro.telemetry.context.active` guard, which costs one function
+call returning ``None`` when telemetry is off (the shipped default).
+
+    from repro.telemetry import Telemetry, session
+
+    tel = Telemetry(tracing=True, label="my run")
+    with session(tel):
+        ...  # any simulation / sweep / program execution
+    tel.tracer.save("trace.json")       # load in https://ui.perfetto.dev
+    print(render_summary(tel.snapshot()))
+
+See ``docs/observability.md`` for the metric catalog and span hierarchy.
+"""
+
+from .context import (
+    SNAPSHOT_FORMAT,
+    Telemetry,
+    activate,
+    active,
+    deactivate,
+    session,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observers import TelemetryObserver
+from .spans import SpanTracer
+from .summary import derived_values, load_snapshot, render_summary
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "Telemetry",
+    "activate",
+    "active",
+    "deactivate",
+    "session",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryObserver",
+    "SpanTracer",
+    "derived_values",
+    "load_snapshot",
+    "render_summary",
+]

@@ -1,0 +1,115 @@
+"""The telemetry session: one context threaded through every layer.
+
+A :class:`Telemetry` object bundles a :class:`~repro.telemetry.metrics.
+MetricsRegistry` and (optionally) a :class:`~repro.telemetry.spans.
+SpanTracer`.  Exactly one session can be *active* at a time; hot paths
+discover it through :func:`active`:
+
+    from ..telemetry import context as _telemetry
+    ...
+    tel = _telemetry.active()
+    if tel is not None:
+        tel.metrics.counter("polymem.replay.calls").inc()
+
+When no session is active (the default), the cost at every
+instrumentation site is one function call returning ``None`` —
+``benchmarks/bench_telemetry_overhead.py`` measures exactly that and
+gates it below 5 % of workload time.  Because sites go through the
+module attribute (``_telemetry.active``), the benchmark can also swap in
+a counting stub to enumerate guard evaluations.
+
+Activation is deliberately global rather than per-object: the whole
+point is to observe a run end-to-end (CLI command, benchmark pass,
+test) without threading a handle through PolyMem, Benes routing, the
+simulator, the program engine and the exec runtime.  The simulation
+layers only ever *read* from telemetry state, so an active session
+cannot perturb results (property-tested in
+``tests/telemetry/test_bit_identical.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .spans import SpanTracer
+
+__all__ = ["Telemetry", "active", "activate", "deactivate", "session"]
+
+SNAPSHOT_FORMAT = "repro.telemetry/1"
+
+ACTIVE: "Telemetry | None" = None
+
+
+class Telemetry:
+    """One telemetry session: metrics always, spans when ``tracing``."""
+
+    __slots__ = ("metrics", "tracer", "label")
+
+    def __init__(self, tracing: bool = False, label: str = ""):
+        self.metrics = MetricsRegistry()
+        self.tracer: SpanTracer | None = SpanTracer() if tracing else None
+        self.label = label
+
+    def span(self, name: str, cat: str = "repro", **args):
+        """A wall-clock span when tracing, else a no-op context."""
+        if self.tracer is not None:
+            return self.tracer.span(name, cat, **args)
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict:
+        """The per-run snapshot merged into reports / printed by
+        ``repro telemetry summary``."""
+        snap = {
+            "format": SNAPSHOT_FORMAT,
+            "label": self.label,
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.tracer is not None:
+            snap["trace_events"] = len(self.tracer.events)
+        return snap
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def active() -> Telemetry | None:
+    """The active session, or ``None`` — the single hot-path guard."""
+    return ACTIVE
+
+
+def activate(tel: Telemetry) -> Telemetry:
+    global ACTIVE
+    ACTIVE = tel
+    return tel
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def session(tel: Telemetry | None = None, tracing: bool = False, label: str = ""):
+    """Activate *tel* (or a fresh session) for the duration of a block.
+
+    Nesting restores the previous session on exit, so library code can
+    scope its own telemetry without clobbering an outer CLI session.
+    """
+    global ACTIVE
+    prev = ACTIVE
+    ACTIVE = tel if tel is not None else Telemetry(tracing=tracing, label=label)
+    try:
+        yield ACTIVE
+    finally:
+        ACTIVE = prev

@@ -1,0 +1,73 @@
+"""Telemetry riding the existing instrumentation surfaces.
+
+:class:`TelemetryObserver` implements the :class:`repro.program.engine.
+Observer` hook contract (duck-typed, so this module stays importable
+below ``repro.program`` in the layer order) and translates engine events
+into metrics and spans.  The engine auto-attaches one per execution when
+a telemetry session is active — no caller changes needed.
+
+The error contract matters here: a replay error aborts the program with
+*no* ``on_program_end``, so the program/segment spans this observer
+opened stay on the tracer stack; :meth:`SpanTracer.close_open_spans`
+closes them at export time with ``"aborted": true``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TelemetryObserver"]
+
+
+class TelemetryObserver:
+    """Program-engine observer feeding the active telemetry session."""
+
+    def __init__(self, telemetry):
+        self.telemetry = telemetry
+
+    # -- Observer hook surface (see repro.program.engine.Observer) ----------
+    def on_program_start(self, compiled, mems) -> None:
+        m = self.telemetry.metrics
+        m.counter("program.executions").inc()
+        m.counter("program.segments").inc(len(compiled.segments))
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.begin(
+                f"program:{compiled.program.name}",
+                cat="program",
+                segments=len(compiled.segments),
+                traces=compiled.n_traces,
+                access_cycles=compiled.access_cycles,
+            )
+
+    def on_segment_start(self, segment) -> None:
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.begin(
+                f"segment:{segment.index}",
+                cat="program",
+                steps=len(segment.steps),
+                access_cycles=segment.access_cycles,
+            )
+
+    def on_trace(self, segment, step, outputs, mem) -> None:
+        m = self.telemetry.metrics
+        m.counter("program.traces").inc()
+        m.counter("program.trace_cycles").inc(step.n)
+
+    def on_compute(self, segment, boundary, env) -> None:
+        self.telemetry.metrics.counter("program.compute_boundaries").inc()
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"compute:{getattr(boundary, 'label', '')}", cat="program"
+            )
+
+    def on_segment_end(self, segment, env) -> None:
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.end()
+
+    def on_program_end(self, result) -> None:
+        self.telemetry.metrics.counter("program.cycles").inc(result.report.cycles)
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.end(cycles=result.report.cycles)

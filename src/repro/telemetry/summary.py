@@ -1,0 +1,173 @@
+"""Snapshot loading and the human-facing telemetry summary.
+
+``repro telemetry summary FILE`` (and ``--metrics`` on run commands)
+renders a snapshot's raw counters plus the *derived* quantities the
+paper reasons in: achieved vs. theoretical bandwidth (Fig. 10), stall
+and scalar-fallback percentages (batched engine), cache hit rates
+(plans, Benes routes, exec results), PCIe overhead share (§V's ~300 ns
+amortization), and exec worker utilization.
+
+Accepted inputs: a raw telemetry snapshot (``repro.telemetry/1``) or a
+``repro.exec.report/1`` JSON whose ``meta.telemetry`` block carries one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .context import SNAPSHOT_FORMAT
+
+__all__ = ["load_snapshot", "derived_values", "render_summary"]
+
+
+def load_snapshot(source) -> dict:
+    """A telemetry snapshot from a dict, a JSON file path, or a
+    ``repro.exec`` report carrying one in ``meta.telemetry``."""
+    doc = source
+    if not isinstance(doc, dict):
+        with open(doc, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    if doc.get("format") == SNAPSHOT_FORMAT:
+        return doc
+    telemetry = doc.get("meta", {}).get("telemetry")
+    if isinstance(telemetry, dict) and telemetry.get("format") == SNAPSHOT_FORMAT:
+        return telemetry
+    raise ValueError(
+        "no telemetry snapshot found (expected format "
+        f"{SNAPSHOT_FORMAT!r} or an exec report with meta.telemetry)"
+    )
+
+
+def _rate(hits, misses) -> float | None:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def derived_values(snapshot: dict) -> list[tuple[str, str]]:
+    """Paper-relevant quantities computed from raw instruments, as
+    ``(label, formatted value)`` pairs; absent inputs are skipped."""
+    metrics = snapshot.get("metrics", {})
+    c = metrics.get("counters", {})
+    g = metrics.get("gauges", {})
+    out: list[tuple[str, str]] = []
+
+    scalar = c.get("sim.cycles.scalar", 0)
+    batched = c.get("sim.cycles.batched", 0)
+    total_cycles = scalar + batched
+    if total_cycles:
+        stall = c.get("sim.stall_cycles", 0)
+        out.append(("simulated cycles", f"{total_cycles}"))
+        out.append(
+            ("stall cycles", f"{stall} ({100.0 * stall / total_cycles:.2f}%)")
+        )
+        out.append(
+            (
+                "scalar-fallback cycles",
+                f"{scalar} ({100.0 * scalar / total_cycles:.2f}%)",
+            )
+        )
+
+    plan_rate = _rate(
+        c.get("polymem.plan_cache.hits", 0), c.get("polymem.plan_cache.misses", 0)
+    )
+    if plan_rate is not None:
+        out.append(("plan-cache hit rate", f"{100.0 * plan_rate:.1f}%"))
+    route_rate = _rate(
+        c.get("benes.route_cache.hits", 0), c.get("benes.route_cache.misses", 0)
+    )
+    if route_rate is not None:
+        out.append(("Benes route-cache hit rate", f"{100.0 * route_rate:.1f}%"))
+
+    achieved = (g.get("stream.achieved_mbps") or {}).get("value")
+    peak = (g.get("stream.peak_mbps") or {}).get("value")
+    if achieved is not None and peak:
+        out.append(
+            (
+                "achieved vs peak bandwidth",
+                f"{achieved:.1f} / {peak:.1f} MB/s "
+                f"({100.0 * achieved / peak:.1f}% of peak)",
+            )
+        )
+
+    pcie_ns = c.get("pcie.ns", 0.0)
+    if pcie_ns:
+        overhead = c.get("pcie.overhead_ns", 0.0)
+        out.append(
+            (
+                "PCIe time",
+                f"{pcie_ns / 1e3:.1f} us over {c.get('pcie.calls', 0)} calls, "
+                f"{c.get('pcie.payload_bytes', 0)} B payload "
+                f"({100.0 * overhead / pcie_ns:.1f}% call overhead)",
+            )
+        )
+
+    exec_rate = _rate(c.get("exec.cache.hits", 0), c.get("exec.cache.misses", 0))
+    if exec_rate is not None:
+        out.append(("exec cache hit rate", f"{100.0 * exec_rate:.1f}%"))
+    wall = c.get("exec.wall_seconds", 0.0)
+    workers = (g.get("exec.workers") or {}).get("value")
+    if wall and workers:
+        util = c.get("exec.compute_seconds", 0.0) / (wall * workers)
+        out.append(("exec worker utilization", f"{100.0 * util:.1f}%"))
+
+    return out
+
+
+def _fmt_number(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_summary(snapshot: dict) -> str:
+    """The full pretty-printed summary: counters, gauges, histograms,
+    then the derived section."""
+    metrics = snapshot.get("metrics", {})
+    lines: list[str] = []
+    label = snapshot.get("label") or ""
+    title = f"telemetry summary{f' — {label}' if label else ''}"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        width = max(len(k) for k in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {_fmt_number(value)}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges (last / min / max)")
+        width = max(len(k) for k in gauges)
+        for name, gv in gauges.items():
+            lines.append(
+                f"  {name:<{width}}  {_fmt_number(gv['value'])}"
+                f" / {_fmt_number(gv['min'])} / {_fmt_number(gv['max'])}"
+            )
+
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / max)")
+        width = max(len(k) for k in histograms)
+        for name, hv in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  {hv['count']}"
+                f" / {_fmt_number(hv['mean'])} / {_fmt_number(hv['max'])}"
+            )
+
+    derived = derived_values(snapshot)
+    if derived:
+        lines.append("")
+        lines.append("derived")
+        width = max(len(k) for k, _ in derived)
+        for name, value in derived:
+            lines.append(f"  {name:<{width}}  {value}")
+
+    if snapshot.get("trace_events") is not None:
+        lines.append("")
+        lines.append(f"trace events: {snapshot['trace_events']}")
+    return "\n".join(lines)

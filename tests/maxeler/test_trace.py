@@ -118,3 +118,42 @@ class TestTraceRecorder:
         rec = TraceRecorder(mgr, watch_streams=("src.out->dly.in",))
         rec.run()
         assert set(rec.peak_depths()) == {"src.out->dly.in"}
+
+
+class TestAttachDetachIdempotency:
+    def test_double_attach_does_not_double_count(self):
+        # regression: attach() used to append unconditionally, so a manual
+        # attach followed by run() (which attaches too) snapshotted every
+        # cycle twice
+        mgr, snk = pipeline()
+        rec = TraceRecorder(mgr)
+        rec.attach()
+        rec.attach()
+        assert rec.simulator.observers.count(rec) == 1
+        result = rec.run()
+        assert len(rec.events) == result.cycles
+        assert snk.collected == list(range(6))
+
+    def test_detach_is_idempotent(self):
+        mgr, _ = pipeline()
+        rec = TraceRecorder(mgr)
+        rec.detach()  # never attached: no-op
+        rec.attach()
+        rec.detach()
+        rec.detach()
+        assert rec not in rec.simulator.observers
+
+    def test_run_detaches_afterwards(self):
+        mgr, _ = pipeline()
+        rec = TraceRecorder(mgr)
+        rec.run()
+        assert rec not in rec.simulator.observers
+
+    def test_manual_attach_run_counts_once_per_cycle(self):
+        mgr, _ = pipeline(n=40, latency=2)
+        rec = TraceRecorder(mgr)
+        result = rec.attach().simulator.run()
+        assert len(rec.events) == result.cycles
+        assert [e.cycle for e in rec.events] == list(
+            range(1, result.cycles + 1)
+        )

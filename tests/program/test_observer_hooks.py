@@ -1,0 +1,123 @@
+"""Observer hook ordering, including the documented error contract.
+
+Per the :class:`repro.program.engine.Observer` docstring, a replay error
+aborts the program mid-hook sequence: hooks already fired stay fired and
+``on_program_end`` is never called.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PolyMemConfig
+from repro.core.exceptions import PolyMemError
+from repro.core.polymem import PolyMem
+from repro.program import AccessProgram, Observer, execute
+from repro.telemetry import Telemetry, deactivate, session
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    deactivate()
+    yield
+    deactivate()
+
+
+class RecordingObserver(Observer):
+    def __init__(self):
+        self.calls = []
+
+    def on_program_start(self, compiled, mems):
+        self.calls.append("program_start")
+
+    def on_segment_start(self, segment):
+        self.calls.append(f"segment_start:{segment.index}")
+
+    def on_trace(self, segment, step, outputs, mem):
+        self.calls.append("trace")
+
+    def on_compute(self, segment, boundary, env):
+        self.calls.append("compute")
+
+    def on_segment_end(self, segment, env):
+        self.calls.append(f"segment_end:{segment.index}")
+
+    def on_program_end(self, result):
+        self.calls.append("program_end")
+
+
+def _memory():
+    cfg = PolyMemConfig(4096, p=2, q=4, scheme="ReRo", rows=16, cols=32)
+    pm = PolyMem(cfg)
+    rng = np.random.default_rng(11)
+    pm.load(rng.integers(0, 2**63, size=(16, 32), dtype=np.uint64))
+    return pm
+
+
+def _good_program():
+    prog = AccessProgram("good")
+    prog.read("row", [0], [0], tag="a")
+    prog.compute(lambda env: {"done": 1}, label="finish")
+    return prog
+
+
+def _failing_program():
+    prog = AccessProgram("bad")
+    prog.read("row", [0], [0], tag="a")
+    prog.barrier()
+    # second segment: anchor far outside the 16x32 space -> replay error
+    prog.read("row", [40], [0], tag="b")
+    return prog
+
+
+class TestHookOrdering:
+    def test_successful_program_fires_every_hook_in_order(self):
+        obs = RecordingObserver()
+        execute(_good_program(), _memory(), observers=(obs,))
+        assert obs.calls == [
+            "program_start",
+            "segment_start:0",
+            "trace",
+            "compute",
+            "segment_end:0",
+            "program_end",
+        ]
+
+    def test_replay_error_skips_on_program_end(self):
+        obs = RecordingObserver()
+        with pytest.raises(PolyMemError):
+            execute(_failing_program(), _memory(), observers=(obs,))
+        assert obs.calls == [
+            "program_start",
+            "segment_start:0",
+            "trace",
+            "segment_end:0",
+            "segment_start:1",
+        ]
+        assert "program_end" not in obs.calls
+
+
+class TestTelemetryOnErrorPaths:
+    def test_aborted_program_leaves_spans_recoverable(self):
+        with session(Telemetry(tracing=True)) as tel:
+            with pytest.raises(PolyMemError):
+                execute(_failing_program(), _memory())
+        # program + segment spans were left open by the abort ...
+        assert tel.tracer.open_spans == 2
+        # ... and export closes them, flagged aborted
+        doc = tel.tracer.to_chrome_trace()
+        aborted = [
+            e["name"]
+            for e in doc["traceEvents"]
+            if e.get("args", {}).get("aborted")
+        ]
+        assert "program:bad" in aborted
+        assert "segment:1" in aborted
+
+    def test_telemetry_observer_rides_active_session(self):
+        with session(Telemetry()) as tel:
+            execute(_good_program(), _memory())
+        counters = tel.metrics.to_dict()["counters"]
+        assert counters["program.executions"] == 1
+        assert counters["program.traces"] == 1
+        assert counters["program.compute_boundaries"] == 1
+        assert counters["program.cycles"] > 0

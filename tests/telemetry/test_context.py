@@ -1,0 +1,73 @@
+"""Tests for the global telemetry session context."""
+
+import pytest
+
+from repro.telemetry import Telemetry, activate, active, deactivate, session
+from repro.telemetry.context import SNAPSHOT_FORMAT, _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    deactivate()
+    yield
+    deactivate()
+
+
+class TestContext:
+    def test_inactive_by_default(self):
+        assert active() is None
+
+    def test_activate_and_deactivate(self):
+        tel = Telemetry()
+        assert activate(tel) is tel
+        assert active() is tel
+        deactivate()
+        assert active() is None
+
+    def test_session_restores_previous(self):
+        outer = Telemetry(label="outer")
+        with session(outer):
+            assert active() is outer
+            with session(Telemetry(label="inner")) as inner:
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with session():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_session_builds_fresh_telemetry(self):
+        with session(tracing=True, label="t") as tel:
+            assert tel.tracer is not None
+            assert tel.label == "t"
+
+
+class TestTelemetry:
+    def test_span_without_tracer_is_null(self):
+        tel = Telemetry()
+        assert tel.span("x") is _NULL_SPAN
+        with tel.span("x"):
+            pass  # must be a usable no-op context
+
+    def test_span_with_tracer_records(self):
+        tel = Telemetry(tracing=True)
+        with tel.span("x"):
+            pass
+        assert tel.tracer.events[0]["name"] == "x"
+
+    def test_snapshot_shape(self):
+        tel = Telemetry(label="run")
+        tel.metrics.counter("a").inc()
+        snap = tel.snapshot()
+        assert snap["format"] == SNAPSHOT_FORMAT
+        assert snap["label"] == "run"
+        assert snap["metrics"]["counters"] == {"a": 1}
+        assert "trace_events" not in snap
+
+    def test_snapshot_counts_trace_events(self):
+        tel = Telemetry(tracing=True)
+        tel.tracer.instant("m")
+        assert tel.snapshot()["trace_events"] == 1

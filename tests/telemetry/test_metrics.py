@@ -1,0 +1,96 @@
+"""Tests for the metrics registry instruments."""
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_float_amounts(self):
+        c = Counter()
+        c.inc(0.25)
+        c.inc(0.5)
+        assert c.value == 0.75
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        g = Gauge()
+        for v in (3, 7, 1, 5):
+            g.set(v)
+        assert g.value == 5
+        assert g.min == 1
+        assert g.max == 7
+        assert g.n == 4
+
+    def test_to_dict_empty(self):
+        assert Gauge().to_dict() == {
+            "value": None, "min": None, "max": None, "n": 0,
+        }
+
+
+class TestHistogram:
+    def test_bucket_of_powers_of_two(self):
+        assert Histogram.bucket_of(0) == 1
+        assert Histogram.bucket_of(1) == 1
+        assert Histogram.bucket_of(1.5) == 2
+        assert Histogram.bucket_of(5) == 8
+        assert Histogram.bucket_of(8) == 8
+        assert Histogram.bucket_of(9) == 16
+
+    def test_observe_stats(self):
+        h = Histogram()
+        for v in (2, 6, 10):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 18
+        assert h.mean == 6
+        assert h.min == 2
+        assert h.max == 10
+        assert h.buckets == {2: 1, 8: 1, 16: 1}
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_to_dict_uses_string_bucket_keys(self):
+        h = Histogram()
+        h.observe(3)
+        assert h.to_dict()["buckets"] == {"4": 1}
+
+
+class TestRegistry:
+    def test_instruments_are_lazily_created_and_cached(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        assert reg.counter("a") is c
+        g = reg.gauge("b")
+        assert reg.gauge("b") is g
+        h = reg.histogram("c")
+        assert reg.histogram("c") is h
+
+    def test_timer_observes_seconds(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        h = reg.histogram("t")
+        assert h.count == 1
+        assert h.min >= 0
+
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.counter("a.count").inc()
+        reg.gauge("depth").set(3)
+        reg.histogram("sizes").observe(4)
+        d = reg.to_dict()
+        assert list(d) == ["counters", "gauges", "histograms"]
+        assert list(d["counters"]) == ["a.count", "z.count"]
+        assert d["counters"]["z.count"] == 2
+        assert d["gauges"]["depth"]["value"] == 3
+        assert d["histograms"]["sizes"]["count"] == 1

@@ -1,0 +1,115 @@
+"""Tests for the span tracer and its Chrome-trace-event export."""
+
+import json
+
+import pytest
+
+from repro.telemetry import SpanTracer
+
+
+@pytest.fixture
+def clocked():
+    """A tracer with a manually advanced nanosecond clock."""
+    state = {"ns": 0}
+    tracer = SpanTracer(clock=lambda: state["ns"])
+    return tracer, state
+
+
+class TestSpans:
+    def test_begin_end_emits_complete_event(self, clocked):
+        tracer, clock = clocked
+        tracer.begin("work", cat="test", size=3)
+        clock["ns"] = 5_000
+        tracer.end(cycles=7)
+        (ev,) = tracer.events
+        assert ev["ph"] == "X"
+        assert ev["name"] == "work"
+        assert ev["cat"] == "test"
+        assert ev["ts"] == 0.0
+        assert ev["dur"] == 5.0  # microseconds
+        assert ev["tid"] == 1  # wall track
+        assert ev["args"] == {"size": 3, "cycles": 7}
+
+    def test_nested_spans_close_inner_first(self, clocked):
+        tracer, clock = clocked
+        tracer.begin("outer")
+        clock["ns"] = 1_000
+        tracer.begin("inner")
+        clock["ns"] = 2_000
+        tracer.end()
+        clock["ns"] = 4_000
+        tracer.end()
+        names = [e["name"] for e in tracer.events]
+        assert names == ["inner", "outer"]
+        inner, outer = tracer.events
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_end_without_open_span_is_noop(self, clocked):
+        tracer, _ = clocked
+        tracer.end()
+        assert tracer.events == []
+
+    def test_span_context_manager_flags_aborted(self, clocked):
+        tracer, _ = clocked
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (ev,) = tracer.events
+        assert ev["args"]["aborted"] is True
+
+    def test_instant_event(self, clocked):
+        tracer, clock = clocked
+        clock["ns"] = 3_000
+        tracer.instant("marker", cat="test", k=1)
+        (ev,) = tracer.events
+        assert ev["ph"] == "i"
+        assert ev["ts"] == 3.0
+        assert ev["args"] == {"k": 1}
+
+    def test_complete_ns_lands_on_sim_track(self, clocked):
+        tracer, _ = clocked
+        tracer.complete_ns("pcie.transfer", 10_000, 2_000, cat="pcie", bytes=64)
+        (ev,) = tracer.events
+        assert ev["tid"] == 2  # sim track
+        assert ev["ts"] == 10.0
+        assert ev["dur"] == 2.0
+
+    def test_close_open_spans_flags_all_aborted(self, clocked):
+        tracer, _ = clocked
+        tracer.begin("a")
+        tracer.begin("b")
+        assert tracer.open_spans == 2
+        tracer.close_open_spans()
+        assert tracer.open_spans == 0
+        assert all(e["args"]["aborted"] for e in tracer.events)
+        # inner closes first, so nesting stays consistent
+        assert [e["name"] for e in tracer.events] == ["b", "a"]
+
+
+class TestExport:
+    def test_chrome_trace_has_track_metadata(self, clocked):
+        tracer, _ = clocked
+        tracer.begin("x")
+        tracer.end()
+        doc = tracer.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ns"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"wall time", "sim time"}
+        assert {m["tid"] for m in meta} == {1, 2}
+
+    def test_export_closes_dangling_spans(self, clocked):
+        tracer, _ = clocked
+        tracer.begin("left-open")
+        doc = tracer.to_chrome_trace()
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["args"]["aborted"] is True
+
+    def test_save_roundtrip(self, clocked, tmp_path):
+        tracer, _ = clocked
+        tracer.begin("x")
+        tracer.end()
+        path = tmp_path / "trace.json"
+        tracer.save(path)
+        doc = json.loads(path.read_text())
+        assert any(e["name"] == "x" for e in doc["traceEvents"])

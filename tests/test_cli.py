@@ -245,3 +245,106 @@ class TestExecFlags:
         )
         assert proc.returncode == 0
         assert "repro" in proc.stdout
+
+
+class TestTelemetryFlags:
+    def test_stream_run_metrics_and_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        report_path = tmp_path / "run.json"
+        rc = main(
+            ["stream", "run", "--engine", "batched", "--vectors", "96",
+             "--metrics", "--trace-out", str(trace),
+             "--json", str(report_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # the metrics summary, with the acceptance-relevant derived lines
+        assert "telemetry summary" in out
+        assert "scalar-fallback cycles" in out
+        assert "stall cycles" in out
+        assert "plan-cache hit rate" in out
+        assert "achieved vs peak bandwidth" in out
+        # a Perfetto-loadable trace with nested host->pcie->kernel->segment
+        doc = json.loads(trace.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        names = {e["name"] for e in doc["traceEvents"]}
+        for expected in ("host.write_stream", "host.run_kernel",
+                        "pcie.transfer", "kernel.run", "segment.batched"):
+            assert expected in names, expected
+        assert not any(
+            e.get("args", {}).get("aborted") for e in doc["traceEvents"]
+        )
+        # the snapshot also lands in the JSON report's meta
+        report = Report.from_json(report_path.read_text())
+        snap = report.meta["telemetry"]
+        assert snap["format"] == "repro.telemetry/1"
+        counters = snap["metrics"]["counters"]
+        assert counters["sim.stall_cycles"] >= 0
+        assert counters["sim.cycles.scalar"] >= 0
+        assert "polymem.plan_cache.hits" in counters
+        assert snap["metrics"]["gauges"]["stream.peak_mbps"]["value"] > 0
+
+    def test_telemetry_off_leaves_no_session(self, capsys):
+        from repro.telemetry import active
+
+        assert main(["stream", "run", "--vectors", "64"]) == 0
+        assert active() is None
+        assert "telemetry summary" not in capsys.readouterr().out
+
+    def test_telemetry_summary_command(self, tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        assert main(
+            ["stream", "run", "--vectors", "64", "--metrics",
+             "--json", str(report_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "derived" in out
+
+    def test_telemetry_summary_rejects_plain_json(self, tmp_path):
+        from repro.core.exceptions import ConfigurationError
+
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ConfigurationError):
+            main(["telemetry", "summary", str(path)])
+
+    def test_dse_accepts_telemetry_flags(self, capsys):
+        assert main(["dse", "--metrics"]) == 0
+        assert "telemetry summary" in capsys.readouterr().out
+
+
+class TestProgramDumpStats:
+    def test_text_stats(self, capsys):
+        assert main(["program", "dump", "matmul", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "stats (dry, from trace shapes)" in out
+        assert "elements" in out
+
+    def test_json_stats_totals(self, capsys):
+        assert main(["program", "dump", "matmul", "--stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        stats = doc["stats"]
+        assert stats["total_cycles"] == sum(
+            s["cycles"] for s in stats["segments"]
+        )
+        assert stats["total_cycles"] == doc["access_cycles"]
+        assert stats["total_elements"] > 0
+        for seg in stats["segments"]:
+            assert seg["elements"] % seg["cycles"] == 0  # lanes x ports
+
+    def test_describe_only_program_has_no_element_counts(self, capsys):
+        assert main(
+            ["program", "dump", "stream_copy", "--stats", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["total_elements"] is None
+        assert all(
+            s["elements"] is None for s in doc["stats"]["segments"]
+        )
+
+    def test_stats_off_by_default(self, capsys):
+        assert main(["program", "dump", "matmul", "--json"]) == 0
+        assert "stats" not in json.loads(capsys.readouterr().out)
