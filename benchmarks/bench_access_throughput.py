@@ -2,7 +2,7 @@
 
 The access-plan compiler caches the anchor-invariant half of each access
 family and ``PolyMem.replay`` executes whole traces as fancy-indexed
-NumPy operations.  This bench measures accesses/second through four
+NumPy operations.  This bench measures accesses/second through five
 paths on the same workload — a stream of conflict-free ROW reads plus a
 rectangle write stream — across schemes and lane counts:
 
@@ -11,28 +11,40 @@ rectangle write stream — across schemes and lane counts:
 * **planned step** — the default per-access path, applying the compiled
   plan per ``step()``;
 * **batched replay** — one :class:`AccessTrace` for the whole stream;
-* **access program** — the stream lowered through the
+* **access program (interp)** — the stream lowered through the
   :class:`~repro.program.AccessProgram` IR and run by
-  :func:`~repro.program.execute` (validate → coalesce → replay), timing
-  the whole lowering pipeline, not just the resulting replay.
+  :func:`~repro.program.execute` with ``backend="interp"`` (validate →
+  coalesce → replay), timing the whole lowering pipeline, not just the
+  resulting replay;
+* **access program (fused)** — the same program on ``backend="fused"``:
+  the fusion pass specializes the segment group into a precomputed
+  fancy-index kernel, cached content-addressed, so repeat executions
+  skip plan expansion and collision ordering entirely.
 
-All four paths are bit-identical (asserted here on results and cycles;
-property-tested in ``tests/core/test_plan_equivalence.py`` and
-``tests/program/test_engine_equivalence.py``).  The headline acceptance
-is >= 10x for replay vs the per-access ``step()`` on the 64-lane RoCo
-configuration, and the program path must keep >= 0.9x of direct-replay
-throughput (the IR adds compilation, not per-cycle work); the smoke
-variant (>= 2x vs scalar step on a small config) backs the CI perf
-gate.  Run directly with ``--smoke`` for the gate only.
+All five paths are bit-identical (asserted here on results and cycles;
+property-tested in ``tests/core/test_plan_equivalence.py``,
+``tests/program/test_engine_equivalence.py`` and
+``tests/program/test_fusion_equivalence.py``).  The headline acceptances
+are >= 10x for replay vs the per-access ``step()`` and >= 2x for the
+fused program path vs direct replay, both on the 64-lane RoCo
+configuration; the interp program path must keep >= 0.9x of
+direct-replay throughput (the IR adds compilation, not per-cycle work).
+The smoke variant backs the CI perf gates — replay and the interp
+program >= 2x the scalar step on a small config, the fused program
+>= 2x direct replay on a longer stream (its fixed fusion cost only
+amortizes over enough accesses) — and snapshots the fusion telemetry
+counters to ``benchmarks/out/fusion_counters_smoke.json``.  Run
+directly with ``--smoke`` for the gates only.
 """
 
 import io
+import json
 import sys
 import time
 
 import numpy as np
 
-from _util import save_report
+from _util import OUT_DIR, save_report
 
 from repro.core.agu import AccessRequest
 from repro.core.config import PolyMemConfig
@@ -110,13 +122,15 @@ def _replay_pass(pm, stream):
     return out, time.perf_counter() - t0
 
 
-def _program_pass(pm, stream):
+def _program_pass(pm, stream, backend):
     """The same stream through the access-program IR, end to end.
 
     The write fuses with the read stream, so the coalescer emits the
     exact trace ``_replay_pass`` builds by hand; the timed region covers
     program construction, compilation and the engine's bookkeeping — the
-    whole cost of choosing the IR over a hand-built trace."""
+    whole cost of choosing the IR over a hand-built trace.  On the fused
+    backend, repeat executions of the same access structure hit the
+    content-addressed kernel cache."""
     ri, rj, wi, wj, values = stream
     t0 = time.perf_counter()
     program = (
@@ -124,7 +138,7 @@ def _program_pass(pm, stream):
         .read(PatternKind.ROW, ri, rj, tag="out")
         .write(PatternKind.RECTANGLE, wi, wj, values, fuse=True)
     )
-    out = execute(program, pm)["out"]
+    out = execute(program, pm, backend=backend)["out"]
     return out, time.perf_counter() - t0
 
 
@@ -132,14 +146,18 @@ def _measure(label, p, q, scheme, accesses):
     results = {}
     walls = {}
     cycles = {}
-    batched = {"replay": _replay_pass, "program": _program_pass}
-    for path in ("scalar", "planned", "replay", "program"):
+    batched = {
+        "replay": _replay_pass,
+        "program": lambda pm, s: _program_pass(pm, s, "interp"),
+        "program_fused": lambda pm, s: _program_pass(pm, s, "fused"),
+    }
+    for path in ("scalar", "planned", "replay", "program", "program_fused"):
         if path in batched:
-            # best-of-3: the whole pass is a few ms, so take the min to
+            # best-of-5: the whole pass is a few ms, so take the min to
             # shed scheduler noise (the serial passes self-average over
             # hundreds of ms)
             wall = np.inf
-            for _ in range(3):
+            for _ in range(5):
                 pm, stream = _workload(p, q, scheme, accesses)
                 out, w = batched[path](pm, stream)
                 wall = min(wall, w)
@@ -152,9 +170,10 @@ def _measure(label, p, q, scheme, accesses):
     assert np.array_equal(results["scalar"], results["planned"])
     assert np.array_equal(results["scalar"], results["replay"])
     assert np.array_equal(results["scalar"], results["program"])
+    assert np.array_equal(results["scalar"], results["program_fused"])
     assert (
-        cycles["scalar"] == cycles["planned"]
-        == cycles["replay"] == cycles["program"]
+        cycles["scalar"] == cycles["planned"] == cycles["replay"]
+        == cycles["program"] == cycles["program_fused"]
     )
     # each cycle carries one read and one write: 2 accesses per cycle
     n_acc = 2 * accesses
@@ -169,21 +188,24 @@ def _measure(label, p, q, scheme, accesses):
         "planned_aps": aps["planned"],
         "replay_aps": aps["replay"],
         "program_aps": aps["program"],
+        "program_fused_aps": aps["program_fused"],
         "planned_speedup": aps["planned"] / aps["scalar"],
         "replay_vs_planned": aps["replay"] / aps["planned"],
         "replay_vs_scalar": aps["replay"] / aps["scalar"],
         "program_vs_replay": aps["program"] / aps["replay"],
         "program_vs_scalar": aps["program"] / aps["scalar"],
+        "program_fused_vs_replay": aps["program_fused"] / aps["replay"],
+        "program_fused_vs_scalar": aps["program_fused"] / aps["scalar"],
     }
 
 
 _HEADER = (
     "PRF access-path throughput — scalar/planned step vs replay vs program\n"
     "(one ROW read + one RECTANGLE write per cycle; results and cycle\n"
-    "counts bit-identical by assertion)\n\n"
+    "counts bit-identical by assertion; program timed on both backends)\n\n"
     f"{'config':>14s} {'accesses':>9s} {'scalar a/s':>11s} "
-    f"{'planned a/s':>12s} {'replay a/s':>12s} {'program a/s':>12s} "
-    f"{'replay/step':>12s} {'prog/replay':>12s}\n"
+    f"{'planned a/s':>12s} {'replay a/s':>12s} {'interp a/s':>12s} "
+    f"{'fused a/s':>12s} {'replay/step':>12s} {'fused/replay':>13s}\n"
 )
 
 
@@ -191,8 +213,8 @@ def _row(m):
     return (
         f"{m['label']:>14s} {m['accesses']:9d} {m['scalar_aps']:11.0f} "
         f"{m['planned_aps']:12.0f} {m['replay_aps']:12.0f} "
-        f"{m['program_aps']:12.0f} {m['replay_vs_planned']:11.1f}x "
-        f"{m['program_vs_replay']:11.2f}x\n"
+        f"{m['program_aps']:12.0f} {m['program_fused_aps']:12.0f} "
+        f"{m['replay_vs_planned']:11.1f}x {m['program_fused_vs_replay']:12.2f}x\n"
     )
 
 
@@ -210,14 +232,86 @@ def _entry(m):
             "planned_accesses_per_s": round(m["planned_aps"]),
             "replay_accesses_per_s": round(m["replay_aps"]),
             "program_accesses_per_s": round(m["program_aps"]),
+            "program_fused_accesses_per_s": round(m["program_fused_aps"]),
             "replay_vs_scalar": round(m["replay_vs_scalar"], 2),
             "program_vs_replay": round(m["program_vs_replay"], 2),
+            "program_fused_vs_replay": round(m["program_fused_vs_replay"], 2),
         },
     )
 
 
+#: the fused gate needs a longer stream: its fixed cost (program compile,
+#: group hashing) only amortizes over enough accesses
+_FUSED_SMOKE_ACCESSES = 4096
+
+
 def _smoke_measure():
     return _measure("8-lane ReRo", 2, 4, Scheme.ReRo, 512)
+
+
+def _fused_smoke_measure():
+    """The fused-backend CI gate: fused program vs direct replay on a
+    longer 8-lane stream, plus a fusion-counter telemetry snapshot."""
+    from repro.telemetry import Telemetry, session
+
+    walls = {}
+    results = {}
+    passes = {
+        "replay": _replay_pass,
+        "program_fused": lambda pm, s: _program_pass(pm, s, "fused"),
+    }
+    for path, fn in passes.items():
+        wall = np.inf
+        for _ in range(3):
+            pm, stream = _workload(2, 4, Scheme.ReRo, _FUSED_SMOKE_ACCESSES)
+            out, w = fn(pm, stream)
+            wall = min(wall, w)
+        walls[path] = wall
+        results[path] = out
+    assert np.array_equal(results["replay"], results["program_fused"])
+    # one extra (untimed) fused pass inside a telemetry session: the
+    # fusion counters CI archives as the regression snapshot
+    tel = Telemetry(label="access_throughput_smoke")
+    with session(tel):
+        pm, stream = _workload(2, 4, Scheme.ReRo, _FUSED_SMOKE_ACCESSES)
+        _program_pass(pm, stream, "fused")
+    counters = tel.snapshot()["metrics"]["counters"]
+    fusion_counters = {
+        k: v
+        for k, v in sorted(counters.items())
+        if k.startswith("program.fusion.") or k == "polymem.cycles.fused"
+    }
+    return {
+        "accesses": 2 * _FUSED_SMOKE_ACCESSES,
+        "program_fused_vs_replay": walls["replay"] / walls["program_fused"],
+        "fusion_counters": fusion_counters,
+    }
+
+
+def _save_fusion_counters(fused):
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "fusion_counters_smoke.json"
+    path.write_text(json.dumps(fused["fusion_counters"], indent=2) + "\n")
+    print(f"[fusion_counters_smoke] written to {path}")
+    return path
+
+
+def _smoke_report(m, fused):
+    report = Report(title="Access plans perf smoke (8-lane ReRo)")
+    report.entries.append(_entry(m))
+    report.entries.append(
+        ReportEntry(
+            experiment="access throughput",
+            quantity="fused program vs direct replay [x]",
+            measured=round(fused["program_fused_vs_replay"], 2),
+            metrics={
+                "accesses": fused["accesses"],
+                **fused["fusion_counters"],
+            },
+        )
+    )
+    save_report("access_throughput_smoke", _HEADER + _row(m), report)
+    _save_fusion_counters(fused)
 
 
 def test_access_throughput_report(benchmark):
@@ -236,7 +330,10 @@ def test_access_throughput_report(benchmark):
     # 64-lane RoCo configuration
     assert by_label["64-lane RoCo"]["replay_vs_planned"] >= 10
     assert by_label["64-lane RoCo"]["replay_vs_scalar"] >= 10
-    # lowering-overhead acceptance: the access-program pipeline must keep
+    # fused-backend acceptance: the specialized kernel must beat direct
+    # replay >= 2x on the 64-lane RoCo configuration
+    assert by_label["64-lane RoCo"]["program_fused_vs_replay"] >= 2.0
+    # lowering-overhead acceptance: the interp program pipeline must keep
     # >= 0.9x of direct-replay throughput on every configuration
     for m in by_label.values():
         assert m["program_vs_replay"] >= 0.9, m["label"]
@@ -246,16 +343,17 @@ def test_access_throughput_report(benchmark):
 
 
 def test_access_throughput_smoke(benchmark):
-    """The CI perf gate: batched replay must be >= 2x the scalar step —
-    and so must the program path (its fixed compile cost only amortizes
-    over long streams, so the 0.9x-of-replay gate lives in the report
-    test; here it just must not fall back to per-access speeds)."""
+    """The CI perf gates: batched replay and the interp program must be
+    >= 2x the scalar step (the interp fixed compile cost only amortizes
+    over long streams, so its 0.9x-of-replay gate lives in the report
+    test), and the fused program must be >= 2x direct replay on the
+    longer fused-gate stream."""
     m = _smoke_measure()
-    report = Report(title="Access plans perf smoke (8-lane ReRo)")
-    report.entries.append(_entry(m))
-    save_report("access_throughput_smoke", _HEADER + _row(m), report)
+    fused = _fused_smoke_measure()
+    _smoke_report(m, fused)
     assert m["replay_vs_scalar"] >= 2.0
     assert m["program_vs_scalar"] >= 2.0
+    assert fused["program_fused_vs_replay"] >= 2.0
     pm, stream = _workload(2, 4, Scheme.ReRo, 512)
     benchmark(lambda: _replay_pass(pm, stream))
 
@@ -263,15 +361,19 @@ def test_access_throughput_smoke(benchmark):
 if __name__ == "__main__":
     if "--smoke" in sys.argv:
         m = _smoke_measure()
-        report = Report(title="Access plans perf smoke (8-lane ReRo)")
-        report.entries.append(_entry(m))
-        save_report("access_throughput_smoke", _HEADER + _row(m), report)
+        fused = _fused_smoke_measure()
+        _smoke_report(m, fused)
         if m["replay_vs_scalar"] < 2.0:
             sys.exit(f"perf gate failed: {m['replay_vs_scalar']:.1f}x < 2x")
         if m["program_vs_scalar"] < 2.0:
             sys.exit(
                 f"perf gate failed: program path "
                 f"{m['program_vs_scalar']:.1f}x < 2x scalar step"
+            )
+        if fused["program_fused_vs_replay"] < 2.0:
+            sys.exit(
+                f"perf gate failed: fused program "
+                f"{fused['program_fused_vs_replay']:.1f}x < 2x direct replay"
             )
     else:
         out = io.StringIO()

@@ -42,6 +42,20 @@ They (plus ``program dump``) also share the :mod:`repro.telemetry` flags:
     segment → trace replay → compute boundary) and write
     Chrome-trace-event JSON to *PATH* for https://ui.perfetto.dev.
 
+``program dump`` adds two flags of its own on top of ``--json`` (same
+semantics as above — one helper, :func:`_add_json_arg`, defines the flag
+everywhere):
+
+``--backend {interp,fused}``
+    Which engine backend to compile the dump for (default: the engine
+    default, ``fused``).  With ``fused``, the dump includes the fusion
+    plan summary — groups formed, fused vs fallback steps, kernel-cache
+    hits/misses — for programs with live memories bound; describe-only
+    programs cannot be fusion-planned.
+``--stats``
+    Dry per-segment cycle/element counts derived from the compiled
+    trace shapes (no execution).
+
 Configuration-taking subcommands (``validate``, ``report``) build their
 :class:`~repro.core.config.PolyMemConfig` through the single
 :meth:`PolyMemConfig.from_any` surface (``--config`` file, flags, or both).
@@ -91,6 +105,20 @@ def _workers_arg(text: str) -> int:
     return value
 
 
+def _add_json_arg(sub, *, what: str = "the unified JSON report") -> None:
+    """The shared ``--json [PATH]`` flag — one definition for every
+    subcommand so semantics ('-' or no value: stdout) never drift."""
+    sub.add_argument(
+        "--json",
+        dest="json_out",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=f"emit {what} ('-' or no value: stdout)",
+    )
+
+
 def _add_exec_args(sub) -> None:
     """The shared repro.exec runtime flags (see the module docstring)."""
     sub.add_argument(
@@ -113,15 +141,7 @@ def _add_exec_args(sub) -> None:
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro)",
     )
-    sub.add_argument(
-        "--json",
-        dest="json_out",
-        nargs="?",
-        const="-",
-        default=None,
-        metavar="PATH",
-        help="emit the unified JSON report ('-' or no value: stdout)",
-    )
+    _add_json_arg(sub)
     _add_telemetry_args(sub)
 
 
@@ -488,12 +508,19 @@ def cmd_program_dump(args) -> int:
     program, mems = lower_demo(args.kernel)
     compiled = compile_program(program)
     stats = _segment_stats(compiled, mems) if args.stats else None
+    fusion = None
+    if args.backend == "fused" and mems:
+        from .program import fusion_plan, warm_plans
+
+        warm_plans(compiled, mems)
+        fusion = fusion_plan(compiled, mems).summary()
     if args.json_out is not None:
         import json
 
         doc = {
             "program": program.name,
             "metadata": dict(program.metadata),
+            "backend": args.backend,
             "memories": list(compiled.mems),
             "access_cycles": compiled.access_cycles,
             "ops": [_describe_op(op) for op in program.ops],
@@ -514,6 +541,8 @@ def cmd_program_dump(args) -> int:
                 for seg in compiled.segments
             ],
         }
+        if fusion is not None:
+            doc["fusion"] = fusion
         if stats is not None:
             doc["stats"] = {
                 "segments": stats,
@@ -555,6 +584,17 @@ def cmd_program_dump(args) -> int:
             ports = f" ports={list(step.reads)}" if step.reads else ""
             print(f"      trace: {shape} mem={step.mem!r} "
                   f"cycles={step.n}{ports}")
+    if fusion is not None:
+        cache = fusion["kernel_cache"]
+        print(f"  fusion ({args.backend} backend): {fusion['groups']} "
+              f"group(s) over {fusion['fused_segments']} segment(s)")
+        print(f"    fused steps: {fusion['fused_steps']}, "
+              f"fallback steps: {fusion['fallback_steps']}")
+        print(f"    kernel cache: {cache['plan_hits']} hit(s), "
+              f"{cache['plan_misses']} miss(es), {cache['size']} resident")
+    elif args.backend == "fused":
+        print("  fusion: unavailable (describe-only program, no live "
+              "memories)")
     if stats is not None:
         print("  stats (dry, from trace shapes):")
         print(f"    {'segment':>7s} {'traces':>7s} {'cycles':>8s} "
@@ -698,14 +738,15 @@ def build_parser() -> argparse.ArgumentParser:
         "segments",
     )
     p_pdump.add_argument("kernel", choices=list(DEMO_NAMES))
+    _add_json_arg(p_pdump, what="the dump as JSON")
+    from .program.engine import BACKENDS, DEFAULT_BACKEND
+
     p_pdump.add_argument(
-        "--json",
-        dest="json_out",
-        nargs="?",
-        const="-",
-        default=None,
-        metavar="PATH",
-        help="emit the dump as JSON ('-' or no value: stdout)",
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=list(BACKENDS),
+        help="engine backend to compile the dump for; 'fused' includes "
+        "the fusion plan summary (default: %(default)s)",
     )
     p_pdump.add_argument(
         "--stats",

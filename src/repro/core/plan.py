@@ -44,7 +44,7 @@ from .exceptions import PatternError, PortError
 from .patterns import PatternKind, pattern_offsets
 from .schemes import Scheme, flat_module_assignment
 
-__all__ = ["AccessPlan", "AccessTrace", "compile_plan"]
+__all__ = ["AccessPlan", "AccessTrace", "compile_plan", "stream_tables"]
 
 
 def _readonly(a: np.ndarray) -> np.ndarray:
@@ -270,6 +270,38 @@ class _Stream:
             return self.kinds[0]
         return self.kinds[int(self.codes[t])]
 
+    def tables(self, plan_of) -> tuple[np.ndarray, np.ndarray]:
+        """Expand this stream into ``(slots, valid)`` index tables.
+
+        ``plan_of(kind, stride)`` supplies the compiled
+        :class:`AccessPlan` for each pattern family (typically
+        ``PolyMem.plan``).  ``slots`` holds flat ``bank * depth +
+        address`` ids, ``(n, lanes)``; ``valid[t]`` is True when cycle
+        *t*'s access is in bounds and conflict-free.  Slot rows are
+        computed unconditionally (the residue tables accept any anchor,
+        producing garbage ids on invalid rows), so callers must gate
+        memory traffic on ``valid``.
+        """
+        ai, aj = self.anchors_i, self.anchors_j
+        if self.codes is None:
+            plan = plan_of(self.kinds[0], self.stride)
+            valid = plan.fits_mask(ai, aj) & plan.ok_mask(ai, aj)
+            return plan.slots_many(ai, aj), valid
+        n = self.n
+        slots = None
+        valid = np.empty(n, dtype=bool)
+        for code, kind in enumerate(self.kinds):
+            m = self.codes == code
+            mi, mj = ai[m], aj[m]
+            plan = plan_of(kind, self.stride)
+            if slots is None:
+                slots = np.empty((n, plan.lanes), dtype=np.int64)
+            valid[m] = plan.fits_mask(mi, mj) & plan.ok_mask(mi, mj)
+            slots[m] = plan.slots_many(mi, mj)
+        if slots is None:  # zero-length heterogeneous stream
+            slots = np.empty((0, 0), dtype=np.int64)
+        return slots, valid
+
     def sliced(self, stop: int) -> "_Stream":
         kind = (
             self.kinds[0]
@@ -280,6 +312,20 @@ class _Stream:
         return _Stream(
             kind, self.anchors_i[:stop], self.anchors_j[:stop], self.stride, values
         )
+
+
+def stream_tables(
+    kind, anchors_i, anchors_j, plan_of, stride: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand one access stream into ``(slots, valid)`` index tables.
+
+    The public face of the index-table expansion the replay path and the
+    fusion backend share: *kind* is one :class:`PatternKind` (or a
+    per-cycle sequence of kinds), ``plan_of(kind, stride)`` resolves each
+    family to its compiled :class:`AccessPlan`.  Returns the flat slot-id
+    table ``(n, lanes)`` plus the per-cycle validity mask ``(n,)``.
+    """
+    return _Stream(kind, anchors_i, anchors_j, stride).tables(plan_of)
 
 
 class AccessTrace:

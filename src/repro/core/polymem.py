@@ -460,22 +460,13 @@ class PolyMem:
         conflict-free.  Slot rows are computed unconditionally (the residue
         tables accept any anchor, producing garbage ids on invalid rows),
         but are only *used* to touch memory when the whole trace is valid.
+
+        The expansion itself lives on the stream
+        (:meth:`repro.core.plan._Stream.tables` /
+        :func:`repro.core.plan.stream_tables`) so the fusion backend can
+        precompute the same tables without a PolyMem in hand.
         """
-        ai, aj = stream.anchors_i, stream.anchors_j
-        if stream.codes is None:
-            plan = self.plan(stream.kinds[0], stream.stride)
-            valid = plan.fits_mask(ai, aj) & plan.ok_mask(ai, aj)
-            return plan.slots_many(ai, aj), valid
-        n = stream.n
-        slots = np.empty((n, self.lanes), dtype=np.int64)
-        valid = np.empty(n, dtype=bool)
-        for code, kind in enumerate(stream.kinds):
-            m = stream.codes == code
-            mi, mj = ai[m], aj[m]
-            plan = self.plan(kind, stream.stride)
-            valid[m] = plan.fits_mask(mi, mj) & plan.ok_mask(mi, mj)
-            slots[m] = plan.slots_many(mi, mj)
-        return slots, valid
+        return stream.tables(self.plan)
 
     def replay(self, trace: AccessTrace) -> dict[int, np.ndarray]:
         """Execute a whole :class:`AccessTrace` as vectorized operations.

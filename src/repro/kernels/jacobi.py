@@ -10,13 +10,15 @@ convention as the STREAM arithmetic kernels).  Each sweep fetches four
 shifted neighbour windows per tile row using strip (ROW) accesses; the
 update happens host-side, and the new grid is written back with ROW
 strips.  The whole solve lowers to one
-:class:`~repro.program.AccessProgram` (see :func:`jacobi_program`) —
+:class:`~repro.program.AccessProgram` (``build("kernel.jacobi")``) —
 sweep reads and write-backs alternate as separate traces, so every
 sweep observes the previous write-back exactly as the hand-built loop
 did.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -25,7 +27,8 @@ from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .base import KernelReport
 
 __all__ = ["jacobi_reference", "jacobi_program", "jacobi_solve"]
@@ -51,7 +54,7 @@ def jacobi_reference(grid: np.ndarray, iterations: int) -> np.ndarray:
     return g
 
 
-def jacobi_program(
+def _jacobi_program(
     grid: np.ndarray, iterations: int, p: int = 2, q: int = 4
 ) -> tuple[AccessProgram, PolyMem]:
     """Lower *iterations* Jacobi sweeps to one access program.
@@ -123,12 +126,26 @@ def jacobi_program(
     return prog, pm
 
 
+def jacobi_program(
+    grid: np.ndarray, iterations: int, p: int = 2, q: int = 4
+) -> tuple[AccessProgram, PolyMem]:
+    """Deprecated: use ``repro.program.builder.build("kernel.jacobi", ...)``."""
+    warnings.warn(
+        "jacobi_program() is deprecated; use "
+        "repro.program.builder.build('kernel.jacobi', grid=..., iterations=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _jacobi_program(grid, iterations, p, q)
+
+
 def jacobi_solve(
     grid: np.ndarray, iterations: int, p: int = 2, q: int = 4
 ) -> tuple[np.ndarray, KernelReport]:
     """Run *iterations* Jacobi sweeps with all grid traffic through PolyMem."""
-    prog, pm = jacobi_program(grid, iterations, p, q)
-    res = execute(prog, pm)
+    built = build("kernel.jacobi", grid=grid, iterations=iterations, p=p, q=q)
+    res = built.run()
+    pm = built.mems["default"]
     rows, cols = np.asarray(grid).shape
     result = _floats(pm.dump().ravel()).reshape(rows, cols)
     return result, res.report

@@ -10,11 +10,13 @@ and every operand fetch is a single conflict-free parallel access:
 
 A rectangle-only memory (ReO) would serialize the column fetches; the
 report quantifies the difference.  The kernel *lowers* to an
-:class:`~repro.program.AccessProgram` (see :func:`matmul_program`) and
+:class:`~repro.program.AccessProgram` (``build("kernel.matmul")``) and
 runs through the shared execution engine.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -24,13 +26,14 @@ from ..core.patterns import PatternKind
 from ..core.polymem import PolyMem
 from ..core.regions import RegionMap
 from ..core.schemes import Scheme
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .base import KernelReport
 
 __all__ = ["matmul", "matmul_program", "matmul_scalar_cycles"]
 
 
-def matmul_program(
+def _matmul_program(
     a: np.ndarray, b: np.ndarray, p: int = 2, q: int = 4
 ) -> tuple[AccessProgram, PolyMem]:
     """Lower ``C = A @ B`` to an access program over one RoCo memory.
@@ -95,6 +98,19 @@ def matmul_program(
     return prog, pm
 
 
+def matmul_program(
+    a: np.ndarray, b: np.ndarray, p: int = 2, q: int = 4
+) -> tuple[AccessProgram, PolyMem]:
+    """Deprecated: use ``repro.program.builder.build("kernel.matmul", ...)``."""
+    warnings.warn(
+        "matmul_program() is deprecated; use "
+        "repro.program.builder.build('kernel.matmul', a=..., b=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _matmul_program(a, b, p, q)
+
+
 def matmul(
     a: np.ndarray, b: np.ndarray, p: int = 2, q: int = 4
 ) -> tuple[np.ndarray, KernelReport]:
@@ -103,8 +119,7 @@ def matmul(
     Matrix dimensions must be multiples of ``p*q`` (the parallel-access
     length).  Returns the integer product and the cycle report.
     """
-    prog, pm = matmul_program(a, b, p, q)
-    res = execute(prog, pm)
+    res = build("kernel.matmul", a=a, b=b, p=p, q=q).run()
     return res["c"], res.report
 
 

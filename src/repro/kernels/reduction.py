@@ -5,11 +5,13 @@ row-sum reads rows, a column-sum reads columns.  RoCo serves both from the
 same stored matrix — one parallel access per ``p*q`` elements either way,
 demonstrating the multiview pay-off on a single data structure (the
 paper's §II-A motivation for multiview schemes).  Both directions lower
-to one-read-one-Compute access programs (:func:`reduce_rows_program`,
-:func:`reduce_columns_program`).
+to one-read-one-Compute access programs (``build("kernel.reduce_rows")``,
+``build("kernel.reduce_columns")``).
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -18,7 +20,8 @@ from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .base import KernelReport
 
 __all__ = [
@@ -48,7 +51,7 @@ def load_matrix(matrix: np.ndarray, p: int = 2, q: int = 4) -> PolyMem:
     return pm
 
 
-def reduce_rows_program(pm: PolyMem) -> AccessProgram:
+def _reduce_rows_program(pm: PolyMem) -> AccessProgram:
     """Lower per-row sums: one ROW read stream plus the summing Compute."""
     lanes = pm.lanes
     per_row = pm.cols // lanes
@@ -67,13 +70,24 @@ def reduce_rows_program(pm: PolyMem) -> AccessProgram:
     )
 
 
+def reduce_rows_program(pm: PolyMem) -> AccessProgram:
+    """Deprecated: use ``repro.program.builder.build("kernel.reduce_rows", ...)``."""
+    warnings.warn(
+        "reduce_rows_program() is deprecated; use "
+        "repro.program.builder.build('kernel.reduce_rows', pm=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _reduce_rows_program(pm)
+
+
 def reduce_rows(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
     """Per-row sums: streams ROW accesses (batch path)."""
-    res = execute(reduce_rows_program(pm), pm)
+    res = build("kernel.reduce_rows", pm=pm).run()
     return res["sums"], res.report
 
 
-def reduce_columns_program(pm: PolyMem) -> AccessProgram:
+def _reduce_columns_program(pm: PolyMem) -> AccessProgram:
     """Lower per-column sums: one COLUMN read stream plus the Compute."""
     lanes = pm.lanes
     per_col = pm.rows // lanes
@@ -92,7 +106,18 @@ def reduce_columns_program(pm: PolyMem) -> AccessProgram:
     )
 
 
+def reduce_columns_program(pm: PolyMem) -> AccessProgram:
+    """Deprecated: use ``repro.program.builder.build("kernel.reduce_columns", ...)``."""
+    warnings.warn(
+        "reduce_columns_program() is deprecated; use "
+        "repro.program.builder.build('kernel.reduce_columns', pm=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _reduce_columns_program(pm)
+
+
 def reduce_columns(pm: PolyMem) -> tuple[np.ndarray, KernelReport]:
     """Per-column sums: streams COLUMN accesses over the same data."""
-    res = execute(reduce_columns_program(pm), pm)
+    res = build("kernel.reduce_columns", pm=pm).run()
     return res["sums"], res.report

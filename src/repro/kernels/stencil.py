@@ -11,6 +11,8 @@ shifted window per output tile to an
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.config import PolyMemConfig
@@ -18,7 +20,8 @@ from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .base import KernelReport
 
 __all__ = [
@@ -44,7 +47,7 @@ def stencil_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
     return out
 
 
-def stencil_program(
+def _stencil_program(
     image: np.ndarray, weights: np.ndarray, p: int = 2, q: int = 4
 ) -> tuple[AccessProgram, PolyMem]:
     """Lower the stencil sweep to an access program over a ReRo memory.
@@ -118,6 +121,19 @@ def stencil_program(
     return prog, pm
 
 
+def stencil_program(
+    image: np.ndarray, weights: np.ndarray, p: int = 2, q: int = 4
+) -> tuple[AccessProgram, PolyMem]:
+    """Deprecated: use ``repro.program.builder.build("kernel.stencil", ...)``."""
+    warnings.warn(
+        "stencil_program() is deprecated; use "
+        "repro.program.builder.build('kernel.stencil', image=..., weights=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _stencil_program(image, weights, p, q)
+
+
 def stencil_sweep(
     image: np.ndarray, weights: np.ndarray, p: int = 2, q: int = 4
 ) -> tuple[np.ndarray, KernelReport]:
@@ -126,8 +142,7 @@ def stencil_sweep(
     Boundary cells use zero padding, handled host-side in the program's
     accumulate step.
     """
-    prog, pm = stencil_program(image, weights, p, q)
-    res = execute(prog, pm)
+    res = build("kernel.stencil", image=image, weights=weights, p=p, q=q).run()
     return res["out"], res.report
 
 

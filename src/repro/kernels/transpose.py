@@ -4,11 +4,13 @@ Reads ``p x q`` tiles, writes ``q x p`` tiles — both single-cycle at any
 anchor under ReTr.  The library version of ``examples/matrix_transpose.py``
 with batch-vectorized accesses and full cycle accounting, plus the
 serialization cost a rectangle-only memory would pay.  Lowers to a
-two-memory :class:`~repro.program.AccessProgram` (``src`` / ``dst``, see
-:func:`transpose_program`).
+two-memory :class:`~repro.program.AccessProgram` (``src`` / ``dst``,
+``build("kernel.transpose")``).
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -17,13 +19,14 @@ from ..core.exceptions import PatternError
 from ..core.patterns import PatternKind
 from ..core.polymem import PolyMem
 from ..core.schemes import Scheme
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .base import KernelReport
 
 __all__ = ["transpose", "transpose_program", "transpose_serial_cycles"]
 
 
-def transpose_program(
+def _transpose_program(
     matrix: np.ndarray, p: int = 2, q: int = 4
 ) -> tuple[AccessProgram, dict[str, PolyMem]]:
     """Lower the blocked transpose to a two-memory access program.
@@ -76,6 +79,19 @@ def transpose_program(
     return prog, {"src": src, "dst": dst}
 
 
+def transpose_program(
+    matrix: np.ndarray, p: int = 2, q: int = 4
+) -> tuple[AccessProgram, dict[str, PolyMem]]:
+    """Deprecated: use ``repro.program.builder.build("kernel.transpose", ...)``."""
+    warnings.warn(
+        "transpose_program() is deprecated; use "
+        "repro.program.builder.build('kernel.transpose', matrix=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _transpose_program(matrix, p, q)
+
+
 def transpose(
     matrix: np.ndarray, p: int = 2, q: int = 4
 ) -> tuple[np.ndarray, KernelReport]:
@@ -85,9 +101,9 @@ def transpose(
     square-compatible dims (``p | cols`` and ``q | rows``) so the
     transposed tiles land on a valid grid.
     """
-    prog, mems = transpose_program(matrix, p, q)
-    res = execute(prog, mems)
-    return mems["dst"].dump(), res.report
+    built = build("kernel.transpose", matrix=matrix, p=p, q=q)
+    res = built.run()
+    return built.mems["dst"].dump(), res.report
 
 
 def transpose_serial_cycles(rows: int, cols: int, p: int = 2, q: int = 4) -> int:

@@ -27,13 +27,15 @@ to stream at full rate; with one port the cycle model doubles.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.exceptions import PatternError, PortError
 from ..core.patterns import PatternKind
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .registers import RegisterFile, VectorRegister, _bits, _floats
 
 __all__ = ["ExecutionStats", "PrfMachine"]
@@ -86,6 +88,16 @@ class PrfMachine:
             )
 
     def _operand_program(self, *regs: VectorRegister) -> AccessProgram:
+        """Deprecated: use ``repro.program.builder.build("prf.operands", ...)``."""
+        warnings.warn(
+            "PrfMachine._operand_program() is deprecated; use "
+            "repro.program.builder.build('prf.operands', machine=..., regs=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._lower_operands(*regs)
+
+    def _lower_operands(self, *regs: VectorRegister) -> AccessProgram:
         """Lower operand streaming to an access program.
 
         With enough physical read ports (and equal-length streams) every
@@ -111,9 +123,26 @@ class PrfMachine:
             )
         return prog
 
+    def _lower_store(self, reg: VectorRegister, values: np.ndarray) -> AccessProgram:
+        """Lower a result store into *reg* as one replayed write trace."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != reg.shape:
+            raise PatternError(
+                f"register {reg.name!r} expects {reg.shape}, got {values.shape}"
+            )
+        frame = np.zeros(reg.region.shape, dtype=np.uint64)
+        frame[: reg.rows, : reg.cols] = _bits(values).reshape(reg.shape)
+        anchors_i, anchors_j = reg.region.anchor_grid()
+        return AccessProgram(f"prf_store_{reg.name}").write(
+            PatternKind.RECTANGLE,
+            anchors_i,
+            anchors_j,
+            values=reg.region.to_blocks(frame),
+        )
+
     def _load_operands(self, *regs: VectorRegister) -> list[np.ndarray]:
         """Stream operand registers out of the PRF via the program engine."""
-        res = execute(self._operand_program(*regs), self.rf.memory)
+        res = build("prf.operands", machine=self, regs=regs).run()
         out = []
         for k, reg in enumerate(regs):
             frame = reg.region.from_blocks(res[f"op{k}"])
@@ -124,21 +153,7 @@ class PrfMachine:
 
     def _store_result(self, reg: VectorRegister, values: np.ndarray) -> None:
         """Stream a result into *reg* as one replayed write trace."""
-        values = np.asarray(values, dtype=np.float64)
-        if values.shape != reg.shape:
-            raise PatternError(
-                f"register {reg.name!r} expects {reg.shape}, got {values.shape}"
-            )
-        frame = np.zeros(reg.region.shape, dtype=np.uint64)
-        frame[: reg.rows, : reg.cols] = _bits(values).reshape(reg.shape)
-        anchors_i, anchors_j = reg.region.anchor_grid()
-        prog = AccessProgram(f"prf_store_{reg.name}").write(
-            PatternKind.RECTANGLE,
-            anchors_i,
-            anchors_j,
-            values=reg.region.to_blocks(frame),
-        )
-        execute(prog, self.rf.memory)
+        build("prf.store", machine=self, reg=reg, values=values).run()
 
     def _binary(self, mnemonic, dst, a, b, fn) -> None:
         ra, rb, rd = self._reg(a), self._reg(b), self._reg(dst)

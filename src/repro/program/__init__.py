@@ -15,12 +15,29 @@ the schedule executor, the STREAM controller, the fused MAX-PolyMem
 chunk proof — *lowers* to this IR instead of hand-assembling
 :class:`~repro.core.plan.AccessTrace` objects.
 
+Programs are constructed through one builder surface
+(:mod:`repro.program.builder`: :func:`~repro.program.builder.build` and
+the fluent :class:`~repro.program.builder.ProgramBuilder`), and the
+engine runs them on one of two backends
+(:data:`~repro.program.engine.BACKENDS`): ``"fused"`` — the default —
+JIT-specializes barrier-free segment groups into precomputed
+fancy-index kernels (:mod:`repro.program.fuse`), while ``"interp"``
+replays step by step as the bit-exact reference.
+
 Demo lowerings live in :mod:`repro.program.lower` (imported lazily —
 it depends on the kernel modules, which import this package).
 """
 
 from .analysis import op_slots, slot_disjoint
-from .engine import Observer, ProgramResult, execute
+from .builder import BuiltProgram, ProgramBuilder, SPEC_NAMES, build
+from .engine import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    Observer,
+    ProgramResult,
+    execute,
+)
+from .fuse import FusionPlan, KernelCache, fusion_plan, kernel_cache
 from .ir import (
     AccessOp,
     AccessProgram,
@@ -42,19 +59,29 @@ from .report import CycleScope, KernelReport
 __all__ = [
     "AccessOp",
     "AccessProgram",
+    "BACKENDS",
     "Barrier",
+    "BuiltProgram",
     "CompiledProgram",
     "CompiledSegment",
     "Compute",
     "CycleScope",
+    "DEFAULT_BACKEND",
+    "FusionPlan",
+    "KernelCache",
     "KernelReport",
     "Observer",
     "ParallelRead",
     "ParallelWrite",
+    "ProgramBuilder",
     "ProgramResult",
+    "SPEC_NAMES",
     "TraceStep",
+    "build",
     "compile_program",
     "execute",
+    "fusion_plan",
+    "kernel_cache",
     "op_slots",
     "slot_disjoint",
     "validate_program",

@@ -1,0 +1,521 @@
+"""The fusion backend: specialized NumPy kernels for compiled programs.
+
+The interpreting engine dispatches each :class:`~repro.program.passes.
+TraceStep` through :meth:`PolyMem.replay`, which re-derives the same
+anchor-dependent machinery on every execution: the slot-index tables of
+each stream, the validity masks, and the read/write collision structure
+(a dense last-writer table or an event sort).  For a program that is
+executed more than once — parameter sweeps, benchmark repetitions, the
+PRF machine re-issuing the same operand shapes — that derivation is pure
+overhead: none of it depends on the *data*, only on the anchors and the
+memory geometry.
+
+:func:`fusion_plan` is the pattern-matching pass that removes it.  It
+walks the compiled segment list, groups adjacent segments inside
+barrier-free regions, and specializes each group against the concrete
+memories into a *group kernel*:
+
+* every step's fancy-index tables (``slots``, validity, and the
+  collision-forwarding gather/scatter indices) are precomputed once;
+* runs of adjacent read-only steps on one memory with one port layout
+  collapse into a single fused gather (their tables concatenate — even
+  across stride or kind changes the trace coalescer must split on);
+* write steps become one gather + precomputed forwarding assignment +
+  one scatter;
+* anything the fast path cannot prove bit-identical — invalid cycles,
+  out-of-range ports, describe-only writes, ``forbid``-policy same-cycle
+  collisions, empty steps — stays on the interpreting
+  :meth:`~repro.core.polymem.PolyMem.replay` path, so error behaviour,
+  partial state and cycle accounting are exact.
+
+Group kernels are cached content-addressed in the module-level
+:data:`kernel_cache`, keyed the way :mod:`repro.exec.cache` keys sweep
+results: a SHA-256 over a canonical header (memory geometry, collision
+policy, per-step access structure, write-value shapes) plus the raw
+anchor bytes.  Two executions of structurally identical programs — same
+anchors, same geometry, any data — share one kernel.
+
+Specialization is per ``(scheme, lane grid, collision policy)`` by
+construction: all three are part of the key, and the precomputed
+forwarding indices bake the policy's visibility rule in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.exceptions import PolyMemError
+from ..core.plan import AccessTrace, _Stream
+from ..telemetry import context as _telemetry
+
+__all__ = ["FusionPlan", "KernelCache", "fusion_plan", "kernel_cache"]
+
+#: version tag of the kernel-key format; bump on any change to the key
+#: header or the cached kernel structure
+KEY_FORMAT = "repro.program.fuse/1"
+
+_MISS = object()
+
+
+class KernelCache:
+    """A small LRU of compiled group kernels, content-addressed by key.
+
+    Kernels hold only geometry-derived index tables (never data), so a
+    hit is valid for any memory contents; the LRU bound keeps the large
+    precomputed tables of one-shot programs from accumulating.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        entry = self._entries.get(key, _MISS)
+        tel = _telemetry.active()
+        if entry is _MISS:
+            self.misses += 1
+            if tel is not None:
+                tel.metrics.counter("program.fusion.kernel_cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if tel is not None:
+            tel.metrics.counter("program.fusion.kernel_cache.hits").inc()
+        return entry
+
+    def put(self, key: str, kernel) -> None:
+        self._entries[key] = kernel
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: the process-wide kernel cache (mirrors the plan cache's sharing model)
+kernel_cache = KernelCache()
+
+
+# ---------------------------------------------------------------------------
+# content-addressed group keys
+
+
+def _kind_token(kind):
+    if isinstance(kind, list):
+        return [k.value for k in kind]
+    return kind.value
+
+
+def _span_token(start: int, stop: int, src) -> list:
+    if src is None:
+        return [start, stop, "none"]
+    if callable(src):
+        return [start, stop, "callable"]
+    # concrete value *shapes* classify the kernel (the lane-width check
+    # happens at build time); the data itself never enters the key
+    return [start, stop, "array", list(np.asarray(src).shape)]
+
+
+def group_key(segments, mems: Mapping[str, Any]) -> str:
+    """The content address of one barrier-free segment group.
+
+    SHA-256 over a canonical JSON header — memory geometry + collision
+    policy per memory, access structure per step — followed by the raw
+    anchor bytes of every stream, mirroring how ``repro.exec.cache``
+    derives sweep keys.
+    """
+    header: dict = {"format": KEY_FORMAT, "mems": {}, "segments": []}
+    blobs: list[np.ndarray] = []
+
+    def add_anchors(ai, aj) -> None:
+        blobs.append(np.ascontiguousarray(ai, dtype=np.int64))
+        blobs.append(np.ascontiguousarray(aj, dtype=np.int64))
+
+    for name in sorted({s.mem for seg in segments for s in seg.steps}):
+        pm = mems[name]
+        header["mems"][name] = [
+            pm.rows, pm.cols, pm.p, pm.q, str(pm.scheme),
+            pm.collision_policy, pm.read_ports,
+            str(pm.banks.dtype), int(pm.banks.bank_depth),
+        ]
+    for seg in segments:
+        seg_desc = []
+        for step in seg.steps:
+            reads_desc = []
+            for port, (kind, ai, aj, stride) in step.reads.items():
+                reads_desc.append([port, _kind_token(kind), stride])
+                add_anchors(ai, aj)
+            write_desc = None
+            if step.write is not None:
+                kind, ai, aj, stride, pieces = step.write
+                write_desc = [
+                    _kind_token(kind), stride,
+                    [_span_token(*piece) for piece in pieces],
+                ]
+                add_anchors(ai, aj)
+            seg_desc.append([step.mem, step.n, reads_desc, write_desc])
+        header["segments"].append(seg_desc)
+    h = hashlib.sha256()
+    h.update(json.dumps(header, sort_keys=True, separators=(",", ":")).encode())
+    for blob in blobs:
+        h.update(b"\0")
+        h.update(blob.tobytes())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# kernel construction
+
+
+class _StepTables:
+    """Precomputed index tables for one fusable write-bearing step.
+
+    ``reads`` maps each port to its ``(n, lanes)`` slot table;
+    ``w_slots`` is the flattened write-slot table (last-write-wins under
+    flat fancy assignment, exactly like replay's scatter); ``forwards``
+    maps ports to ``(flat_result_index, flat_value_index)`` gather pairs
+    implementing the collision policy's same-trace write visibility.
+    """
+
+    __slots__ = ("reads", "w_slots", "forwards")
+
+    def __init__(self, reads, w_slots, forwards):
+        self.reads = reads
+        self.w_slots = w_slots
+        self.forwards = forwards
+
+
+def _classify_step(step, pm):
+    """Build the fast-path tables for *step*, or ``None`` to keep it on
+    the interpreting replay path.
+
+    Returns ``("reads", tables)`` for a fusable read-only step (joinable
+    into a gather run) or ``("write", _StepTables)`` for a fusable step
+    with a write stream.
+    """
+    n = step.n
+    if n == 0:
+        return None  # replay's empty-trace path charges nothing; keep it
+    for port in step.reads:
+        if not 0 <= port < pm.read_ports:
+            return None  # replay raises the exact PortError
+    try:
+        bad = np.zeros(n, dtype=bool)
+        read_tabs = {}
+        for port, (kind, ai, aj, stride) in step.reads.items():
+            slots, valid = _Stream(kind, ai, aj, stride).tables(pm.plan)
+            bad |= ~valid
+            read_tabs[port] = slots
+        if step.write is None:
+            if bad.any():
+                return None  # serial error path owns invalid cycles
+            return ("reads", read_tabs)
+        kind, ai, aj, stride, pieces = step.write
+        if any(src is None for _, _, src in pieces):
+            return None  # describe-only: execution must raise ProgramError
+        w_slots, w_valid = _Stream(kind, ai, aj, stride).tables(pm.plan)
+        bad |= ~w_valid
+    except PolyMemError:
+        return None
+    if step.concrete:
+        w = step.write_values({})
+        if w.shape[1] != pm.lanes:
+            return None  # replay flags bad[0] and re-raises serially
+    if bad.any():
+        return None
+    # the same event structure replay sorts per call, computed once:
+    # write events keyed slot * (n + 1) + cycle (unique — one cycle's
+    # write slots are distinct), reads binary-search their predecessor
+    t_col = np.arange(n, dtype=np.int64)[:, None]
+    kw = (w_slots * (n + 1) + t_col).ravel()
+    w_order = np.argsort(kw)
+    kw_sorted = kw[w_order]
+    if pm.collision_policy == "forbid":
+        for r_slots in read_tabs.values():
+            kr = (r_slots * (n + 1) + t_col).ravel()
+            pos = np.minimum(np.searchsorted(kw_sorted, kr), kw_sorted.size - 1)
+            if (kw_sorted[pos] == kr).any():
+                return None  # same-cycle collision: serial error path
+    forwards = {}
+    bound = t_col + 1 if pm.collision_policy == "write_first" else t_col
+    for port, r_slots in read_tabs.items():
+        kr = (r_slots * (n + 1) + bound).ravel()
+        pos = np.searchsorted(kw_sorted, kr, side="left") - 1
+        clipped = np.maximum(pos, 0)
+        hit = (pos >= 0) & (kw_sorted[clipped] // (n + 1) == r_slots.ravel())
+        if hit.any():
+            forwards[port] = (np.flatnonzero(hit), w_order[clipped[hit]])
+    tables = _StepTables(read_tabs, w_slots.ravel(), forwards)
+    return ("write", tables)
+
+
+def _build_group_kernel(segments, mems: Mapping[str, Any]) -> tuple:
+    """Specialize one segment group: a tuple of per-segment unit lists.
+
+    Units are ``("run", step_indices, {port: concatenated_slots})`` for a
+    fused read gather, ``("write", step_index, _StepTables)`` for a fused
+    read+write step, or ``("interp", step_index)`` for the replay path.
+    """
+    kernel = []
+    for seg in segments:
+        units: list[tuple] = []
+        run: list[tuple[int, dict]] = []  # (step index, read tables)
+        run_mem = run_ports = None
+
+        def flush_run() -> None:
+            nonlocal run, run_mem, run_ports
+            if not run:
+                return
+            cat = {
+                port: np.ascontiguousarray(
+                    np.concatenate([tabs[port] for _, tabs in run])
+                )
+                for port in run_ports
+            }
+            units.append(("run", tuple(idx for idx, _ in run), cat))
+            run, run_mem, run_ports = [], None, None
+
+        for idx, step in enumerate(seg.steps):
+            classified = _classify_step(step, mems[step.mem])
+            if classified is None:
+                flush_run()
+                units.append(("interp", idx))
+                continue
+            tag, tables = classified
+            if tag == "write":
+                flush_run()
+                units.append(("write", idx, tables))
+                continue
+            ports = tuple(tables)
+            if run and (step.mem != run_mem or ports != run_ports):
+                flush_run()
+            if not run:
+                run_mem, run_ports = step.mem, ports
+            run.append((idx, tables))
+        flush_run()
+        kernel.append(tuple(units))
+    return tuple(kernel)
+
+
+# ---------------------------------------------------------------------------
+# the plan: grouped segments bound to their kernels
+
+
+def _split_groups(segments) -> list[list]:
+    """Maximal barrier-free segment runs (a Barrier boundary closes one).
+
+    Compute boundaries do *not* split groups — host work between accesses
+    is inlined into the group's execution, index tables intact."""
+    from .ir import Barrier
+
+    groups: list[list] = []
+    current: list = []
+    for seg in segments:
+        current.append(seg)
+        if isinstance(seg.boundary, Barrier):
+            groups.append(current)
+            current = []
+    if current:
+        groups.append(current)
+    return groups
+
+
+class FusionPlan:
+    """A compiled program's segments bound to specialized group kernels."""
+
+    __slots__ = (
+        "units", "n_groups", "n_fused_steps", "n_fallback_steps",
+        "cache_hits", "cache_misses",
+    )
+
+    def __init__(self, units, n_groups, cache_hits, cache_misses):
+        self.units = units  # dict: segment index -> unit tuple
+        self.n_groups = n_groups
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.n_fused_steps = 0
+        self.n_fallback_steps = 0
+        for seg_units in units.values():
+            for unit in seg_units:
+                if unit[0] == "interp":
+                    self.n_fallback_steps += 1
+                elif unit[0] == "run":
+                    self.n_fused_steps += len(unit[1])
+                else:
+                    self.n_fused_steps += 1
+
+    @property
+    def n_fused_segments(self) -> int:
+        """Segments with at least one fused (non-fallback) step."""
+        return sum(
+            1
+            for seg_units in self.units.values()
+            if any(unit[0] != "interp" for unit in seg_units)
+        )
+
+    def summary(self) -> dict:
+        """Plain-JSON fusion statistics (the CLI's ``--backend fused`` view)."""
+        return {
+            "groups": self.n_groups,
+            "fused_segments": self.n_fused_segments,
+            "fused_steps": self.n_fused_steps,
+            "fallback_steps": self.n_fallback_steps,
+            "kernel_cache": {
+                "plan_hits": self.cache_hits,
+                "plan_misses": self.cache_misses,
+                **kernel_cache.stats(),
+            },
+        }
+
+    # -- execution ----------------------------------------------------------
+    @staticmethod
+    def _publish(segment, step, outputs, mem, env, observers) -> None:
+        for tag, port, start, stop in step.bindings:
+            env[tag] = outputs[port][start:stop]
+        for observer in observers:
+            observer.on_trace(segment, step, outputs, mem)
+
+    def run_segment(self, segment, mems, env, observers) -> None:
+        """Execute one segment's steps through its kernel units.
+
+        Bit-identical to the interpreting loop: same outputs, bindings,
+        memory state, statistics, error behaviour and observer hook
+        order — fused units only skip the per-execution re-derivation of
+        index tables and collision structure.
+        """
+        tel = _telemetry.active()
+        for unit in self.units[segment.index]:
+            if unit[0] == "interp":
+                step = segment.steps[unit[1]]
+                mem = mems[step.mem]
+                outputs = mem.replay(step.trace(env))
+                self._publish(segment, step, outputs, mem, env, observers)
+            elif unit[0] == "run":
+                _, indices, cat = unit
+                mem = mems[segment.steps[indices[0]].mem]
+                gathered = {
+                    port: mem.banks.read_slots(port, slots)
+                    for port, slots in cat.items()
+                }
+                offset = 0
+                for idx in indices:
+                    step = segment.steps[idx]
+                    outputs = {
+                        port: g[offset:offset + step.n]
+                        for port, g in gathered.items()
+                    }
+                    offset += step.n
+                    self._account(mem, step, len(outputs), False, tel)
+                    self._publish(segment, step, outputs, mem, env, observers)
+            else:
+                _, idx, tables = unit
+                step = segment.steps[idx]
+                mem = mems[step.mem]
+                # resolving late-bound values can raise ProgramError —
+                # at the same point the interp path would (trace build)
+                values = step.write_values(env)
+                if values.shape[1] != mem.lanes:
+                    self._replay_resolved(step, values, mem)
+                    raise AssertionError(  # pragma: no cover - replay raises
+                        "lane-width mismatch survived serial re-issue"
+                    )
+                flat_values = values.ravel()
+                outputs = {}
+                for port, r_slots in tables.reads.items():
+                    result = mem.banks.read_slots(port, r_slots)
+                    fwd = tables.forwards.get(port)
+                    if fwd is not None:
+                        result.reshape(-1)[fwd[0]] = flat_values[fwd[1]]
+                        if tel is not None:
+                            tel.metrics.counter(
+                                "polymem.collision.forwarded"
+                            ).inc(int(fwd[0].size))
+                    outputs[port] = result
+                mem.banks.write_slots(tables.w_slots, flat_values)
+                self._account(mem, step, len(outputs), True, tel)
+                self._publish(segment, step, outputs, mem, env, observers)
+
+    @staticmethod
+    def _account(mem, step, n_ports, has_write, tel) -> None:
+        """Replay-identical accounting for one fused step."""
+        n = step.n
+        for port in step.reads:
+            mem.read_stats[port].accesses += n
+            mem.read_stats[port].elements += n * mem.lanes
+        if has_write:
+            mem.write_stats.accesses += n
+            mem.write_stats.elements += n * mem.lanes
+        mem.cycles += n
+        if tel is not None:
+            m = tel.metrics
+            m.counter("polymem.cycles.fused").inc(n)
+            m.counter("polymem.parallel_accesses").inc(
+                n * (n_ports + (1 if has_write else 0))
+            )
+
+    @staticmethod
+    def _replay_resolved(step, values, mem) -> None:
+        """Re-issue a lane-width-mismatched write through replay's serial
+        error path, with the already-resolved values (callables are only
+        invoked once, matching the interp path)."""
+        trace = AccessTrace()
+        for port, (kind, ai, aj, stride) in step.reads.items():
+            trace.read(kind, ai, aj, port=port, stride=stride)
+        kind, ai, aj, stride, _ = step.write
+        trace.write(kind, ai, aj, values, stride=stride)
+        mem.replay(trace)
+
+
+def fusion_plan(compiled, mems: Mapping[str, Any]) -> FusionPlan:
+    """Specialize *compiled* against *mems*: the fused backend's entry.
+
+    Groups the segment list at barriers, fetches (or builds and caches)
+    each group's kernel from :data:`kernel_cache`, and returns the
+    :class:`FusionPlan` the engine drives segment by segment.
+    """
+    units: dict[int, tuple] = {}
+    hits = misses = 0
+    groups = _split_groups(compiled.segments)
+    for group in groups:
+        key = group_key(group, mems)
+        kernel = kernel_cache.get(key)
+        if kernel is None:
+            kernel = _build_group_kernel(group, mems)
+            kernel_cache.put(key, kernel)
+            misses += 1
+        else:
+            hits += 1
+        for seg, seg_units in zip(group, kernel):
+            units[seg.index] = seg_units
+    plan = FusionPlan(units, len(groups), hits, misses)
+    tel = _telemetry.active()
+    if tel is not None:
+        m = tel.metrics
+        m.counter("program.fusion.groups").inc(plan.n_groups)
+        m.counter("program.fusion.segments").inc(plan.n_fused_segments)
+        m.counter("program.fusion.steps").inc(plan.n_fused_steps)
+        m.counter("program.fusion.fallback_steps").inc(plan.n_fallback_steps)
+    return plan

@@ -14,12 +14,15 @@ typed operations:
 * :class:`Barrier`        — an explicit segment boundary with no host work.
 
 Programs are *lowered* from application kernels, the PRF vector machine,
-schedule executions and the STREAM controller (see the per-module
-``*_program`` builders and :mod:`repro.program.lower`), then compiled by
+schedule executions and the STREAM controller — all through the one
+builder surface in :mod:`repro.program.builder` (see also the demo
+registry in :mod:`repro.program.lower`) — then compiled by
 :mod:`repro.program.passes` and executed by :mod:`repro.program.engine`.
 The pipeline guarantees bit-identical behaviour to hand-built traces:
 compilation only groups and coalesces accesses in ways
-:meth:`~repro.core.polymem.PolyMem.replay` proves equivalent.
+:meth:`~repro.core.polymem.PolyMem.replay` proves equivalent, and the
+fused backend (:mod:`repro.program.fuse`) falls back to interpretation
+for any step it cannot prove bit-identical.
 """
 
 from __future__ import annotations

@@ -1,10 +1,11 @@
 """Demo lowerings: one representative access program per subsystem.
 
-Every caller of the access-program pipeline — the five kernels, the PRF
-machine, the schedule executor and the STREAM controller — exposes its
-lowering as a ``*_program`` function.  This module collects one small,
-deterministic instance of each under a stable name, for the CLI's
-``program dump`` subcommand and for cross-subsystem tests.
+Every subsystem that lowers onto the access-program pipeline — the five
+kernels, the PRF machine, the schedule executor and the STREAM
+controller — registers its lowering as a :mod:`repro.program.builder`
+spec.  This module collects one small, deterministic instance of each
+under a stable name, for the CLI's ``program dump`` subcommand and for
+cross-subsystem tests.
 
 Kept out of :mod:`repro.program`'s public namespace on purpose: the
 demos import the kernels (which import the package), so they load
@@ -21,52 +22,53 @@ __all__ = ["DEMO_NAMES", "lower_demo"]
 
 
 def _matmul():
-    from ..kernels.matmul import matmul_program
+    from .builder import build
 
     a = np.arange(8 * 8, dtype=np.uint64).reshape(8, 8)
     b = (np.arange(8 * 8, dtype=np.uint64) % 7).reshape(8, 8)
-    return matmul_program(a, b, p=2, q=4)
+    built = build("kernel.matmul", a=a, b=b, p=2, q=4)
+    return built.program, built.mems
 
 
 def _stencil():
-    from ..kernels.stencil import stencil_program
+    from .builder import build
 
     image = np.arange(8 * 8, dtype=np.int64).reshape(8, 8)
     weights = np.ones((3, 3), dtype=np.int64)
-    return stencil_program(image, weights, p=2, q=4)
+    built = build("kernel.stencil", image=image, weights=weights, p=2, q=4)
+    return built.program, built.mems
 
 
 def _jacobi():
-    from ..kernels.jacobi import jacobi_program
+    from .builder import build
 
     grid = np.linspace(0.0, 1.0, 8 * 8).reshape(8, 8)
-    return jacobi_program(grid, iterations=2, p=2, q=4)
+    built = build("kernel.jacobi", grid=grid, iterations=2, p=2, q=4)
+    return built.program, built.mems
 
 
 def _transpose():
-    from ..kernels.transpose import transpose_program
+    from .builder import build
 
     matrix = np.arange(8 * 8, dtype=np.uint64).reshape(8, 8)
-    return transpose_program(matrix, p=2, q=4)
+    built = build("kernel.transpose", matrix=matrix, p=2, q=4)
+    return built.program, built.mems
 
 
 def _reduce(direction: str):
-    from ..kernels.reduction import (
-        load_matrix,
-        reduce_columns_program,
-        reduce_rows_program,
-    )
+    from ..kernels.reduction import load_matrix
+    from .builder import build
 
     pm = load_matrix(np.arange(8 * 8, dtype=np.uint64).reshape(8, 8))
-    builder = (
-        reduce_rows_program if direction == "rows" else reduce_columns_program
-    )
-    return builder(pm), pm
+    spec = "kernel.reduce_rows" if direction == "rows" else "kernel.reduce_columns"
+    built = build(spec, pm=pm)
+    return built.program, built.mems
 
 
 def _prf_vadd():
     from ..prf.machine import PrfMachine
     from ..prf.registers import RegisterFile
+    from .builder import build
 
     rf = RegisterFile(capacity_kb=4)
     machine = PrfMachine(rf)
@@ -74,23 +76,27 @@ def _prf_vadd():
     rb = rf.define("R1", 4, 8)
     ra.store(np.arange(32, dtype=np.float64).reshape(4, 8))
     rb.store(np.ones((4, 8)))
-    return machine._operand_program(ra, rb), rf.memory
+    built = build("prf.operands", machine=machine, regs=(ra, rb))
+    return built.program, built.mems
 
 
 def _schedule():
     from ..schedule import customize, transpose_trace
-    from ..schedule.executor import memory_for_trace, schedule_program
+    from ..schedule.executor import memory_for_trace
+    from .builder import build
 
     trace = transpose_trace(8, 8)
     best = customize(trace, lane_grids=[(2, 4)], solver="greedy").best
     pm, _ = memory_for_trace(trace, best)
-    return schedule_program(best), pm
+    built = build("schedule.accesses", schedule=best, memory=pm)
+    return built.program, built.mems
 
 
 def _stream_copy():
     from ..core.config import PolyMemConfig
     from ..core.schemes import Scheme
     from ..stream_bench.controller import Job, Mode, StreamController
+    from .builder import build
 
     config = PolyMemConfig(
         12 * 32 * 8, p=2, q=4, scheme=Scheme.RoCo, read_ports=2,
@@ -99,7 +105,8 @@ def _stream_copy():
     controller = StreamController("controller", config)
     # describe-only: the write stream's values arrive over wr_data at
     # simulation time, so this program documents the access shape only
-    return controller.job_program(Job(Mode.COPY, vectors=8)), None
+    built = build("stream.job", controller=controller, job=Job(Mode.COPY, vectors=8))
+    return built.program, built.mems
 
 
 _DEMOS = {

@@ -12,6 +12,7 @@ parallel access against a PolyMem holding the data and verifies
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,7 +21,8 @@ from ..core.config import PolyMemConfig
 from ..core.exceptions import ScheduleError
 from ..core.patterns import pattern_offsets
 from ..core.polymem import PolyMem
-from ..program import AccessProgram, execute
+from ..program import AccessProgram
+from ..program.builder import build
 from .customize import Schedule
 from .trace import ApplicationTrace
 
@@ -75,7 +77,7 @@ def memory_for_trace(
     return pm, fill
 
 
-def schedule_program(schedule: Schedule) -> AccessProgram:
+def _schedule_program(schedule: Schedule) -> AccessProgram:
     """Lower a schedule to an access program: one read stream whose
     heterogeneous per-cycle kind sequence keeps it a single trace even
     when the schedule mixes access shapes."""
@@ -92,6 +94,17 @@ def schedule_program(schedule: Schedule) -> AccessProgram:
     aj = np.fromiter((a.j for a in accesses), dtype=np.int64, count=n)
     kind = kinds[0] if len(set(kinds)) == 1 else kinds
     return prog.read(kind, ai, aj, tag="data")
+
+
+def schedule_program(schedule: Schedule) -> AccessProgram:
+    """Deprecated: use ``repro.program.builder.build("schedule.accesses", ...)``."""
+    warnings.warn(
+        "schedule_program() is deprecated; use "
+        "repro.program.builder.build('schedule.accesses', schedule=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _schedule_program(schedule)
 
 
 def execute_schedule(
@@ -112,7 +125,9 @@ def execute_schedule(
         kinds = [a.kind for a in accesses]
         ai = np.fromiter((a.i for a in accesses), dtype=np.int64, count=n)
         aj = np.fromiter((a.j for a in accesses), dtype=np.int64, count=n)
-        results = execute(schedule_program(schedule), pm)["data"]
+        results = build("schedule.accesses", schedule=schedule, memory=pm).run()[
+            "data"
+        ]
         for kind in dict.fromkeys(kinds):
             m = np.fromiter((k == kind for k in kinds), dtype=bool, count=n)
             di, dj = pattern_offsets(kind, schedule.p, schedule.q)

@@ -24,6 +24,7 @@ Stage semantics (paper §V):
 from __future__ import annotations
 
 import enum
+import warnings
 from collections import deque
 from dataclasses import dataclass
 
@@ -140,7 +141,7 @@ class StreamController(Kernel):
     # All STREAM access generation flows through one lowering: each array
     # band is a ROW anchor stream (lane-vector k at row k // per_row,
     # column (k % per_row) * lanes), cached by `_band_anchors`; the scalar
-    # tick, the batched claims and `job_program` all take slices of it.
+    # tick, the batched claims and `_job_program` all take slices of it.
 
     def _unchecked_anchors(
         self, array: int, start: int, n: int
@@ -182,6 +183,16 @@ class StreamController(Kernel):
         return self.band_rows * (self.config.cols // self.lanes)
 
     def job_program(self, job: Job) -> AccessProgram:
+        """Deprecated: use ``repro.program.builder.build("stream.job", ...)``."""
+        warnings.warn(
+            "StreamController.job_program() is deprecated; use "
+            "repro.program.builder.build('stream.job', controller=..., job=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._job_program(job)
+
+    def _job_program(self, job: Job) -> AccessProgram:
         """Lower *job*'s full access stream to a describe-only program.
 
         LOAD is one write stream into the target band, OFFLOAD one read

@@ -77,6 +77,25 @@ def derived_values(snapshot: dict) -> list[tuple[str, str]]:
     )
     if route_rate is not None:
         out.append(("Benes route-cache hit rate", f"{100.0 * route_rate:.1f}%"))
+    kernel_rate = _rate(
+        c.get("program.fusion.kernel_cache.hits", 0),
+        c.get("program.fusion.kernel_cache.misses", 0),
+    )
+    if kernel_rate is not None:
+        out.append(
+            ("fusion kernel-cache hit rate", f"{100.0 * kernel_rate:.1f}%")
+        )
+    fused_steps = c.get("program.fusion.steps", 0)
+    fallback_steps = c.get("program.fusion.fallback_steps", 0)
+    if fused_steps or fallback_steps:
+        total_steps = fused_steps + fallback_steps
+        out.append(
+            (
+                "fused trace steps",
+                f"{fused_steps} of {total_steps} "
+                f"({100.0 * fused_steps / total_steps:.1f}%)",
+            )
+        )
 
     achieved = (g.get("stream.achieved_mbps") or {}).get("value")
     peak = (g.get("stream.peak_mbps") or {}).get("value")
