@@ -127,7 +127,16 @@ def _add_exec_args(sub) -> None:
         default=None,
         metavar="N",
         help="process-pool workers for sweep points (0 = all CPUs; "
-        "default: serial)",
+        "default: serial; clamped to the CPU count)",
+    )
+    sub.add_argument(
+        "--chunk-size",
+        dest="chunk_size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="points per dispatch batch in parallel sweeps "
+        "(default: sized automatically from the per-point cost)",
     )
     sub.add_argument(
         "--no-cache",
@@ -195,11 +204,17 @@ def _emit_json(args, report) -> None:
 
 
 def _sweep_stats_line(sweep) -> str:
-    return (
+    line = (
         f"sweep: {len(sweep.results)} points "
         f"({sweep.n_cached} cached, {sweep.n_computed} computed) "
         f"on {sweep.workers} worker(s) in {sweep.wall_seconds:.3f} s"
     )
+    if sweep.chunks:
+        line += (
+            f" [{sweep.chunks} chunks, warmup {sweep.warmup_seconds:.3f} s,"
+            f" ipc {sweep.ipc_seconds:.3f} s]"
+        )
+    return line
 
 
 def cmd_info(args) -> int:
@@ -253,6 +268,7 @@ def cmd_dse(args) -> int:
             workers=args.workers,
             cache=_cache_from_args(args),
             progress=_progress_from_args(args),
+            chunk_size=args.chunk_size,
         )
     if args.save:
         from .util import save_dse_result
@@ -310,6 +326,7 @@ def cmd_stream(args) -> int:
             workers=args.workers,
             cache=_cache_from_args(args),
             progress=_progress_from_args(args),
+            chunk_size=args.chunk_size,
         )
         print(f"\n{'copied KB':>10s} {'MB/s':>9s} {'of peak':>8s}")
         for pt in points:
@@ -625,6 +642,7 @@ def cmd_experiments(args) -> int:
         workers=args.workers,
         cache=_cache_from_args(args),
         progress=_progress_from_args(args),
+        chunk_size=args.chunk_size,
     )
     print(card.report.render())
     _emit_json(args, card.report)

@@ -23,11 +23,25 @@ from .exceptions import (
     SimulationError,
 )
 from .patterns import AccessPattern, PatternKind, pattern_offsets
-from .plan import AccessPlan, AccessTrace, compile_plan
+from .plan import (
+    AccessPlan,
+    AccessTrace,
+    compile_plan,
+    plan_cache_keys,
+    plan_cache_stats,
+    warm_plans_from_keys,
+)
 from .polymem import PolyMem
 from .regions import Region, RegionMap
 from .schemes import SCHEME_SPECS, Scheme, all_schemes, module_assignment
-from .shuffle import BenesNetwork, FullCrossbar, InverseShuffle, Shuffle
+from .shuffle import (
+    BenesNetwork,
+    FullCrossbar,
+    InverseShuffle,
+    Shuffle,
+    route_memo,
+    warm_routes,
+)
 
 __all__ = [
     "AGU",
@@ -68,4 +82,9 @@ __all__ = [
     "is_conflict_free",
     "module_assignment",
     "pattern_offsets",
+    "plan_cache_keys",
+    "plan_cache_stats",
+    "route_memo",
+    "warm_plans_from_keys",
+    "warm_routes",
 ]

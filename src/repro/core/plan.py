@@ -44,7 +44,21 @@ from .exceptions import PatternError, PortError
 from .patterns import PatternKind, pattern_offsets
 from .schemes import Scheme, flat_module_assignment
 
-__all__ = ["AccessPlan", "AccessTrace", "compile_plan", "stream_tables"]
+__all__ = [
+    "AccessPlan",
+    "AccessTrace",
+    "compile_plan",
+    "plan_cache_keys",
+    "plan_cache_stats",
+    "stream_tables",
+    "warm_plans_from_keys",
+]
+
+#: every plan family ever compiled in this process, in compile order.
+#: Appended on cache *misses* only (the memoized body runs once per key),
+#: so it enumerates the warm set a parent process can export to workers —
+#: it is a superset of the live LRU contents when eviction has occurred.
+_compiled_keys: dict[tuple, None] = {}
 
 
 def _readonly(a: np.ndarray) -> np.ndarray:
@@ -154,7 +168,7 @@ class AccessPlan:
         ]
 
 
-@lru_cache(maxsize=128)
+@lru_cache(maxsize=256)
 def compile_plan(
     rows: int,
     cols: int,
@@ -167,10 +181,14 @@ def compile_plan(
     """Compile (and memoize) the :class:`AccessPlan` for one access family.
 
     The cache is process-wide: every PolyMem instance with the same
-    geometry shares the same compiled tables (they are immutable).
+    geometry shares the same compiled tables (they are immutable).  The
+    LRU bound (256) is sized to hold the full Table III warm set (~112
+    families) plus runtime extras, so a parent that pre-warms before
+    forking workers keeps every family resident.
     """
     kind = PatternKind(kind)
     scheme = Scheme(scheme)
+    _compiled_keys[(rows, cols, p, q, scheme, kind, stride)] = None
     di, dj = pattern_offsets(kind, p, q, stride)
     period = p * q
     res = np.arange(period, dtype=np.int64)
@@ -221,6 +239,40 @@ def compile_plan(
         blocks_per_row=blocks_per_row,
         bank_depth=bank_depth,
     )
+
+
+def plan_cache_keys() -> list[tuple]:
+    """Every plan-family key compiled in this process, in compile order.
+
+    The exportable warm set of the fork-after-warm exec runtime: a parent
+    calls this after pre-compiling, ships the plain tuples to spawn-start
+    workers, and :func:`warm_plans_from_keys` re-materializes them there
+    (fork-start workers inherit the compiled tables copy-on-write and
+    never need the export).
+    """
+    return list(_compiled_keys)
+
+
+def warm_plans_from_keys(keys) -> int:
+    """Compile every plan family in *keys* (tuples as produced by
+    :func:`plan_cache_keys`); returns the number of families compiled
+    fresh (0 when everything was already warm)."""
+    before = compile_plan.cache_info().misses
+    for key in keys:
+        compile_plan(*key)
+    return compile_plan.cache_info().misses - before
+
+
+def plan_cache_stats() -> dict:
+    """Process-wide plan-cache accounting as plain JSON (the exec
+    runtime's per-worker cache telemetry reads the hit/miss deltas)."""
+    info = compile_plan.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "maxsize": info.maxsize,
+    }
 
 
 def _as_anchor_array(values, name: str) -> np.ndarray:

@@ -24,7 +24,7 @@ from ..hw.synthesis import SynthesisModel, default_model
 from .bandwidth import BandwidthReport
 from .space import DesignSpace, PAPER_SPACE
 
-__all__ = ["DsePoint", "DseResult", "explore", "evaluate_point"]
+__all__ = ["DsePoint", "DseResult", "explore", "evaluate_point", "warm_point"]
 
 
 @dataclass(frozen=True)
@@ -142,6 +142,26 @@ def evaluate_point(
     }
 
 
+def warm_point(
+    config: PolyMemConfig,
+    validate: bool = False,
+    validate_rows: int = 16,
+    device: str | None = None,
+) -> None:
+    """:class:`SweepTask` ``warmup`` hook for :func:`evaluate_point`.
+
+    Fits the per-device synthesis model once (a few tens of ms the first
+    time, memoized afterwards) and, when the point will be validated,
+    pre-compiles the plan families its §IV-A cycle touches — so workers
+    forked after the parent's warm pass start with every shared cache hot.
+    """
+    default_model(device) if device else default_model()
+    if validate:
+        from ..maxpolymem.validation import warm_validation
+
+        warm_validation(config, max_rows=validate_rows)
+
+
 def explore(
     space: DesignSpace = PAPER_SPACE,
     model: SynthesisModel | None = None,
@@ -150,6 +170,7 @@ def explore(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[int, int, RunResult], None] | None = None,
+    chunk_size: int | None = None,
 ) -> DseResult:
     """Run the full DSE sweep over *space* through :mod:`repro.exec`.
 
@@ -158,10 +179,11 @@ def explore(
     (slow serially — this is the workload ``workers`` parallelizes; see
     ``benchmarks/bench_exec_scaling.py``).
 
-    ``workers``/``cache``/``progress`` are forwarded to
-    :func:`repro.exec.run_sweep`.  Passing a custom *model* forces serial,
-    uncached evaluation (an ad-hoc estimator has no stable cache identity
-    and need not be picklable).
+    ``workers``/``cache``/``progress``/``chunk_size`` are forwarded to
+    :func:`repro.exec.run_sweep`; every task carries :func:`warm_point` so
+    parallel runs fork from pre-warmed caches.  Passing a custom *model*
+    forces serial, uncached evaluation (an ad-hoc estimator has no stable
+    cache identity and need not be picklable).
     """
     cfgs = list(space.points(feasible_only=True))
     params = {"validate": validate, "validate_rows": validate_rows}
@@ -175,10 +197,17 @@ def explore(
                 evaluate_point,
                 cfg,
                 params={**params, "device": space.device.name},
+                warmup=warm_point,
             )
             for cfg in cfgs
         ]
-        sweep = run_sweep(tasks, workers=workers, cache=cache, progress=progress)
+        sweep = run_sweep(
+            tasks,
+            workers=workers,
+            cache=cache,
+            progress=progress,
+            chunk_size=chunk_size,
+        )
         values = sweep.values()
     points = [DsePoint(config=cfg, **value) for cfg, value in zip(cfgs, values)]
     return DseResult(space=space, points=points, sweep=sweep)

@@ -136,6 +136,36 @@ class ResultCache:
         self.hits += 1
         return entry["value"]
 
+    def get_many(self, keys) -> dict:
+        """Batch lookup: ``{key: value}`` for every hit (misses absent).
+
+        Equivalent to ``{k: cache.get(k) for k in keys if hit}``, but the
+        existence probe is one directory scan per two-hex-char fan-out
+        prefix instead of one failed ``open()`` per absent key — the
+        common cold-sweep case stops paying per-key I/O errors.  Hit/miss
+        counters and corrupted-entry eviction behave exactly like
+        :meth:`get` (parity is pinned in ``tests/exec/test_cache.py``).
+        """
+        keys = list(keys)
+        by_prefix: dict[str, list[str]] = {}
+        for key in keys:
+            by_prefix.setdefault(key[:2], []).append(key)
+        out: dict[str, Any] = {}
+        for prefix, group in by_prefix.items():
+            try:
+                with os.scandir(self.directory / prefix) as it:
+                    present = {entry.name for entry in it}
+            except OSError:
+                present = set()
+            for key in group:
+                if f"{key}.json" not in present:
+                    self.misses += 1
+                    continue
+                value = self.get(key)  # full validation + eviction path
+                if value is not MISS:
+                    out[key] = value
+        return out
+
     def put(self, key: str, value: Any) -> None:
         """Store *value* under *key* (atomic rename; best effort on I/O
         failure — a cache must never take the computation down)."""
@@ -148,6 +178,28 @@ class ResultCache:
             tmp.replace(path)
         except OSError:  # pragma: no cover - disk full / permissions
             pass
+
+    def put_many(self, entries: Mapping[str, Any]) -> None:
+        """Batch store: one ``mkdir`` per fan-out prefix, then one atomic
+        write per entry — the post-compute persistence of a whole result
+        chunk costs one directory round-trip instead of one per point."""
+        made: set[str] = set()
+        for key, value in entries.items():
+            prefix = key[:2]
+            if prefix not in made:
+                try:
+                    (self.directory / prefix).mkdir(parents=True, exist_ok=True)
+                except OSError:  # pragma: no cover - permissions
+                    continue
+                made.add(prefix)
+            path = self.path_for(key)
+            entry = {"format": _ENTRY_FORMAT, "key": key, "value": value}
+            try:
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                tmp.write_text(json.dumps(entry))
+                tmp.replace(path)
+            except OSError:  # pragma: no cover - disk full / permissions
+                pass
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()

@@ -1,0 +1,187 @@
+"""Fork-after-warm support for the sweep runtime.
+
+The expensive per-process state behind every sweep point is a handful of
+process-wide caches: compiled access plans (:func:`repro.core.plan.compile_plan`'s
+LRU), Benes routing stages (:data:`repro.core.shuffle.route_memo`), fused
+kernels (:data:`repro.program.fuse.kernel_cache`), and the fitted synthesis
+model.  A cold worker pays all of them on its first point — which is why a
+naively forked pool used to flatline: every worker re-derived what the
+parent already knew.
+
+This module implements the fix:
+
+1. **Collect** the distinct warm-up specs from a task list
+   (:func:`collect_warmups`).  A :class:`~repro.exec.runtime.SweepTask` may
+   carry a module-level ``warmup(config, **params)`` callable that
+   pre-compiles exactly the plan families / routes / kernels its ``fn``
+   will need; identical specs are deduplicated by content hash.
+2. **Warm the parent** (:func:`run_warmups`) *before* the pool forks, so on
+   ``fork`` platforms every worker inherits the hot caches copy-on-write
+   for free.
+3. **Re-warm on spawn** (:func:`export_warm_state` /
+   :func:`warm_initializer`): platforms without ``fork`` get an equivalent
+   pool ``initializer=`` that replays the same specs plus the parent's
+   exported plan keys and Benes permutations in each fresh worker.
+4. **Account** (:func:`cache_stats`, :func:`stats_delta`): workers snapshot
+   their cache hit/miss counters around each chunk so the parent can
+   aggregate per-worker hit rates into ``exec.worker.*`` telemetry.
+
+Everything here must stay picklable (specs and exported state cross the
+process boundary on spawn platforms).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "WarmSpec",
+    "WarmState",
+    "WarmupReport",
+    "collect_warmups",
+    "run_warmups",
+    "export_warm_state",
+    "warm_initializer",
+    "cache_stats",
+    "stats_delta",
+]
+
+
+@dataclass(frozen=True)
+class WarmSpec:
+    """One deduplicated warm-up call: ``fn(config, **params)``.
+
+    ``fn`` must be a module-level callable (picklable) whose job is to
+    populate process-wide caches — its return value is ignored.
+    """
+
+    fn: Callable[..., Any]
+    config: Any = None
+    params: Mapping[str, Any] = None  # type: ignore[assignment]
+
+    def run(self) -> None:
+        self.fn(self.config, **dict(self.params or {}))
+
+
+@dataclass(frozen=True)
+class WarmState:
+    """Everything a *spawned* worker needs to reach parity with a forked
+    one: the warm-up specs plus the parent's cache contents that specs
+    alone may not cover (plans/routes compiled by earlier sweeps)."""
+
+    specs: tuple[WarmSpec, ...]
+    plan_keys: tuple[tuple, ...]
+    route_perms: tuple[tuple[int, tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True)
+class WarmupReport:
+    """What one parent-side warm pass actually did."""
+
+    specs: int  #: deduplicated warm-up callables executed
+    plans: int  #: plan families newly compiled
+    routes: int  #: Benes routes newly derived
+    kernels: int  #: fused kernels newly built
+    seconds: float  #: wall clock of the whole pass
+
+
+def _spec_identity(fn: Callable, config: Any, params: Mapping[str, Any]) -> str:
+    """Content hash identifying one warm-up call for deduplication."""
+    from .cache import cache_key
+
+    return cache_key(
+        f"warmup/{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}",
+        config,
+        params,
+    )
+
+
+def collect_warmups(tasks: Iterable[Any]) -> list[WarmSpec]:
+    """The deduplicated warm-up specs carried by *tasks*, in first-seen
+    order.  Tasks without a ``warmup`` attribute (or with ``None``) are
+    skipped; distinct tasks sharing a spec contribute it once."""
+    seen: set[str] = set()
+    specs: list[WarmSpec] = []
+    for task in tasks:
+        fn = getattr(task, "warmup", None)
+        if fn is None:
+            continue
+        config = getattr(task, "config", None)
+        params = dict(getattr(task, "params", {}) or {})
+        ident = _spec_identity(fn, config, params)
+        if ident in seen:
+            continue
+        seen.add(ident)
+        specs.append(WarmSpec(fn, config, params))
+    return specs
+
+
+def cache_stats() -> dict[str, int]:
+    """Snapshot of this process's warm-cache hit/miss counters."""
+    from ..core.plan import plan_cache_stats
+    from ..core.shuffle import route_memo
+    from ..program.fuse import kernel_cache
+
+    plan = plan_cache_stats()
+    return {
+        "plan_cache.hits": plan["hits"],
+        "plan_cache.misses": plan["misses"],
+        "route_cache.hits": route_memo.hits,
+        "route_cache.misses": route_memo.misses,
+        "kernel_cache.hits": kernel_cache.hits,
+        "kernel_cache.misses": kernel_cache.misses,
+    }
+
+
+def stats_delta(before: Mapping[str, int], after: Mapping[str, int]) -> dict[str, int]:
+    """Per-chunk counter increments (clamped at zero for robustness)."""
+    return {k: max(0, after.get(k, 0) - before.get(k, 0)) for k in after}
+
+
+def run_warmups(specs: Sequence[WarmSpec]) -> WarmupReport:
+    """Execute every spec in this process and report what got built."""
+    before = cache_stats()
+    t0 = time.perf_counter()
+    for spec in specs:
+        spec.run()
+    seconds = time.perf_counter() - t0
+    after = cache_stats()
+    return WarmupReport(
+        specs=len(specs),
+        plans=after["plan_cache.misses"] - before["plan_cache.misses"],
+        routes=after["route_cache.misses"] - before["route_cache.misses"],
+        kernels=after["kernel_cache.misses"] - before["kernel_cache.misses"],
+        seconds=seconds,
+    )
+
+
+def export_warm_state(specs: Sequence[WarmSpec]) -> WarmState:
+    """Package the parent's warm caches for spawn-platform workers.
+
+    Call *after* :func:`run_warmups` so the exported plan keys and route
+    permutations include everything the specs just built."""
+    from ..core.plan import plan_cache_keys
+    from ..core.shuffle import route_memo
+
+    return WarmState(
+        specs=tuple(specs),
+        plan_keys=tuple(plan_cache_keys()),
+        route_perms=tuple(
+            (lanes, tuple(perm)) for lanes, perm in route_memo.export_keys()
+        ),
+    )
+
+
+def warm_initializer(state: WarmState) -> None:
+    """Pool ``initializer=`` for spawn platforms: replay the parent's warm
+    pass in the fresh worker.  Equivalence with fork inheritance is pinned
+    in ``tests/exec/test_warm.py``."""
+    from ..core.plan import warm_plans_from_keys
+    from ..core.shuffle import warm_routes
+
+    for spec in state.specs:
+        spec.run()
+    warm_plans_from_keys(state.plan_keys)
+    warm_routes([(lanes, list(perm)) for lanes, perm in state.route_perms])

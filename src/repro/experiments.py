@@ -216,11 +216,12 @@ def _stream_rows() -> list[ExperimentRow]:
 
 def _validation_rows(
     workers: int | None = None, cache: ResultCache | None = None,
+    chunk_size: int | None = None,
 ) -> tuple[list[ExperimentRow], object]:
     from .core.config import KB, PolyMemConfig
     from .core.schemes import Scheme
     from .exec import SweepTask, run_sweep
-    from .maxpolymem.validation import validate_config
+    from .maxpolymem.validation import validate_config, warm_validation
 
     cfgs = [
         PolyMemConfig(16 * KB, p=2, q=4, scheme=scheme, read_ports=2)
@@ -232,10 +233,11 @@ def _validation_rows(
             validate_config,
             cfg,
             params={"max_rows": 8, "style": "fused"},
+            warmup=warm_validation,
         )
         for cfg in cfgs
     ]
-    sweep = run_sweep(tasks, workers=workers, cache=cache)
+    sweep = run_sweep(tasks, workers=workers, cache=cache, chunk_size=chunk_size)
     passed = sum(
         v["passed"] and not v["mismatches"] for v in sweep.values()
     )
@@ -270,23 +272,29 @@ def run_scorecard(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable | None = None,
+    chunk_size: int | None = None,
 ) -> Scorecard:
     """Run every experiment through :mod:`repro.exec`.
 
     ``workers`` fans the Table III sweep and the validation grid out over
-    a process pool; ``cache`` makes warm re-runs skip every sweep point
-    whose inputs did not change.
+    a warm-forked process pool; ``cache`` makes warm re-runs skip every
+    sweep point whose inputs did not change; ``chunk_size`` overrides the
+    automatic dispatch batch sizing.
     """
     from .dse import explore
 
-    result = explore(workers=workers, cache=cache, progress=progress)
+    result = explore(
+        workers=workers, cache=cache, progress=progress, chunk_size=chunk_size
+    )
     rows: list[ExperimentRow] = []
     rows += _table1_rows()
     rows += _table4_rows()
     rows += _bandwidth_rows(result)
     rows += _utilization_rows(result)
     rows += _stream_rows()
-    val_rows, val_sweep = _validation_rows(workers=workers, cache=cache)
+    val_rows, val_sweep = _validation_rows(
+        workers=workers, cache=cache, chunk_size=chunk_size
+    )
     rows += val_rows
     report = scorecard_report(rows)
     if result.sweep is not None:
@@ -299,9 +307,12 @@ def run_all(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable | None = None,
+    chunk_size: int | None = None,
 ) -> list[ExperimentRow]:
     """Run every experiment and return the scorecard rows."""
-    return run_scorecard(workers=workers, cache=cache, progress=progress).rows
+    return run_scorecard(
+        workers=workers, cache=cache, progress=progress, chunk_size=chunk_size
+    ).rows
 
 
 def scorecard_report(rows: list[ExperimentRow]) -> Report:

@@ -35,7 +35,30 @@ __all__ = [
     "validate_design",
     "validate_config",
     "validate_configs",
+    "warm_validation",
 ]
+
+
+def warm_validation(config: PolyMemConfig, max_rows=None, style=None, **_: object) -> None:
+    """Pre-compile the plan families one §IV-A cycle touches.
+
+    This is the :class:`~repro.exec.SweepTask` ``warmup`` hook for the
+    validation grid: the fill phase uses aligned ``RECTANGLE`` accesses and
+    the readback phase every supported pattern whose condition holds, so
+    warming exactly that set in the parent lets forked workers start with
+    every :func:`~repro.core.plan.compile_plan` family already resident.
+    Extra keyword arguments (``max_rows``/``style``/...) are accepted and
+    ignored so the hook matches any caller's task params.
+    """
+    from ..core.plan import compile_plan
+
+    p, q = config.p, config.q
+    kinds = {PatternKind.RECTANGLE}
+    for entry in SCHEME_SPECS[config.scheme].supported:
+        if entry.condition_holds(p, q):
+            kinds.add(entry.kind)
+    for kind in kinds:
+        compile_plan(config.rows, config.cols, p, q, config.scheme, kind, 1)
 
 
 @dataclass
@@ -169,11 +192,14 @@ def validate_configs(
     workers: int | None = None,
     cache=None,
     progress: Callable | None = None,
+    chunk_size: int | None = None,
 ) -> list[ValidationReport]:
     """The §IV-A cycle over a grid of configurations via :mod:`repro.exec`.
 
     Returns one :class:`ValidationReport` per config, in input order.
-    ``workers``/``cache``/``progress`` go to :func:`repro.exec.run_sweep`.
+    ``workers``/``cache``/``progress``/``chunk_size`` go to
+    :func:`repro.exec.run_sweep`; every task carries
+    :func:`warm_validation` so parallel runs fork from pre-warmed caches.
     """
     from ..exec import SweepTask, run_sweep
 
@@ -183,10 +209,13 @@ def validate_configs(
             validate_config,
             cfg,
             params={"max_rows": max_rows, "style": style},
+            warmup=warm_validation,
         )
         for cfg in configs
     ]
-    sweep = run_sweep(tasks, workers=workers, cache=cache, progress=progress)
+    sweep = run_sweep(
+        tasks, workers=workers, cache=cache, progress=progress, chunk_size=chunk_size
+    )
     return [
         ValidationReport(
             config_label=v["config_label"],

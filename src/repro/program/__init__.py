@@ -37,7 +37,13 @@ from .engine import (
     ProgramResult,
     execute,
 )
-from .fuse import FusionPlan, KernelCache, fusion_plan, kernel_cache
+from .fuse import (
+    FusionPlan,
+    KernelCache,
+    fusion_plan,
+    kernel_cache,
+    warm_kernels,
+)
 from .ir import (
     AccessOp,
     AccessProgram,
@@ -82,6 +88,7 @@ __all__ = [
     "execute",
     "fusion_plan",
     "kernel_cache",
+    "warm_kernels",
     "op_slots",
     "slot_disjoint",
     "validate_program",

@@ -53,7 +53,13 @@ from ..core.exceptions import PolyMemError
 from ..core.plan import AccessTrace, _Stream
 from ..telemetry import context as _telemetry
 
-__all__ = ["FusionPlan", "KernelCache", "fusion_plan", "kernel_cache"]
+__all__ = [
+    "FusionPlan",
+    "KernelCache",
+    "fusion_plan",
+    "kernel_cache",
+    "warm_kernels",
+]
 
 #: version tag of the kernel-key format; bump on any change to the key
 #: header or the cached kernel structure
@@ -100,6 +106,21 @@ class KernelCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def ensure(self, key: str, build) -> tuple:
+        """The kernel under *key*, building (and caching) it on a miss.
+
+        Returns ``(kernel, hit)``.  This is the pre-warm hook of the
+        fork-after-warm exec runtime: a parent process can ensure every
+        group kernel a task list will need before forking workers, which
+        then find the cache warm copy-on-write.
+        """
+        kernel = self.get(key)
+        if kernel is not None:
+            return kernel, True
+        kernel = build()
+        self.put(key, kernel)
+        return kernel, False
 
     def clear(self) -> None:
         self._entries.clear()
@@ -501,13 +522,13 @@ def fusion_plan(compiled, mems: Mapping[str, Any]) -> FusionPlan:
     groups = _split_groups(compiled.segments)
     for group in groups:
         key = group_key(group, mems)
-        kernel = kernel_cache.get(key)
-        if kernel is None:
-            kernel = _build_group_kernel(group, mems)
-            kernel_cache.put(key, kernel)
-            misses += 1
-        else:
+        kernel, hit = kernel_cache.ensure(
+            key, lambda g=group: _build_group_kernel(g, mems)
+        )
+        if hit:
             hits += 1
+        else:
+            misses += 1
         for seg, seg_units in zip(group, kernel):
             units[seg.index] = seg_units
     plan = FusionPlan(units, len(groups), hits, misses)
@@ -519,3 +540,24 @@ def fusion_plan(compiled, mems: Mapping[str, Any]) -> FusionPlan:
         m.counter("program.fusion.steps").inc(plan.n_fused_steps)
         m.counter("program.fusion.fallback_steps").inc(plan.n_fallback_steps)
     return plan
+
+
+def warm_kernels(compiled, mems: Mapping[str, Any]) -> int:
+    """Pre-build every group kernel *compiled* needs into
+    :data:`kernel_cache` (the exec runtime's KernelCache pre-warm hook).
+
+    Warming in the parent before the worker pool forks makes the first
+    fused execution in every worker a pure cache hit; returns the number
+    of kernels built fresh.
+    """
+    from .passes import warm_plans
+
+    warm_plans(compiled, mems)
+    built = 0
+    for group in _split_groups(compiled.segments):
+        key = group_key(group, mems)
+        _, hit = kernel_cache.ensure(
+            key, lambda g=group: _build_group_kernel(g, mems)
+        )
+        built += not hit
+    return built

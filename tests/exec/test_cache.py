@@ -173,6 +173,57 @@ class TestResultCache:
         assert len(cache) == 0
 
 
+class TestBatchedInterface:
+    """get_many/put_many must be observably identical to get/put loops
+    (the exec runtime uses the batched forms; these pin the parity)."""
+
+    def _keys(self, n):
+        return [cache_key("t", None, {"i": i}) for i in range(n)]
+
+    def test_put_many_then_get_parity(self, cache, tmp_path):
+        keys = self._keys(6)
+        cache.put_many({k: {"i": i} for i, k in enumerate(keys)})
+        single = ResultCache(tmp_path / "single")
+        for i, k in enumerate(keys):
+            single.put(k, {"i": i})
+        for k in keys:
+            assert cache.get(k) == single.get(k)
+            assert cache.path_for(k).read_text() == single.path_for(k).read_text()
+
+    def test_get_many_hits_misses_and_counters(self, cache):
+        keys = self._keys(8)
+        for i, k in enumerate(keys[:5]):
+            cache.put(k, {"i": i})
+        got = cache.get_many(keys)
+        assert set(got) == set(keys[:5])
+        assert [got[k]["i"] for k in keys[:5]] == [0, 1, 2, 3, 4]
+        assert cache.hits == 5 and cache.misses == 3
+
+    def test_get_many_empty_and_cold_dir(self, cache):
+        assert cache.get_many([]) == {}
+        keys = self._keys(4)
+        assert cache.get_many(keys) == {}  # directory does not exist yet
+        assert cache.misses == 4
+
+    def test_get_many_evicts_corrupted_like_get(self, cache):
+        keys = self._keys(3)
+        for i, k in enumerate(keys):
+            cache.put(k, {"i": i})
+        cache.path_for(keys[1]).write_text("{ not json")
+        got = cache.get_many(keys)
+        assert set(got) == {keys[0], keys[2]}
+        assert not cache.path_for(keys[1]).exists()  # evicted
+
+    def test_batched_equals_single_key_api(self, cache, tmp_path):
+        """End to end: a sweep persisted via put_many resolves identically
+        through get and get_many."""
+        keys = self._keys(10)
+        values = {k: {"payload": [i, i * i]} for i, k in enumerate(keys)}
+        cache.put_many(values)
+        assert cache.get_many(keys) == values
+        assert {k: cache.get(k) for k in keys} == values
+
+
 class TestDefaultCacheDir:
     def test_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))

@@ -1,0 +1,153 @@
+"""Tests for the fork-after-warm machinery (repro.exec.warm).
+
+The load-bearing claims: plan families and Benes routes compiled in the
+parent before the pool starts are *visible inside the workers* without
+recompilation — via copy-on-write inheritance on fork platforms, and via
+the pool initializer replay on spawn platforms — and both start methods
+produce byte-identical sweeps.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.patterns import PatternKind
+from repro.core.plan import compile_plan, plan_cache_keys
+from repro.core.schemes import Scheme
+from repro.core.shuffle import route_memo
+from repro.exec import SweepTask, run_sweep
+from repro.exec.warm import (
+    WarmSpec,
+    cache_stats,
+    collect_warmups,
+    export_warm_state,
+    run_warmups,
+    stats_delta,
+    warm_initializer,
+)
+
+# a geometry obscure enough that only this module compiles it
+SENTINEL = (96, 96, 3, 2, Scheme.ReRo, PatternKind.RECTANGLE, 1)
+
+
+def sentinel_warmup(config, **params):
+    """Module-level (picklable) warm hook: compile the sentinel family."""
+    compile_plan(*SENTINEL)
+
+
+def probe_plan_cache(config, **params):
+    """Task fn reporting whether this worker already has the sentinel
+    plan — and how many compiles becoming visible would cost it."""
+    stats = cache_stats()
+    return {
+        "pid": os.getpid(),
+        "has_sentinel": list(SENTINEL) in [list(k) for k in plan_cache_keys()],
+        "misses_before": stats["plan_cache.misses"],
+    }
+
+
+def _probe_tasks(n):
+    return [
+        SweepTask("test.warm.probe", probe_plan_cache, i, warmup=sentinel_warmup)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def many_cpus(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 32)
+
+
+class TestCollectWarmups:
+    def test_dedup_by_content(self):
+        tasks = [
+            SweepTask("t", probe_plan_cache, 1, warmup=sentinel_warmup),
+            SweepTask("t", probe_plan_cache, 1, warmup=sentinel_warmup),
+            SweepTask("t", probe_plan_cache, 2, warmup=sentinel_warmup),
+            SweepTask("t", probe_plan_cache, 3),  # no hook
+        ]
+        specs = collect_warmups(tasks)
+        # distinct configs are distinct specs; identical ones collapse
+        assert len(specs) == 2
+        assert all(spec.fn is sentinel_warmup for spec in specs)
+
+    def test_run_warmups_reports_fresh_compiles(self):
+        from repro.core import plan as plan_mod
+
+        fresh = (80, 80, 5, 2, Scheme.RoCo, PatternKind.ROW, 1)
+        assert list(fresh) not in [list(k) for k in plan_mod.plan_cache_keys()]
+
+        def warm_fresh(config, **params):
+            compile_plan(*fresh)
+
+        report = run_warmups([WarmSpec(warm_fresh, None, {})])
+        assert report.specs == 1
+        assert report.plans >= 1
+        assert report.seconds >= 0.0
+        # second pass: everything already resident
+        again = run_warmups([WarmSpec(warm_fresh, None, {})])
+        assert again.plans == 0
+
+    def test_stats_delta_clamps_negative(self):
+        assert stats_delta({"a": 5}, {"a": 3, "b": 2}) == {"a": 0, "b": 2}
+
+
+class TestWarmStateExport:
+    def test_state_is_picklable_and_covers_sentinel(self):
+        compile_plan(*SENTINEL)
+        state = export_warm_state(collect_warmups(_probe_tasks(2)))
+        assert SENTINEL in state.plan_keys
+        blob = pickle.dumps(state)  # must cross the spawn boundary
+        assert pickle.loads(blob).plan_keys == state.plan_keys
+
+    def test_initializer_replays_routes(self):
+        import numpy as np
+
+        from repro.core.shuffle import BenesNetwork
+
+        perm = np.array([2, 0, 3, 1], dtype=np.int64)
+        BenesNetwork(4).route(perm)
+        state = export_warm_state([])
+        assert (4, (2, 0, 3, 1)) in state.route_perms
+        route_memo.clear()
+        warm_initializer(state)
+        assert (4, [2, 0, 3, 1]) in route_memo.export_keys()
+
+
+class TestWorkersInheritWarmCaches:
+    """The tentpole property, both start methods."""
+
+    def _assert_workers_warm(self, sweep):
+        values = sweep.values()
+        worker_pids = {v["pid"] for v in values if v["pid"] != os.getpid()}
+        assert worker_pids, "no point actually ran in a worker"
+        for v in values:
+            # every process — parent pilot and workers alike — sees the
+            # sentinel family without having compiled it in-task, and the
+            # warm pass's compile misses are already on its books
+            assert v["has_sentinel"], v
+            assert v["misses_before"] >= 1
+
+    def test_forked_workers_see_parent_plans(self, many_cpus):
+        sweep = run_sweep(_probe_tasks(8), workers=2, chunk_size=1)
+        assert sweep.workers == 2
+        self._assert_workers_warm(sweep)
+
+    def test_spawned_workers_rewarmed_by_initializer(self, many_cpus):
+        sweep = run_sweep(
+            _probe_tasks(8), workers=2, chunk_size=1, _start_method="spawn"
+        )
+        assert sweep.workers == 2
+        self._assert_workers_warm(sweep)
+
+    def test_fork_and_spawn_sweeps_agree(self, many_cpus):
+        def strip(sweep):
+            # pids differ by construction; compare everything else
+            return [
+                (r.key, r.value["has_sentinel"]) for r in sweep.results
+            ]
+
+        forked = run_sweep(_probe_tasks(6), workers=2)
+        spawned = run_sweep(_probe_tasks(6), workers=2, _start_method="spawn")
+        assert strip(forked) == strip(spawned)
