@@ -269,6 +269,8 @@ def cmd_dse(args) -> int:
             cache=_cache_from_args(args),
             progress=_progress_from_args(args),
             chunk_size=args.chunk_size,
+            batch=args.batch,
+            prune=args.prune,
         )
     if args.save:
         from .util import save_dse_result
@@ -701,6 +703,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the Fig. 4-8 series")
     p_dse.add_argument("--save", help="persist the sweep to a JSON file")
     p_dse.add_argument("--load", help="render from a saved sweep instead")
+    p_dse.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="evaluate sibling grid points in vectorized batches "
+        "(byte-identical payloads; --no-batch forces the scalar path)",
+    )
+    p_dse.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="drop Pareto-dominated points before evaluation (the "
+        "frontier is unchanged but the point list is a subset)",
+    )
     _add_exec_args(p_dse)
     p_dse.set_defaults(fn=cmd_dse)
 

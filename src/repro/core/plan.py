@@ -40,6 +40,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..telemetry import context as _telemetry
 from .exceptions import PatternError, PortError
 from .patterns import PatternKind, pattern_offsets
 from .schemes import Scheme, flat_module_assignment
@@ -48,6 +49,7 @@ __all__ = [
     "AccessPlan",
     "AccessTrace",
     "compile_plan",
+    "compile_plan_batch",
     "plan_cache_keys",
     "plan_cache_stats",
     "stream_tables",
@@ -59,6 +61,11 @@ __all__ = [
 #: so it enumerates the warm set a parent process can export to workers —
 #: it is a superset of the live LRU contents when eviction has occurred.
 _compiled_keys: dict[tuple, None] = {}
+
+#: plans pre-built by :func:`compile_plan_batch`, waiting to be adopted by
+#: the memoized :func:`compile_plan` body (which pops them on its next
+#: miss for the key).  Never more than one batch's worth of entries live.
+_batch_built: dict[tuple, "AccessPlan"] = {}
 
 
 def _readonly(a: np.ndarray) -> np.ndarray:
@@ -189,6 +196,9 @@ def compile_plan(
     kind = PatternKind(kind)
     scheme = Scheme(scheme)
     _compiled_keys[(rows, cols, p, q, scheme, kind, stride)] = None
+    prebuilt = _batch_built.pop((rows, cols, p, q, scheme, kind, stride), None)
+    if prebuilt is not None:
+        return prebuilt
     di, dj = pattern_offsets(kind, p, q, stride)
     period = p * q
     res = np.arange(period, dtype=np.int64)
@@ -239,6 +249,107 @@ def compile_plan(
         blocks_per_row=blocks_per_row,
         bank_depth=bank_depth,
     )
+
+
+def _normalize_plan_key(key) -> tuple:
+    rows, cols, p, q, scheme, kind, *rest = key
+    stride = int(rest[0]) if rest else 1
+    return (
+        int(rows), int(cols), int(p), int(q),
+        Scheme(scheme), PatternKind(kind), stride,
+    )
+
+
+def compile_plan_batch(keys) -> dict[tuple, AccessPlan]:
+    """Compile a whole grid of plan families in shared broadcast passes.
+
+    *keys* are ``(rows, cols, p, q, scheme, kind[, stride])`` tuples as
+    accepted by :func:`compile_plan`.  Families not yet resident are
+    grouped by their residue *core* ``(p, q, scheme, kind, stride)``: the
+    bank/ok/inverse-permutation tables depend only on the core (every MAF
+    is periodic with period ``P = p * q``, independent of the geometry),
+    and the address tables are linear in the geometry —
+    ``addr_delta = A * blocks_per_row + B`` with core-only ``A``/``B`` —
+    so one residue build covers every ``(rows, cols)`` member of the core
+    via two integer broadcasts, with arithmetic identical to the scalar
+    body's (bit-identical tables; the core members share the read-only
+    residue arrays instead of owning copies).
+
+    Each pre-built plan is adopted by the memoized :func:`compile_plan`
+    (its body pops :data:`_batch_built` on the miss), so batch-built
+    families land in the same process-wide LRU with the same miss
+    accounting — single-config callers are unaffected and later scalar
+    lookups hit.  Returns ``{normalized key: plan}`` for every input key.
+    """
+    normd = [_normalize_plan_key(k) for k in keys]
+    fresh = [k for k in dict.fromkeys(normd) if k not in _compiled_keys]
+    by_core: dict[tuple, list[tuple]] = {}
+    for k in fresh:
+        rows, cols, p, q, scheme, kind, stride = k
+        by_core.setdefault((p, q, scheme, kind, stride), []).append(k)
+    for (p, q, scheme, kind, stride), members in by_core.items():
+        di, dj = pattern_offsets(kind, p, q, stride)
+        period = p * q
+        res = np.arange(period, dtype=np.int64)
+        ii = res[:, None, None] + di[None, None, :]
+        jj = res[None, :, None] + dj[None, None, :]
+        bank_table = flat_module_assignment(scheme, ii, jj, p, q)
+        bank_table = np.broadcast_to(
+            bank_table, (period, period, p * q)
+        ).astype(np.int16)
+        sorted_b = np.sort(bank_table, axis=-1)
+        ok = ~(sorted_b[..., 1:] == sorted_b[..., :-1]).any(axis=-1)
+        if p * q == 1:
+            ok = np.ones((period, period), dtype=bool)
+        lane_of_bank = np.argsort(
+            bank_table, axis=-1, kind="stable"
+        ).astype(np.int16)
+        rp = np.arange(p, dtype=np.int64)
+        rq = np.arange(q, dtype=np.int64)
+        delta_a = (rp[:, None, None] + di[None, None, :]) // p
+        delta_b = (rq[None, :, None] + dj[None, None, :]) // q
+        bank64 = bank_table.astype(np.int64)
+        res_p = res[:, None] % p
+        res_q = res[None, :] % q
+        bank_table = _readonly(np.ascontiguousarray(bank_table))
+        lane_of_bank = _readonly(np.ascontiguousarray(lane_of_bank))
+        ok = _readonly(ok)
+        i_lo = int(-di.min()) if di.size else 0
+        j_lo = int(-dj.min()) if dj.size else 0
+        for rows, cols, *_ in members:
+            blocks_per_row = cols // q
+            addr_delta = delta_a * blocks_per_row + delta_b
+            bank_depth = (rows // p) * blocks_per_row
+            slot_delta = bank64 * bank_depth + addr_delta[res_p, res_q]
+            _batch_built[(rows, cols, p, q, scheme, kind, stride)] = AccessPlan(
+                rows=rows,
+                cols=cols,
+                p=p,
+                q=q,
+                scheme=scheme,
+                kind=kind,
+                stride=stride,
+                di=di,
+                dj=dj,
+                i_lo=i_lo,
+                i_hi=rows - 1 - int(di.max()) if di.size else rows - 1,
+                j_lo=j_lo,
+                j_hi=cols - 1 - int(dj.max()) if dj.size else cols - 1,
+                period=period,
+                bank_table=bank_table,
+                lane_of_bank=lane_of_bank,
+                ok=ok,
+                addr_delta=_readonly(addr_delta),
+                slot_delta=_readonly(np.ascontiguousarray(slot_delta)),
+                blocks_per_row=blocks_per_row,
+                bank_depth=bank_depth,
+            )
+    if fresh:
+        tel = _telemetry.active()
+        if tel is not None:
+            tel.metrics.counter("polymem.plan_batch.families").inc(len(fresh))
+            tel.metrics.counter("polymem.plan_batch.cores").inc(len(by_core))
+    return {k: compile_plan(*k) for k in dict.fromkeys(normd)}
 
 
 def plan_cache_keys() -> list[tuple]:

@@ -14,9 +14,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.config import PolyMemConfig
 
-__all__ = ["BandwidthReport", "bandwidth_report", "port_bandwidth_gbps"]
+__all__ = [
+    "BandwidthReport",
+    "bandwidth_report",
+    "port_bandwidth_gbps",
+    "port_bandwidth_gbps_many",
+    "read_bandwidth_gbps_many",
+]
 
 GB = 1e9
 
@@ -24,6 +32,27 @@ GB = 1e9
 def port_bandwidth_gbps(config: PolyMemConfig, clock_mhz: float) -> float:
     """Peak bandwidth of a single port in GB/s."""
     return config.lanes * config.word_bytes * clock_mhz * 1e6 / GB
+
+
+def port_bandwidth_gbps_many(configs, clocks_mhz) -> np.ndarray:
+    """Per-port peak bandwidth for a config array, one float per config.
+
+    Elementwise operation order matches :func:`port_bandwidth_gbps`, so
+    each entry is bitwise equal to the scalar value at the same clock —
+    the dominance pruning in :func:`repro.dse.explore.explore` relies on
+    this to stay exact.
+    """
+    width = np.array(
+        [cfg.lanes * cfg.word_bytes for cfg in configs], dtype=np.int64
+    )
+    return width * np.asarray(clocks_mhz, dtype=np.float64) * 1e6 / GB
+
+
+def read_bandwidth_gbps_many(configs, clocks_mhz) -> np.ndarray:
+    """Aggregated read bandwidth (per-port x read ports) for a config
+    array; bitwise equal to ``BandwidthReport.read_gbps`` per entry."""
+    ports = np.array([cfg.read_ports for cfg in configs], dtype=np.int64)
+    return port_bandwidth_gbps_many(configs, clocks_mhz) * ports
 
 
 @dataclass(frozen=True)

@@ -16,15 +16,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from ..core.config import PolyMemConfig
 from ..core.schemes import Scheme
 from ..exec import ResultCache, RunResult, SweepResult, SweepTask, run_sweep
 from ..hw.calibration import table_iv_frequency
 from ..hw.synthesis import SynthesisModel, default_model
-from .bandwidth import BandwidthReport
+from ..telemetry import context as _telemetry
+from .bandwidth import BandwidthReport, read_bandwidth_gbps_many
 from .space import DesignSpace, PAPER_SPACE
 
-__all__ = ["DsePoint", "DseResult", "explore", "evaluate_point", "warm_point"]
+__all__ = [
+    "DsePoint",
+    "DseResult",
+    "explore",
+    "evaluate_point",
+    "evaluate_points_batch",
+    "warm_point",
+]
 
 
 @dataclass(frozen=True)
@@ -142,6 +152,57 @@ def evaluate_point(
     }
 
 
+def evaluate_points_batch(
+    configs,
+    validate: bool = False,
+    validate_rows: int = 16,
+    device: str | None = None,
+    _model: SynthesisModel | None = None,
+) -> list[dict]:
+    """Vectorized :func:`evaluate_point` over a config array.
+
+    The :class:`SweepTask` ``batch_fn`` for the DSE grid: one
+    :meth:`~repro.hw.synthesis.SynthesisModel.estimate_many` pass covers
+    every config's synthesis figures, and with ``validate`` the whole
+    group goes through :func:`repro.maxpolymem.validation.validate_points_batch`
+    (one batched table build and slot-image cycle per config family).
+    Each payload is byte-identical to ``evaluate_point(config, ...)`` —
+    the contract the batch dispatch in :mod:`repro.exec.runtime` assumes
+    and ``tests/dse/test_batch_equivalence.py`` pins.
+    """
+    configs = list(configs)
+    model = _model if _model is not None else (
+        default_model(device) if device else default_model()
+    )
+    estimate_many = getattr(model, "estimate_many", None)
+    if estimate_many is not None:
+        reports = estimate_many(configs)
+    else:
+        reports = [model.estimate(cfg) for cfg in configs]
+    validated: list[bool | None] = [None] * len(configs)
+    if validate:
+        from ..maxpolymem.validation import validate_points_batch
+
+        payloads = validate_points_batch(configs, max_rows=validate_rows)
+        validated = [payload["passed"] for payload in payloads]
+    return [
+        {
+            "paper_mhz": table_iv_frequency(
+                cfg.scheme,
+                cfg.capacity_bytes // 1024,
+                cfg.lanes,
+                cfg.read_ports,
+            ),
+            "model_mhz": report.fmax_mhz,
+            "logic_pct": report.logic_pct,
+            "lut_pct": report.lut_pct,
+            "bram_pct": report.bram_pct,
+            "validated": valid,
+        }
+        for cfg, report, valid in zip(configs, reports, validated)
+    ]
+
+
 def warm_point(
     config: PolyMemConfig,
     validate: bool = False,
@@ -162,6 +223,87 @@ def warm_point(
         warm_validation(config, max_rows=validate_rows)
 
 
+def _warm_point_family(
+    config: PolyMemConfig,
+    validate: bool = False,
+    validate_rows: int = 16,
+    device: str | None = None,
+    **_: object,
+) -> tuple:
+    """Dedup key for :func:`warm_point` (its ``warm_family`` attribute).
+
+    Everything the warm-up touches is keyed by the synthesis device and —
+    when validating — the plan-family axes ``(rows, cols, p, q, scheme)``;
+    read-port siblings in a chunk share one warm-up instead of re-running
+    it per config.
+    """
+    if not validate:
+        return (device,)
+    return (
+        config.rows,
+        config.cols,
+        config.p,
+        config.q,
+        config.scheme,
+        validate_rows,
+        device,
+    )
+
+
+warm_point.warm_family = _warm_point_family
+
+
+def _prune_dominated(
+    cfgs: list[PolyMemConfig], model: SynthesisModel
+) -> tuple[list[PolyMemConfig], int]:
+    """Drop grid points that are Pareto-dominated before the sweep runs.
+
+    Dominance is evaluated on exactly the axes — and the exact float
+    values — that :func:`repro.dse.pareto.pareto_frontier` uses with its
+    default ``frequency_source="auto"``: aggregated read bandwidth at the
+    paper clock when on-grid (model clock otherwise), BRAM%, and logic%.
+    The bandwidths come from :func:`read_bandwidth_gbps_many` and the
+    utilizations from :meth:`~repro.hw.synthesis.SynthesisModel.estimate_many`,
+    both bitwise equal to their scalar counterparts, so a point pruned
+    here is provably dominated in the full result too; by transitivity of
+    dominance every survivor's frontier membership is unchanged.  (The
+    pruned *point list* is a subset, which is why ``explore`` keeps this
+    off by default.)
+    """
+    reports = model.estimate_many(cfgs)
+    clocks = [
+        paper if paper is not None else report.fmax_mhz
+        for paper, report in (
+            (
+                table_iv_frequency(
+                    cfg.scheme,
+                    cfg.capacity_bytes // 1024,
+                    cfg.lanes,
+                    cfg.read_ports,
+                ),
+                report,
+            )
+            for cfg, report in zip(cfgs, reports)
+        )
+    ]
+    read = read_bandwidth_gbps_many(cfgs, clocks)
+    bram = np.array([r.bram_pct for r in reports], dtype=np.float64)
+    logic = np.array([r.logic_pct for r in reports], dtype=np.float64)
+    no_worse = (
+        (read[:, None] >= read[None, :])
+        & (bram[:, None] <= bram[None, :])
+        & (logic[:, None] <= logic[None, :])
+    )
+    better = (
+        (read[:, None] > read[None, :])
+        | (bram[:, None] < bram[None, :])
+        | (logic[:, None] < logic[None, :])
+    )
+    dominated = (no_worse & better).any(axis=0)
+    keep = [cfg for cfg, gone in zip(cfgs, dominated) if not gone]
+    return keep, int(dominated.sum())
+
+
 def explore(
     space: DesignSpace = PAPER_SPACE,
     model: SynthesisModel | None = None,
@@ -171,6 +313,8 @@ def explore(
     cache: ResultCache | None = None,
     progress: Callable[[int, int, RunResult], None] | None = None,
     chunk_size: int | None = None,
+    batch: bool = True,
+    prune: bool = False,
 ) -> DseResult:
     """Run the full DSE sweep over *space* through :mod:`repro.exec`.
 
@@ -184,12 +328,63 @@ def explore(
     parallel runs fork from pre-warmed caches.  Passing a custom *model*
     forces serial, uncached evaluation (an ad-hoc estimator has no stable
     cache identity and need not be picklable).
+
+    ``batch`` (the default) evaluates sibling grid points through
+    :func:`evaluate_points_batch` — one vectorized pass per dispatch
+    group, byte-identical payloads — and, when no pool, cache, or
+    progress callback is requested, bypasses the chunked sweep machinery
+    with a single direct batch call (``result.sweep`` still carries the
+    full accounting).  ``prune`` drops Pareto-dominated points *before*
+    evaluation: the frontier of the result is provably unchanged (see
+    :func:`_prune_dominated`) but the point list is a subset, so it is
+    off by default.
     """
+    import time
+
     cfgs = list(space.points(feasible_only=True))
+    candidates = len(cfgs)
+    pruned = 0
+    if prune:
+        prune_model = model if model is not None else default_model(space.device.name)
+        cfgs, pruned = _prune_dominated(cfgs, prune_model)
     params = {"validate": validate, "validate_rows": validate_rows}
     if model is not None:
         values = [evaluate_point(cfg, _model=model, **params) for cfg in cfgs]
         sweep = None
+        batched_points, batch_calls, scalar_points = 0, 0, len(cfgs)
+    elif (
+        batch
+        and workers is None
+        and cache is None
+        and progress is None
+    ):
+        device = space.device.name
+        t0 = time.perf_counter()
+        values = evaluate_points_batch(cfgs, device=device, **params)
+        wall = time.perf_counter() - t0
+        per = wall / len(cfgs) if cfgs else 0.0
+        sweep = SweepResult(
+            results=[
+                RunResult(
+                    experiment_id="dse.point",
+                    key=SweepTask(
+                        "dse.point",
+                        evaluate_point,
+                        cfg,
+                        params={**params, "device": device},
+                    ).cache_key(),
+                    value=value,
+                    seconds=per,
+                    cached=False,
+                )
+                for cfg, value in zip(cfgs, values)
+            ],
+            wall_seconds=wall,
+            workers=1,
+            batched_points=len(cfgs),
+            batch_calls=1,
+        )
+        batched_points, batch_calls, scalar_points = len(cfgs), 1, 0
     else:
         tasks = [
             SweepTask(
@@ -198,6 +393,7 @@ def explore(
                 cfg,
                 params={**params, "device": space.device.name},
                 warmup=warm_point,
+                batch_fn=evaluate_points_batch if batch else None,
             )
             for cfg in cfgs
         ]
@@ -209,5 +405,16 @@ def explore(
             chunk_size=chunk_size,
         )
         values = sweep.values()
+        batched_points = sweep.batched_points
+        batch_calls = sweep.batch_calls
+        scalar_points = sweep.n_computed - sweep.batched_points
+    tel = _telemetry.active()
+    if tel is not None:
+        metrics = tel.metrics
+        metrics.counter("dse.batch.candidates").inc(candidates)
+        metrics.counter("dse.batch.pruned").inc(pruned)
+        metrics.counter("dse.batch.configs").inc(batched_points)
+        metrics.counter("dse.batch.scalar_configs").inc(scalar_points)
+        metrics.counter("dse.batch.passes").inc(batch_calls)
     points = [DsePoint(config=cfg, **value) for cfg, value in zip(cfgs, values)]
     return DseResult(space=space, points=points, sweep=sweep)

@@ -38,13 +38,29 @@ class DesignSpace:
     #: the paper's explored columns.
     max_ports_by_lanes: tuple[tuple[int, int], ...] = ((8, 4), (16, 2))
 
+    def __post_init__(self) -> None:
+        # per-instance memo for the enumeration helpers below; lives in
+        # __dict__ (not a field), so eq/hash/repr are untouched.  The
+        # grid is immutable, so enumerating it twice is pure waste —
+        # ``dse --json`` used to re-enumerate per report section.
+        object.__setattr__(self, "_memo", {})
+
+    def _cached(self, key, build):
+        memo = self.__dict__["_memo"]
+        if key not in memo:
+            memo[key] = build()
+        return memo[key]
+
     def _port_cap(self, lanes: int) -> int:
         return dict(self.max_ports_by_lanes).get(lanes, max(self.read_ports))
 
     def _feasible(self, cfg: PolyMemConfig) -> bool:
         if cfg.read_ports > self._port_cap(cfg.lanes):
             return False
-        return polymem_bram_usage(cfg, self.device.bram36).feasible
+        return self._cached(
+            ("feasible", cfg),
+            lambda: polymem_bram_usage(cfg, self.device.bram36).feasible,
+        )
 
     def config(
         self, capacity_kb: int, lanes: int, ports: int, scheme: Scheme
@@ -67,37 +83,53 @@ class DesignSpace:
         """All grid points in the paper's column order (size, lanes, ports
         fastest within scheme).  With ``feasible_only`` (the default), only
         configurations whose data fits the device BRAM are yielded —
-        exactly the Table IV columns."""
-        for scheme in self.schemes:
-            for cfg in self.scheme_points(scheme, feasible_only):
-                yield cfg
+        exactly the Table IV columns.  Enumeration is memoized per
+        instance (configs are immutable)."""
+        return iter(
+            self._cached(
+                ("points", feasible_only),
+                lambda: tuple(
+                    cfg
+                    for scheme in self.schemes
+                    for cfg in self.scheme_points(scheme, feasible_only)
+                ),
+            )
+        )
 
     def scheme_points(
         self, scheme: Scheme, feasible_only: bool = True
     ) -> Iterator[PolyMemConfig]:
         """Grid points of a single scheme, column order."""
-        for cap in self.capacities_kb:
-            for lanes in self.lane_counts:
-                for ports in self.read_ports:
-                    cfg = self.config(cap, lanes, ports, scheme)
-                    if feasible_only and not self._feasible(cfg):
-                        continue
-                    yield cfg
+
+        def build():
+            return tuple(
+                cfg
+                for cap in self.capacities_kb
+                for lanes in self.lane_counts
+                for ports in self.read_ports
+                for cfg in [self.config(cap, lanes, ports, scheme)]
+                if not feasible_only or self._feasible(cfg)
+            )
+
+        return iter(self._cached(("scheme_points", scheme, feasible_only), build))
 
     def columns(self) -> list[tuple[int, int, int]]:
         """Feasible (capacity KB, lanes, ports) columns — Table IV order is
         (size, lanes major; ports minor)."""
-        out = []
-        for cap in self.capacities_kb:
-            for lanes in self.lane_counts:
-                for ports in self.read_ports:
-                    cfg = self.config(cap, lanes, ports, self.schemes[0])
-                    if self._feasible(cfg):
-                        out.append((cap, lanes, ports))
-        return out
+
+        def build():
+            return [
+                (cap, lanes, ports)
+                for cap in self.capacities_kb
+                for lanes in self.lane_counts
+                for ports in self.read_ports
+                if self._feasible(self.config(cap, lanes, ports, self.schemes[0]))
+            ]
+
+        return list(self._cached(("columns",), build))
 
     def size(self, feasible_only: bool = True) -> int:
-        """Number of explored grid points."""
+        """Number of explored grid points (memoized with the enumeration)."""
         return sum(1 for _ in self.points(feasible_only))
 
 

@@ -91,6 +91,14 @@ class SweepTask:
     params: Mapping[str, Any] = field(default_factory=dict)
     key: str | None = None
     warmup: Callable[..., Any] | None = None
+    #: optional vectorized evaluator: ``batch_fn(configs, **params)``
+    #: computes a whole group of sibling points (same experiment_id and
+    #: params) in one pass, returning one plain-JSON payload per config
+    #: in order — each payload must be byte-identical to what
+    #: ``fn(config, **params)`` returns for the same config.  Like
+    #: ``warmup``, it is an execution detail and never part of the cache
+    #: key; must be module-level (picklable).
+    batch_fn: Callable[..., Any] | None = None
 
     def cache_key(self, model_version: str | None = None) -> str:
         if self.key is not None:
@@ -121,6 +129,8 @@ class SweepResult:
     warmup_seconds: float = 0.0  #: parent-side pre-fork warm pass
     ipc_seconds: float = 0.0  #: queueing + (de)serialisation across chunks
     chunks: int = 0  #: dispatch batches sent to the pool (0 = serial)
+    batched_points: int = 0  #: points computed through a ``batch_fn`` group
+    batch_calls: int = 0  #: vectorized ``batch_fn`` invocations
 
     def values(self) -> list[Any]:
         return [r.value for r in self.results]
@@ -219,22 +229,87 @@ def _execute(task: SweepTask) -> tuple[Any, float]:
     return value, time.perf_counter() - t0
 
 
+def _dispatch_groups(
+    tasks: Sequence[SweepTask], indices: Iterable[int]
+) -> list[list[int]]:
+    """Partition *indices* into execution groups, first-seen order.
+
+    Tasks carrying the same ``(experiment_id, batch_fn, params)`` triple
+    form one group (their configs go to ``batch_fn`` in a single call);
+    tasks without a ``batch_fn`` stay singleton groups on the scalar
+    path.  Within a group the original index order is preserved, so the
+    group's payloads map back to their tasks positionally.
+    """
+    groups: dict[Any, list[int]] = {}
+    order: list[list[int]] = []
+    for i in indices:
+        task = tasks[i]
+        if task.batch_fn is None:
+            order.append([i])
+            continue
+        key = (
+            task.experiment_id,
+            task.batch_fn,
+            tuple(sorted((k, repr(v)) for k, v in dict(task.params).items())),
+        )
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = []
+            order.append(group)
+        group.append(i)
+    return order
+
+
+def _execute_group(
+    tasks: Sequence[SweepTask], idxs: Sequence[int]
+) -> tuple[list[tuple[Any, float]], int, int]:
+    """Run one dispatch group; returns ``(pairs, batched_points,
+    batch_calls)`` with one ``(value, seconds)`` pair per index (the
+    batch call's wall time is split evenly across its points)."""
+    first = tasks[idxs[0]]
+    if first.batch_fn is None or len(idxs) == 0:
+        return [_execute(tasks[i]) for i in idxs], 0, 0
+    group = [tasks[i] for i in idxs]
+    t0 = time.perf_counter()
+    values = list(first.batch_fn([t.config for t in group], **dict(first.params)))
+    seconds = time.perf_counter() - t0
+    if len(values) != len(group):
+        raise RuntimeError(
+            f"batch_fn {first.batch_fn!r} returned {len(values)} payloads "
+            f"for {len(group)} configs"
+        )
+    per = seconds / len(group)
+    return [(v, per) for v in values], len(group), 1
+
+
 def _execute_chunk(tasks: Sequence[SweepTask]) -> dict:
     """Worker-side execution of one chunk (module-level: picklable).
 
-    Besides the per-task ``(value, seconds)`` pairs, the payload carries
-    ``time.monotonic()`` endpoints (system-wide on Linux, so the parent
-    can subtract pure compute from the submit→arrival window to estimate
-    IPC overhead) and the worker's cache hit/miss deltas for the chunk.
+    Tasks sharing a ``batch_fn`` group evaluate in one vectorized call
+    (so a chunk of sweep points shares one batched table build per config
+    family).  Besides the per-task ``(value, seconds)`` pairs, the
+    payload carries ``time.monotonic()`` endpoints (system-wide on Linux,
+    so the parent can subtract pure compute from the submit→arrival
+    window to estimate IPC overhead), the worker's cache hit/miss deltas
+    for the chunk, and the chunk's batch-path accounting.
     """
     t_start = time.monotonic()
     before = _warm.cache_stats()
-    out = [_execute(task) for task in tasks]
+    out: list[tuple[Any, float] | None] = [None] * len(tasks)
+    batched = calls = 0
+    for idxs in _dispatch_groups(tasks, range(len(tasks))):
+        pairs, b, c = _execute_group(tasks, idxs)
+        batched += b
+        calls += c
+        for i, pair in zip(idxs, pairs):
+            out[i] = pair
     return {
         "results": out,
         "t_start": t_start,
         "t_end": time.monotonic(),
         "cache_stats": _warm.stats_delta(before, _warm.cache_stats()),
+        "batched": batched,
+        "batch_calls": calls,
     }
 
 
@@ -317,6 +392,8 @@ def run_sweep(
     warmup_seconds = 0.0
     ipc_seconds = 0.0
     n_chunks = 0
+    n_batched = 0
+    n_batch_calls = 0
     chunk_sizes: list[int] = []
     worker_stats: dict[str, int] = {}
 
@@ -330,9 +407,12 @@ def run_sweep(
             progress(done, total, results[i])
 
     if n_workers <= 1:
-        for i in pending:
-            value, seconds = _execute(tasks[i])
-            finish(i, value, seconds)
+        for idxs in _dispatch_groups(tasks, pending):
+            pairs, b, c = _execute_group(tasks, idxs)
+            n_batched += b
+            n_batch_calls += c
+            for i, (value, seconds) in zip(idxs, pairs):
+                finish(i, value, seconds)
     else:
         # -- warm the parent before forking --------------------------------
         specs = _warm.collect_warmups(tasks[i] for i in pending)
@@ -396,6 +476,8 @@ def run_sweep(
                 )
                 for name, delta in payload["cache_stats"].items():
                     worker_stats[name] = worker_stats.get(name, 0) + delta
+                n_batched += payload.get("batched", 0)
+                n_batch_calls += payload.get("batch_calls", 0)
                 if cache is not None:
                     cache.put_many(
                         {keys[i]: v for i, (v, _) in zip(chunk, payload["results"])}
@@ -412,6 +494,8 @@ def run_sweep(
         warmup_seconds=warmup_seconds,
         ipc_seconds=ipc_seconds,
         chunks=n_chunks,
+        batched_points=n_batched,
+        batch_calls=n_batch_calls,
     )
     tel = _telemetry.active()
     if tel is not None:

@@ -101,8 +101,17 @@ def _spec_identity(fn: Callable, config: Any, params: Mapping[str, Any]) -> str:
 def collect_warmups(tasks: Iterable[Any]) -> list[WarmSpec]:
     """The deduplicated warm-up specs carried by *tasks*, in first-seen
     order.  Tasks without a ``warmup`` attribute (or with ``None``) are
-    skipped; distinct tasks sharing a spec contribute it once."""
-    seen: set[str] = set()
+    skipped; distinct tasks sharing a spec contribute it once.
+
+    A warmup hook may expose a ``warm_family(config, **params)``
+    attribute returning a hashable key; when present, dedup runs on that
+    *family* instead of the full config identity.  The caches a warmup
+    populates are typically keyed by config family — e.g. compiled plans
+    by ``(rows, cols, p, q, scheme, kind, stride)``, blind to the read
+    port count — so sibling configs in one chunk would otherwise warm
+    (and on spawn platforms re-run) the exact same work per sibling.
+    """
+    seen: set = set()
     specs: list[WarmSpec] = []
     for task in tasks:
         fn = getattr(task, "warmup", None)
@@ -110,7 +119,15 @@ def collect_warmups(tasks: Iterable[Any]) -> list[WarmSpec]:
             continue
         config = getattr(task, "config", None)
         params = dict(getattr(task, "params", {}) or {})
-        ident = _spec_identity(fn, config, params)
+        family = getattr(fn, "warm_family", None)
+        if family is not None:
+            ident = (
+                getattr(fn, "__module__", "?"),
+                getattr(fn, "__qualname__", repr(fn)),
+                family(config, **params),
+            )
+        else:
+            ident = _spec_identity(fn, config, params)
         if ident in seen:
             continue
         seen.add(ident)

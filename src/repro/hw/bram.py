@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from ..core.config import PolyMemConfig
 from ..core.exceptions import CapacityError
 
-__all__ = ["RAMB36", "BramBudget", "polymem_bram_usage"]
+__all__ = ["RAMB36", "BramBudget", "polymem_bram_usage", "polymem_bram_usage_many"]
 
 
 @dataclass(frozen=True)
@@ -121,3 +121,41 @@ def polymem_bram_usage(
     return BramBudget(
         data_blocks=data, infra_blocks=infra, device_blocks=device_blocks
     )
+
+
+def polymem_bram_usage_many(
+    configs,
+    device_blocks: int = 1064,
+    infra_nominal: int = INFRA_BLOCKS_NOMINAL,
+) -> list[BramBudget]:
+    """Vectorized :func:`polymem_bram_usage` over a config array.
+
+    The per-bank packing is exact integer arithmetic evaluated once per
+    distinct ``(bank_depth, width_bits)`` pair (via the same
+    :meth:`RAMB36.blocks_for_bank` the scalar path uses); replication and
+    the infrastructure clamp run as one NumPy pass.  Budgets are equal to
+    the scalar path's, field for field.
+    """
+    import numpy as np
+
+    configs = list(configs)
+    prim = RAMB36()
+    per_bank_of: dict[tuple[int, int], int] = {}
+    per_bank = np.empty(len(configs), dtype=np.int64)
+    ports = np.empty(len(configs), dtype=np.int64)
+    lanes = np.empty(len(configs), dtype=np.int64)
+    for n, cfg in enumerate(configs):
+        shape = (cfg.bank_depth, cfg.width_bits)
+        if shape not in per_bank_of:
+            per_bank_of[shape] = prim.blocks_for_bank(*shape)
+        per_bank[n] = per_bank_of[shape]
+        ports[n] = cfg.read_ports
+        lanes[n] = cfg.lanes
+    data = ports * lanes * per_bank
+    infra = np.minimum(infra_nominal, np.maximum(0, device_blocks - data))
+    return [
+        BramBudget(
+            data_blocks=int(d), infra_blocks=int(i), device_blocks=device_blocks
+        )
+        for d, i in zip(data, infra)
+    ]

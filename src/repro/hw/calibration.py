@@ -74,13 +74,17 @@ def table_iv_grid() -> list[tuple[PolyMemConfig, float]]:
     return cells
 
 
+#: column -> index map so per-point lookups are O(1) (the DSE batch path
+#: resolves the paper grid for thousands of configs per pass)
+_COLUMN_INDEX = {col: i for i, col in enumerate(TABLE_IV_COLUMNS)}
+
+
 def table_iv_frequency(
     scheme: Scheme, capacity_kb: int, lanes: int, read_ports: int
 ) -> float | None:
     """Paper frequency for one configuration, or None if outside the table."""
-    try:
-        idx = TABLE_IV_COLUMNS.index((capacity_kb, lanes, read_ports))
-    except ValueError:
+    idx = _COLUMN_INDEX.get((capacity_kb, lanes, read_ports))
+    if idx is None:
         return None
     return float(TABLE_IV_MHZ[scheme][idx])
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..core.config import PolyMemConfig
 from ..core.shuffle import BenesNetwork, FullCrossbar
@@ -42,7 +43,10 @@ class ShuffleInventory:
         return self.data_crossbars + self.addr_crossbars
 
 
+@lru_cache(maxsize=256)
 def _cost(realization: str, lanes: int, width: int):
+    # memoized: a DSE pass asks for the same (lanes, width) cost once per
+    # config, and the cost models are pure in their arguments
     if realization == "full":
         return FullCrossbar(lanes, width).cost()
     if realization == "benes":

@@ -35,7 +35,7 @@ from scipy.optimize import nnls
 from ..core.config import PolyMemConfig
 from ..core.schemes import Scheme
 from . import calibration
-from .bram import polymem_bram_usage
+from .bram import polymem_bram_usage, polymem_bram_usage_many
 from .crossbar import design_shuffles
 from .fpga import VIRTEX6_SX475T, FpgaDevice
 
@@ -193,6 +193,96 @@ class SynthesisModel:
             bram_pct=100.0 * budget.utilization,
             feasible=budget.feasible and logic <= 100.0,
         )
+
+    # -- batched estimation ------------------------------------------------
+    def estimate_arrays(self, configs) -> dict[str, list]:
+        """Vectorized estimate over a config array — per-field lists.
+
+        Feature *construction* runs as shared NumPy passes (one BRAM
+        budget sweep, one crossbar-cost/log2 table per distinct value),
+        but the final period/logic dot products stay per-row ``np.dot``
+        calls with the scalar path's exact operand order: a single
+        matrix-vector BLAS call is *not* bitwise identical to the per-row
+        reduction, and the DSE's byte-identity guarantee hinges on it.
+        Transcendentals go through the same ``math.log2`` (mapped over
+        distinct values) and correctly-rounded ``sqrt`` as the scalar
+        features, so every returned float equals :meth:`estimate`'s.
+        """
+        configs = list(configs)
+        n = len(configs)
+        device = self.device
+        budgets = polymem_bram_usage_many(configs, device.bram36)
+        lanes = np.array([cfg.lanes for cfg in configs], dtype=np.int64)
+        ports = np.array([cfg.read_ports for cfg in configs], dtype=np.int64)
+        maf = np.array(
+            [float(MAF_COMPLEXITY[cfg.scheme]) for cfg in configs]
+        )
+        log2_of = {v: math.log2(v) for v in set(lanes.tolist())}
+        data_blocks = np.array([b.data_blocks for b in budgets], dtype=np.int64)
+        freq_x = np.empty((n, 6))
+        freq_x[:, 0] = 1.0
+        freq_x[:, 1] = [log2_of[v] for v in lanes.tolist()]
+        freq_x[:, 2] = ports
+        freq_x[:, 3] = np.sqrt(data_blocks)
+        freq_x[:, 4] = (lanes * ports) / 8.0
+        freq_x[:, 5] = maf
+
+        xb_of: dict[tuple[int, int, int], int] = {}
+        total_luts = np.empty(n, dtype=np.int64)
+        cap_term = np.empty(n)
+        cap_term_of: dict[int, float] = {}
+        for i, cfg in enumerate(configs):
+            shape = (cfg.lanes, cfg.width_bits, cfg.bank_depth)
+            if shape not in xb_of:
+                inv = design_shuffles(cfg)
+                # total_luts = (1 + R) * (data + addr cost): the port
+                # replication factors out, so cache the per-replica LUTs
+                xb_of[shape] = inv.total_luts // (1 + cfg.read_ports)
+            total_luts[i] = (1 + cfg.read_ports) * xb_of[shape]
+            if cfg.capacity_bytes not in cap_term_of:
+                cap_kb = cfg.capacity_bytes / 1024
+                cap_term_of[cfg.capacity_bytes] = (
+                    math.log2(cap_kb / 512) if cap_kb >= 512 else 0.0
+                )
+            cap_term[i] = cap_term_of[cfg.capacity_bytes]
+        logic_x = np.empty((n, 5))
+        logic_x[:, 0] = 1.0
+        logic_x[:, 1] = (100.0 * total_luts) / device.luts
+        logic_x[:, 2] = ports
+        logic_x[:, 3] = cap_term
+        logic_x[:, 4] = maf
+
+        fmax, logic = [], []
+        for i in range(n):
+            period = float(freq_x[i] @ self._freq_coef)
+            fmax.append(1e3 / period)
+            logic.append(float(logic_x[i] @ self._logic_coef))
+        return {
+            "fmax_mhz": fmax,
+            "logic_pct": logic,
+            "lut_pct": [v * LUT_TO_LOGIC_RATIO for v in logic],
+            "bram_pct": [100.0 * b.utilization for b in budgets],
+            "feasible": [
+                b.feasible and v <= 100.0 for b, v in zip(budgets, logic)
+            ],
+        }
+
+    def estimate_many(self, configs) -> list[SynthesisReport]:
+        """Vectorized :meth:`estimate` — one report per config, with every
+        field equal to the scalar path's (see :meth:`estimate_arrays`)."""
+        configs = list(configs)
+        arrays = self.estimate_arrays(configs)
+        return [
+            SynthesisReport(
+                config=cfg,
+                fmax_mhz=arrays["fmax_mhz"][i],
+                logic_pct=arrays["logic_pct"][i],
+                lut_pct=arrays["lut_pct"][i],
+                bram_pct=arrays["bram_pct"][i],
+                feasible=arrays["feasible"][i],
+            )
+            for i, cfg in enumerate(configs)
+        ]
 
 
 @lru_cache(maxsize=4)

@@ -25,16 +25,20 @@ import numpy as np
 
 from ..core.agu import AccessRequest
 from ..core.config import PolyMemConfig
+from ..core.exceptions import ConflictError
 from ..core.patterns import AccessPattern, PatternKind
+from ..core.plan import compile_plan, compile_plan_batch
 from ..core.schemes import SCHEME_SPECS
 from .design import PolyMemDesign
 from .kernel import WriteCommand
 
 __all__ = [
     "ValidationReport",
+    "conflict_free_chunk",
     "validate_design",
     "validate_config",
     "validate_configs",
+    "validate_points_batch",
     "warm_validation",
 ]
 
@@ -50,15 +54,30 @@ def warm_validation(config: PolyMemConfig, max_rows=None, style=None, **_: objec
     Extra keyword arguments (``max_rows``/``style``/...) are accepted and
     ignored so the hook matches any caller's task params.
     """
-    from ..core.plan import compile_plan
+    compile_plan_batch(_validation_plan_keys(config))
 
+
+def _validation_plan_keys(config: PolyMemConfig) -> list[tuple]:
+    """The plan-family keys one §IV-A cycle touches."""
     p, q = config.p, config.q
     kinds = {PatternKind.RECTANGLE}
     for entry in SCHEME_SPECS[config.scheme].supported:
         if entry.condition_holds(p, q):
             kinds.add(entry.kind)
-    for kind in kinds:
-        compile_plan(config.rows, config.cols, p, q, config.scheme, kind, 1)
+    return [
+        (config.rows, config.cols, p, q, config.scheme, kind, 1)
+        for kind in kinds
+    ]
+
+
+def _warm_validation_family(config: PolyMemConfig, **_: object) -> tuple:
+    """Warmup dedup key: the compiled plan families are blind to the read
+    port count, so sibling configs differing only in ports share one
+    warm-up (see :func:`repro.exec.warm.collect_warmups`)."""
+    return (config.rows, config.cols, config.p, config.q, config.scheme)
+
+
+warm_validation.warm_family = _warm_validation_family
 
 
 @dataclass
@@ -185,6 +204,190 @@ def validate_config(
     }
 
 
+def conflict_free_chunk(
+    configs,
+    kind,
+    anchors_i,
+    anchors_j,
+    stride: int = 1,
+    *,
+    policy: str = "allow",
+    vectorized: bool = True,
+) -> np.ndarray:
+    """Conflict-freedom of one shared access chunk across N configs.
+
+    Returns an ``(N, B)`` boolean mask: entry ``[n, b]`` is True when the
+    *kind* access anchored at ``(anchors_i[b], anchors_j[b])`` is in
+    bounds *and* bank-conflict-free for ``configs[n]``.  The vectorized
+    path compiles every plan family through one
+    :func:`~repro.core.plan.compile_plan_batch` build and, per lane grid,
+    stacks the residue ``ok`` tables of the distinct families so the whole
+    chunk resolves in one fancy-indexed gather; ``vectorized=False`` is
+    the scalar per-anchor reference the hypothesis parity suite pins the
+    fast path against (bit-identical masks and errors).
+
+    ``policy="forbid"`` raises :class:`~repro.core.exceptions.ConflictError`
+    for the first failing ``(config, anchor)`` in config-major order —
+    identical across both paths.
+    """
+    configs = list(configs)
+    kind = PatternKind(kind)
+    ai = np.asarray(anchors_i, dtype=np.int64)
+    aj = np.asarray(anchors_j, dtype=np.int64)
+    if ai.shape != aj.shape or ai.ndim != 1:
+        raise ValueError("anchors must be equal-length 1-D arrays")
+    out = np.empty((len(configs), ai.size), dtype=bool)
+    keys = [
+        (cfg.rows, cfg.cols, cfg.p, cfg.q, cfg.scheme, kind, stride)
+        for cfg in configs
+    ]
+    if not vectorized:
+        for n, key in enumerate(keys):
+            plan = compile_plan(*key)
+            for b in range(ai.size):
+                i, j = int(ai[b]), int(aj[b])
+                out[n, b] = plan.fits(i, j) and plan.conflict_free(i, j)
+    else:
+        plans = compile_plan_batch(keys)
+        by_grid: dict[tuple[int, int], list[int]] = {}
+        for n, key in enumerate(keys):
+            by_grid.setdefault((key[2], key[3]), []).append(n)
+        for (p, q), ns in by_grid.items():
+            period = p * q
+            ri = ai % period
+            rj = aj % period
+            distinct = list(dict.fromkeys(keys[n] for n in ns))
+            # (D, B): every distinct family's residue verdicts in one pass
+            ok_rows = np.stack([plans[k].ok for k in distinct])[:, ri, rj]
+            row_of = {k: d for d, k in enumerate(distinct)}
+            for n in ns:
+                out[n] = plans[keys[n]].fits_mask(ai, aj) & ok_rows[row_of[keys[n]]]
+    if policy == "forbid":
+        bad = np.argwhere(~out)
+        if bad.size:
+            n, b = (int(x) for x in bad[0])
+            raise ConflictError(
+                f"{configs[n].label()}: {kind.value} access at "
+                f"({int(ai[b])}, {int(aj[b])}) is out of bounds or "
+                f"bank-conflicting"
+            )
+    elif policy != "allow":
+        raise ValueError(f"unknown conflict policy {policy!r}")
+    return out
+
+
+def _validate_family_tables(
+    cfg: PolyMemConfig, rows_v: int, ref: np.ndarray, bi: np.ndarray, bj: np.ndarray
+) -> tuple[int, int] | None:
+    """Run one family's §IV-A cycle on the compiled slot tables alone.
+
+    Simulates the fill scatter and every supported readback gather on a
+    flat slot image (the same ``bank * depth + address`` ids the design's
+    write and read paths resolve to), in the scalar cycle's write order.
+    Returns ``(reads_per_port, writes)`` when every probe matches the
+    reference — the clean case, where the full-simulator cycle passes too
+    — or ``None`` for *any* irregularity (a probe out of bounds or
+    conflicting, a value mismatch), telling the caller to fall back to
+    the scalar :func:`validate_config` so payloads stay byte-identical by
+    construction.
+    """
+    rows, cols, p, q = cfg.rows, cfg.cols, cfg.p, cfg.q
+    plan_rect = compile_plan(rows, cols, p, q, cfg.scheme, PatternKind.RECTANGLE, 1)
+    vals = ref[bi[:, None] + plan_rect.di[None, :], bj[:, None] + plan_rect.dj[None, :]]
+    image = np.zeros(cfg.total_words, dtype=np.uint64)
+    # duplicate slot ids resolve last-write-wins, matching the sequential
+    # command order of the stream-driven fill
+    image[plan_rect.slots_many(bi, bj).reshape(-1)] = vals.reshape(-1)
+    reads = 0
+    for entry in SCHEME_SPECS[cfg.scheme].supported:
+        if not entry.condition_holds(p, q):
+            continue
+        pattern = AccessPattern(entry.kind, p, q)
+        anchors = _read_anchors(pattern, rows_v, cols, entry, p, q)
+        if not anchors:
+            continue
+        ai = np.array([a[0] for a in anchors], dtype=np.int64)
+        aj = np.array([a[1] for a in anchors], dtype=np.int64)
+        plan = compile_plan(rows, cols, p, q, cfg.scheme, entry.kind, 1)
+        if not (plan.fits_mask(ai, aj) & plan.ok_mask(ai, aj)).all():
+            return None
+        got = image[plan.slots_many(ai, aj)]
+        want = ref[ai[:, None] + plan.di[None, :], aj[:, None] + plan.dj[None, :]]
+        if not (got == want).all():
+            return None
+        reads += len(anchors)
+    return reads, int(bi.size)
+
+
+def validate_points_batch(
+    configs,
+    max_rows: int | None = 16,
+    style: str = "fused",
+) -> list[dict]:
+    """Vectorized :func:`validate_config` over a config array.
+
+    Configs are grouped by geometry family ``(rows, cols, p, q)``; each
+    family shares one batched plan-table build
+    (:func:`~repro.core.plan.compile_plan_batch`), one fill anchor chunk
+    checked across all schemes by :func:`conflict_free_chunk`, and one
+    slot-image fill/readback pass per scheme (read ports only replicate
+    the readback, so sibling port counts reuse the same pass).  Any
+    config the fast path cannot prove clean — a misaligned validated
+    region, a conflicting or mismatching probe — falls back to the scalar
+    simulator cycle, so every payload equals the scalar one byte for byte
+    (pinned by ``tests/dse/test_batch_equivalence.py``).
+    """
+    configs = list(configs)
+    payloads: list[dict | None] = [None] * len(configs)
+    compile_plan_batch(
+        [key for cfg in configs for key in _validation_plan_keys(cfg)]
+    )
+    geo_groups: dict[tuple, list[int]] = {}
+    for n, cfg in enumerate(configs):
+        geo_groups.setdefault((cfg.rows, cfg.cols, cfg.p, cfg.q), []).append(n)
+    for (rows, cols, p, q), members in geo_groups.items():
+        rows_v = rows if max_rows is None else min(rows, max_rows)
+        scheme_of: dict = {}
+        for n in members:
+            scheme_of.setdefault(configs[n].scheme, []).append(n)
+        if rows_v <= 0 or rows_v % p or cols % q:
+            fill_ok = np.zeros((len(scheme_of), 1), dtype=bool)
+            bi = bj = None
+        else:
+            bi = np.repeat(
+                np.arange(0, rows_v, p, dtype=np.int64), len(range(0, cols, q))
+            )
+            bj = np.tile(
+                np.arange(0, cols, q, dtype=np.int64), len(range(0, rows_v, p))
+            )
+            fill_ok = conflict_free_chunk(
+                [configs[ns[0]] for ns in scheme_of.values()],
+                PatternKind.RECTANGLE,
+                bi,
+                bj,
+            )
+        ref = _reference_matrix(rows_v, cols) if rows_v > 0 else None
+        for (scheme, ns), ok_row in zip(scheme_of.items(), fill_ok):
+            family = None
+            if bi is not None and ok_row.all():
+                family = _validate_family_tables(configs[ns[0]], rows_v, ref, bi, bj)
+            if family is None:
+                for n in ns:
+                    payloads[n] = validate_config(configs[n], max_rows, style)
+                continue
+            reads, writes = family
+            for n in ns:
+                cfg = configs[n]
+                payloads[n] = {
+                    "config_label": cfg.label(),
+                    "passed": reads > 0,
+                    "writes": writes,
+                    "reads": cfg.read_ports * reads,
+                    "mismatches": [],
+                }
+    return payloads
+
+
 def validate_configs(
     configs: Iterable[PolyMemConfig],
     max_rows: int | None = 16,
@@ -193,6 +396,7 @@ def validate_configs(
     cache=None,
     progress: Callable | None = None,
     chunk_size: int | None = None,
+    batch: bool = True,
 ) -> list[ValidationReport]:
     """The §IV-A cycle over a grid of configurations via :mod:`repro.exec`.
 
@@ -200,6 +404,9 @@ def validate_configs(
     ``workers``/``cache``/``progress``/``chunk_size`` go to
     :func:`repro.exec.run_sweep`; every task carries
     :func:`warm_validation` so parallel runs fork from pre-warmed caches.
+    With ``batch`` (the default), sibling tasks in one chunk evaluate
+    through :func:`validate_points_batch` in a single vectorized call;
+    payloads are byte-identical either way.
     """
     from ..exec import SweepTask, run_sweep
 
@@ -210,6 +417,7 @@ def validate_configs(
             cfg,
             params={"max_rows": max_rows, "style": style},
             warmup=warm_validation,
+            batch_fn=validate_points_batch if batch else None,
         )
         for cfg in configs
     ]

@@ -62,3 +62,52 @@ class TestCustomSpace:
             for c in space.points()
         }
         assert (512, 16, 4) in labels
+
+
+class TestEnumerationMemo:
+    """DesignSpace memoizes its (immutable) grid enumeration per instance."""
+
+    def test_repeated_enumeration_is_stable_and_cheap(self):
+        space = DesignSpace()
+        first = list(space.points())
+        again = list(space.points())
+        assert first == again
+        # the tuple behind the iterator is built once and reused
+        assert ("points", True) in space.__dict__["_memo"]
+        assert tuple(first) == space.__dict__["_memo"][("points", True)]
+
+    def test_size_agrees_with_points(self):
+        space = DesignSpace()
+        assert space.size() == len(list(space.points()))
+        assert space.size(feasible_only=False) == len(
+            list(space.points(feasible_only=False))
+        )
+
+    def test_feasibility_memo_counts_one_bram_check_per_config(self):
+        calls = []
+        import repro.dse.space as space_mod
+
+        real = space_mod.polymem_bram_usage
+
+        def counting(cfg, blocks):
+            calls.append(cfg)
+            return real(cfg, blocks)
+
+        space = DesignSpace()
+        try:
+            space_mod.polymem_bram_usage = counting
+            space.points()
+            space.columns()
+            space.size()
+            first = len(calls)
+            space.points()
+            space.columns()
+            assert len(calls) == first
+        finally:
+            space_mod.polymem_bram_usage = real
+
+    def test_memo_does_not_affect_equality_or_hash(self):
+        a, b = DesignSpace(), DesignSpace()
+        list(a.points())  # populate one memo only
+        assert a == b
+        assert hash(a) == hash(b)

@@ -241,3 +241,71 @@ class TestTableIIIEquivalence:
         assert warm.sweep.n_cached == PAPER_SPACE.size()
         assert warm.sweep.payload_json() == cold.sweep.payload_json()
         assert warm.points == cold.points
+
+
+def square_batch(configs, offset=0):
+    """Module-level (picklable) vectorized twin of :func:`square`."""
+    return [{"square": c * c + offset} for c in configs]
+
+
+def square_batch_short(configs, offset=0):
+    return square_batch(configs, offset)[:-1]
+
+
+def _batch_tasks(n, offset=0, batch_fn=square_batch):
+    return [
+        SweepTask(
+            "test.square", square, i, params={"offset": offset},
+            batch_fn=batch_fn,
+        )
+        for i in range(n)
+    ]
+
+
+class TestBatchDispatch:
+    def test_serial_batch_matches_scalar(self):
+        scalar = run_sweep(_tasks(7, offset=3))
+        batched = run_sweep(_batch_tasks(7, offset=3))
+        assert batched.payload_json() == scalar.payload_json()
+        assert batched.batched_points == 7
+        assert batched.batch_calls == 1
+        assert scalar.batched_points == 0
+
+    def test_param_groups_dispatch_separately(self):
+        tasks = _batch_tasks(3, offset=0) + _batch_tasks(3, offset=9)
+        sweep = run_sweep(tasks)
+        assert sweep.values() == [{"square": i * i} for i in range(3)] + [
+            {"square": i * i + 9} for i in range(3)
+        ]
+        assert sweep.batch_calls == 2
+        assert sweep.batched_points == 6
+
+    def test_mixed_scalar_and_batch_tasks(self):
+        tasks = _batch_tasks(4) + _tasks(3)
+        sweep = run_sweep(tasks)
+        assert sweep.values() == [{"square": i * i} for i in range(4)] + [
+            {"square": i * i} for i in range(3)
+        ]
+        assert sweep.batched_points == 4
+        assert sweep.batch_calls == 1
+
+    def test_batch_fn_not_in_cache_key(self, tmp_path):
+        """Scalar- and batch-run sweeps share cache entries."""
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(_tasks(5), cache=cache)
+        warm = run_sweep(_batch_tasks(5), cache=cache)
+        assert warm.n_cached == 5
+        assert warm.batched_points == 0
+        assert warm.payload_json() == cold.payload_json()
+
+    def test_payload_count_mismatch_raises(self):
+        with pytest.raises(RuntimeError, match="payloads"):
+            run_sweep(_batch_tasks(4, batch_fn=square_batch_short))
+
+    def test_parallel_chunks_use_batch_path(self, many_cpus):
+        serial = run_sweep(_tasks(40))
+        parallel = run_sweep(_batch_tasks(40), workers=4, chunk_size=10)
+        assert parallel.payload_json() == serial.payload_json()
+        # every point except the scalar cost-probe pilot goes batched
+        assert parallel.batched_points == 39
+        assert parallel.batch_calls >= 4

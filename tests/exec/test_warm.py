@@ -151,3 +151,79 @@ class TestWorkersInheritWarmCaches:
         forked = run_sweep(_probe_tasks(6), workers=2)
         spawned = run_sweep(_probe_tasks(6), workers=2, _start_method="spawn")
         assert strip(forked) == strip(spawned)
+
+
+class TestWarmFamilies:
+    """Warm-up dedup by config *family*: siblings differing only in axes
+    the warmed caches are blind to (read ports) share one spec, so a
+    chunk never compiles the same plan family twice."""
+
+    def _validate_tasks(self, read_ports):
+        from repro.core.config import KB, PolyMemConfig
+        from repro.maxpolymem.validation import validate_config, warm_validation
+
+        return [
+            SweepTask(
+                "maxpolymem.validate",
+                validate_config,
+                PolyMemConfig(
+                    64 * KB, p=2, q=4, scheme=Scheme.ReCo, read_ports=r
+                ),
+                params={"max_rows": 8, "style": "fused"},
+                warmup=warm_validation,
+            )
+            for r in read_ports
+        ]
+
+    def test_read_port_siblings_collapse_to_one_spec(self):
+        specs = collect_warmups(self._validate_tasks([1, 2, 3, 4]))
+        assert len(specs) == 1
+
+    def test_no_duplicate_plan_misses_within_chunk(self):
+        """After the chunk's single warm-up, re-warming any sibling is
+        pure cache hits — the regression the family key exists for."""
+        from repro.maxpolymem.validation import warm_validation
+
+        tasks = self._validate_tasks([1, 2, 3])
+        specs = collect_warmups(tasks)
+        run_warmups(specs)
+        before = cache_stats()["plan_cache.misses"]
+        for task in tasks:
+            warm_validation(task.config, **dict(task.params))
+        assert cache_stats()["plan_cache.misses"] == before
+
+    def test_dse_point_families(self):
+        from repro.dse.explore import evaluate_point, warm_point
+        from repro.dse.space import PAPER_SPACE
+
+        cfgs = list(PAPER_SPACE.points())
+        device = PAPER_SPACE.device.name
+
+        def tasks(validate):
+            return [
+                SweepTask(
+                    "dse.point",
+                    evaluate_point,
+                    cfg,
+                    params={
+                        "validate": validate,
+                        "validate_rows": 8,
+                        "device": device,
+                    },
+                    warmup=warm_point,
+                )
+                for cfg in cfgs
+            ]
+
+        # not validating: the model fit is the only warm state -> 1 spec
+        assert len(collect_warmups(tasks(False))) == 1
+        # validating: one spec per (rows, cols, p, q, scheme) family;
+        # 90 points collapse to 18 columns x 5 schemes / port siblings
+        specs = collect_warmups(tasks(True))
+        families = {
+            (t.config.rows, t.config.cols, t.config.p, t.config.q,
+             t.config.scheme)
+            for t in tasks(True)
+        }
+        assert len(specs) == len(families)
+        assert len(specs) < len(cfgs)
