@@ -1,15 +1,23 @@
-"""What-if ablation — PolyMem feasibility across FPGA devices.
+"""What-if ablation — PolyMem feasibility across devices and substrates.
 
-Not a paper figure: extends the §IV study to a second device, regenerating
-the feasibility frontier and the headline "largest instantiable PolyMem"
-(which must reproduce the paper's 4 MB on the Vectis part).
+Not a paper figure: extends the §IV study to a second device (the
+feasibility frontier and the headline "largest instantiable PolyMem",
+which must reproduce the paper's 4 MB on the Vectis part) and — since the
+device-backend refactor — to the full substrate sweep of
+:func:`repro.dse.whatif.whatif_devices`: BRAM parts, DDR/HBM channel
+systems, and the two-board sharded logical PolyMem.
 """
 
 import io
 
 from _util import save_report
 
-from repro.dse.whatif import feasibility_frontier, max_capacity_kb
+from repro.dse.whatif import (
+    DEFAULT_WHATIF_BACKENDS,
+    feasibility_frontier,
+    max_capacity_kb,
+    whatif_devices,
+)
 from repro.hw.fpga import VIRTEX6_LX240T, VIRTEX6_SX475T
 
 
@@ -31,9 +39,22 @@ def test_whatif_devices(benchmark):
                     f"logic {p.logic_pct:5.1f}% "
                     f"{'ok' if p.feasible else 'INFEASIBLE'}\n"
                 )
+    rows = whatif_devices()
+    out.write("\nWHAT-IF — one 512KB/8L/1R PolyMem per substrate\n\n")
+    for row in rows:
+        out.write(
+            f"  {row.backend:10s} ({row.kind:7s}): "
+            f"{'fits' if row.feasible else 'NO FIT'}, "
+            f"{row.clock_mhz:6.1f} MHz, peak R {row.peak_read_gbps:7.2f} "
+            f"GB/s, strided {row.strided_gbps:6.2f} -> layout "
+            f"{row.layout_gbps:6.2f} GB/s ({row.layout_speedup:.1f}x)\n"
+        )
     save_report("whatif_devices", out.getvalue())
 
     # the paper's 4 MB headline, from first principles
     assert max_capacity_kb(VIRTEX6_SX475T) == 4096
     assert max_capacity_kb(VIRTEX6_LX240T) == 1024
+    # the substrate sweep covers every built-in backend (>= 3, per ISSUE)
+    assert [r.backend for r in rows] == list(DEFAULT_WHATIF_BACKENDS)
+    assert len(rows) >= 3
     benchmark(lambda: feasibility_frontier(VIRTEX6_LX240T))

@@ -1,0 +1,116 @@
+"""Pluggable device backends: the hardware substrate behind one interface.
+
+Built-in backends (``get_backend(name)``):
+
+========== ===========================================================
+``vectis``  the paper's board — Virtex-6 SX475T BRAM, PCIe gen2 link
+            (the default; byte-identical to the pre-backend code path)
+``lx240t``  the smaller Virtex-6 LX240T sibling
+``dram``    4-channel DDR3 (LMem-class) with the burst/row-buffer model
+``hbm2``    one HBM2 stack: 16 pseudo-channels, 256 GB/s aggregate
+``dual-dfe`` a logical PolyMem sharded across two Vectis boards
+========== ===========================================================
+
+``REPRO_BACKEND=<name>`` selects the default for CLI runs and the
+backend-parameterized tests.  This package imports lazily — the ``hw``
+layer reads board constants from :mod:`repro.backend.vectis`, so nothing
+here may import ``hw`` at module-import time.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    AchievedBandwidth,
+    AddressStream,
+    DeviceBackend,
+    Feasibility,
+    LinkModel,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
+from .vectis import VECTIS, BoardConstants
+
+__all__ = [
+    "AchievedBandwidth",
+    "AddressStream",
+    "BoardConstants",
+    "BurstLayout",
+    "DeviceBackend",
+    "DramChannelBackend",
+    "DramChannelModel",
+    "Feasibility",
+    "FpgaBramBackend",
+    "LinkModel",
+    "Lx240tBramBackend",
+    "ShardedPolyMemBackend",
+    "VECTIS",
+    "VectisBramBackend",
+    "backend_names",
+    "default_backend_name",
+    "get_backend",
+    "plan_layout",
+    "register_backend",
+]
+
+#: names re-exported lazily (module import would cycle through repro.hw)
+_LAZY = {
+    "FpgaBramBackend": ("fpga", "FpgaBramBackend"),
+    "VectisBramBackend": ("fpga", "VectisBramBackend"),
+    "Lx240tBramBackend": ("fpga", "Lx240tBramBackend"),
+    "DramChannelModel": ("dram", "DramChannelModel"),
+    "DramChannelBackend": ("dram", "DramChannelBackend"),
+    "ShardedPolyMemBackend": ("sharded", "ShardedPolyMemBackend"),
+    "BurstLayout": ("layout", "BurstLayout"),
+    "plan_layout": ("layout", "plan_layout"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), attr)
+
+
+def _vectis() -> DeviceBackend:
+    from .fpga import VectisBramBackend
+
+    return VectisBramBackend()
+
+
+def _lx240t() -> DeviceBackend:
+    from .fpga import Lx240tBramBackend
+
+    return Lx240tBramBackend()
+
+
+def _dram() -> DeviceBackend:
+    from .dram import DDR3_LMEM, DramChannelBackend
+
+    return DramChannelBackend(DDR3_LMEM, name="dram")
+
+
+def _hbm2() -> DeviceBackend:
+    from .dram import HBM2_STACK, DramChannelBackend
+
+    return DramChannelBackend(HBM2_STACK, name="hbm2")
+
+
+def _dual_dfe() -> DeviceBackend:
+    from .sharded import ShardedPolyMemBackend
+
+    return ShardedPolyMemBackend(n_shards=2, name="dual-dfe")
+
+
+register_backend("vectis", _vectis)
+register_backend("lx240t", _lx240t)
+register_backend("dram", _dram)
+register_backend("hbm2", _hbm2)
+register_backend("dual-dfe", _dual_dfe)

@@ -1,0 +1,174 @@
+"""On-chip BRAM backends: the refactored Vectis default (and siblings).
+
+:class:`FpgaBramBackend` wraps exactly the pieces the pre-backend code
+called directly — :func:`repro.hw.bram.polymem_bram_usage`,
+:class:`repro.hw.synthesis.SynthesisModel`,
+:func:`repro.hw.calibration.table_iv_frequency` and
+:class:`repro.maxeler.pcie.PcieLink` — so every figure it returns is
+byte-for-byte the seed value (pinned by
+``tests/backend/test_vectis_equivalence.py``).
+
+An on-chip PolyMem delivers its full parallel word every cycle for any
+conflict-free stream, so :meth:`achieved_bandwidth` reports peak for every
+stream: burst behaviour is a property of *off-chip* substrates
+(:mod:`repro.backend.dram`).
+"""
+
+from __future__ import annotations
+
+from ..core.config import PolyMemConfig
+from ..hw.bram import BramBudget, polymem_bram_usage
+from ..hw.calibration import table_iv_frequency
+from ..hw.fpga import FpgaDevice, VIRTEX6_LX240T, VIRTEX6_SX475T
+from ..hw.synthesis import SynthesisModel, SynthesisReport, default_model
+from ..maxeler.pcie import VECTIS_PCIE, PcieLink
+from .base import (
+    AchievedBandwidth,
+    AddressStream,
+    DeviceBackend,
+    Feasibility,
+    LinkModel,
+)
+
+__all__ = ["FpgaBramBackend", "VectisBramBackend", "Lx240tBramBackend"]
+
+
+class FpgaBramBackend(DeviceBackend):
+    """A PolyMem built from the block RAM of one FPGA part."""
+
+    def __init__(
+        self,
+        device: FpgaDevice,
+        link: LinkModel | None = None,
+        name: str | None = None,
+    ):
+        self.device = device
+        self.name = name or device.name
+        self._link = link if link is not None else VECTIS_PCIE
+        self._paper_grid = device.name == VIRTEX6_SX475T.name
+
+    # -- identity ---------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": "bram",
+            "device": self.device.name,
+            "bram36": self.device.bram36,
+            "bram_bytes": self.device.bram_bytes_64bit,
+            "luts": self.device.luts,
+            "link_gbps": getattr(self._link, "bandwidth_gbps", None),
+        }
+
+    # -- model plumbing ---------------------------------------------------
+    @property
+    def model(self) -> SynthesisModel:
+        """The calibrated synthesis model (fit once per device, process-wide
+        — the same :func:`~repro.hw.synthesis.default_model` instance the
+        pre-backend call sites used)."""
+        return default_model(self.device.name)
+
+    def bram_budget(self, config: PolyMemConfig) -> BramBudget:
+        """The exact Fig. 8 BRAM arithmetic for *config* on this part."""
+        return polymem_bram_usage(config, self.device.bram36)
+
+    # -- capacity / area --------------------------------------------------
+    def feasibility(self, config: PolyMemConfig) -> Feasibility:
+        budget = self.bram_budget(config)
+        logic = self.model.logic_pct(config)
+        feasible = budget.feasible and logic <= 100.0
+        if not budget.feasible:
+            reason = (
+                f"data needs {budget.data_blocks} RAMB36 of "
+                f"{budget.device_blocks}"
+            )
+        elif logic > 100.0:
+            reason = f"logic estimate {logic:.1f}% exceeds the device"
+        else:
+            reason = ""
+        return Feasibility(
+            feasible=feasible,
+            utilization=budget.utilization,
+            reason=reason,
+            detail={
+                "data_blocks": budget.data_blocks,
+                "infra_blocks": budget.infra_blocks,
+                "device_blocks": budget.device_blocks,
+                "logic_pct": logic,
+            },
+        )
+
+    # -- clock ------------------------------------------------------------
+    def paper_mhz(self, config: PolyMemConfig) -> float | None:
+        if not self._paper_grid:
+            return None
+        return table_iv_frequency(
+            config.scheme,
+            config.capacity_bytes // 1024,
+            config.lanes,
+            config.read_ports,
+        )
+
+    def clock_mhz(self, config: PolyMemConfig) -> float:
+        paper = self.paper_mhz(config)
+        return paper if paper is not None else self.model.frequency_mhz(config)
+
+    def synthesis(self, config: PolyMemConfig) -> SynthesisReport:
+        return self.model.estimate(config)
+
+    # -- host link --------------------------------------------------------
+    @property
+    def link(self) -> LinkModel:
+        return self._link
+
+    # -- bandwidth --------------------------------------------------------
+    def peak_write_gbps(self, config: PolyMemConfig) -> float:
+        from ..dse.bandwidth import port_bandwidth_gbps
+
+        return port_bandwidth_gbps(config, self.clock_mhz(config))
+
+    def peak_read_gbps(self, config: PolyMemConfig) -> float:
+        return self.peak_write_gbps(config) * config.read_ports
+
+    def achieved_bandwidth(
+        self, config: PolyMemConfig, stream: AddressStream
+    ) -> AchievedBandwidth:
+        """On-chip BRAM: a full parallel word every cycle, independent of
+        the address stream — achieved equals peak, one "burst" per access
+        cycle, every access a hit."""
+        peak = self.peak_read_gbps(config)
+        useful = stream.payload_bytes
+        cycles = -(-stream.n_words // max(1, config.lanes))
+        time_ns = useful / peak if peak else 0.0
+        return AchievedBandwidth(
+            peak_gbps=peak,
+            achieved_gbps=peak,
+            useful_bytes=useful,
+            transferred_bytes=useful,
+            time_ns=time_ns,
+            bursts=cycles,
+            row_hits=stream.n_words,
+            row_misses=0,
+        )
+
+
+class VectisBramBackend(FpgaBramBackend):
+    """The default substrate: the paper's Vectis board, bit-identical to
+    the pre-backend code path."""
+
+    def __init__(self, link: LinkModel | None = None):
+        super().__init__(
+            VIRTEX6_SX475T,
+            link=link if link is not None else VECTIS_PCIE,
+            name="vectis",
+        )
+
+
+class Lx240tBramBackend(FpgaBramBackend):
+    """The smaller Virtex-6 LX240T sibling (what-if sweeps)."""
+
+    def __init__(self, link: PcieLink | None = None):
+        super().__init__(
+            VIRTEX6_LX240T,
+            link=link if link is not None else VECTIS_PCIE,
+            name="lx240t",
+        )

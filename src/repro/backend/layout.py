@@ -1,0 +1,104 @@
+"""Burst-friendly layout transformation for host arrays.
+
+The DRAM channel model (:mod:`repro.backend.dram`) punishes streams that
+touch one word per burst granule.  Most such streams are *regular* — a
+fixed stride, a tile walk — so the words they touch can simply be stored
+in the order they will be read (arXiv 2202.05933's burst-friendly layout):
+the host reorders the array once, cheaply, before the DMA transfer, and
+the device-visible stream becomes sequential.
+
+:func:`plan_layout` derives that permutation from an address stream (the
+first-touch order of every word), :meth:`BurstLayout.apply` reorders a
+host array to match, and :meth:`BurstLayout.remap` rewrites the stream
+into the transformed address space.  ``remap(plan(s), s)`` of any
+fixed-stride stream is exactly sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import AddressError
+from ..telemetry import context as _telemetry
+from .base import AddressStream
+
+__all__ = ["BurstLayout", "plan_layout"]
+
+
+@dataclass(frozen=True)
+class BurstLayout:
+    """A word permutation: ``new_of_old[a]`` is the transformed address of
+    original word ``a``.  Words the planning stream never touches keep
+    their relative order after all touched words."""
+
+    new_of_old: np.ndarray
+    touched_words: int
+
+    @property
+    def n_words(self) -> int:
+        return int(self.new_of_old.size)
+
+    def remap(self, stream: AddressStream) -> AddressStream:
+        """The stream as the device sees it after the transformation."""
+        addrs = stream.addresses
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.n_words):
+            raise AddressError(
+                f"stream addresses exceed the {self.n_words}-word layout"
+            )
+        return AddressStream(self.new_of_old[addrs], stream.word_bytes)
+
+    def apply(self, host_array: np.ndarray) -> np.ndarray:
+        """Reorder a flat host array into the burst-friendly layout."""
+        flat = np.ascontiguousarray(host_array).ravel()
+        if flat.size != self.n_words:
+            raise AddressError(
+                f"array holds {flat.size} words, layout covers {self.n_words}"
+            )
+        out = np.empty_like(flat)
+        out[self.new_of_old] = flat
+        return out
+
+    def restore(self, transformed: np.ndarray) -> np.ndarray:
+        """Invert :meth:`apply` (after offloading results back)."""
+        flat = np.ascontiguousarray(transformed).ravel()
+        if flat.size != self.n_words:
+            raise AddressError(
+                f"array holds {flat.size} words, layout covers {self.n_words}"
+            )
+        return flat[self.new_of_old]
+
+
+def plan_layout(stream: AddressStream, n_words: int | None = None) -> BurstLayout:
+    """Plan the burst-friendly permutation for *stream*.
+
+    Word ``a`` moves to position ``k`` when it is the ``k``-th *distinct*
+    word the stream touches; untouched words (of an ``n_words``-word
+    array) are packed behind them in address order.
+    """
+    addrs = stream.addresses
+    if addrs.size and addrs.min() < 0:
+        raise AddressError("layout planning needs non-negative addresses")
+    span = int(addrs.max()) + 1 if addrs.size else 0
+    if n_words is None:
+        n_words = span
+    elif n_words < span:
+        raise AddressError(
+            f"stream touches word {span - 1}, beyond the {n_words}-word array"
+        )
+    unique, first_pos = np.unique(addrs, return_index=True)
+    order = unique[np.argsort(first_pos, kind="stable")]
+    new_of_old = np.full(n_words, -1, dtype=np.int64)
+    new_of_old[order] = np.arange(order.size, dtype=np.int64)
+    untouched = np.flatnonzero(new_of_old < 0)
+    new_of_old[untouched] = np.arange(
+        order.size, order.size + untouched.size, dtype=np.int64
+    )
+    tel = _telemetry.active()
+    if tel is not None:
+        metrics = tel.metrics
+        metrics.counter("backend.layout.plans").inc()
+        metrics.counter("backend.layout.words").inc(int(n_words))
+        metrics.counter("backend.layout.touched_words").inc(int(order.size))
+    return BurstLayout(new_of_old=new_of_old, touched_words=int(order.size))

@@ -5,6 +5,8 @@ Subcommands map one-to-one onto the paper's artifacts:
 * ``info``         — package overview and the Table I scheme matrix;
 * ``validate``     — build a configuration and run the §IV-A validation;
 * ``dse``          — the §IV design-space exploration (Table IV, Figs 4-8);
+* ``whatif``       — sweep one configuration across device backends
+  (BRAM parts, DDR/HBM channel systems, multi-DFE sharding);
 * ``stream``       — the §V STREAM experiment (Fig. 10);
 * ``schedule``     — the §III-A access-schedule optimizer;
 * ``productivity`` — the §III-C Table II analysis;
@@ -271,7 +273,11 @@ def cmd_dse(args) -> int:
             chunk_size=args.chunk_size,
             batch=args.batch,
             prune=args.prune,
+            backend=args.backend,
         )
+    if result.backend is not None:
+        print(f"device backend: {result.backend} "
+              f"(synthesis on {result.space.device.name})")
     if args.save:
         from .util import save_dse_result
 
@@ -630,6 +636,50 @@ def cmd_program_dump(args) -> int:
     return 0
 
 
+def cmd_whatif(args) -> int:
+    from .backend import backend_names
+    from .dse import whatif_devices
+    from .exec import Report, ReportEntry
+
+    cfg = PolyMemConfig.from_any(args)
+    backends = tuple(args.backends) if args.backends else None
+    rows = whatif_devices(
+        cfg,
+        **({"backends": backends} if backends else {}),
+        stride_words=args.stride_words,
+        n_words=args.n_words,
+    )
+    print(f"what-if sweep for {cfg.label()} "
+          f"(stride {args.stride_words} words, {args.n_words} words):")
+    print(f"  registered backends: {', '.join(backend_names())}")
+    header = (
+        f"  {'backend':10s} {'kind':8s} {'fits':>4s} {'MHz':>7s} "
+        f"{'peak W':>8s} {'peak R':>8s} {'strided':>8s} {'layout':>8s} "
+        f"{'seq':>8s} {'gain':>6s}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"  {row.backend:10s} {row.kind:8s} "
+            f"{'yes' if row.feasible else 'no':>4s} {row.clock_mhz:7.1f} "
+            f"{row.peak_write_gbps:8.2f} {row.peak_read_gbps:8.2f} "
+            f"{row.strided_gbps:8.2f} {row.layout_gbps:8.2f} "
+            f"{row.sequential_gbps:8.2f} {row.layout_speedup:5.1f}x"
+        )
+    report = Report(title="Device-backend what-if sweep")
+    for row in rows:
+        report.entries.append(
+            ReportEntry(
+                experiment="whatif",
+                quantity=f"{row.backend} strided bandwidth [GB/s]",
+                measured=round(row.strided_gbps, 3),
+                metrics=row.to_dict(),
+            )
+        )
+    _emit_json(args, report)
+    return 0
+
+
 def cmd_report(args) -> int:
     from .hw.report import synthesis_report_text
 
@@ -717,8 +767,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop Pareto-dominated points before evaluation (the "
         "frontier is unchanged but the point list is a subset)",
     )
+    from .backend import backend_names
+
+    p_dse.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_names(),
+        help="device backend to retarget the sweep at (default: the "
+        "seed Vectis path; REPRO_BACKEND only affects backend-"
+        "parameterized helpers, not this sweep)",
+    )
     _add_exec_args(p_dse)
     p_dse.set_defaults(fn=cmd_dse)
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="sweep one configuration across device backends "
+        "(BRAM / DRAM / HBM / multi-DFE)",
+    )
+    _add_config_args(p_whatif)
+    p_whatif.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        choices=backend_names(),
+        metavar="NAME",
+        help="backends to compare (default: all built-ins: "
+        f"{', '.join(backend_names())})",
+    )
+    p_whatif.add_argument(
+        "--stride-words",
+        type=int,
+        default=64,
+        help="stride of the burst-hostile reference stream (words)",
+    )
+    p_whatif.add_argument(
+        "--n-words",
+        type=int,
+        default=1 << 14,
+        help="length of the reference streams (words)",
+    )
+    _add_json_arg(p_whatif)
+    _add_telemetry_args(p_whatif)
+    p_whatif.set_defaults(fn=cmd_whatif)
 
     p_stream = sub.add_parser("stream", help="STREAM benchmark (§V)")
     p_stream.add_argument("--runs", type=int, default=1000)

@@ -1,6 +1,12 @@
 """Design Space Exploration (paper §IV): Tables III–IV, Figures 4–8."""
 
-from .bandwidth import BandwidthReport, bandwidth_report, port_bandwidth_gbps
+from .bandwidth import (
+    BandwidthReport,
+    achieved_bandwidth,
+    backend_peaks,
+    bandwidth_report,
+    port_bandwidth_gbps,
+)
 from .explore import DsePoint, DseResult, explore
 from .report import (
     column_label,
@@ -12,17 +18,27 @@ from .report import (
 )
 from .space import LANE_GRIDS, PAPER_SPACE, DesignSpace
 from .pareto import ParetoPoint, best_under_budget, pareto_frontier
-from .whatif import FeasibilityPoint, feasibility_frontier, max_capacity_kb
+from .whatif import (
+    DeviceWhatIf,
+    FeasibilityPoint,
+    feasibility_frontier,
+    lane_grid_for,
+    max_capacity_kb,
+    whatif_devices,
+)
 
 __all__ = [
     "BandwidthReport",
     "DesignSpace",
+    "DeviceWhatIf",
     "DsePoint",
     "DseResult",
     "FeasibilityPoint",
     "LANE_GRIDS",
     "PAPER_SPACE",
     "ParetoPoint",
+    "achieved_bandwidth",
+    "backend_peaks",
     "best_under_budget",
     "pareto_frontier",
     "bandwidth_report",
@@ -30,10 +46,12 @@ __all__ = [
     "dse_report",
     "explore",
     "feasibility_frontier",
+    "lane_grid_for",
     "max_capacity_kb",
     "figure_series",
     "port_bandwidth_gbps",
     "render_series_table",
     "render_table_iv",
     "to_csv",
+    "whatif_devices",
 ]

@@ -8,6 +8,11 @@ All accesses are assumed dense (full memory width), as in the paper:
   of read ports;
 * total deliverable rate with concurrent reads and writes: the sum over
   all ports (§IV-B's closing remark).
+
+These are *substrate-independent* formulas at a given clock.  The
+substrate-aware figures — peak at the backend's own clock, and achieved
+bandwidth for a concrete address stream — route through the device
+backends: :func:`backend_peaks` and :func:`achieved_bandwidth`.
 """
 
 from __future__ import annotations
@@ -16,10 +21,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import AchievedBandwidth, AddressStream, DeviceBackend, get_backend
 from ..core.config import PolyMemConfig
 
 __all__ = [
     "BandwidthReport",
+    "achieved_bandwidth",
+    "backend_peaks",
     "bandwidth_report",
     "port_bandwidth_gbps",
     "port_bandwidth_gbps_many",
@@ -81,3 +89,30 @@ class BandwidthReport:
 def bandwidth_report(config: PolyMemConfig, clock_mhz: float) -> BandwidthReport:
     """Convenience constructor mirroring the other report factories."""
     return BandwidthReport(config=config, clock_mhz=clock_mhz)
+
+
+def backend_peaks(
+    config: PolyMemConfig, backend: str | DeviceBackend | None = None
+) -> BandwidthReport:
+    """Fig. 4/5 peaks at the *backend's* clock for *config*.
+
+    For the default ``vectis`` backend this equals
+    ``BandwidthReport(config, DsePoint.clock_mhz)`` bit for bit — the
+    backend's clock model is Table IV on-grid, the calibrated model
+    otherwise.
+    """
+    be = get_backend(backend) if not isinstance(backend, DeviceBackend) else backend
+    return BandwidthReport(config=config, clock_mhz=be.clock_mhz(config))
+
+
+def achieved_bandwidth(
+    config: PolyMemConfig,
+    stream: AddressStream,
+    backend: str | DeviceBackend | None = None,
+) -> AchievedBandwidth:
+    """Delivered bandwidth of *stream* on a substrate (default: the
+    ``REPRO_BACKEND``/``vectis`` backend).  On-chip BRAM substrates
+    achieve peak for any conflict-free stream; DRAM/HBM substrates apply
+    the burst/row-buffer model of :mod:`repro.backend.dram`."""
+    be = get_backend(backend) if not isinstance(backend, DeviceBackend) else backend
+    return be.achieved_bandwidth(config, stream)

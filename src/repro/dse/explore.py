@@ -13,11 +13,12 @@ points (``python -m repro dse --workers 4`` does both).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
+from ..backend import DeviceBackend, get_backend
 from ..core.config import PolyMemConfig
 from ..core.schemes import Scheme
 from ..exec import ResultCache, RunResult, SweepResult, SweepTask, run_sweep
@@ -82,6 +83,9 @@ class DseResult:
     #: execution accounting of the sweep that produced the points
     #: (None for results reconstructed from disk)
     sweep: SweepResult | None = field(default=None, compare=False, repr=False)
+    #: name of the device backend the sweep targeted (None: the default
+    #: Vectis path — also what disk-reconstructed results report)
+    backend: str | None = field(default=None, compare=False)
 
     def by_scheme(self, scheme: Scheme) -> list[DsePoint]:
         return [p for p in self.points if p.config.scheme is scheme]
@@ -253,6 +257,25 @@ def _warm_point_family(
 warm_point.warm_family = _warm_point_family
 
 
+def _backend_device(backend: DeviceBackend):
+    """The FPGA part a backend synthesizes on, or None for pure-link models.
+
+    BRAM backends carry it directly; channel-system backends expose the
+    fabric they sit behind; sharded backends report their first shard's
+    part (shards are homogeneous by construction).
+    """
+    device = getattr(backend, "device", None)
+    if device is not None:
+        return device
+    fabric = getattr(backend, "fabric", None)
+    if fabric is not None:
+        return _backend_device(fabric)
+    shards = getattr(backend, "shards", None)
+    if shards:
+        return _backend_device(shards[0])
+    return None
+
+
 def _prune_dominated(
     cfgs: list[PolyMemConfig], model: SynthesisModel
 ) -> tuple[list[PolyMemConfig], int]:
@@ -315,6 +338,7 @@ def explore(
     chunk_size: int | None = None,
     batch: bool = True,
     prune: bool = False,
+    backend: str | DeviceBackend | None = None,
 ) -> DseResult:
     """Run the full DSE sweep over *space* through :mod:`repro.exec`.
 
@@ -338,9 +362,23 @@ def explore(
     evaluation: the frontier of the result is provably unchanged (see
     :func:`_prune_dominated`) but the point list is a subset, so it is
     off by default.
+
+    ``backend`` retargets the sweep at a registered device backend (name
+    or instance, ``python -m repro dse --backend ...``): the space's
+    synthesis device is swapped for the backend's fabric part and the
+    result records the backend name.  The default (``None``) leaves the
+    seed Vectis path untouched — and ``backend="vectis"`` resolves to the
+    same device, so its payloads are byte-identical to the default's.
     """
     import time
 
+    backend_name: str | None = None
+    if backend is not None:
+        be = backend if isinstance(backend, DeviceBackend) else get_backend(backend)
+        backend_name = be.name
+        device = _backend_device(be)
+        if device is not None and device.name != space.device.name:
+            space = replace(space, device=device)
     cfgs = list(space.points(feasible_only=True))
     candidates = len(cfgs)
     pruned = 0
@@ -417,4 +455,4 @@ def explore(
         metrics.counter("dse.batch.scalar_configs").inc(scalar_points)
         metrics.counter("dse.batch.passes").inc(batch_calls)
     points = [DsePoint(config=cfg, **value) for cfg, value in zip(cfgs, values)]
-    return DseResult(space=space, points=points, sweep=sweep)
+    return DseResult(space=space, points=points, sweep=sweep, backend=backend_name)

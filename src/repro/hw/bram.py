@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..backend import vectis as _vectis
 from ..core.config import PolyMemConfig
 from ..core.exceptions import CapacityError
 
@@ -32,9 +33,9 @@ class RAMB36:
     """One 36 Kb block RAM primitive and its legal aspect ratios."""
 
     #: total data bits, excluding per-byte parity
-    data_bits: int = 32 * 1024
+    data_bits: int = _vectis.RAMB36_DATA_BITS
     #: parity bits usable as extra data in wide aspect ratios
-    parity_bits: int = 4 * 1024
+    parity_bits: int = _vectis.RAMB36_PARITY_BITS
 
     #: (depth, width) configurations, widest first
     ASPECT_RATIOS = (
@@ -96,15 +97,17 @@ class BramBudget:
         return self.data_blocks <= self.device_blocks
 
 
-#: Maxeler static infrastructure (PCIe streams, manager) block allowance,
-#: calibrated against the paper's quoted 16.07% for a 512KB/8-lane/1-port
-#: PolyMem (= 171 blocks total, 128 of which are data).
-INFRA_BLOCKS_NOMINAL = 43
+#: Maxeler static infrastructure block allowance — the calibrated value
+#: lives with every other board constant in :mod:`repro.backend.vectis`
+INFRA_BLOCKS_NOMINAL = _vectis.INFRA_BLOCKS_NOMINAL
+
+#: default device size: the Vectis part's RAMB36 count
+_VECTIS_BRAM36 = _vectis.VECTIS_FPGA["bram36"]
 
 
 def polymem_bram_usage(
     config: PolyMemConfig,
-    device_blocks: int = 1064,
+    device_blocks: int = _VECTIS_BRAM36,
     infra_nominal: int = INFRA_BLOCKS_NOMINAL,
 ) -> BramBudget:
     """BRAM budget of *config* on a device with *device_blocks* RAMB36s.
@@ -125,7 +128,7 @@ def polymem_bram_usage(
 
 def polymem_bram_usage_many(
     configs,
-    device_blocks: int = 1064,
+    device_blocks: int = _VECTIS_BRAM36,
     infra_nominal: int = INFRA_BLOCKS_NOMINAL,
 ) -> list[BramBudget]:
     """Vectorized :func:`polymem_bram_usage` over a config array.

@@ -3,12 +3,16 @@
 The paper's experiments all run on a Maxeler Vectis DFE carrying a Xilinx
 Virtex-6 SX475T.  :class:`FpgaDevice` captures the resource counts the DSE
 reports utilization against; other devices can be described for
-what-if exploration.
+what-if exploration.  The part inventories themselves live in
+:mod:`repro.backend.vectis`, the single data module for every board
+constant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..backend.vectis import LX240T_FPGA, VECTIS_FPGA
 
 __all__ = ["FpgaDevice", "VIRTEX6_SX475T", "devices"]
 
@@ -45,27 +49,11 @@ class FpgaDevice:
         return 100.0 * slices / self.slices
 
 
-#: the Vectis DFE's FPGA (Virtex-6 Family Overview, DS150)
-VIRTEX6_SX475T = FpgaDevice(
-    name="xc6vsx475t",
-    logic_cells=476_160,
-    slices=74_400,
-    luts=297_600,
-    flip_flops=595_200,
-    bram36=1_064,
-    dsp48=2_016,
-)
+#: the Vectis DFE's FPGA (constants: :data:`repro.backend.vectis.VECTIS_FPGA`)
+VIRTEX6_SX475T = FpgaDevice(**VECTIS_FPGA)
 
 #: a smaller sibling, useful for feasibility what-ifs in examples
-VIRTEX6_LX240T = FpgaDevice(
-    name="xc6vlx240t",
-    logic_cells=241_152,
-    slices=37_680,
-    luts=150_720,
-    flip_flops=301_440,
-    bram36=416,
-    dsp48=768,
-)
+VIRTEX6_LX240T = FpgaDevice(**LX240T_FPGA)
 
 
 def devices() -> dict[str, FpgaDevice]:

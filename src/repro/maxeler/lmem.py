@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.vectis import VECTIS
 from ..core.exceptions import AddressError, CapacityError
 
 __all__ = ["LMem"]
@@ -35,9 +36,9 @@ class LMem:
 
     def __init__(
         self,
-        capacity_bytes: int = 24 * 1024**3,
-        burst_latency_ns: float = 200.0,
-        bandwidth_gbps: float = 38.4,
+        capacity_bytes: int = VECTIS.lmem_capacity_bytes,
+        burst_latency_ns: float = VECTIS.lmem_burst_latency_ns,
+        bandwidth_gbps: float = VECTIS.lmem_bandwidth_gbps,
     ):
         if capacity_bytes <= 0 or capacity_bytes % 8:
             raise CapacityError(

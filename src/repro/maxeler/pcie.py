@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..backend.vectis import VECTIS
+
 __all__ = ["PcieLink", "VECTIS_PCIE"]
 
 
@@ -40,4 +42,8 @@ class PcieLink:
 
 
 #: the Vectis board's link, with the paper's measured call overhead
-VECTIS_PCIE = PcieLink(call_overhead_ns=300.0, bandwidth_gbps=2.0)
+#: (constants: :data:`repro.backend.vectis.VECTIS`)
+VECTIS_PCIE = PcieLink(
+    call_overhead_ns=VECTIS.pcie_call_overhead_ns,
+    bandwidth_gbps=VECTIS.pcie_bandwidth_gbps,
+)

@@ -1,0 +1,142 @@
+"""The DRAM burst/row-buffer traffic model and its backend wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.backend import AddressStream, get_backend
+from repro.backend.dram import (
+    DDR3_LMEM,
+    HBM2_STACK,
+    DramChannelBackend,
+    DramChannelModel,
+)
+from repro.core.config import KB, PolyMemConfig
+from repro.core.schemes import Scheme
+
+#: one channel, no interleaving — burst/row arithmetic is easy to count
+ONE_CHANNEL = DramChannelModel(
+    name="one-channel",
+    channels=1,
+    channel_gbps=8.0,
+    row_bytes=1024,
+    burst_bytes=64,
+    interleave_bytes=64,
+    row_miss_ns=40.0,
+    capacity_bytes=1 << 30,
+)
+
+
+def cfg(capacity_kb=512):
+    return PolyMemConfig(capacity_kb * KB, p=2, q=4, scheme=Scheme.ReRo)
+
+
+class TestTrafficCounting:
+    def test_sequential_moves_only_useful_bytes(self):
+        """8 words of 8 B per 64 B burst: sequential wastes nothing."""
+        stream = AddressStream.sequential(1024)
+        stats = ONE_CHANNEL.traffic(stream)
+        assert stats.useful_bytes == 1024 * 8
+        assert stats.transferred_bytes == stats.useful_bytes
+        assert stats.bursts == 1024 * 8 // 64
+        assert stats.achieved_gbps <= stats.peak_gbps
+
+    def test_strided_pays_full_bursts(self):
+        """One 8 B word per 64 B granule: 8x the wire for the same data."""
+        stream = AddressStream.strided(256, stride=8)
+        stats = ONE_CHANNEL.traffic(stream)
+        assert stats.bursts == 256
+        assert stats.transferred_bytes == 256 * 64 == 8 * stats.useful_bytes
+
+    def test_row_misses_counted_per_row_change(self):
+        """A 1024 B row holds 128 words; a 128-word stride changes rows on
+        every single burst."""
+        inside = ONE_CHANNEL.traffic(AddressStream.sequential(128))
+        assert inside.row_misses == 1  # the cold first row only
+        assert inside.row_hits == inside.bursts - 1
+        hostile = ONE_CHANNEL.traffic(AddressStream.strided(64, stride=128))
+        assert hostile.row_misses == hostile.bursts == 64
+        assert hostile.row_hits == 0
+
+    def test_time_is_wire_plus_misses(self):
+        stream = AddressStream.strided(64, stride=128)
+        stats = ONE_CHANNEL.traffic(stream)
+        wire = stats.transferred_bytes / ONE_CHANNEL.channel_gbps
+        assert stats.time_ns == pytest.approx(
+            wire + 64 * ONE_CHANNEL.row_miss_ns
+        )
+        assert stats.achieved_gbps == pytest.approx(
+            stats.useful_bytes / stats.time_ns
+        )
+
+    def test_channels_drain_in_parallel(self):
+        """The same sequential stream finishes ~4x faster on 4 channels."""
+        four = DramChannelModel(
+            name="four-channel",
+            channels=4,
+            channel_gbps=8.0,
+            row_bytes=1024,
+            burst_bytes=64,
+            interleave_bytes=64,
+            row_miss_ns=40.0,
+            capacity_bytes=1 << 30,
+        )
+        stream = AddressStream.sequential(4096)
+        one = ONE_CHANNEL.traffic(stream)
+        par = four.traffic(stream)
+        assert par.time_ns < one.time_ns
+        assert par.achieved_gbps > 2 * one.achieved_gbps
+
+    def test_empty_stream(self):
+        stats = ONE_CHANNEL.traffic(AddressStream(np.array([], dtype=np.int64)))
+        assert stats.achieved_gbps == 0.0
+        assert stats.bursts == 0
+
+    def test_presets_are_consistent(self):
+        assert DDR3_LMEM.peak_gbps == pytest.approx(38.4)
+        assert HBM2_STACK.peak_gbps == pytest.approx(256.0)
+
+
+class TestDramBackend:
+    def test_feasibility_is_channel_capacity(self):
+        be = DramChannelBackend(ONE_CHANNEL)
+        assert be.feasibility(cfg(512)).feasible
+        huge = cfg(2 * 1024 * 1024)  # 2 GB > 1 GB
+        verdict = be.feasibility(huge)
+        assert not verdict.feasible
+        assert "capacity" in verdict.reason
+
+    def test_fabric_supplies_clock_and_synthesis(self):
+        be = get_backend("dram")
+        c = cfg()
+        assert be.clock_mhz(c) == be.fabric.clock_mhz(c)
+        assert be.paper_mhz(c) == be.fabric.paper_mhz(c)
+        assert be.synthesis(c).fmax_mhz == be.fabric.synthesis(c).fmax_mhz
+
+    def test_peaks_are_the_channel_systems(self):
+        assert get_backend("dram").peak_read_gbps(cfg()) == pytest.approx(38.4)
+        assert get_backend("hbm2").peak_write_gbps(cfg()) == pytest.approx(256.0)
+
+    def test_achieved_never_exceeds_peak(self):
+        be = get_backend("hbm2")
+        for stream in (
+            AddressStream.sequential(1 << 12),
+            AddressStream.strided(1 << 10, stride=64),
+            AddressStream(np.random.default_rng(7).integers(0, 1 << 16, 4096)),
+        ):
+            stats = be.achieved_bandwidth(cfg(), stream)
+            assert stats.achieved_gbps <= stats.peak_gbps + 1e-9
+
+    def test_telemetry_counters_emitted(self):
+        from repro.telemetry import Telemetry, session
+
+        tel = Telemetry(label="test")
+        with session(tel):
+            get_backend("dram").achieved_bandwidth(
+                cfg(), AddressStream.strided(512, stride=16)
+            )
+        snap = tel.snapshot()
+        counters = snap["metrics"]["counters"]
+        assert counters["backend.dram.bursts"] > 0
+        assert counters["backend.dram.transferred_bytes"] >= counters[
+            "backend.dram.useful_bytes"
+        ]

@@ -1,0 +1,90 @@
+"""Backend registry: names, caching, and the REPRO_BACKEND default."""
+
+import pytest
+
+from repro.backend import (
+    DeviceBackend,
+    backend_names,
+    base,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+class TestBuiltins:
+    def test_builtin_names_registered(self):
+        names = backend_names()
+        for name in ("vectis", "lx240t", "dram", "hbm2", "dual-dfe"):
+            assert name in names
+
+    def test_instances_cached(self):
+        assert get_backend("vectis") is get_backend("vectis")
+        assert get_backend("dram") is get_backend("dram")
+
+    def test_instance_passthrough(self):
+        be = get_backend("vectis")
+        assert get_backend(be) is be
+
+    def test_every_builtin_resolves_to_a_backend(self):
+        for name in backend_names():
+            be = get_backend(name)
+            assert isinstance(be, DeviceBackend)
+            assert be.name == name
+            desc = be.describe()
+            assert desc["name"] == name
+            assert "kind" in desc
+
+    def test_unknown_name_raises_with_available_list(self):
+        with pytest.raises(ConfigurationError, match="vectis"):
+            get_backend("no-such-substrate")
+
+
+class TestDefaultSelection:
+    def test_default_is_vectis(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend_name() == "vectis"
+        assert get_backend().name == "vectis"
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "dram")
+        assert default_backend_name() == "dram"
+        assert get_backend().name == "dram"
+
+    def test_env_var_whitespace_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        assert default_backend_name() == "vectis"
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ConfigurationError, match="REPRO_BACKEND"):
+            default_backend_name()
+
+
+class TestRegistration:
+    @pytest.fixture
+    def scratch_name(self):
+        name = "test-scratch-backend"
+        yield name
+        base._FACTORIES.pop(name, None)
+        base._INSTANCES.pop(name, None)
+
+    def test_register_and_resolve(self, scratch_name):
+        sentinel = get_backend("vectis")
+        register_backend(scratch_name, lambda: sentinel)
+        assert scratch_name in backend_names()
+        assert get_backend(scratch_name) is sentinel
+
+    def test_duplicate_registration_raises(self, scratch_name):
+        register_backend(scratch_name, lambda: get_backend("vectis"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend(scratch_name, lambda: get_backend("vectis"))
+
+    def test_replace_drops_cached_instance(self, scratch_name):
+        register_backend(scratch_name, lambda: get_backend("vectis"))
+        assert get_backend(scratch_name).name == "vectis"
+        register_backend(
+            scratch_name, lambda: get_backend("dram"), replace=True
+        )
+        assert get_backend(scratch_name).name == "dram"

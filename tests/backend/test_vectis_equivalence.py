@@ -1,0 +1,98 @@
+"""Satellite 6: the Vectis backend IS the seed path, byte for byte.
+
+The refactor moved the paper's hard-coded Vectis arithmetic behind the
+``DeviceBackend`` protocol.  These hypothesis properties pin the default
+``VectisBramBackend`` against the pre-refactor functions it wraps —
+``polymem_bram_usage``, ``SynthesisModel.estimate``,
+``table_iv_frequency`` — across the Table III configuration space, with
+``==`` on every float (bitwise, not approx)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import get_backend
+from repro.core.config import KB, PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.dse.bandwidth import port_bandwidth_gbps
+from repro.hw.bram import polymem_bram_usage
+from repro.hw.calibration import table_iv_frequency
+from repro.hw.fpga import VIRTEX6_SX475T
+from repro.hw.synthesis import default_model
+
+#: the Table III axes (capacity x lane grid x scheme x read ports)
+configs = st.builds(
+    PolyMemConfig,
+    st.sampled_from([512 * KB, 1024 * KB, 2048 * KB, 4096 * KB]),
+    p=st.shared(st.sampled_from([(2, 4), (2, 8)]), key="grid").map(
+        lambda g: g[0]
+    ),
+    q=st.shared(st.sampled_from([(2, 4), (2, 8)]), key="grid").map(
+        lambda g: g[1]
+    ),
+    scheme=st.sampled_from(list(Scheme)),
+    read_ports=st.integers(min_value=1, max_value=4),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(configs)
+def test_bram_budget_is_seed_arithmetic(cfg):
+    be = get_backend("vectis")
+    budget = be.bram_budget(cfg)
+    seed = polymem_bram_usage(cfg, VIRTEX6_SX475T.bram36)
+    assert budget == seed
+    assert budget.data_blocks == seed.data_blocks
+    assert budget.infra_blocks == seed.infra_blocks
+
+
+@settings(max_examples=200, deadline=None)
+@given(configs)
+def test_synthesis_report_is_seed_model(cfg):
+    be = get_backend("vectis")
+    mine = be.synthesis(cfg)
+    seed = default_model(VIRTEX6_SX475T.name).estimate(cfg)
+    assert mine.fmax_mhz == seed.fmax_mhz
+    assert mine.logic_pct == seed.logic_pct
+    assert mine.lut_pct == seed.lut_pct
+    assert mine.bram_pct == seed.bram_pct
+    assert mine.feasible == seed.feasible
+
+
+@settings(max_examples=200, deadline=None)
+@given(configs)
+def test_paper_clock_is_table_iv(cfg):
+    be = get_backend("vectis")
+    seed = table_iv_frequency(
+        cfg.scheme, cfg.capacity_bytes // 1024, cfg.lanes, cfg.read_ports
+    )
+    assert be.paper_mhz(cfg) == seed
+    expected_clock = (
+        seed
+        if seed is not None
+        else default_model(VIRTEX6_SX475T.name).estimate(cfg).fmax_mhz
+    )
+    assert be.clock_mhz(cfg) == expected_clock
+
+
+@settings(max_examples=200, deadline=None)
+@given(configs)
+def test_peak_bandwidth_is_seed_formula(cfg):
+    """The backend's Fig. 4/5 peaks reuse ``port_bandwidth_gbps`` itself,
+    so the floats are the seed's bit for bit (same operand order)."""
+    be = get_backend("vectis")
+    clock = be.clock_mhz(cfg)
+    assert be.peak_write_gbps(cfg) == port_bandwidth_gbps(cfg, clock)
+    assert be.peak_read_gbps(cfg) == (
+        port_bandwidth_gbps(cfg, clock) * cfg.read_ports
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(configs)
+def test_feasibility_matches_budget_and_logic(cfg):
+    be = get_backend("vectis")
+    verdict = be.feasibility(cfg)
+    budget = polymem_bram_usage(cfg, VIRTEX6_SX475T.bram36)
+    logic = default_model(VIRTEX6_SX475T.name).logic_pct(cfg)
+    assert verdict.feasible == (budget.feasible and logic <= 100.0)
+    assert verdict.utilization == budget.utilization

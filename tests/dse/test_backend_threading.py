@@ -1,0 +1,91 @@
+"""--backend threading through explore()/bandwidth helpers.
+
+The acceptance bar: retargeting the sweep at the ``vectis`` backend must
+leave every payload byte-identical to the default path, while other
+backends actually swap the synthesis device."""
+
+import pytest
+
+from repro.backend import AddressStream, get_backend
+from repro.core.config import KB, PolyMemConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.schemes import Scheme
+from repro.dse import DesignSpace, backend_peaks, explore
+from repro.dse.bandwidth import achieved_bandwidth
+from repro.dse.report import dse_report
+
+SMALL = DesignSpace(
+    capacities_kb=(512,),
+    lane_counts=(8,),
+    read_ports=(1, 2),
+    schemes=(Scheme.ReRo, Scheme.RoCo),
+)
+
+
+def cfg():
+    return PolyMemConfig(512 * KB, p=2, q=4, scheme=Scheme.ReRo)
+
+
+class TestExploreBackend:
+    def test_default_records_no_backend(self):
+        assert explore(SMALL).backend is None
+
+    def test_vectis_backend_is_byte_identical(self):
+        import json
+
+        seed = explore(SMALL)
+        routed = explore(SMALL, backend="vectis")
+        assert routed.backend == "vectis"
+        assert routed.space.device.name == seed.space.device.name
+        assert routed.points == seed.points
+        # the report payloads match entry for entry (meta carries wall-clock
+        # sweep timings, which are not part of the byte-identity contract)
+        seed_doc = json.loads(dse_report(seed).to_json())
+        routed_doc = json.loads(dse_report(routed).to_json())
+        assert routed_doc["entries"] == seed_doc["entries"]
+
+    def test_lx240t_swaps_the_synthesis_device(self):
+        routed = explore(SMALL, backend="lx240t")
+        assert routed.backend == "lx240t"
+        assert routed.space.device.name == "xc6vlx240t"
+        seed = explore(SMALL)
+        assert routed.points != seed.points
+
+    def test_dram_backend_keeps_the_vectis_fabric(self):
+        routed = explore(SMALL, backend="dram")
+        assert routed.backend == "dram"
+        assert routed.space.device.name == explore(SMALL).space.device.name
+
+    def test_backend_instance_accepted(self):
+        routed = explore(SMALL, backend=get_backend("hbm2"))
+        assert routed.backend == "hbm2"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            explore(SMALL, backend="warp-core")
+
+
+class TestBandwidthHelpers:
+    def test_backend_peaks_match_dse_point(self):
+        """backend_peaks('vectis') is DsePoint.bandwidth, bit for bit."""
+        result = explore(SMALL)
+        for point in result.points:
+            report = backend_peaks(point.config, "vectis")
+            assert report.clock_mhz == point.clock_mhz
+            assert report.write_gbps == point.bandwidth.write_gbps
+            assert report.read_gbps == point.bandwidth.read_gbps
+
+    def test_achieved_bandwidth_routes_by_name(self):
+        stream = AddressStream.strided(4096, stride=64)
+        on_chip = achieved_bandwidth(cfg(), stream, "vectis")
+        off_chip = achieved_bandwidth(cfg(), stream, "dram")
+        assert on_chip.achieved_gbps == on_chip.peak_gbps
+        assert off_chip.achieved_gbps < off_chip.peak_gbps
+
+    def test_achieved_bandwidth_honours_repro_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "dram")
+        stream = AddressStream.strided(1024, stride=64)
+        default = achieved_bandwidth(cfg(), stream)
+        explicit = achieved_bandwidth(cfg(), stream, "dram")
+        assert default.achieved_gbps == explicit.achieved_gbps
+        assert default.row_misses == explicit.row_misses

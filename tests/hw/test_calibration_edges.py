@@ -1,0 +1,138 @@
+"""Satellite: interpolation edges of the calibrated models.
+
+``SynthesisModel`` is least-squares fit to the paper's published points
+(``TABLE_IV_MHZ``, ``LOGIC_POINTS``, ``BRAM_POINTS``).  These tests pin
+its behaviour *at* the fit grid's corners and *beyond* it — the edges the
+what-if sweeps extrapolate into — and the exact-grid contract of
+``table_iv_frequency``."""
+
+import pytest
+
+from repro.core.config import KB, PolyMemConfig
+from repro.core.schemes import Scheme
+from repro.hw.calibration import (
+    BRAM_POINTS,
+    LOGIC_POINTS,
+    TABLE_IV_COLUMNS,
+    TABLE_IV_MHZ,
+    table_iv_frequency,
+)
+from repro.hw.synthesis import default_model
+
+
+def cfg(capacity_kb, lanes, ports, scheme=Scheme.ReRo):
+    p, q = {8: (2, 4), 16: (2, 8)}[lanes]
+    return PolyMemConfig(
+        capacity_kb * KB, p=p, q=q, scheme=scheme, read_ports=ports
+    )
+
+
+class TestTableIvGridContract:
+    def test_every_grid_point_returns_its_cell(self):
+        """On-grid queries return the transcribed value exactly."""
+        for scheme, row in TABLE_IV_MHZ.items():
+            for (cap, lanes, ports), mhz in zip(TABLE_IV_COLUMNS, row):
+                got = table_iv_frequency(scheme, cap, lanes, ports)
+                assert got == float(mhz)
+                assert isinstance(got, float)
+
+    @pytest.mark.parametrize(
+        "cap,lanes,ports",
+        [
+            (256, 8, 1),     # below the capacity grid
+            (8192, 8, 1),    # beyond the capacity grid
+            (512, 32, 1),    # lane count never synthesized
+            (512, 8, 5),     # port count past the table
+            (2048, 8, 3),    # inside the ranges but not a published column
+            (4096, 8, 2),    # ditto: 4 MB was only taken to 1 port
+            (513, 8, 1),     # off-grid capacity between columns
+        ],
+    )
+    def test_off_grid_queries_return_none(self, cap, lanes, ports):
+        for scheme in Scheme:
+            assert table_iv_frequency(scheme, cap, lanes, ports) is None
+
+
+class TestFrequencyModelEdges:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return default_model()
+
+    def test_sane_at_the_grid_corners(self, model):
+        """At the fastest and slowest published cells, the fit stays in
+        the table's own [77, 202] MHz band with generous slack."""
+        fast = model.frequency_mhz(cfg(512, 8, 1, Scheme.ReO))
+        slow = model.frequency_mhz(cfg(4096, 16, 1, Scheme.ReTr))
+        assert 150 < fast < 250
+        assert 60 < slow < 150
+        assert fast > slow
+
+    def test_extrapolation_beyond_the_grid_stays_physical(self, model):
+        """Off-grid queries (larger/smaller than every fit point) must
+        stay positive and finite — NNLS on period guarantees the period
+        can only grow with the features."""
+        tiny = model.frequency_mhz(cfg(64, 8, 1))
+        huge = model.frequency_mhz(cfg(8192, 16, 4))
+        assert 0 < huge < tiny < 1000
+        for mhz in (tiny, huge):
+            assert mhz == mhz  # not NaN
+
+    def test_period_monotone_in_read_ports(self, model):
+        """More replicated crossbars never speed the clock up."""
+        freqs = [model.frequency_mhz(cfg(512, 8, n)) for n in range(1, 7)]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_period_monotone_in_capacity(self, model):
+        caps = [256, 512, 1024, 2048, 4096, 8192]
+        freqs = [model.frequency_mhz(cfg(c, 8, 1)) for c in caps]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+
+class TestLogicModelEdges:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return default_model()
+
+    def test_reproduces_fit_points_closely(self, model):
+        """At the five §IV-C prose points the fit must sit within 2 pp
+        (its own recorded residuals are well under that)."""
+        for pt in LOGIC_POINTS:
+            got = model.logic_pct(cfg(pt.capacity_kb, pt.lanes, pt.read_ports, pt.scheme))
+            assert got == pytest.approx(pt.percent, abs=2.0)
+        assert model.logic_fit_stats["max_abs_err_pp"] < 2.0
+
+    def test_extrapolation_beyond_the_grid(self, model):
+        """Beyond every LOGIC_POINT (8 MB, 4 ports): still positive,
+        still monotone in ports, and large enough to flag pressure."""
+        base = model.logic_pct(cfg(8192, 16, 1))
+        pushed = model.logic_pct(cfg(8192, 16, 2))
+        assert 0 < base < pushed
+
+    def test_below_the_grid_capacity_term_clamps(self, model):
+        """Capacities under the 512 KB fit floor share the floor's
+        capacity term (log2(cap/512) clamps at 0), so only the crossbar
+        share may differ — the estimate cannot go negative."""
+        assert model.logic_pct(cfg(64, 8, 1)) == pytest.approx(
+            model.logic_pct(cfg(512, 8, 1)), abs=0.5
+        )
+        assert model.logic_pct(cfg(64, 8, 1)) > 0
+
+
+class TestBramModelEdges:
+    def test_anchor_point_is_exact(self):
+        """The 512 KB / 8-lane / 1-port anchor is pure block arithmetic:
+        128 data + 43 infra of 1064 RAMB36 = 16.07%, to the paper's two
+        printed decimals."""
+        got = default_model().bram_pct(cfg(512, 8, 1))
+        assert got == pytest.approx(16.07, abs=0.005)
+
+    def test_prose_points_within_model_error(self):
+        """The other §IV-C cells carry per-bank infrastructure the exact
+        arithmetic deliberately omits (the 16-lane cell) or sit at the
+        clamp (97% -> 100%); all stay within a few points."""
+        model = default_model()
+        for pt in BRAM_POINTS:
+            got = model.bram_pct(
+                cfg(pt.capacity_kb, pt.lanes, pt.read_ports, pt.scheme)
+            )
+            assert got == pytest.approx(pt.percent, abs=4.0)
