@@ -44,7 +44,7 @@ import time
 
 import numpy as np
 
-from _util import OUT_DIR, save_report
+from _util import OUT_DIR, exit_on_failed_gates, gate, save_report
 
 from repro.core.agu import AccessRequest
 from repro.core.config import PolyMemConfig
@@ -296,6 +296,15 @@ def _save_fusion_counters(fused):
     return path
 
 
+def _smoke_gates(m, fused) -> list[dict]:
+    """The three CI access gates, from the declarative gate table."""
+    return [
+        gate("access.replay_vs_scalar", m["replay_vs_scalar"]),
+        gate("access.program_vs_scalar", m["program_vs_scalar"]),
+        gate("access.fused_vs_replay", fused["program_fused_vs_replay"]),
+    ]
+
+
 def _smoke_report(m, fused):
     report = Report(title="Access plans perf smoke (8-lane ReRo)")
     report.entries.append(_entry(m))
@@ -310,7 +319,19 @@ def _smoke_report(m, fused):
             },
         )
     )
-    save_report("access_throughput_smoke", _HEADER + _row(m), report)
+    save_report(
+        "access_throughput_smoke",
+        _HEADER + _row(m),
+        report,
+        gates=_smoke_gates(m, fused),
+        params={
+            "workload": "access.stream",
+            "scheme": m["scheme"],
+            "lanes": m["lanes"],
+            "accesses": m["accesses"],
+            "fused_accesses": fused["accesses"],
+        },
+    )
     _save_fusion_counters(fused)
 
 
@@ -363,18 +384,7 @@ if __name__ == "__main__":
         m = _smoke_measure()
         fused = _fused_smoke_measure()
         _smoke_report(m, fused)
-        if m["replay_vs_scalar"] < 2.0:
-            sys.exit(f"perf gate failed: {m['replay_vs_scalar']:.1f}x < 2x")
-        if m["program_vs_scalar"] < 2.0:
-            sys.exit(
-                f"perf gate failed: program path "
-                f"{m['program_vs_scalar']:.1f}x < 2x scalar step"
-            )
-        if fused["program_fused_vs_replay"] < 2.0:
-            sys.exit(
-                f"perf gate failed: fused program "
-                f"{fused['program_fused_vs_replay']:.1f}x < 2x direct replay"
-            )
+        exit_on_failed_gates(_smoke_gates(m, fused))
     else:
         out = io.StringIO()
         out.write(_HEADER)

@@ -32,6 +32,7 @@ import sys
 import tempfile
 import time
 
+from _util import gate as declare_gate
 from _util import save_report
 
 from repro.dse import explore
@@ -55,11 +56,14 @@ def _timed_sweep(workers, cache=None):
     return result, time.perf_counter() - t0
 
 
-def run_scaling(cache_dir) -> tuple[str, Report, list[str]]:
+def run_scaling(cache_dir) -> tuple[str, Report, list[str], list[dict]]:
     """The scaling measurement shared by the pytest entry and ``--smoke``.
 
-    Returns the text artifact, the JSON report, and the list of gate
-    failures (empty when every gate holds on this machine).
+    Returns the text artifact, the JSON report, the list of gate
+    failures (empty when every gate holds on this machine), and the
+    uniform gate records the ledger stores (the conditional branch taken
+    on this machine is recorded with its own op/threshold, so ``repro
+    telemetry regress`` re-evaluates the same branch bit-for-bit).
     """
     n_points = PAPER_SPACE.size()
     cpus = os.cpu_count() or 1
@@ -119,7 +123,8 @@ def run_scaling(cache_dir) -> tuple[str, Report, list[str]]:
         f"({per_point_ms:.2f} ms/point, {warm_result.sweep.n_cached}"
         f"/{n_points} cached)\n"
     )
-    if warm_seconds >= 1.0:  # milliseconds per point, not ~100 ms
+    warm_gate = declare_gate("exec.warm_cache_seconds", warm_seconds)
+    if not warm_gate["ok"]:  # milliseconds per point, not ~100 ms
         failures.append(f"warm-cache re-run took {warm_seconds:.2f} s (>= 1 s)")
 
     # -- the scaling gates --------------------------------------------------
@@ -127,20 +132,27 @@ def run_scaling(cache_dir) -> tuple[str, Report, list[str]]:
     out.write(f"\n  1 -> 4 workers speedup: x{speedup4:.2f}\n")
     if cpus >= 2:
         gate = f"speedup >= x{MIN_SPEEDUP_MULTICORE} ({cpus} CPUs)"
-        ok4 = speedup4 >= MIN_SPEEDUP_MULTICORE
+        scaling_gate = declare_gate("exec.scaling_1_to_4", speedup4)
     elif sweeps[4].workers <= 1:
         # resolve_workers clamped the 4-worker run to the serial path, so
         # both timed runs executed identical code: there is no dispatch
         # difference for the no-regression bound to measure, only machine
-        # noise.  The gate holds trivially.
+        # noise.  The gate holds trivially — recorded with an explicit
+        # always-true threshold so the ledger replays the same branch.
         gate = "workers clamped to 1 (1 CPU): serial code paths identical"
-        ok4 = True
+        scaling_gate = declare_gate(
+            "exec.scaling_1_to_4", speedup4, op=">=", threshold=0.0, detail=gate
+        )
     else:
         gate = f"4-worker time <= x{MAX_SLOWDOWN_ANYWHERE} of 1-worker (1 CPU)"
-        ok4 = timings[4] <= MAX_SLOWDOWN_ANYWHERE * timings[1]
+        scaling_gate = declare_gate(
+            "exec.no_regression_1cpu", timings[4] / timings[1]
+        )
+    ok4 = scaling_gate["ok"]
     out.write(f"  gate: {gate} — {'PASS' if ok4 else 'FAIL'}\n")
     if not ok4:
         failures.append(f"scaling gate failed: {gate}, timings={timings}")
+    gates = [scaling_gate, warm_gate]
 
     report = Report(
         title="repro.exec scaling (Table III sweep, validated)",
@@ -176,12 +188,29 @@ def run_scaling(cache_dir) -> tuple[str, Report, list[str]]:
             ),
         ],
     )
-    return out.getvalue(), report, failures
+    return out.getvalue(), report, failures, gates
+
+
+def _save(text, report, gates):
+    cpus = os.cpu_count() or 1
+    save_report(
+        "exec_scaling",
+        text,
+        report,
+        gates=gates,
+        params={
+            "workload": "table3.sweep",
+            "scheme": "exec",
+            "points": PAPER_SPACE.size(),
+            "validate_rows": VALIDATE_ROWS,
+        },
+        flags={"cpus": cpus},
+    )
 
 
 def test_exec_scaling(benchmark, tmp_path):
-    text, report, failures = run_scaling(tmp_path / "cache")
-    save_report("exec_scaling", text, report)
+    text, report, failures, gates = run_scaling(tmp_path / "cache")
+    _save(text, report, gates)
     cpus = os.cpu_count() or 1
     # on a single-CPU machine the speedup gate is advisory in the pytest
     # entry (the --smoke CLI applies the no-regression bound instead)
@@ -197,8 +226,8 @@ def test_exec_scaling(benchmark, tmp_path):
 
 def main(argv) -> int:
     with tempfile.TemporaryDirectory() as tmp:
-        text, report, failures = run_scaling(os.path.join(tmp, "cache"))
-    save_report("exec_scaling", text, report)
+        text, report, failures, gates = run_scaling(os.path.join(tmp, "cache"))
+    _save(text, report, gates)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -11,7 +11,7 @@ smoke variant backs the CI perf gate.
 import io
 import time
 
-from _util import save_report
+from _util import gate, save_report
 
 from repro.exec import Report, ReportEntry
 from repro.stream_bench import StreamHarness, build_stream_design
@@ -106,10 +106,22 @@ def test_sim_throughput_report(benchmark):
 
 
 def test_sim_throughput_smoke(benchmark):
-    """The CI perf gate: one small size, batched must be >= 2x scalar."""
+    """The CI perf gate: one small size, batched must be >= 2x scalar
+    (threshold from the declarative GATE_TABLE, verdict ledgered)."""
     m = _measure(256)
+    g = gate("sim.batched_vs_scalar", m["speedup"])
     report = Report(title="Batched tick engine perf smoke (Copy @ 16 KB)")
     report.entries.append(_entry(m))
-    save_report("sim_throughput_smoke", _HEADER + _row(m), report)
-    assert m["speedup"] >= 2.0
+    save_report(
+        "sim_throughput_smoke",
+        _HEADER + _row(m),
+        report,
+        gates=[g],
+        params={"workload": "stream.copy", "scheme": "batched", "vectors": 256},
+        timings={
+            "scalar_wall_s": m["scalar_wall_s"],
+            "batched_wall_s": m["batched_wall_s"],
+        },
+    )
+    assert g["ok"], g
     benchmark(lambda: _one_pass("batched", 256))

@@ -27,6 +27,7 @@ import json
 import sys
 import time
 
+from _util import gate as declare_gate
 from _util import save_report
 
 from repro.dse import dse_report, explore
@@ -78,7 +79,7 @@ def _frontier_key(result):
     ]
 
 
-def run_batch_vs_scalar() -> tuple[str, Report, list[str]]:
+def run_batch_vs_scalar() -> tuple[str, Report, list[str], list[dict]]:
     """The measurement shared by the pytest entry and ``--smoke``."""
     cols, text = regenerate()
     n_points = PAPER_SPACE.size()
@@ -140,7 +141,8 @@ def run_batch_vs_scalar() -> tuple[str, Report, list[str]]:
         failures.append("pruned Pareto frontier differs from the full one")
 
     gate = f"batched >= x{MIN_BATCH_SPEEDUP} vs scalar"
-    gate_ok = speedup >= MIN_BATCH_SPEEDUP
+    batch_gate = declare_gate("dse.batched_vs_scalar", speedup)
+    gate_ok = batch_gate["ok"]
     out.write(f"  gate: {gate} — {'PASS' if gate_ok else 'FAIL'}\n")
     if not gate_ok:
         failures.append(f"batch gate failed: {gate}, timings={timings}")
@@ -173,15 +175,30 @@ def run_batch_vs_scalar() -> tuple[str, Report, list[str]]:
             ),
         ],
     )
-    return out.getvalue(), report, failures
+    return out.getvalue(), report, failures, [batch_gate]
+
+
+def _save(text, report, gates):
+    save_report(
+        "table3_dse_space",
+        text,
+        report,
+        gates=gates,
+        params={
+            "workload": "table3.sweep",
+            "scheme": "dse.batch",
+            "points": PAPER_SPACE.size(),
+            "validate_rows": VALIDATE_ROWS,
+        },
+    )
 
 
 def test_table3_space(benchmark):
     cols, text = regenerate()
     assert tuple(cols) == TABLE_IV_COLUMNS
     assert PAPER_SPACE.size() == 90
-    text_full, report, failures = run_batch_vs_scalar()
-    save_report("table3_dse_space", text_full, report)
+    text_full, report, failures, gates = run_batch_vs_scalar()
+    _save(text_full, report, gates)
     # the speedup gate is advisory under pytest (the --smoke CLI enforces
     # it); identity and frontier failures are always hard
     hard = [f for f in failures if "gate failed" not in f]
@@ -190,8 +207,8 @@ def test_table3_space(benchmark):
 
 
 def main(argv) -> int:
-    text, report, failures = run_batch_vs_scalar()
-    save_report("table3_dse_space", text, report)
+    text, report, failures, gates = run_batch_vs_scalar()
+    _save(text, report, gates)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from _util import save_report
+from _util import exit_on_failed_gates, gate, save_report
 
 from repro.exec import Report, ReportEntry
 from repro.stream_bench import StreamHarness, all_apps
@@ -160,14 +160,26 @@ def _entry(m):
     )
 
 
-def _gate(m):
-    """The 0.95x-of-pre-PR acceptance, as a guard-share bound."""
-    if m["guard_share"] > 0.05:
-        sys.exit(
-            f"perf gate failed: disabled-telemetry guards cost "
-            f"{m['guard_share'] * 100:.2f}% of workload time (> 5%, i.e. "
-            f"the disabled path fell below 0.95x pre-PR throughput)"
-        )
+def _gates(m) -> list[dict]:
+    """The 0.95x-of-pre-PR acceptance, as a guard-share bound from the
+    declarative gate table."""
+    return [gate("telemetry.guard_share", m["guard_share"])]
+
+
+def _ledgered_report(name, text, report, m):
+    save_report(
+        name,
+        text,
+        report,
+        gates=_gates(m),
+        params={"workload": "stream.triad", "scheme": "batched", "vectors": m["vectors"]},
+        timings={
+            "disabled_s": m["disabled_s"],
+            "guard_s": m["guard_s"],
+            "metrics_s": m["metrics_s"],
+            "traced_s": m["traced_s"],
+        },
+    )
 
 
 def test_telemetry_overhead_smoke(benchmark):
@@ -176,7 +188,7 @@ def test_telemetry_overhead_smoke(benchmark):
     m = _measure(vectors=256)
     report = Report(title="Telemetry overhead (guard audit)")
     report.entries.append(_entry(m))
-    save_report("telemetry_overhead_smoke", _HEADER + _render(m), report)
+    _ledgered_report("telemetry_overhead_smoke", _HEADER + _render(m), report, m)
     assert m["guard_share"] <= 0.05
     benchmark(lambda: _workload(256))
 
@@ -200,17 +212,19 @@ if __name__ == "__main__":
         m = _measure(vectors=256)
         report = Report(title="Telemetry overhead (guard audit)")
         report.entries.append(_entry(m))
-        save_report("telemetry_overhead_smoke", _HEADER + _render(m), report)
-        _gate(m)
+        _ledgered_report("telemetry_overhead_smoke", _HEADER + _render(m), report, m)
+        exit_on_failed_gates(_gates(m))
     else:
         out = io.StringIO()
         out.write(_HEADER)
         report = Report(title="Telemetry overhead (guard audit)")
+        gates = []
+        last = None
         for vectors in (256, 1024):
             m = _measure(vectors)
+            last = m
             out.write(_render(m) + "\n")
             report.entries.append(_entry(m))
-        save_report("telemetry_overhead", out.getvalue(), report)
-        for e in report.entries:
-            if not e.ok:
-                _gate({"guard_share": e.measured})
+            gates.extend(_gates(m))
+        _ledgered_report("telemetry_overhead", out.getvalue(), report, last)
+        exit_on_failed_gates(gates)

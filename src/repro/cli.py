@@ -12,7 +12,10 @@ Subcommands map one-to-one onto the paper's artifacts:
 * ``productivity`` — the §III-C Table II analysis;
 * ``experiments``  — the full paper-vs-reproduction scorecard;
 * ``report``       — a vendor-style synthesis estimate for one config;
-* ``telemetry``    — inspect recorded telemetry snapshots.
+* ``telemetry``    — inspect recorded telemetry: ``summary`` (one
+  snapshot), ``ledger`` (the run ledger), ``diff`` (two runs),
+  ``regress`` (gates vs a baseline window), ``scorecard`` (the
+  workload x scheme x backend matrix).
 
 The grid-shaped subcommands (``dse``, ``stream``, ``experiments``) run on
 the :mod:`repro.exec` runtime and share four flags:
@@ -43,6 +46,11 @@ They (plus ``program dump``) also share the :mod:`repro.telemetry` flags:
     Also record a span trace (host call → PCIe DMA → kernel → program
     segment → trace replay → compute boundary) and write
     Chrome-trace-event JSON to *PATH* for https://ui.perfetto.dev.
+``--profile-spans PATTERN``
+    Run cProfile inside wall spans whose name fnmatches *PATTERN*; the
+    top functions by cumulative time attach to each span's trace args
+    (and print to stderr when no ``--trace-out`` is given), localizing
+    a regression to a span *and* the Python frames under it.
 
 ``program dump`` adds two flags of its own on top of ``--json`` (same
 semantics as above — one helper, :func:`_add_json_arg`, defines the flag
@@ -171,6 +179,15 @@ def _add_telemetry_args(sub) -> None:
         metavar="PATH",
         help="record a span trace and write Chrome-trace-event JSON to "
         "PATH (load it at https://ui.perfetto.dev)",
+    )
+    sub.add_argument(
+        "--profile-spans",
+        dest="profile_spans",
+        default=None,
+        metavar="PATTERN",
+        help="run cProfile inside wall spans matching PATTERN (fnmatch, "
+        "e.g. 'segment.*'); the top functions land in each span's trace "
+        "args and are printed when no --trace-out is given",
     )
 
 
@@ -718,6 +735,126 @@ def cmd_telemetry_summary(args) -> int:
     return 0
 
 
+def cmd_telemetry_ledger(args) -> int:
+    import json
+    import time as _time
+
+    from .telemetry.ledger import Ledger
+
+    ledger = Ledger(args.file)
+    entries = ledger.entries(args.bench)
+    if args.last:
+        entries = entries[-args.last:]
+    if args.json_out is not None:
+        text = json.dumps([e.to_dict() for e in entries], indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"JSON written to {args.json_out}")
+        return 0
+    if not entries:
+        print(f"{args.file}: no ledger entries"
+              + (f" for bench {args.bench!r}" if args.bench else ""))
+        return 0
+    width = max(len(e.bench) for e in entries)
+    for e in entries:
+        git = (e.provenance.get("git") or {})
+        sha = (git.get("sha") or "unknown")[:12]
+        dirty = "+" if git.get("dirty") else ""
+        when = _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(e.ts))
+        gates = (
+            f"{sum(1 for g in e.gates if g.get('ok'))}/{len(e.gates)} gates ok"
+            if e.gates
+            else "no gates"
+        )
+        status = "ok  " if e.ok else "FAIL"
+        print(
+            f"{when}  {status}  {e.bench:<{width}}  {sha}{dirty}  "
+            f"{e.provenance.get('backend', '-'):8s}  {gates}"
+        )
+    print(f"\n{len(entries)} entries in {args.file}")
+    return 0
+
+
+def cmd_telemetry_diff(args) -> int:
+    import json
+
+    from .telemetry.diff import (
+        diff_entries,
+        diff_snapshots,
+        load_diff_source,
+        render_diff,
+    )
+    from .telemetry.ledger import LedgerEntry
+
+    a = load_diff_source(args.a)
+    b = load_diff_source(args.b)
+    kwargs = {"rel_threshold": args.noise, "abs_threshold": args.abs_threshold}
+    if isinstance(a, LedgerEntry) and isinstance(b, LedgerEntry):
+        diff = diff_entries(a, b, **kwargs)
+    else:
+        if isinstance(a, LedgerEntry):
+            a = a.telemetry or {}
+        if isinstance(b, LedgerEntry):
+            b = b.telemetry or {}
+        diff = diff_snapshots(a, b, labels=(args.a, args.b), **kwargs)
+    if args.json_out is not None:
+        text = json.dumps(diff.to_dict(), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"JSON written to {args.json_out}")
+    else:
+        print(render_diff(diff, show_all=args.all))
+    return 0
+
+
+def cmd_telemetry_regress(args) -> int:
+    import json
+
+    from .telemetry.regress import regress, render_regress
+
+    report = regress(
+        args.file,
+        bench=args.bench,
+        baseline_window=args.baseline_window,
+        noise=args.noise,
+    )
+    if args.json_out is not None:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"JSON written to {args.json_out}")
+    else:
+        print(render_regress(report))
+    if not report.ok:
+        return 1
+    if args.strict and report.warned:
+        return 1
+    return 0
+
+
+def cmd_telemetry_scorecard(args) -> int:
+    from .telemetry.scorecard import build_scorecard, render_json, render_markdown
+
+    card = build_scorecard(args.file)
+    text = render_json(card) if args.format == "json" else render_markdown(card)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"scorecard written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_productivity(args) -> int:
     from .analysis import productivity_table
     from .analysis.productivity import render_table
@@ -883,7 +1020,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_pdump.set_defaults(fn=cmd_program_dump)
 
     p_tel = sub.add_parser(
-        "telemetry", help="inspect recorded telemetry snapshots"
+        "telemetry",
+        help="inspect recorded telemetry: snapshots, the run ledger, "
+        "diffs, regression gates, the scorecard",
     )
     tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
     p_tsum = tel_sub.add_parser(
@@ -893,6 +1032,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tsum.add_argument("file", help="JSON file ('-' reads stdin)")
     p_tsum.set_defaults(fn=cmd_telemetry_summary)
+
+    p_tled = tel_sub.add_parser(
+        "ledger", help="list recorded runs from a JSONL run ledger"
+    )
+    p_tled.add_argument("file", help="ledger file (JSONL)")
+    p_tled.add_argument("--bench", default=None, help="only this bench")
+    p_tled.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent entries",
+    )
+    _add_json_arg(p_tled, what="the selected entries as JSON")
+    p_tled.set_defaults(fn=cmd_telemetry_ledger)
+
+    p_tdiff = tel_sub.add_parser(
+        "diff",
+        help="compare two runs: per-counter deltas, histogram percentile "
+        "shifts, derived-metric deltas, gate/timing movement",
+    )
+    p_tdiff.add_argument(
+        "a",
+        help="first run: a snapshot/report JSON, or a ledger file "
+        "(newest entry; select with PATH#-2, PATH#0 or PATH#bench-name)",
+    )
+    p_tdiff.add_argument("b", help="second run (same forms)")
+    p_tdiff.add_argument(
+        "--noise", type=float, default=0.05, metavar="FRAC",
+        help="relative-change threshold below which a row is noise "
+        "(default: %(default)s)",
+    )
+    p_tdiff.add_argument(
+        "--abs-threshold", type=float, default=0.0, metavar="X",
+        help="additional absolute-change threshold (default: off)",
+    )
+    p_tdiff.add_argument(
+        "--all", action="store_true",
+        help="show every compared quantity, not just significant movement",
+    )
+    _add_json_arg(p_tdiff, what="the structured diff as JSON")
+    p_tdiff.set_defaults(fn=cmd_telemetry_diff)
+
+    p_treg = tel_sub.add_parser(
+        "regress",
+        help="evaluate the newest ledger entries against the declared "
+        "gates and a median-of-last-N baseline window",
+    )
+    p_treg.add_argument("file", help="ledger file (JSONL)")
+    p_treg.add_argument("--bench", default=None, help="only this bench")
+    p_treg.add_argument(
+        "--baseline-window", type=int, default=5, metavar="N",
+        help="baseline is the median of the previous N runs "
+        "(default: %(default)s)",
+    )
+    p_treg.add_argument(
+        "--noise", type=float, default=0.10, metavar="FRAC",
+        help="warn when a passing gate is worse than baseline by more "
+        "than this fraction (default: %(default)s)",
+    )
+    p_treg.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not only hard gate failures",
+    )
+    _add_json_arg(p_treg, what="the verdicts as JSON")
+    p_treg.set_defaults(fn=cmd_telemetry_regress)
+
+    p_tcard = tel_sub.add_parser(
+        "scorecard",
+        help="render the workload x scheme x backend matrix from the "
+        "ledger (ROADMAP item 4)",
+    )
+    p_tcard.add_argument("file", help="ledger file (JSONL)")
+    p_tcard.add_argument(
+        "--format", default="markdown", choices=["markdown", "json"]
+    )
+    p_tcard.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    p_tcard.set_defaults(fn=cmd_telemetry_scorecard)
 
     p_prod = sub.add_parser("productivity", help="Table II analysis (§III-C)")
     p_prod.set_defaults(fn=cmd_productivity)
@@ -912,17 +1129,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_span_profiles(tel) -> None:
+    """Span cProfile attributions, for runs without a --trace-out file."""
+    for ev in tel.tracer.to_chrome_trace()["traceEvents"]:
+        rows = (ev.get("args") or {}).get("profile")
+        if not rows:
+            continue
+        print(f"\nprofile of span {ev['name']!r} "
+              f"({ev.get('dur', 0) / 1e3:.3f} ms):", file=sys.stderr)
+        for row in rows:
+            print(
+                f"  {row['cumtime']:9.4f}s cum  {row['tottime']:9.4f}s self  "
+                f"x{row['ncalls']:<7d} {row['func']}",
+                file=sys.stderr,
+            )
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     want_metrics = getattr(args, "metrics", False)
     trace_out = getattr(args, "trace_out", None)
-    if not want_metrics and trace_out is None:
+    profile_spans = getattr(args, "profile_spans", None)
+    if not want_metrics and trace_out is None and profile_spans is None:
         return args.fn(args)
-    # --metrics / --trace-out: run the command inside a telemetry session
+    # --metrics / --trace-out / --profile-spans: run inside a telemetry
+    # session (span profiling needs the tracer even without a trace file)
     from .telemetry import Telemetry, render_summary, session
 
-    tel = Telemetry(tracing=trace_out is not None, label=args.command)
+    tel = Telemetry(
+        tracing=trace_out is not None or profile_spans is not None,
+        label=args.command,
+    )
+    if profile_spans is not None:
+        tel.tracer.profile_spans(profile_spans)
     with session(tel):
         rc = args.fn(args)
     if trace_out is not None:
@@ -930,6 +1170,8 @@ def main(argv=None) -> int:
         tel.tracer.save(trace_out)
         print(f"trace written to {trace_out} "
               f"(load it at https://ui.perfetto.dev)", file=sys.stderr)
+    elif profile_spans is not None:
+        _print_span_profiles(tel)
     if want_metrics:
         print(render_summary(tel.snapshot()), end="")
     return rc

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..telemetry import context as _telemetry
+from ..telemetry import ledger as _tel_ledger
 from . import warm as _warm
 from .cache import MISS, ResultCache, cache_key
 
@@ -529,4 +530,9 @@ def run_sweep(
                 chunks=n_chunks,
                 wall_seconds=sweep.wall_seconds,
             )
+        # auto-ledger: a metered sweep appends a run-ledger entry when
+        # $REPRO_LEDGER names a destination (never raises into the sweep)
+        _tel_ledger.maybe_record_sweep(
+            [t.experiment_id for t in tasks], sweep, tel
+        )
     return sweep

@@ -25,10 +25,26 @@ from .context import (
     deactivate,
     session,
 )
+from .diff import Diff, DiffRow, diff_entries, diff_snapshots, render_diff
+from .ledger import (
+    LEDGER_FORMAT,
+    Ledger,
+    LedgerEntry,
+    record_run,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observers import TelemetryObserver
+from .regress import (
+    GATE_TABLE,
+    RegressReport,
+    check_gates,
+    evaluate_gate,
+    regress,
+    render_regress,
+)
+from .scorecard import build_scorecard, render_markdown
 from .spans import SpanTracer
-from .summary import derived_values, load_snapshot, render_summary
+from .summary import derived_metrics, derived_values, load_snapshot, render_summary
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -43,7 +59,25 @@ __all__ = [
     "MetricsRegistry",
     "TelemetryObserver",
     "SpanTracer",
+    "derived_metrics",
     "derived_values",
     "load_snapshot",
     "render_summary",
+    "LEDGER_FORMAT",
+    "Ledger",
+    "LedgerEntry",
+    "record_run",
+    "Diff",
+    "DiffRow",
+    "diff_entries",
+    "diff_snapshots",
+    "render_diff",
+    "GATE_TABLE",
+    "RegressReport",
+    "check_gates",
+    "evaluate_gate",
+    "regress",
+    "render_regress",
+    "build_scorecard",
+    "render_markdown",
 ]

@@ -1,0 +1,339 @@
+"""Structured comparison of two telemetry snapshots or ledger entries.
+
+``repro telemetry diff A B`` answers "what actually changed between
+these two runs?" at the instrument level: per-counter deltas, gauge
+last-value shifts, histogram percentile movement (p50/p90/p99 estimated
+from the power-of-two bucket CDF), the derived quantities the paper
+reasons in (plan-cache hit rate, achieved-vs-peak bandwidth, …), and —
+when the inputs are ledger entries rather than bare snapshots — gate
+values and wall/sim timings.
+
+Every row carries a relative delta and a ``significant`` flag judged
+against configurable noise thresholds (``--noise``), so a diff of two
+healthy runs reads as a short list of real movement, not a wall of
+float jitter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from .ledger import LEDGER_FORMAT, Ledger, LedgerEntry
+from .summary import derived_metrics, load_snapshot
+
+__all__ = [
+    "DiffRow",
+    "Diff",
+    "diff_snapshots",
+    "diff_entries",
+    "load_diff_source",
+    "render_diff",
+]
+
+#: histogram percentiles estimated from the bucket CDF
+PERCENTILES = (50, 90, 99)
+
+#: default relative-change threshold below which a row is noise
+DEFAULT_NOISE = 0.05
+
+
+@dataclass
+class DiffRow:
+    """One compared quantity across the two runs."""
+
+    kind: str  #: ``counter`` / ``gauge`` / ``histogram`` / ``derived`` / ``gate`` / ``timing``
+    name: str
+    a: float | None  #: value in the first run (None: absent there)
+    b: float | None  #: value in the second run
+    delta: float | None = None  #: ``b - a`` when both present
+    rel: float | None = None  #: ``delta / |a|`` when defined
+    significant: bool = False  #: beyond the noise thresholds
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class Diff:
+    """All rows of one comparison, plus the thresholds that judged them."""
+
+    rows: list[DiffRow] = field(default_factory=list)
+    rel_threshold: float = DEFAULT_NOISE
+    abs_threshold: float = 0.0
+    labels: tuple[str, str] = ("a", "b")
+
+    @property
+    def significant(self) -> list[DiffRow]:
+        return [r for r in self.rows if r.significant]
+
+    def to_dict(self) -> dict:
+        return {
+            "labels": list(self.labels),
+            "rel_threshold": self.rel_threshold,
+            "abs_threshold": self.abs_threshold,
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+
+def _percentile_from_buckets(buckets: dict, count: int, pct: float) -> float | None:
+    """Estimate a percentile from power-of-two bucket counts: walk the
+    CDF and return the upper bound of the bucket that crosses it.  Coarse
+    by design — a percentile *shift* across runs means a bucket boundary
+    was crossed, which is exactly the signal worth reporting."""
+    if not count or not buckets:
+        return None
+    target = count * pct / 100.0
+    seen = 0
+    for bound in sorted(buckets, key=float):
+        seen += buckets[bound]
+        if seen >= target:
+            return float(bound)
+    return float(max(buckets, key=float))
+
+
+def _make_row(
+    kind: str,
+    name: str,
+    a: float | None,
+    b: float | None,
+    rel_threshold: float,
+    abs_threshold: float,
+) -> DiffRow:
+    row = DiffRow(kind=kind, name=name, a=a, b=b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        row.delta = b - a
+        if a:
+            row.rel = row.delta / abs(a)
+        exceeds_rel = row.rel is not None and abs(row.rel) > rel_threshold
+        exceeds_abs = abs(row.delta) > abs_threshold
+        if a == 0 and b != 0:
+            # a quantity appeared from zero — always worth a look
+            row.significant = exceeds_abs or abs_threshold == 0
+        else:
+            row.significant = exceeds_rel and exceeds_abs if abs_threshold else (
+                exceeds_rel
+            )
+    else:
+        # present on one side only: structural change, always significant
+        row.significant = a is not None or b is not None
+    return row
+
+
+def diff_snapshots(
+    a: dict,
+    b: dict,
+    *,
+    rel_threshold: float = DEFAULT_NOISE,
+    abs_threshold: float = 0.0,
+    labels: tuple[str, str] = ("a", "b"),
+) -> Diff:
+    """Compare two telemetry snapshots instrument by instrument."""
+    diff = Diff(
+        rel_threshold=rel_threshold, abs_threshold=abs_threshold, labels=labels
+    )
+
+    def groups(snap):
+        metrics = snap.get("metrics") or {}
+        return (
+            metrics.get("counters") or {},
+            metrics.get("gauges") or {},
+            metrics.get("histograms") or {},
+        )
+
+    ca, ga, ha = groups(a)
+    cb, gb, hb = groups(b)
+
+    for name in sorted(set(ca) | set(cb)):
+        diff.rows.append(
+            _make_row(
+                "counter", name, ca.get(name), cb.get(name),
+                rel_threshold, abs_threshold,
+            )
+        )
+
+    for name in sorted(set(ga) | set(gb)):
+        va = (ga.get(name) or {}).get("value")
+        vb = (gb.get(name) or {}).get("value")
+        diff.rows.append(
+            _make_row("gauge", name, va, vb, rel_threshold, abs_threshold)
+        )
+
+    for name in sorted(set(ha) | set(hb)):
+        da = ha.get(name) or {}
+        db = hb.get(name) or {}
+        diff.rows.append(
+            _make_row(
+                "histogram", f"{name}.count", da.get("count"), db.get("count"),
+                rel_threshold, abs_threshold,
+            )
+        )
+        diff.rows.append(
+            _make_row(
+                "histogram", f"{name}.mean", da.get("mean"), db.get("mean"),
+                rel_threshold, abs_threshold,
+            )
+        )
+        for pct in PERCENTILES:
+            pa = _percentile_from_buckets(
+                da.get("buckets") or {}, da.get("count") or 0, pct
+            )
+            pb = _percentile_from_buckets(
+                db.get("buckets") or {}, db.get("count") or 0, pct
+            )
+            if pa is None and pb is None:
+                continue
+            diff.rows.append(
+                _make_row(
+                    "histogram", f"{name}.p{pct}", pa, pb,
+                    rel_threshold, abs_threshold,
+                )
+            )
+
+    da, db = derived_metrics(a), derived_metrics(b)
+    for name in sorted(set(da) | set(db)):
+        diff.rows.append(
+            _make_row(
+                "derived", name, da.get(name), db.get(name),
+                rel_threshold, abs_threshold,
+            )
+        )
+    return diff
+
+
+def diff_entries(
+    a: LedgerEntry,
+    b: LedgerEntry,
+    *,
+    rel_threshold: float = DEFAULT_NOISE,
+    abs_threshold: float = 0.0,
+) -> Diff:
+    """Compare two ledger entries: gates and timings first, then the full
+    snapshot diff when both entries carry telemetry."""
+    labels = (
+        f"{a.bench}@{(a.provenance.get('git') or {}).get('sha') or '?'}"[:32],
+        f"{b.bench}@{(b.provenance.get('git') or {}).get('sha') or '?'}"[:32],
+    )
+    if a.telemetry and b.telemetry:
+        diff = diff_snapshots(
+            a.telemetry, b.telemetry,
+            rel_threshold=rel_threshold, abs_threshold=abs_threshold,
+            labels=labels,
+        )
+    else:
+        diff = Diff(
+            rel_threshold=rel_threshold, abs_threshold=abs_threshold, labels=labels
+        )
+
+    gates_a = {g["name"]: g.get("value") for g in a.gates if "name" in g}
+    gates_b = {g["name"]: g.get("value") for g in b.gates if "name" in g}
+    gate_rows = [
+        _make_row(
+            "gate", name, gates_a.get(name), gates_b.get(name),
+            rel_threshold, abs_threshold,
+        )
+        for name in sorted(set(gates_a) | set(gates_b))
+    ]
+    timing_rows = [
+        _make_row(
+            "timing", name, a.timings.get(name), b.timings.get(name),
+            rel_threshold, abs_threshold,
+        )
+        for name in sorted(set(a.timings) | set(b.timings))
+    ]
+    diff.rows = gate_rows + timing_rows + diff.rows
+    return diff
+
+
+def load_diff_source(spec: str):
+    """Resolve a CLI diff operand to a :class:`LedgerEntry` or a snapshot
+    dict.  Accepted forms:
+
+    * ``ledger.jsonl`` — the newest entry of a ledger file;
+    * ``ledger.jsonl#-2`` / ``#0`` — an entry by index (negatives from
+      the end, newest is ``-1``);
+    * ``ledger.jsonl#bench-name`` — the newest entry of that bench;
+    * ``snapshot.json`` — a telemetry snapshot or exec report file.
+    """
+    path_part, sep, selector = spec.partition("#")
+    path = Path(path_part)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+
+    first_line = ""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                first_line = line.strip()
+                break
+    is_ledger = path.suffix == ".jsonl"
+    if not is_ledger and first_line.startswith("{"):
+        try:
+            doc = json.loads(first_line)
+            is_ledger = doc.get("format") == LEDGER_FORMAT
+        except json.JSONDecodeError:
+            pass
+
+    if is_ledger:
+        ledger = Ledger(path)
+        entries = ledger.entries()
+        if not entries:
+            raise ValueError(f"{path} holds no parseable ledger entries")
+        if not sep:
+            return entries[-1]
+        try:
+            return entries[int(selector)]
+        except ValueError:
+            by_bench = ledger.entries(selector)
+            if not by_bench:
+                raise ValueError(f"{path} has no entries for bench {selector!r}")
+            return by_bench[-1]
+        except IndexError:
+            raise ValueError(
+                f"{path} has {len(entries)} entries; index {selector} is out of range"
+            )
+    if sep:
+        raise ValueError(f"#{selector} selectors only apply to ledger files")
+    return load_snapshot(str(path))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_diff(diff: Diff, *, show_all: bool = False) -> str:
+    """The human diff: significant rows (or everything with *show_all*),
+    grouped by kind."""
+    title = f"telemetry diff — {diff.labels[0]} vs {diff.labels[1]}"
+    lines = [title, "=" * len(title)]
+    rows = diff.rows if show_all else diff.significant
+    if not rows:
+        lines.append(
+            f"(no movement beyond noise thresholds: rel {diff.rel_threshold:.2%}"
+            + (f", abs {diff.abs_threshold:g}" if diff.abs_threshold else "")
+            + f"; {len(diff.rows)} quantities compared)"
+        )
+        return "\n".join(lines)
+    width = max(len(r.name) for r in rows)
+    current_kind = None
+    for row in rows:
+        if row.kind != current_kind:
+            current_kind = row.kind
+            lines.append("")
+            lines.append(f"{current_kind}s")
+        rel = f" ({row.rel:+.1%})" if row.rel is not None else ""
+        mark = " *" if row.significant and show_all else ""
+        lines.append(
+            f"  {row.name:<{width}}  {_fmt(row.a)} -> {_fmt(row.b)}{rel}{mark}"
+        )
+    n_sig = len(diff.significant)
+    lines.append(
+        f"\n{n_sig} significant of {len(diff.rows)} compared "
+        f"(rel threshold {diff.rel_threshold:.2%})"
+    )
+    return "\n".join(lines)

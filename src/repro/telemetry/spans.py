@@ -22,8 +22,11 @@ left open by an error path (e.g. a replay abort skipping
 
 from __future__ import annotations
 
+import cProfile
 import json
+import pstats
 import time
+from fnmatch import fnmatch
 
 __all__ = ["SpanTracer", "TRACK_WALL", "TRACK_SIM"]
 
@@ -60,17 +63,67 @@ class SpanTracer:
         self._t0 = self._clock()
         self.events: list[dict] = []
         self._stack: list[dict] = []
+        self._profile_pattern: str | None = None
+        self._profile_top = 10
+        self._profiler: cProfile.Profile | None = None
 
     # -- clock ---------------------------------------------------------------
     def _now_us(self) -> float:
         return (self._clock() - self._t0) / 1000.0
 
+    # -- per-span profiling ---------------------------------------------------
+    def profile_spans(self, pattern: str | None = "*", top: int = 10) -> None:
+        """Attribute time *inside* matching spans with :mod:`cProfile`.
+
+        While enabled, the outermost wall span whose name fnmatches
+        *pattern* runs under a profiler; at :meth:`end` the top-*top*
+        functions by cumulative time land in the span's ``args
+        ["profile"]`` — so a regression localizes to a span *and* the
+        Python frames under it, not just a benchmark total.  Only one
+        profiler runs at a time (cProfile cannot nest): inner matching
+        spans are simply covered by the outer profile.  Pass ``None`` to
+        disable.  Profiling failures are swallowed — the tracer never
+        raises into instrumented code.
+        """
+        self._profile_pattern = pattern
+        self._profile_top = top
+
+    def _profile_rows(self, profiler: cProfile.Profile) -> list[dict]:
+        stats = pstats.Stats(profiler)
+        rows = sorted(
+            stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+        )
+        out = []
+        for (filename, lineno, func), (cc, nc, tt, ct, _callers) in rows[
+            : self._profile_top
+        ]:
+            out.append(
+                {
+                    "func": f"{filename}:{lineno}({func})",
+                    "ncalls": nc,
+                    "tottime": round(tt, 6),
+                    "cumtime": round(ct, 6),
+                }
+            )
+        return out
+
     # -- wall-clock spans (stack discipline) --------------------------------
     def begin(self, name: str, cat: str = "repro", **args) -> None:
         """Open a nested wall-clock span; pair with :meth:`end`."""
-        self._stack.append(
-            {"name": name, "cat": cat, "ts": self._now_us(), "args": dict(args)}
-        )
+        frame = {"name": name, "cat": cat, "ts": self._now_us(), "args": dict(args)}
+        if (
+            self._profile_pattern is not None
+            and self._profiler is None
+            and fnmatch(name, self._profile_pattern)
+        ):
+            try:
+                self._profiler = cProfile.Profile()
+                frame["profiler"] = self._profiler
+                self._profiler.enable()
+            except Exception:  # pragma: no cover - environment-dependent
+                self._profiler = None
+                frame.pop("profiler", None)
+        self._stack.append(frame)
 
     def end(self, **args) -> None:
         """Close the innermost open span (no-op when none is open, so
@@ -78,6 +131,15 @@ class SpanTracer:
         if not self._stack:
             return
         top = self._stack.pop()
+        profiler = top.pop("profiler", None)
+        if profiler is not None:
+            try:
+                profiler.disable()
+                top["args"]["profile"] = self._profile_rows(profiler)
+            except Exception:  # pragma: no cover - never raise at span end
+                pass
+            finally:
+                self._profiler = None
         top["args"].update(args)
         self._push_complete(
             top["name"], top["cat"], top["ts"], self._now_us() - top["ts"],

@@ -9,6 +9,10 @@ amortization), and exec worker utilization.
 
 Accepted inputs: a raw telemetry snapshot (``repro.telemetry/1``) or a
 ``repro.exec.report/1`` JSON whose ``meta.telemetry`` block carries one.
+
+Partial snapshots (a run that died mid-bench, or an older format
+missing a counter group) degrade to ``n/a`` cells rather than KeyError:
+the summary of a broken run is exactly when you need the summary.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import json
 
 from .context import SNAPSHOT_FORMAT
 
-__all__ = ["load_snapshot", "derived_values", "render_summary"]
+__all__ = ["load_snapshot", "derived_values", "derived_metrics", "render_summary"]
 
 
 def load_snapshot(source) -> dict:
@@ -43,12 +47,87 @@ def _rate(hits, misses) -> float | None:
     return hits / total if total else None
 
 
+def _gauge_value(gauges: dict, name: str):
+    """A gauge's last value, ``None`` when the record is missing or is
+    not the expected dict shape (partial / truncated snapshot)."""
+    record = gauges.get(name)
+    return record.get("value") if isinstance(record, dict) else None
+
+
+def _groups(snapshot: dict) -> tuple[dict, dict, dict]:
+    """The counter/gauge/histogram groups of a snapshot, each normalized
+    to a dict even when the group is absent or explicitly null."""
+    metrics = snapshot.get("metrics") or {}
+    return (
+        metrics.get("counters") or {},
+        metrics.get("gauges") or {},
+        metrics.get("histograms") or {},
+    )
+
+
+def derived_metrics(snapshot: dict) -> dict[str, float]:
+    """The numeric derived quantities, keyed for machine consumption —
+    what :mod:`repro.telemetry.diff` compares across runs.  Quantities
+    whose inputs are absent are simply omitted (never ``NaN``)."""
+    c, g, _ = _groups(snapshot)
+    out: dict[str, float] = {}
+
+    scalar = c.get("sim.cycles.scalar", 0)
+    batched = c.get("sim.cycles.batched", 0)
+    total_cycles = scalar + batched
+    if total_cycles:
+        out["sim.stall_share"] = c.get("sim.stall_cycles", 0) / total_cycles
+        out["sim.scalar_fallback_share"] = scalar / total_cycles
+
+    for key, hits, misses in (
+        ("plan_cache.hit_rate", "polymem.plan_cache.hits", "polymem.plan_cache.misses"),
+        ("route_cache.hit_rate", "benes.route_cache.hits", "benes.route_cache.misses"),
+        (
+            "kernel_cache.hit_rate",
+            "program.fusion.kernel_cache.hits",
+            "program.fusion.kernel_cache.misses",
+        ),
+        ("exec.cache.hit_rate", "exec.cache.hits", "exec.cache.misses"),
+    ):
+        rate = _rate(c.get(hits, 0), c.get(misses, 0))
+        if rate is not None:
+            out[key] = rate
+
+    fused_steps = c.get("program.fusion.steps", 0)
+    fallback_steps = c.get("program.fusion.fallback_steps", 0)
+    if fused_steps or fallback_steps:
+        out["fusion.fused_step_share"] = fused_steps / (fused_steps + fallback_steps)
+
+    achieved = _gauge_value(g, "stream.achieved_mbps")
+    peak = _gauge_value(g, "stream.peak_mbps")
+    if achieved is not None and peak:
+        out["stream.achieved_vs_peak"] = achieved / peak
+
+    pcie_ns = c.get("pcie.ns", 0.0)
+    if pcie_ns:
+        out["pcie.overhead_share"] = c.get("pcie.overhead_ns", 0.0) / pcie_ns
+
+    batch_configs = c.get("dse.batch.configs", 0)
+    scalar_configs = c.get("dse.batch.scalar_configs", 0)
+    if batch_configs or scalar_configs:
+        out["dse.batch_share"] = batch_configs / (batch_configs + scalar_configs)
+    candidates = c.get("dse.batch.candidates", 0)
+    if candidates:
+        out["dse.prune_rate"] = c.get("dse.batch.pruned", 0) / candidates
+
+    wall = c.get("exec.wall_seconds", 0.0)
+    workers = _gauge_value(g, "exec.workers")
+    if wall and workers:
+        out["exec.worker_utilization"] = c.get("exec.compute_seconds", 0.0) / (
+            wall * workers
+        )
+    return out
+
+
 def derived_values(snapshot: dict) -> list[tuple[str, str]]:
     """Paper-relevant quantities computed from raw instruments, as
     ``(label, formatted value)`` pairs; absent inputs are skipped."""
-    metrics = snapshot.get("metrics", {})
-    c = metrics.get("counters", {})
-    g = metrics.get("gauges", {})
+    c, g, _ = _groups(snapshot)
     out: list[tuple[str, str]] = []
 
     scalar = c.get("sim.cycles.scalar", 0)
@@ -97,8 +176,8 @@ def derived_values(snapshot: dict) -> list[tuple[str, str]]:
             )
         )
 
-    achieved = (g.get("stream.achieved_mbps") or {}).get("value")
-    peak = (g.get("stream.peak_mbps") or {}).get("value")
+    achieved = _gauge_value(g, "stream.achieved_mbps")
+    peak = _gauge_value(g, "stream.peak_mbps")
     if achieved is not None and peak:
         out.append(
             (
@@ -151,7 +230,7 @@ def derived_values(snapshot: dict) -> list[tuple[str, str]]:
     if exec_rate is not None:
         out.append(("exec cache hit rate", f"{100.0 * exec_rate:.1f}%"))
     wall = c.get("exec.wall_seconds", 0.0)
-    workers = (g.get("exec.workers") or {}).get("value")
+    workers = _gauge_value(g, "exec.workers")
     if wall and workers:
         util = c.get("exec.compute_seconds", 0.0) / (wall * workers)
         out.append(("exec worker utilization", f"{100.0 * util:.1f}%"))
@@ -162,7 +241,7 @@ def derived_values(snapshot: dict) -> list[tuple[str, str]]:
             (
                 "exec warm-fork overhead",
                 f"warmup {warmup:.3f} s ({100.0 * warmup / wall:.1f}% of wall), "
-                f"ipc {ipc:.3f} s over {c['exec.chunks']} chunks",
+                f"ipc {ipc:.3f} s over {c.get('exec.chunks', 0)} chunks",
             )
         )
     for cache_name, label in (
@@ -181,22 +260,33 @@ def derived_values(snapshot: dict) -> list[tuple[str, str]]:
 
 
 def _fmt_number(value) -> str:
+    if value is None:
+        return "n/a"
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
 
 
+def _cell(record, key) -> str:
+    """One field of a gauge/histogram record, ``n/a`` when the record is
+    not a dict or the field is missing (partial / truncated snapshot)."""
+    if not isinstance(record, dict):
+        return "n/a"
+    return _fmt_number(record.get(key))
+
+
 def render_summary(snapshot: dict) -> str:
     """The full pretty-printed summary: counters, gauges, histograms,
-    then the derived section."""
-    metrics = snapshot.get("metrics", {})
+    then the derived section.  Missing groups and partial records render
+    as ``n/a`` — a summary must never be less robust than the run it
+    summarizes."""
+    counters, gauges, histograms = _groups(snapshot)
     lines: list[str] = []
     label = snapshot.get("label") or ""
     title = f"telemetry summary{f' — {label}' if label else ''}"
     lines.append(title)
     lines.append("=" * len(title))
 
-    counters = metrics.get("counters", {})
     if counters:
         lines.append("")
         lines.append("counters")
@@ -204,29 +294,30 @@ def render_summary(snapshot: dict) -> str:
         for name, value in counters.items():
             lines.append(f"  {name:<{width}}  {_fmt_number(value)}")
 
-    gauges = metrics.get("gauges", {})
     if gauges:
         lines.append("")
         lines.append("gauges (last / min / max)")
         width = max(len(k) for k in gauges)
         for name, gv in gauges.items():
             lines.append(
-                f"  {name:<{width}}  {_fmt_number(gv['value'])}"
-                f" / {_fmt_number(gv['min'])} / {_fmt_number(gv['max'])}"
+                f"  {name:<{width}}  {_cell(gv, 'value')}"
+                f" / {_cell(gv, 'min')} / {_cell(gv, 'max')}"
             )
 
-    histograms = metrics.get("histograms", {})
     if histograms:
         lines.append("")
         lines.append("histograms (count / mean / max)")
         width = max(len(k) for k in histograms)
         for name, hv in histograms.items():
             lines.append(
-                f"  {name:<{width}}  {hv['count']}"
-                f" / {_fmt_number(hv['mean'])} / {_fmt_number(hv['max'])}"
+                f"  {name:<{width}}  {_cell(hv, 'count')}"
+                f" / {_cell(hv, 'mean')} / {_cell(hv, 'max')}"
             )
 
-    derived = derived_values(snapshot)
+    try:
+        derived = derived_values(snapshot)
+    except (AttributeError, KeyError, TypeError, ZeroDivisionError):
+        derived = [("derived metrics", "n/a (partial snapshot)")]
     if derived:
         lines.append("")
         lines.append("derived")

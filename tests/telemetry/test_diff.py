@@ -1,0 +1,237 @@
+"""Tests for structured telemetry diffing."""
+
+import json
+
+import pytest
+
+from repro.telemetry.context import SNAPSHOT_FORMAT
+from repro.telemetry.diff import (
+    diff_entries,
+    diff_snapshots,
+    load_diff_source,
+    render_diff,
+)
+from repro.telemetry.ledger import Ledger, LedgerEntry
+
+
+def snapshot(counters=None, gauges=None, histograms=None):
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "label": "t",
+        "metrics": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+    }
+
+
+def rows_by_name(diff):
+    return {r.name: r for r in diff.rows}
+
+
+class TestCounterRows:
+    def test_movement_beyond_noise_is_significant(self):
+        diff = diff_snapshots(
+            snapshot(counters={"c": 100}), snapshot(counters={"c": 120})
+        )
+        row = rows_by_name(diff)["c"]
+        assert (row.a, row.b, row.delta) == (100, 120, 20)
+        assert row.rel == pytest.approx(0.2)
+        assert row.significant
+
+    def test_jitter_below_noise_is_not(self):
+        diff = diff_snapshots(
+            snapshot(counters={"c": 100}), snapshot(counters={"c": 102})
+        )
+        assert not rows_by_name(diff)["c"].significant
+        assert diff.significant == []
+
+    def test_one_sided_presence_is_structural(self):
+        diff = diff_snapshots(
+            snapshot(counters={"only_a": 5}), snapshot(counters={"only_b": 7})
+        )
+        rows = rows_by_name(diff)
+        assert rows["only_a"].significant and rows["only_a"].b is None
+        assert rows["only_b"].significant and rows["only_b"].a is None
+
+    def test_appearing_from_zero_is_significant(self):
+        diff = diff_snapshots(
+            snapshot(counters={"c": 0}), snapshot(counters={"c": 3})
+        )
+        row = rows_by_name(diff)["c"]
+        assert row.significant and row.rel is None
+
+    def test_abs_threshold_filters_small_deltas(self):
+        diff = diff_snapshots(
+            snapshot(counters={"c": 2}),
+            snapshot(counters={"c": 4}),  # +100% but only +2
+            abs_threshold=10.0,
+        )
+        assert not rows_by_name(diff)["c"].significant
+
+
+class TestGaugeAndHistogramRows:
+    def test_gauge_last_values_compared(self):
+        diff = diff_snapshots(
+            snapshot(gauges={"depth": {"value": 4, "min": 0, "max": 8}}),
+            snapshot(gauges={"depth": {"value": 8, "min": 0, "max": 8}}),
+        )
+        row = rows_by_name(diff)["depth"]
+        assert (row.a, row.b) == (4, 8) and row.significant
+
+    def test_percentiles_from_bucket_cdf(self):
+        a = snapshot(
+            histograms={
+                "h": {
+                    "count": 100,
+                    "mean": 5.0,
+                    "buckets": {"4": 90, "8": 9, "1024": 1},
+                }
+            }
+        )
+        b = snapshot(
+            histograms={
+                "h": {
+                    "count": 100,
+                    "mean": 10.0,
+                    "buckets": {"8": 90, "16": 9, "2048": 1},
+                }
+            }
+        )
+        rows = rows_by_name(diff_snapshots(a, b))
+        assert (rows["h.p50"].a, rows["h.p50"].b) == (4.0, 8.0)
+        assert (rows["h.p90"].a, rows["h.p90"].b) == (4.0, 8.0)
+        assert (rows["h.p99"].a, rows["h.p99"].b) == (8.0, 16.0)
+        assert rows["h.p50"].significant
+        assert rows["h.count"].delta == 0
+
+    def test_empty_histograms_skip_percentiles(self):
+        diff = diff_snapshots(
+            snapshot(histograms={"h": {"count": 0, "mean": 0, "buckets": {}}}),
+            snapshot(histograms={"h": {"count": 0, "mean": 0, "buckets": {}}}),
+        )
+        assert not any(".p" in r.name for r in diff.rows)
+
+
+class TestDerivedRows:
+    def test_derived_metric_deltas(self):
+        a = snapshot(
+            counters={"sim.cycles.scalar": 50, "sim.cycles.batched": 50,
+                      "sim.stall_cycles": 10}
+        )
+        b = snapshot(
+            counters={"sim.cycles.scalar": 10, "sim.cycles.batched": 90,
+                      "sim.stall_cycles": 10}
+        )
+        rows = rows_by_name(diff_snapshots(a, b))
+        row = rows["sim.scalar_fallback_share"]
+        assert row.kind == "derived"
+        assert (row.a, row.b) == (0.5, 0.1) and row.significant
+
+
+class TestDiffEntries:
+    def entry(self, bench, sha, gate_value, timings, telemetry=None):
+        return LedgerEntry(
+            bench=bench,
+            provenance={"git": {"sha": sha, "dirty": False}},
+            gates=[{"name": "g", "value": gate_value, "op": ">=",
+                    "threshold": 1.0, "ok": True}],
+            timings=timings,
+            telemetry=telemetry,
+        )
+
+    def test_gates_and_timings_lead_the_rows(self):
+        a = self.entry("b", "a" * 40, 2.0, {"wall_s": 1.0})
+        b = self.entry("b", "b" * 40, 3.0, {"wall_s": 2.0})
+        diff = diff_entries(a, b)
+        assert [r.kind for r in diff.rows] == ["gate", "timing"]
+        rows = rows_by_name(diff)
+        assert rows["g"].rel == pytest.approx(0.5)
+        assert rows["wall_s"].significant
+        assert diff.labels[0].startswith("b@aaaa")
+        assert len(diff.labels[0]) <= 32
+
+    def test_snapshot_rows_included_when_both_have_telemetry(self):
+        a = self.entry("b", None, 2.0, {}, telemetry=snapshot(counters={"c": 1}))
+        b = self.entry("b", None, 2.0, {}, telemetry=snapshot(counters={"c": 9}))
+        diff = diff_entries(a, b)
+        kinds = {r.kind for r in diff.rows}
+        assert kinds == {"gate", "counter"}
+        assert rows_by_name(diff)["c"].significant
+
+
+class TestLoadDiffSource:
+    def make_ledger(self, tmp_path, name="ledger.jsonl"):
+        ledger = Ledger(tmp_path / name)
+        for i, bench in enumerate(["a", "b", "a"]):
+            ledger.append(LedgerEntry(bench=bench, ts=float(i)))
+        return ledger
+
+    def test_bare_ledger_gives_newest(self, tmp_path):
+        ledger = self.make_ledger(tmp_path)
+        entry = load_diff_source(str(ledger.path))
+        assert (entry.bench, entry.ts) == ("a", 2.0)
+
+    def test_index_selectors(self, tmp_path):
+        ledger = self.make_ledger(tmp_path)
+        assert load_diff_source(f"{ledger.path}#0").ts == 0.0
+        assert load_diff_source(f"{ledger.path}#-2").ts == 1.0
+
+    def test_bench_selector_gives_newest_of_bench(self, tmp_path):
+        ledger = self.make_ledger(tmp_path)
+        assert load_diff_source(f"{ledger.path}#b").ts == 1.0
+        with pytest.raises(ValueError, match="no entries for bench"):
+            load_diff_source(f"{ledger.path}#zzz")
+
+    def test_index_out_of_range(self, tmp_path):
+        ledger = self.make_ledger(tmp_path)
+        with pytest.raises(ValueError, match="out of range"):
+            load_diff_source(f"{ledger.path}#7")
+
+    def test_ledger_sniffed_without_jsonl_suffix(self, tmp_path):
+        path = tmp_path / "runs.log"
+        path.write_text(LedgerEntry(bench="x").to_json() + "\n")
+        assert load_diff_source(str(path)).bench == "x"
+
+    def test_snapshot_file(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snapshot(counters={"c": 1})))
+        doc = load_diff_source(str(path))
+        assert doc["metrics"]["counters"] == {"c": 1}
+
+    def test_selector_on_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snapshot()))
+        with pytest.raises(ValueError, match="selectors only apply"):
+            load_diff_source(f"{path}#0")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_diff_source(str(tmp_path / "nope.jsonl"))
+
+
+class TestRender:
+    def test_significant_rows_only_by_default(self):
+        diff = diff_snapshots(
+            snapshot(counters={"moved": 100, "steady": 50}),
+            snapshot(counters={"moved": 200, "steady": 50}),
+        )
+        text = render_diff(diff)
+        assert "moved" in text and "steady" not in text
+        assert "(+100.0%)" in text
+        assert "1 significant of" in text
+
+    def test_show_all_marks_significant(self):
+        diff = diff_snapshots(
+            snapshot(counters={"moved": 100, "steady": 50}),
+            snapshot(counters={"moved": 200, "steady": 50}),
+        )
+        text = render_diff(diff, show_all=True)
+        assert "steady" in text and " *" in text
+
+    def test_quiet_diff_says_so(self):
+        diff = diff_snapshots(
+            snapshot(counters={"c": 100}), snapshot(counters={"c": 100})
+        )
+        assert "no movement beyond noise thresholds" in render_diff(diff)

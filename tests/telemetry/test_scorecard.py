@@ -1,0 +1,164 @@
+"""Tests for the workload x scheme x backend scorecard."""
+
+import json
+
+from repro.telemetry.context import SNAPSHOT_FORMAT
+from repro.telemetry.ledger import Ledger, LedgerEntry
+from repro.telemetry.scorecard import (
+    SCORECARD_FORMAT,
+    build_scorecard,
+    render_json,
+    render_markdown,
+)
+
+
+def entry(
+    bench,
+    workload=None,
+    scheme=None,
+    backend="vectis",
+    gates=(),
+    results=(),
+    telemetry=None,
+    sha="c0ffee" * 6 + "c0ff",
+    ts=1.0,
+):
+    params = {}
+    if workload:
+        params["workload"] = workload
+    if scheme:
+        params["scheme"] = scheme
+    return LedgerEntry(
+        bench=bench,
+        ts=ts,
+        params=params,
+        provenance={"backend": backend, "git": {"sha": sha, "dirty": False}},
+        gates=list(gates),
+        results=list(results),
+        telemetry=telemetry,
+    )
+
+
+def gate(name="sim.batched_vs_scalar", value=3.0, ok=True):
+    return {"name": name, "value": value, "op": ">=", "threshold": 2.0, "ok": ok}
+
+
+def bandwidth_snapshot(achieved, peak):
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "metrics": {
+            "counters": {},
+            "gauges": {
+                "stream.achieved_mbps": {"value": achieved},
+                "stream.peak_mbps": {"value": peak},
+            },
+            "histograms": {},
+        },
+    }
+
+
+class TestBuildScorecard:
+    def test_one_cell_per_bench_newest_entry(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(entry("b1", "stream.copy", "batched", gates=[gate(value=2.5)]))
+        ledger.append(entry("b1", "stream.copy", "batched", gates=[gate(value=4.0)]))
+        ledger.append(entry("b2", "table3.sweep", "exec", backend="dram"))
+        card = build_scorecard(ledger)
+        assert card["format"] == SCORECARD_FORMAT
+        assert len(card["cells"]) == 2
+        c1 = next(c for c in card["cells"] if c["workload"] == "stream.copy")
+        assert (c1["scheme"], c1["backend"]) == ("batched", "vectis")
+        assert (c1["metric"], c1["value"]) == ("sim.batched_vs_scalar", 4.0)
+        assert c1["ok"] is True and c1["gates"] == 1
+
+    def test_cell_value_preference_order(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        # telemetry-derived achieved-vs-peak beats gate values
+        ledger.append(
+            entry(
+                "with_tel",
+                gates=[gate()],
+                telemetry=bandwidth_snapshot(7680.0, 15360.0),
+            )
+        )
+        # gate value beats results
+        ledger.append(
+            entry(
+                "with_gate",
+                gates=[gate(value=2.5)],
+                results=[{"quantity": "q", "measured": 9.0}],
+            )
+        )
+        # results are the last resort
+        ledger.append(
+            entry("with_result", results=[{"quantity": "q", "measured": 9.0}])
+        )
+        ledger.append(entry("bare"))
+        cells = {c["workload"]: c for c in build_scorecard(ledger)["cells"]}
+        assert cells["with_tel"]["metric"] == "stream.achieved_vs_peak"
+        assert cells["with_tel"]["value"] == 0.5
+        assert cells["with_gate"]["value"] == 2.5
+        assert cells["with_result"]["value"] == 9.0
+        assert cells["bare"]["metric"] == "n/a" and cells["bare"]["value"] is None
+
+    def test_dims_fall_back_to_bench_name(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(LedgerEntry(bench="plain"))
+        (cell,) = build_scorecard(ledger)["cells"]
+        assert (cell["workload"], cell["scheme"], cell["backend"]) == (
+            "plain", "-", "-",
+        )
+
+    def test_accepts_path_string(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(entry("b", "w", "s"))
+        assert len(build_scorecard(str(ledger.path))["cells"]) == 1
+
+
+class TestRenderMarkdown:
+    def test_matrix_layout(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(
+            entry("b1", "stream.copy", "batched", backend="vectis",
+                  gates=[gate(value=4.0)])
+        )
+        ledger.append(
+            entry("b2", "stream.copy", "batched", backend="dram",
+                  gates=[gate(value=1.0, ok=False)])
+        )
+        text = render_markdown(build_scorecard(ledger))
+        header = text.splitlines()[2]
+        assert header.startswith("| workload | scheme |")
+        assert " dram " in header and " vectis " in header
+        (row,) = [ln for ln in text.splitlines() if "stream.copy" in ln]
+        assert "4" in row and "⚠" in row  # the failed dram cell is flagged
+        assert "1/2 ok" in row
+        assert "Built from commit `c0ffeec0ffee`" in text
+
+    def test_percent_formatting_for_share_metrics(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(
+            entry("b", "stream.copy", "batched",
+                  telemetry=bandwidth_snapshot(7680.0, 15360.0))
+        )
+        assert "50.0%" in render_markdown(build_scorecard(ledger))
+
+    def test_missing_cell_placeholder(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(entry("b1", "w1", "s", backend="vectis", gates=[gate()]))
+        ledger.append(entry("b2", "w2", "s", backend="dram", gates=[gate()]))
+        text = render_markdown(build_scorecard(ledger))
+        assert "·" in text  # each row misses the other row's backend
+
+    def test_empty_ledger(self, tmp_path):
+        text = render_markdown(build_scorecard(Ledger(tmp_path / "l.jsonl")))
+        assert "no runs yet" in text
+
+
+class TestRenderJson:
+    def test_round_trips(self, tmp_path):
+        ledger = Ledger(tmp_path / "l.jsonl")
+        ledger.append(entry("b", "w", "s", gates=[gate()]))
+        doc = json.loads(render_json(build_scorecard(ledger)))
+        assert doc["format"] == SCORECARD_FORMAT
+        assert doc["cells"][0]["workload"] == "w"

@@ -87,6 +87,81 @@ class TestSpans:
         assert [e["name"] for e in tracer.events] == ["b", "a"]
 
 
+def _busy():
+    return sum(i * i for i in range(500))
+
+
+class TestProfileSpans:
+    def test_profile_attached_to_matching_span(self):
+        tracer = SpanTracer()
+        tracer.profile_spans("work*", top=5)
+        tracer.begin("work.hot")
+        _busy()
+        tracer.end()
+        (ev,) = tracer.events
+        rows = ev["args"]["profile"]
+        assert rows and len(rows) <= 5
+        for row in rows:
+            assert set(row) == {"func", "ncalls", "tottime", "cumtime"}
+        # ordered by cumulative time, heaviest first
+        cums = [row["cumtime"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_non_matching_span_is_not_profiled(self):
+        tracer = SpanTracer()
+        tracer.profile_spans("kernel.*")
+        tracer.begin("host.call")
+        tracer.end()
+        (ev,) = tracer.events
+        assert "profile" not in ev["args"]
+
+    def test_only_outermost_matching_span_profiled(self):
+        # cProfile cannot nest: the inner matching span rides under the
+        # outer span's profile instead of getting its own
+        tracer = SpanTracer()
+        tracer.profile_spans("work*")
+        tracer.begin("work.outer")
+        tracer.begin("work.inner")
+        _busy()
+        tracer.end()
+        tracer.end()
+        inner, outer = tracer.events
+        assert "profile" not in inner["args"]
+        assert "profile" in outer["args"]
+
+    def test_profiler_slot_freed_between_spans(self):
+        tracer = SpanTracer()
+        tracer.profile_spans("work*")
+        for _ in range(2):
+            tracer.begin("work")
+            _busy()
+            tracer.end()
+        assert all("profile" in e["args"] for e in tracer.events)
+
+    def test_disabled_by_default_and_by_none(self):
+        tracer = SpanTracer()
+        tracer.begin("work")
+        tracer.end()
+        assert "profile" not in tracer.events[0]["args"]
+        tracer.profile_spans("*")
+        tracer.profile_spans(None)
+        tracer.begin("work")
+        tracer.end()
+        assert "profile" not in tracer.events[1]["args"]
+
+    def test_profiled_trace_is_json_serializable(self, tmp_path):
+        tracer = SpanTracer()
+        tracer.profile_spans("*", top=3)
+        tracer.begin("work")
+        _busy()
+        tracer.end()
+        path = tmp_path / "trace.json"
+        tracer.save(path)
+        doc = json.loads(path.read_text())
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(ev["args"]["profile"]) <= 3
+
+
 class TestExport:
     def test_chrome_trace_has_track_metadata(self, clocked):
         tracer, _ = clocked

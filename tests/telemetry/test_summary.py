@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.telemetry import derived_values, load_snapshot, render_summary
+from repro.telemetry import (
+    derived_metrics,
+    derived_values,
+    load_snapshot,
+    render_summary,
+)
 from repro.telemetry.context import SNAPSHOT_FORMAT
 
 
@@ -102,6 +107,78 @@ class TestDerivedValues:
 
     def test_empty_snapshot_derives_nothing(self):
         assert derived_values(snapshot()) == []
+
+
+class TestDerivedMetrics:
+    def test_numeric_keys_for_machine_consumption(self):
+        got = derived_metrics(snapshot(
+            counters={
+                "sim.cycles.scalar": 25,
+                "sim.cycles.batched": 75,
+                "sim.stall_cycles": 10,
+                "polymem.plan_cache.hits": 9,
+                "polymem.plan_cache.misses": 1,
+            },
+            gauges={
+                "stream.achieved_mbps": {"value": 7680.0},
+                "stream.peak_mbps": {"value": 15360.0},
+            },
+        ))
+        assert got["sim.stall_share"] == 0.10
+        assert got["sim.scalar_fallback_share"] == 0.25
+        assert got["plan_cache.hit_rate"] == 0.9
+        assert got["stream.achieved_vs_peak"] == 0.5
+
+    def test_absent_inputs_are_omitted_not_nan(self):
+        assert derived_metrics(snapshot()) == {}
+        assert derived_metrics({"format": SNAPSHOT_FORMAT}) == {}
+
+
+class TestPartialSnapshots:
+    """Satellite: a truncated/partial snapshot degrades to n/a cells,
+    never KeyError — the summary of a broken run is when you need it."""
+
+    def test_snapshot_without_metrics_block(self):
+        text = render_summary({"format": SNAPSHOT_FORMAT, "label": "dead"})
+        assert "telemetry summary — dead" in text
+
+    def test_metrics_explicitly_null(self):
+        text = render_summary({"format": SNAPSHOT_FORMAT, "metrics": None})
+        assert "telemetry summary" in text
+
+    def test_missing_counter_group_only(self):
+        snap = {
+            "format": SNAPSHOT_FORMAT,
+            "metrics": {"gauges": {"depth": {"value": 2, "min": 0, "max": 5}}},
+        }
+        text = render_summary(snap)
+        assert "gauges (last / min / max)" in text
+        assert "counters" not in text
+        assert derived_values(snap) == []
+
+    def test_non_dict_gauge_record_renders_na(self):
+        text = render_summary(snapshot(gauges={"depth": 7}))
+        assert "n/a / n/a / n/a" in text
+
+    def test_histogram_missing_fields_render_na(self):
+        text = render_summary(snapshot(histograms={"sizes": {"count": 2}}))
+        assert "2 / n/a / n/a" in text
+
+    def test_truncated_gauge_record_keeps_known_fields(self):
+        text = render_summary(snapshot(gauges={"depth": {"value": 3}}))
+        assert "3 / n/a / n/a" in text
+
+    def test_derived_section_survives_poisoned_inputs(self):
+        # a gauge record of the wrong shape feeds the derived computation:
+        # the quantity is skipped, the rest of the summary still renders
+        snap = snapshot(
+            counters={"exec.wall_seconds": 2.0, "exec.compute_seconds": 1.0},
+            gauges={"exec.workers": "four"},
+        )
+        text = render_summary(snap)
+        assert "exec.workers" in text  # the raw row still renders, as n/a
+        assert "exec worker utilization" not in text
+        assert "exec.worker_utilization" not in derived_metrics(snap)
 
 
 class TestRenderSummary:

@@ -348,3 +348,132 @@ class TestProgramDumpStats:
     def test_stats_off_by_default(self, capsys):
         assert main(["program", "dump", "matmul", "--json"]) == 0
         assert "stats" not in json.loads(capsys.readouterr().out)
+
+
+class TestTelemetryObservatory:
+    """The ledger/diff/regress/scorecard subcommands over a run ledger."""
+
+    @pytest.fixture
+    def ledger_path(self, tmp_path):
+        from repro.telemetry.context import SNAPSHOT_FORMAT
+        from repro.telemetry.ledger import Ledger, LedgerEntry
+        from repro.telemetry.regress import evaluate_gate
+
+        def snap(cycles):
+            return {
+                "format": SNAPSHOT_FORMAT,
+                "metrics": {
+                    "counters": {"sim.cycles.batched": cycles},
+                    "gauges": {},
+                    "histograms": {},
+                },
+            }
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(path)
+        for i, speedup in enumerate((3.0, 3.1, 1.4)):
+            ledger.append(
+                LedgerEntry(
+                    bench="bench_sim",
+                    ts=float(i),
+                    params={"workload": "stream.copy", "scheme": "batched"},
+                    provenance={
+                        "backend": "vectis",
+                        "git": {"sha": "a" * 40, "dirty": False},
+                    },
+                    gates=[evaluate_gate("sim.batched_vs_scalar", speedup)],
+                    timings={"wall_s": 1.0 + i},
+                    telemetry=snap(100 * (i + 1)),
+                )
+            )
+        return path
+
+    def test_ledger_listing(self, ledger_path, capsys):
+        assert main(["telemetry", "ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_sim" in out and "aaaaaaaaaaaa" in out
+        assert "FAIL" in out  # the 1.4x run misses its gate
+        assert "3 entries" in out
+
+    def test_ledger_last_and_json(self, ledger_path, capsys):
+        assert main(
+            ["telemetry", "ledger", str(ledger_path), "--last", "1", "--json"]
+        ) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert len(docs) == 1 and docs[0]["ts"] == 2.0
+
+    def test_diff_two_ledger_entries(self, ledger_path, capsys):
+        assert main(
+            ["telemetry", "diff", f"{ledger_path}#0", f"{ledger_path}#-1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry diff" in out
+        assert "sim.batched_vs_scalar" in out  # the gate moved 3.0 -> 1.4
+        assert "wall_s" in out
+
+    def test_diff_json(self, ledger_path, capsys):
+        assert main(
+            ["telemetry", "diff", f"{ledger_path}#0", f"{ledger_path}#-1",
+             "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        kinds = {row["kind"] for row in doc["rows"]}
+        assert {"gate", "timing", "counter"} <= kinds
+
+    def test_regress_fails_on_failed_gate(self, ledger_path, capsys):
+        assert main(
+            ["telemetry", "regress", str(ledger_path), "--baseline-window", "5"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out and "bench_sim:sim.batched_vs_scalar" in out
+
+    def test_regress_json(self, ledger_path, capsys):
+        assert main(["telemetry", "regress", str(ledger_path), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdicts"][0]["status"] == "fail"
+        assert doc["verdicts"][0]["baseline"] == 3.05
+
+    def test_regress_strict_turns_warns_into_failure(self, tmp_path, capsys):
+        from repro.telemetry.ledger import Ledger, LedgerEntry
+        from repro.telemetry.regress import evaluate_gate
+
+        path = tmp_path / "warn.jsonl"
+        ledger = Ledger(path)
+        for speedup in (3.0, 3.0, 3.0, 2.2):  # passes, but 27% worse
+            ledger.append(
+                LedgerEntry(
+                    bench="b",
+                    gates=[evaluate_gate("sim.batched_vs_scalar", speedup)],
+                )
+            )
+        capsys.readouterr()
+        assert main(["telemetry", "regress", str(path)]) == 0
+        assert "[WARN]" in capsys.readouterr().out
+        assert main(["telemetry", "regress", str(path), "--strict"]) == 1
+
+    def test_scorecard_markdown_and_out(self, ledger_path, tmp_path, capsys):
+        assert main(["telemetry", "scorecard", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Scorecard" in out and "stream.copy" in out
+        dest = tmp_path / "scorecard.md"
+        assert main(
+            ["telemetry", "scorecard", str(ledger_path), "--out", str(dest)]
+        ) == 0
+        assert "# Scorecard" in dest.read_text()
+
+    def test_scorecard_json(self, ledger_path, capsys):
+        assert main(
+            ["telemetry", "scorecard", str(ledger_path), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (cell,) = doc["cells"]
+        assert cell["workload"] == "stream.copy"
+        assert cell["ok"] is False  # newest run failed its gate
+
+    def test_profile_spans_flag_prints_attribution(self, capsys):
+        assert main(
+            ["stream", "run", "--vectors", "64", "--profile-spans", "*"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "profile of span" in err
+        assert "cum" in err
